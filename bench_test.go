@@ -1,0 +1,293 @@
+package i2mr
+
+// One benchmark per table/figure of the paper's evaluation (Sec. 8).
+// Each iteration regenerates the experiment at a reduced scale; run
+//
+//	go test -bench=. -benchmem
+//
+// for the full sweep or `cmd/i2mr-bench` for the formatted tables. The
+// custom metrics (ns-scale ratios, propagated counts, read counts)
+// carry each experiment's headline quantity.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"i2mapreduce/internal/apps"
+	"i2mapreduce/internal/bench"
+	"i2mapreduce/internal/incr"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/mrbg"
+)
+
+func benchScale() bench.Scale {
+	s := bench.SmallScale()
+	s.GraphVertices = 800
+	s.Points = 1500
+	s.Tweets = 1500
+	return s
+}
+
+func newBenchEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	env, err := bench.NewEnv(b.TempDir(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkAPrioriOneStep regenerates Sec. 8.2: one-step incremental
+// refresh vs re-computation ("i2MapReduce improves ... by a 12x
+// speedup" on the paper's testbed).
+func BenchmarkAPrioriOneStep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(b)
+		res, err := bench.APriori(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup, "speedup")
+	}
+}
+
+// BenchmarkFig8NormalizedRuntime regenerates Fig. 8 for all four
+// iterative algorithms.
+func BenchmarkFig8NormalizedRuntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(b)
+		rows, err := bench.Fig8(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			n := r.Normalized()
+			b.ReportMetric(n[4], strings.ToLower(r.App)+"-i2cpc-vs-plain")
+		}
+	}
+}
+
+// BenchmarkFig9StageBreakdown regenerates Fig. 9's per-stage PageRank
+// timings.
+func BenchmarkFig9StageBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(b)
+		rows, err := bench.Fig9(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		plainMap := float64(rows[0].Stages.Stages[0])
+		i2Map := float64(rows[2].Stages.Stages[0])
+		if plainMap > 0 {
+			b.ReportMetric(1-i2Map/plainMap, "map-stage-reduction")
+		}
+	}
+}
+
+// BenchmarkTable4Windows regenerates Table 4's read-strategy sweep.
+func BenchmarkTable4Windows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(b)
+		rows, err := bench.Table4(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(float64(r.Reads), r.Technique+"-reads")
+		}
+	}
+}
+
+// BenchmarkFig10CPC regenerates Fig. 10's filter-threshold sweep.
+func BenchmarkFig10CPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(b)
+		rows, err := bench.Fig10(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.MeanError*100, fmt.Sprintf("ft%.1f-err-pct", r.FT))
+		}
+	}
+}
+
+// BenchmarkFig11Propagation regenerates Fig. 11's per-iteration
+// propagated kv-pair traces.
+func BenchmarkFig11Propagation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(b)
+		series, err := bench.Fig11(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			total := 0
+			for _, p := range s.Propagated {
+				total += p
+			}
+			b.ReportMetric(float64(total), strings.ReplaceAll(s.Label, " ", "")+"-propagated")
+		}
+	}
+}
+
+// BenchmarkFig12SparkVsIterMR regenerates Fig. 12's size sweep.
+func BenchmarkFig12SparkVsIterMR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(b)
+		rows, err := bench.Fig12(env, benchScale(), b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		small, large := rows[0], rows[len(rows)-1]
+		if small.PlainMR > 0 {
+			b.ReportMetric(float64(small.Spark)/float64(small.PlainMR), "spark-vs-plain-small")
+		}
+		if large.IterMR > 0 {
+			b.ReportMetric(float64(large.Spark)/float64(large.IterMR), "spark-vs-iter-large")
+		}
+	}
+}
+
+// BenchmarkFig13FaultTolerance regenerates Fig. 13's failure-injection
+// run and reports the worst recovery gap.
+func BenchmarkFig13FaultTolerance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(b)
+		res, err := bench.Fig13(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.MaxRecovery.Milliseconds()), "max-recovery-ms")
+	}
+}
+
+// --- MRBG-Store micro-benchmarks (the data structure under Table 4) ---
+
+func populateStore(b *testing.B, strategy mrbg.ReadStrategy, nKeys int) *mrbg.Store {
+	b.Helper()
+	s, err := mrbg.Open(mrbg.Options{Dir: b.TempDir(), Strategy: strategy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < nKeys; k++ {
+		err := s.Put(mrbg.Chunk{
+			Key:   fmt.Sprintf("key-%06d", k),
+			Edges: []mrbg.Edge{{MK: 1, V2: "value-payload-0123456789"}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.CommitBatch(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkMRBGStoreMerge measures the delta-merge path (the per-
+// iteration cost of incremental processing).
+func BenchmarkMRBGStoreMerge(b *testing.B) {
+	s := populateStore(b, mrbg.MultiDynamicWindow, 5000)
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta := make([]mrbg.DeltaEdge, 0, 100)
+		for k := 0; k < 100; k++ {
+			delta = append(delta, mrbg.DeltaEdge{
+				Key: fmt.Sprintf("key-%06d", (i*37+k*53)%5000),
+				MK:  2, V2: "updated",
+			})
+		}
+		if err := s.Merge(delta, func(mrbg.MergeResult) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMRBGStoreGetMany compares the read strategies on a sorted
+// scan of every 10th chunk.
+func BenchmarkMRBGStoreGetMany(b *testing.B) {
+	for _, strat := range []mrbg.ReadStrategy{mrbg.IndexOnly, mrbg.MultiDynamicWindow} {
+		b.Run(strat.String(), func(b *testing.B) {
+			s := populateStore(b, strat, 5000)
+			defer s.Close()
+			var keys []string
+			for k := 0; k < 5000; k += 10 {
+				keys = append(keys, fmt.Sprintf("key-%06d", k))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := s.GetMany(keys, func(string, mrbg.Chunk, bool) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShuffleSort measures the engine-wide sort primitive.
+func BenchmarkShuffleSort(b *testing.B) {
+	base := make([]kv.Pair, 100_000)
+	for i := range base {
+		base[i] = kv.Pair{Key: fmt.Sprintf("k%07d", (i*2654435761)%len(base)), Value: "v"}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := append([]kv.Pair(nil), base...)
+		kv.SortPairs(run)
+	}
+}
+
+// BenchmarkAccumulatorAblation compares the two one-step refresh
+// strategies on the same WordCount delta: the accumulator optimization
+// (preserve only outputs, Sec. 3.5) vs full MRBGraph preservation. The
+// ablation DESIGN.md calls out for the Sec. 3.5 design choice.
+func BenchmarkAccumulatorAblation(b *testing.B) {
+	for _, mode := range []string{"accumulator", "fine-grain"} {
+		b.Run(mode, func(b *testing.B) {
+			env := newBenchEnv(b)
+			docs := make([]kv.Pair, 3000)
+			for i := range docs {
+				docs[i] = kv.Pair{
+					Key:   fmt.Sprintf("d%05d", i),
+					Value: fmt.Sprintf("alpha w%03d w%03d common", i%97, i%53),
+				}
+			}
+			if err := env.Eng.FS().WriteAllPairs("docs", docs); err != nil {
+				b.Fatal(err)
+			}
+			job := apps.WordCountJob("abl-" + mode)
+			if mode == "fine-grain" {
+				job = apps.FineGrainWordCountJob("abl-" + mode)
+			}
+			runner, err := incr.NewRunner(env.Eng, job)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer runner.Close()
+			if _, err := runner.RunInitial("docs", "out0"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				delta := []kv.Delta{{
+					Key:   fmt.Sprintf("new%06d", i),
+					Value: "alpha common brandnew",
+					Op:    kv.OpInsert,
+				}}
+				path := fmt.Sprintf("delta-%d", i)
+				b.StopTimer()
+				if err := env.Eng.FS().WriteAllDeltas(path, delta); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := runner.RunDelta(path, fmt.Sprintf("out-%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+// Command i2mr-bench regenerates the paper's evaluation tables and
+// figures (Sec. 8) on the simulated substrate.
+//
+// Usage:
+//
+//	i2mr-bench [-scale small|default] [-workdir DIR] [experiment ...]
+//
+// Experiments: fig8 fig9 table4 fig10 fig11 fig12 fig13 apriori all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"i2mapreduce/internal/bench"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "workload scale: small or default")
+	workdir := flag.String("workdir", "", "working directory (default: a temp dir, removed on exit)")
+	flag.Parse()
+
+	sc := bench.DefaultScale()
+	if *scaleFlag == "small" {
+		sc = bench.SmallScale()
+	}
+
+	dir := *workdir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "i2mr-bench-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	experiments := flag.Args()
+	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
+		experiments = []string{"apriori", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13"}
+	}
+
+	for _, name := range experiments {
+		// A fresh environment per experiment keeps DFS paths and
+		// scratch state independent.
+		env, err := bench.NewEnv(filepath.Join(dir, name), sc.Nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runExperiment(env, sc, dir, name); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println()
+	}
+}
+
+func runExperiment(env *bench.Env, sc bench.Scale, dir, name string) error {
+	switch name {
+	case "fig8":
+		rows, err := bench.Fig8(env, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig8(rows))
+	case "fig9":
+		rows, err := bench.Fig9(env, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig9(rows))
+	case "table4":
+		rows, err := bench.Table4(env, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable4(rows))
+	case "fig10":
+		rows, err := bench.Fig10(env, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig10(rows))
+	case "fig11":
+		series, err := bench.Fig11(env, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig11(series))
+	case "fig12":
+		rows, err := bench.Fig12(env, sc, filepath.Join(dir, "spill"))
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig12(rows))
+	case "fig13":
+		res, err := bench.Fig13(env, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig13(res))
+	case "apriori":
+		res, err := bench.APriori(env, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAPriori(res))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Command i2mr-datagen emits the synthetic datasets (and deltas) this
+// reproduction uses in place of the paper's ClueWeb / ClueWeb2 /
+// BigCross / WikiTalk / Twitter corpora (Table 3), in the text codec
+// (one "key<TAB>value" line per record; deltas add "<TAB>+/-").
+//
+// Usage:
+//
+//	i2mr-datagen -kind graph|wgraph|points|matrix|tweets [flags] > out.tsv
+//	i2mr-datagen -kind graph -delta 0.1 [flags] > delta.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"i2mapreduce/internal/datagen"
+	"i2mapreduce/internal/kv"
+)
+
+func main() {
+	kind := flag.String("kind", "graph", "dataset kind: graph, wgraph, points, matrix, tweets")
+	n := flag.Int("n", 10000, "record count (vertices / points / tweets); blocks for matrix")
+	degree := flag.Int("degree", 4, "mean out-degree (graphs)")
+	dims := flag.Int("dims", 8, "point dimensions")
+	clusters := flag.Int("clusters", 8, "point clusters")
+	blockSize := flag.Int("blocksize", 16, "matrix block size")
+	vocab := flag.Int("vocab", 1000, "tweet vocabulary size")
+	words := flag.Int("words", 8, "words per tweet")
+	seed := flag.Int64("seed", 1, "generator seed")
+	delta := flag.Float64("delta", 0, "emit a delta mutating this fraction instead of the dataset")
+	flag.Parse()
+
+	var data []kv.Pair
+	switch *kind {
+	case "graph":
+		data = datagen.Graph(*seed, *n, *degree)
+	case "wgraph":
+		data = datagen.WeightedGraph(*seed, *n, *degree)
+	case "points":
+		data = datagen.Points(*seed, *n, *dims, *clusters)
+	case "matrix":
+		data = datagen.BlockMatrix(*seed, *n, *blockSize, 3)
+	case "tweets":
+		data = datagen.Tweets(*seed, *n, *vocab, *words)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *delta > 0 {
+		if *kind != "graph" {
+			log.Fatal("-delta currently supports -kind graph (rewire mutation)")
+		}
+		ds, _ := datagen.Mutate(*seed+1, data, datagen.MutateOptions{
+			ModifyFraction: *delta,
+			Rewrite:        datagen.RewireGraphValue(*n),
+		})
+		for _, d := range ds {
+			fmt.Fprintln(w, kv.FormatTextDelta(d))
+		}
+		return
+	}
+	for _, p := range data {
+		fmt.Fprintln(w, kv.FormatTextPair(p))
+	}
+}

@@ -1,0 +1,190 @@
+// Package i2mr is the public API of this i2MapReduce reproduction
+// (Zhang, Chen, Wang, Yu — "i2MapReduce: Incremental MapReduce for
+// Mining Evolving Big Data", ICDE 2016).
+//
+// A System bundles the simulated substrate (a block-oriented DFS and a
+// multi-node cluster, standing in for HDFS and a Hadoop deployment)
+// with the three processing engines:
+//
+//   - System.MapReduce — vanilla MapReduce (paper Sec. 2);
+//   - System.NewOneStep — fine-grain incremental one-step processing
+//     backed by the MRBG-Store, with the accumulator-Reduce
+//     optimization (Sec. 3);
+//   - System.NewIterative — general-purpose iterative processing with
+//     structure/state separation and Project (Sec. 4), the "iterMR"
+//     engine;
+//   - System.NewIncremental — i2MapReduce itself: incremental iterative
+//     processing with change propagation control, P_delta detection,
+//     and per-iteration checkpointing (Sec. 5-6).
+//
+// See examples/ for runnable end-to-end programs and DESIGN.md for the
+// architecture.
+package i2mr
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+
+	"i2mapreduce/internal/cluster"
+	"i2mapreduce/internal/core"
+	"i2mapreduce/internal/dfs"
+	"i2mapreduce/internal/incr"
+	"i2mapreduce/internal/iter"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/mr"
+	"i2mapreduce/internal/mrbg"
+)
+
+// Re-exported record types.
+type (
+	// Pair is one key-value record.
+	Pair = kv.Pair
+	// Delta is one '+'/'-' tagged record of a delta input.
+	Delta = kv.Delta
+	// Op is a delta marker (OpInsert / OpDelete).
+	Op = kv.Op
+)
+
+// Delta markers.
+const (
+	OpInsert = kv.OpInsert
+	OpDelete = kv.OpDelete
+)
+
+// Engine-facing types.
+type (
+	// Emit passes records out of user Map/Reduce functions.
+	Emit = mr.Emit
+	// Job is a vanilla MapReduce job description.
+	Job = mr.Job
+	// Mapper / Reducer carry MapReduce semantics.
+	Mapper  = mr.Mapper
+	Reducer = mr.Reducer
+	// MapperFunc / ReducerFunc adapt plain functions.
+	MapperFunc  = mr.MapperFunc
+	ReducerFunc = mr.ReducerFunc
+	// Report carries stage timings and counters of a run.
+	Report = metrics.Report
+
+	// OneStepJob describes an incrementally refreshable one-step
+	// computation (Sec. 3).
+	OneStepJob = incr.Job
+	// OneStepRunner refreshes a OneStepJob across input versions.
+	OneStepRunner = incr.Runner
+
+	// Spec describes an iterative algorithm: structure/state kv-pairs,
+	// Project, prime Map and prime Reduce (Sec. 4.2).
+	Spec = iter.Spec
+	// StateGetter exposes current state to the prime Reduce.
+	StateGetter = iter.StateGetter
+	// IterConfig tunes an iterative (iterMR) run.
+	IterConfig = iter.Config
+	// IterRunner is the iterMR re-computation engine.
+	IterRunner = iter.Runner
+
+	// Config tunes the incremental iterative engine (CPC thresholds,
+	// P_delta fallback, checkpointing; Sec. 5-6).
+	Config = core.Config
+	// Runner is i2MapReduce's incremental iterative engine.
+	Runner = core.Runner
+	// Result reports one initial or incremental job.
+	Result = core.Result
+
+	// StoreOptions tunes the MRBG-Store (read strategy, window sizes).
+	StoreOptions = mrbg.Options
+)
+
+// Options configures a System.
+type Options struct {
+	// WorkDir hosts the DFS and node scratch directories. Required.
+	WorkDir string
+	// Nodes is the simulated cluster size. Defaults to 4.
+	Nodes int
+	// SlotsPerNode is the per-node task parallelism. Defaults to 2.
+	SlotsPerNode int
+	// BlockSize is the DFS block capacity. Defaults to 1 MiB.
+	BlockSize int64
+}
+
+// System is a ready-to-use i2MapReduce deployment.
+type System struct {
+	eng *mr.Engine
+}
+
+// New builds a System under opts.WorkDir.
+func New(opts Options) (*System, error) {
+	if opts.WorkDir == "" {
+		return nil, errors.New("i2mr: Options.WorkDir is required")
+	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 4
+	}
+	if err := os.MkdirAll(opts.WorkDir, 0o755); err != nil {
+		return nil, err
+	}
+	fs, err := dfs.New(dfs.Config{
+		Root:      filepath.Join(opts.WorkDir, "dfs"),
+		BlockSize: opts.BlockSize,
+		Nodes:     opts.Nodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes:        opts.Nodes,
+		SlotsPerNode: opts.SlotsPerNode,
+		ScratchRoot:  filepath.Join(opts.WorkDir, "scratch"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: mr.NewEngine(fs, cl)}, nil
+}
+
+// WritePairs stores records as a DFS file.
+func (s *System) WritePairs(path string, ps []Pair) error {
+	return s.eng.FS().WriteAllPairs(path, ps)
+}
+
+// WriteDeltas stores a delta input as a DFS file.
+func (s *System) WriteDeltas(path string, ds []Delta) error {
+	return s.eng.FS().WriteAllDeltas(path, ds)
+}
+
+// ReadPairs loads a DFS file.
+func (s *System) ReadPairs(path string) ([]Pair, error) {
+	return s.eng.FS().ReadAllPairs(path)
+}
+
+// ReadOutput concatenates a job's reduce part files.
+func (s *System) ReadOutput(output string, numReducers int) ([]Pair, error) {
+	return s.eng.ReadOutput(output, numReducers)
+}
+
+// MapReduce runs one vanilla MapReduce job.
+func (s *System) MapReduce(job Job) (*Report, error) {
+	return s.eng.Run(job)
+}
+
+// NewOneStep prepares a fine-grain incremental one-step runner:
+// RunInitial once, then RunDelta per refresh.
+func (s *System) NewOneStep(job OneStepJob) (*OneStepRunner, error) {
+	return incr.NewRunner(s.eng, job)
+}
+
+// NewIterative prepares an iterMR (re-computation) runner.
+func (s *System) NewIterative(spec Spec, cfg IterConfig) (*IterRunner, error) {
+	return iter.NewRunner(s.eng, spec, cfg)
+}
+
+// NewIncremental prepares the i2MapReduce incremental iterative runner:
+// RunInitial once, then RunIncremental per delta.
+func (s *System) NewIncremental(spec Spec, cfg Config) (*Runner, error) {
+	return core.NewRunner(s.eng, spec, cfg)
+}
+
+// Engine exposes the underlying MapReduce engine for advanced use
+// (bench harnesses, custom schedulers).
+func (s *System) Engine() *mr.Engine { return s.eng }

@@ -1,0 +1,136 @@
+package i2mr
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"i2mapreduce/internal/apps"
+	"i2mapreduce/internal/datagen"
+)
+
+// TestPublicAPIEndToEnd drives every engine through the public facade:
+// vanilla MapReduce, incremental one-step, iterative, and incremental
+// iterative.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sys, err := New(Options{WorkDir: t.TempDir(), Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Vanilla MapReduce: word count.
+	if err := sys.WritePairs("docs", []Pair{
+		{Key: "d1", Value: "a b a"},
+		{Key: "d2", Value: "b c"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.MapReduce(Job{
+		Name: "wc", Input: "docs", Output: "wc-out", NumReducers: 2,
+		Mapper: MapperFunc(func(k, v string, emit Emit) error {
+			for _, w := range strings.Fields(v) {
+				emit(w, "1")
+			}
+			return nil
+		}),
+		Reducer: ReducerFunc(func(k string, vs []string, emit Emit) error {
+			emit(k, strconv.Itoa(len(vs)))
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.ReadOutput("wc-out", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]string{}
+	for _, p := range out {
+		counts[p.Key] = p.Value
+	}
+	if counts["a"] != "2" || counts["b"] != "2" || counts["c"] != "1" {
+		t.Fatalf("wordcount = %v", counts)
+	}
+
+	// Incremental one-step with accumulator.
+	oneStep, err := sys.NewOneStep(apps.WordCountJob("wc-incr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oneStep.Close()
+	if _, err := oneStep.RunInitial("docs", "wc-v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WriteDeltas("docs-delta", []Delta{
+		{Key: "d3", Value: "c c", Op: OpInsert},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oneStep.RunDelta("docs-delta", "wc-v2"); err != nil {
+		t.Fatal(err)
+	}
+	refreshed := map[string]string{}
+	for _, p := range oneStep.Outputs() {
+		refreshed[p.Key] = p.Value
+	}
+	if refreshed["c"] != "3" {
+		t.Fatalf("refreshed counts = %v, want c:3", refreshed)
+	}
+
+	// Incremental iterative PageRank.
+	graph := datagen.Graph(5, 60, 3)
+	if err := sys.WritePairs("graph", graph); err != nil {
+		t.Fatal(err)
+	}
+	runner, err := sys.NewIncremental(apps.PageRankSpec("api-pr", apps.DefaultDamping), Config{
+		NumPartitions: 2, MaxIterations: 100, Epsilon: 1e-8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	res, err := runner.RunInitial("graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("PageRank did not converge through the facade")
+	}
+	deltas, _ := datagen.Mutate(6, graph, datagen.MutateOptions{
+		ModifyFraction: 0.1, Rewrite: datagen.RewireGraphValue(60),
+	})
+	if err := sys.WriteDeltas("graph-delta", deltas); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := runner.RunIncremental("graph-delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Converged {
+		t.Fatal("incremental refresh did not converge")
+	}
+
+	// Iterative (iterMR) runner through the facade.
+	ir, err := sys.NewIterative(apps.PageRankSpec("api-iter", apps.DefaultDamping), IterConfig{
+		NumPartitions: 2, MaxIterations: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.LoadStructure("graph"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ir.State()) != 60 {
+		t.Fatalf("iterative state has %d keys, want 60", len(ir.State()))
+	}
+}
+
+func TestNewValidatesOptions(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("New without WorkDir succeeded")
+	}
+}

@@ -1,0 +1,628 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"testing"
+
+	"i2mapreduce/internal/baseline/haloop"
+	"i2mapreduce/internal/cluster"
+	"i2mapreduce/internal/core"
+	"i2mapreduce/internal/datagen"
+	"i2mapreduce/internal/dfs"
+	"i2mapreduce/internal/incr"
+	"i2mapreduce/internal/iter"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/mr"
+)
+
+func newEngine(t *testing.T, nodes int) *mr.Engine {
+	t.Helper()
+	root := t.TempDir()
+	fs, err := dfs.New(dfs.Config{Root: root + "/dfs", BlockSize: 4 << 10, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{Nodes: nodes, SlotsPerNode: 2, ScratchRoot: root + "/scratch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mr.NewEngine(fs, cl)
+}
+
+func assertFloatMapClose(t *testing.T, label string, got map[string]string, want map[string]float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d keys, want %d", label, len(got), len(want))
+	}
+	for k, w := range want {
+		g := parseF(got[k])
+		if math.Abs(g-w) > tol {
+			t.Errorf("%s: %s = %v, want %v", label, k, g, w)
+		}
+	}
+}
+
+// --- PageRank: all four systems agree ---
+
+func TestPageRankAllSystemsAgree(t *testing.T) {
+	eng := newEngine(t, 3)
+	graph := datagen.Graph(101, 80, 3)
+	if err := eng.FS().WriteAllPairs("graph", graph); err != nil {
+		t.Fatal(err)
+	}
+	const iters = 8
+	want := OfflinePageRank(graph, DefaultDamping, iters)
+
+	// iterMR (fixed iterations: Epsilon 0 never converges early).
+	ir, err := iter.NewRunner(eng, PageRankSpec("pr-iter", DefaultDamping), iter.Config{
+		NumPartitions: 3, MaxIterations: iters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.LoadStructure("graph"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.Run(); err != nil {
+		t.Fatal(err)
+	}
+	assertFloatMapClose(t, "iterMR", ir.State(), want, 1e-9)
+
+	// plainMR.
+	ranks, rep, err := PageRankPlainMR(eng, "pr-plain", "graph", iters, DefaultDamping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFloatMapClose(t, "plainMR", ranks, want, 1e-9)
+	if rep.Counter("jobs") != iters {
+		t.Fatalf("plainMR ran %d jobs, want %d", rep.Counter("jobs"), iters)
+	}
+	if rep.Counter("startup.ns") == 0 {
+		t.Fatal("plainMR startup cost not accounted")
+	}
+
+	// HaLoop (fixed iterations via Epsilon -1 is invalid; use tiny
+	// epsilon and cap at iters).
+	cfg := PageRankHaLoop("pr-haloop", DefaultDamping)
+	cfg.MaxIterations = iters
+	cfg.Epsilon = 0
+	run, err := haloop.Run(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := run("graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.Iterations != iters {
+		t.Fatalf("HaLoop ran %d iterations, want %d", hres.Iterations, iters)
+	}
+	assertFloatMapClose(t, "HaLoop", hres.State, want, 1e-9)
+}
+
+func TestPageRankIncrementalWithDatagenDelta(t *testing.T) {
+	eng := newEngine(t, 2)
+	graph := datagen.Graph(202, 100, 3)
+	if err := eng.FS().WriteAllPairs("g0", graph); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewRunner(eng, PageRankSpec("pr-core", DefaultDamping), core.Config{
+		NumPartitions: 2, MaxIterations: 300, Epsilon: 1e-10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.RunInitial("g0"); err != nil {
+		t.Fatal(err)
+	}
+
+	deltas, updated := datagen.Mutate(7, graph, datagen.MutateOptions{
+		ModifyFraction: 0.1,
+		Rewrite:        datagen.RewireGraphValue(100),
+	})
+	if len(deltas) == 0 {
+		t.Fatal("datagen produced an empty delta")
+	}
+	if err := eng.FS().WriteAllDeltas("d", deltas); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunIncremental("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("incremental run did not converge in %d iterations", res.Iterations)
+	}
+
+	// Reference: fresh converged run on the updated graph.
+	if err := eng.FS().WriteAllPairs("g1", updated); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := iter.NewRunner(eng, PageRankSpec("pr-core-ref", DefaultDamping), iter.Config{
+		NumPartitions: 2, MaxIterations: 300, Epsilon: 1e-10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.LoadStructure("g1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantS := ref.State()
+	got := r.State()
+	if len(got) != len(wantS) {
+		t.Fatalf("incremental state has %d keys, reference %d", len(got), len(wantS))
+	}
+	for k, w := range wantS {
+		if math.Abs(parseF(got[k])-parseF(w)) > 1e-6 {
+			t.Errorf("rank[%s] = %s, want %s", k, got[k], w)
+		}
+	}
+}
+
+// --- SSSP ---
+
+func TestSSSPConvergesToDijkstra(t *testing.T) {
+	eng := newEngine(t, 3)
+	graph := datagen.WeightedGraph(303, 80, 3)
+	source := graph[0].Key
+	if err := eng.FS().WriteAllPairs("wg", graph); err != nil {
+		t.Fatal(err)
+	}
+	r, err := iter.NewRunner(eng, SSSPSpec("sssp", source), iter.Config{
+		NumPartitions: 3, MaxIterations: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.LoadStructure("wg"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("SSSP did not converge")
+	}
+	want := OfflineSSSP(graph, source)
+	got := r.State()
+	for v, w := range want {
+		g := got[v]
+		if math.IsInf(w, 1) {
+			if g != Inf {
+				t.Errorf("dist[%s] = %s, want inf", v, g)
+			}
+			continue
+		}
+		if math.Abs(parseF(g)-w) > 1e-9 {
+			t.Errorf("dist[%s] = %s, want %v", v, g, w)
+		}
+	}
+
+	// plainMR agrees after the same number of iterations... run to a
+	// fixed, generous count (Bellman-Ford style convergence).
+	dists, _, err := SSSPPlainMR(eng, "sssp-plain", "wg", source, res.Iterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, w := range want {
+		g := dists[v]
+		if math.IsInf(w, 1) {
+			if g != Inf {
+				t.Errorf("plainMR dist[%s] = %s, want inf", v, g)
+			}
+			continue
+		}
+		if math.Abs(parseF(g)-w) > 1e-9 {
+			t.Errorf("plainMR dist[%s] = %s, want %v", v, g, w)
+		}
+	}
+}
+
+func TestSSSPIncrementalEdgeInsertions(t *testing.T) {
+	eng := newEngine(t, 2)
+	graph := datagen.WeightedGraph(404, 60, 2)
+	source := graph[0].Key
+	if err := eng.FS().WriteAllPairs("wg0", graph); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewRunner(eng, SSSPSpec("sssp-core", source), core.Config{
+		NumPartitions: 2, MaxIterations: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.RunInitial("wg0"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Monotone delta: add a shortcut edge from the source (weight
+	// decrease semantics: modify source record to add an edge).
+	oldVal := graph[0].Value
+	far := graph[len(graph)-1].Key
+	newVal := oldVal + ";" + far + ":0.05"
+	deltas := []kv.Delta{
+		{Key: source, Value: oldVal, Op: kv.OpDelete},
+		{Key: source, Value: newVal, Op: kv.OpInsert},
+	}
+	if err := eng.FS().WriteAllDeltas("wd", deltas); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunIncremental("wd"); err != nil {
+		t.Fatal(err)
+	}
+	updated := append([]kv.Pair(nil), graph...)
+	updated[0].Value = newVal
+	want := OfflineSSSP(updated, source)
+	got := r.State()
+	for v, w := range want {
+		if math.IsInf(w, 1) {
+			continue
+		}
+		if math.Abs(parseF(got[v])-w) > 1e-9 {
+			t.Errorf("dist[%s] = %s, want %v", v, got[v], w)
+		}
+	}
+	if math.Abs(parseF(got[far])-0.05) > 1e-9 {
+		t.Errorf("shortcut target dist = %s, want 0.05", got[far])
+	}
+}
+
+// --- Kmeans ---
+
+func TestKmeansCoreMatchesOffline(t *testing.T) {
+	eng := newEngine(t, 2)
+	points := datagen.Points(505, 200, 3, 4)
+	initial := datagen.InitialCentroids(505, points, 4)
+	if err := eng.FS().WriteAllPairs("pts", points); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewRunner(eng, KmeansSpec("km"), core.Config{
+		NumPartitions: 2, MaxIterations: 40,
+		InitialState: map[string]string{KmeansStateKey: initial},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.Stores()) != 0 {
+		t.Fatal("ReplicateState spec opened MRBG stores (paper: Kmeans runs with MRBG off)")
+	}
+	res, err := r.RunInitial("pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("kmeans did not converge in %d iterations", res.Iterations)
+	}
+	want, err := OfflineKmeans(points, initial, res.Iterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.State()[KmeansStateKey]
+	if d := centroidSetDiff(got, want); d > 1e-9 {
+		t.Fatalf("core centroids differ from offline by %v\n got: %s\nwant: %s", d, got, want)
+	}
+
+	// plainMR agrees for the same iteration count.
+	plain, _, err := KmeansPlainMR(eng, "km-plain", "pts", initial, res.Iterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := centroidSetDiff(plain, want); d > 1e-9 {
+		t.Fatalf("plainMR centroids differ from offline by %v", d)
+	}
+}
+
+func TestKmeansIncrementalNewPoints(t *testing.T) {
+	eng := newEngine(t, 2)
+	points := datagen.Points(606, 150, 2, 3)
+	initial := datagen.InitialCentroids(606, points, 3)
+	if err := eng.FS().WriteAllPairs("pts0", points); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewRunner(eng, KmeansSpec("km-incr"), core.Config{
+		NumPartitions: 2, MaxIterations: 50,
+		InitialState: map[string]string{KmeansStateKey: initial},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.RunInitial("pts0"); err != nil {
+		t.Fatal(err)
+	}
+	converged := r.State()[KmeansStateKey]
+
+	// New points arrive.
+	extra := datagen.Points(607, 30, 2, 3)
+	var deltas []kv.Delta
+	for i, p := range extra {
+		deltas = append(deltas, kv.Delta{Key: fmt.Sprintf("q%03d", i), Value: p.Value, Op: kv.OpInsert})
+	}
+	if err := eng.FS().WriteAllDeltas("pd", deltas); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunIncremental("pd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("incremental kmeans did not converge")
+	}
+	// Reference: Lloyd from the previously converged centroids over the
+	// merged point set (exactly what converged-state reuse means).
+	var merged []kv.Pair
+	merged = append(merged, points...)
+	for i, p := range extra {
+		merged = append(merged, kv.Pair{Key: fmt.Sprintf("q%03d", i), Value: p.Value})
+	}
+	want, err := OfflineKmeans(merged, converged, res.Iterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := centroidSetDiff(r.State()[KmeansStateKey], want); d > 1e-9 {
+		t.Fatalf("incremental centroids differ from offline by %v", d)
+	}
+}
+
+// --- GIM-V ---
+
+func TestGIMVIterMatchesOffline(t *testing.T) {
+	eng := newEngine(t, 2)
+	const nBlocks, blockSize = 4, 5
+	matrix := datagen.BlockMatrix(707, nBlocks, blockSize, 3)
+	if err := eng.FS().WriteAllPairs("mat", matrix); err != nil {
+		t.Fatal(err)
+	}
+	const iters = 6
+	want, err := OfflineGIMV(matrix, nBlocks, blockSize, iters, DefaultDamping)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := iter.NewRunner(eng, GIMVSpec("gimv", blockSize, DefaultDamping), iter.Config{
+		NumPartitions: 2, MaxIterations: iters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.LoadStructure("mat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := r.State()
+	for j, w := range want {
+		wv, _ := parseVec(w)
+		gv, err := parseVec(got[j])
+		if err != nil {
+			t.Fatalf("block %s: %v", j, err)
+		}
+		for d := range wv {
+			if math.Abs(gv[d]-wv[d]) > 1e-9 {
+				t.Errorf("block %s[%d] = %v, want %v", j, d, gv[d], wv[d])
+			}
+		}
+	}
+
+	// plainMR (Algorithm 4, two jobs/iteration) agrees.
+	plain, rep, err := GIMVPlainMR(eng, "gimv-plain", "mat", nBlocks, blockSize, iters, DefaultDamping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counter("jobs") != 2*iters {
+		t.Fatalf("plainMR GIM-V ran %d jobs, want %d", rep.Counter("jobs"), 2*iters)
+	}
+	for j, w := range want {
+		wv, _ := parseVec(w)
+		gv, _ := parseVec(plain[j])
+		for d := range wv {
+			if math.Abs(gv[d]-wv[d]) > 1e-9 {
+				t.Errorf("plainMR block %s[%d] = %v, want %v", j, d, gv[d], wv[d])
+			}
+		}
+	}
+}
+
+func TestGIMVIncrementalMatrixUpdate(t *testing.T) {
+	eng := newEngine(t, 2)
+	const nBlocks, blockSize = 3, 4
+	matrix := datagen.BlockMatrix(808, nBlocks, blockSize, 2)
+	if err := eng.FS().WriteAllPairs("mat0", matrix); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewRunner(eng, GIMVSpec("gimv-core", blockSize, DefaultDamping), core.Config{
+		NumPartitions: 2, MaxIterations: 300, Epsilon: 1e-11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.RunInitial("mat0"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Update one matrix block's weights.
+	oldRec := matrix[0]
+	newVal := "0:0:0.200000;1:1:0.150000"
+	deltas := []kv.Delta{
+		{Key: oldRec.Key, Value: oldRec.Value, Op: kv.OpDelete},
+		{Key: oldRec.Key, Value: newVal, Op: kv.OpInsert},
+	}
+	if err := eng.FS().WriteAllDeltas("md", deltas); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunIncremental("md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("incremental GIM-V did not converge")
+	}
+
+	updated := append([]kv.Pair(nil), matrix...)
+	updated[0].Value = newVal
+	if err := eng.FS().WriteAllPairs("mat1", updated); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := iter.NewRunner(eng, GIMVSpec("gimv-ref", blockSize, DefaultDamping), iter.Config{
+		NumPartitions: 2, MaxIterations: 300, Epsilon: 1e-11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.LoadStructure("mat1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.State()
+	got := r.State()
+	for j, w := range want {
+		wv, _ := parseVec(w)
+		gv, _ := parseVec(got[j])
+		if len(gv) != len(wv) {
+			t.Fatalf("block %s has %d dims, want %d", j, len(gv), len(wv))
+		}
+		for d := range wv {
+			if math.Abs(gv[d]-wv[d]) > 1e-6 {
+				t.Errorf("block %s[%d] = %v, want %v", j, d, gv[d], wv[d])
+			}
+		}
+	}
+}
+
+// --- APriori ---
+
+func TestAPrioriInitialAndIncremental(t *testing.T) {
+	eng := newEngine(t, 2)
+	tweets := datagen.Tweets(909, 400, 50, 6)
+	if err := eng.FS().WriteAllPairs("tweets", tweets); err != nil {
+		t.Fatal(err)
+	}
+	const minSupport = 30
+
+	frequent, _, err := FrequentWords(eng, "ap", "tweets", minSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWords := OfflineWordCounts(tweets)
+	for w, n := range wantWords {
+		if (n >= minSupport) != frequent[w] {
+			t.Errorf("frequent[%s] = %v with count %d (minSupport %d)", w, frequent[w], n, minSupport)
+		}
+	}
+	if len(frequent) == 0 {
+		t.Fatal("no frequent words; adjust the corpus parameters")
+	}
+
+	// Initial count job via the incremental engine (accumulator mode).
+	runner, err := newAPrioriRunner(eng, "ap-count", frequent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	if _, err := runner.RunInitial("tweets", "ap-out-0"); err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := OfflinePairCounts(tweets, frequent)
+	checkPairCounts(t, "initial", runner.Outputs(), wantPairs)
+
+	// Incremental refresh: the paper's last-week 7.9% insert-only delta.
+	deltas := datagen.AppendTweets(910, tweets, 0.079, 50, 6)
+	if err := eng.FS().WriteAllDeltas("tw-delta", deltas); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.RunDelta("tw-delta", "ap-out-1"); err != nil {
+		t.Fatal(err)
+	}
+	merged := append([]kv.Pair(nil), tweets...)
+	for _, d := range deltas {
+		merged = append(merged, kv.Pair{Key: d.Key, Value: d.Value})
+	}
+	wantMerged := OfflinePairCounts(merged, frequent)
+	checkPairCounts(t, "incremental", runner.Outputs(), wantMerged)
+}
+
+func checkPairCounts(t *testing.T, label string, got []kv.Pair, want map[string]int) {
+	t.Helper()
+	gm := map[string]int{}
+	for _, p := range got {
+		n, err := strconv.Atoi(p.Value)
+		if err != nil {
+			t.Fatalf("%s: non-numeric count %q", label, p.Value)
+		}
+		gm[p.Key] = n
+	}
+	if len(gm) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(gm), len(want))
+	}
+	for k, n := range want {
+		if gm[k] != n {
+			t.Errorf("%s: count[%s] = %d, want %d", label, k, gm[k], n)
+		}
+	}
+}
+
+// --- WordCount ---
+
+func TestWordCountAccumulatorVsFineGrain(t *testing.T) {
+	eng := newEngine(t, 2)
+	docs := []kv.Pair{
+		{Key: "d1", Value: "to be or not to be"},
+		{Key: "d2", Value: "be here now"},
+	}
+	if err := eng.FS().WriteAllPairs("docs", docs); err != nil {
+		t.Fatal(err)
+	}
+	want := OfflineWordCount(docs)
+
+	acc, err := newWordCountRunner(eng, WordCountJob("wc-acc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	if _, err := acc.RunInitial("docs", "wc-acc-out"); err != nil {
+		t.Fatal(err)
+	}
+	fg, err := newWordCountRunner(eng, FineGrainWordCountJob("wc-fg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fg.Close()
+	if _, err := fg.RunInitial("docs", "wc-fg-out"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []struct {
+		label string
+		outs  []kv.Pair
+	}{{"accumulator", acc.Outputs()}, {"fine-grain", fg.Outputs()}} {
+		gm := map[string]int{}
+		for _, p := range r.outs {
+			gm[p.Key], _ = strconv.Atoi(p.Value)
+		}
+		for w, n := range want {
+			if gm[w] != n {
+				t.Errorf("%s: count[%s] = %d, want %d", r.label, w, gm[w], n)
+			}
+		}
+	}
+}
+
+func newAPrioriRunner(eng *mr.Engine, name string, frequent map[string]bool) (*incr.Runner, error) {
+	return incr.NewRunner(eng, APrioriJob(name, frequent))
+}
+
+func newWordCountRunner(eng *mr.Engine, job incr.Job) (*incr.Runner, error) {
+	return incr.NewRunner(eng, job)
+}

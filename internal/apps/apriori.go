@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"i2mapreduce/internal/incr"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/mr"
+)
+
+// APriori (paper Sec. 8.1.3): mine the occurrence counts of frequent
+// word pairs in a tweet corpus. A preprocessing job finds the frequent
+// single words (the candidate generation step of Agrawal & Srikant's
+// APriori); the counting job then tallies, per tweet, every unordered
+// pair of distinct frequent words. The Reduce is an integer sum — an
+// accumulator (Sec. 3.5) — so incremental refreshes preserve only the
+// output counts and fold in insert-only deltas with ⊕ = +.
+
+// FrequentWords runs the candidate-generation MapReduce job: word
+// counting with a combiner, keeping words with count >= minSupport.
+func FrequentWords(eng *mr.Engine, name, tweetsInput string, minSupport int) (map[string]bool, *metrics.Report, error) {
+	sum := mr.ReducerFunc(func(w string, vs []string, emit mr.Emit) error {
+		total := 0
+		for _, v := range vs {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		emit(w, strconv.Itoa(total))
+		return nil
+	})
+	job := mr.Job{
+		Name:   name + "-candidates",
+		Input:  tweetsInput,
+		Output: name + "/wordcounts",
+		Mapper: mr.MapperFunc(func(id, text string, emit mr.Emit) error {
+			for _, w := range strings.Fields(text) {
+				emit(w, "1")
+			}
+			return nil
+		}),
+		Reducer:  sum,
+		Combiner: sum,
+	}
+	rep, err := eng.Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := eng.ReadOutput(job.Output, eng.Cluster().NumNodes())
+	if err != nil {
+		return nil, nil, err
+	}
+	frequent := make(map[string]bool)
+	for _, p := range out {
+		if n, err := strconv.Atoi(p.Value); err == nil && n >= minSupport {
+			frequent[p.Key] = true
+		}
+	}
+	return frequent, rep, nil
+}
+
+// PairKey renders an unordered word pair canonically ("a+b", a < b).
+func PairKey(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "+" + b
+}
+
+// APrioriJob builds the pair-counting job for the incremental one-step
+// engine. The Map emits per-tweet local counts for candidate pairs
+// (mirroring the paper's in-mapper counting); the Reduce sums; the
+// accumulator is integer addition.
+func APrioriJob(name string, frequent map[string]bool) incr.Job {
+	return incr.Job{
+		Name: name,
+		Mapper: mr.MapperFunc(func(id, text string, emit mr.Emit) error {
+			words := strings.Fields(text)
+			// Distinct frequent words of this tweet, sorted for a
+			// deterministic pair order.
+			set := make(map[string]bool)
+			for _, w := range words {
+				if frequent[w] {
+					set[w] = true
+				}
+			}
+			distinct := make([]string, 0, len(set))
+			for w := range set {
+				distinct = append(distinct, w)
+			}
+			sort.Strings(distinct)
+			for i := 0; i < len(distinct); i++ {
+				for j := i + 1; j < len(distinct); j++ {
+					emit(PairKey(distinct[i], distinct[j]), "1")
+				}
+			}
+			return nil
+		}),
+		Reducer: mr.ReducerFunc(func(pair string, vs []string, emit mr.Emit) error {
+			total := 0
+			for _, v := range vs {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return err
+				}
+				total += n
+			}
+			emit(pair, strconv.Itoa(total))
+			return nil
+		}),
+		Accumulate: func(old, new string) string {
+			a, _ := strconv.Atoi(old)
+			b, _ := strconv.Atoi(new)
+			return strconv.Itoa(a + b)
+		},
+	}
+}
+
+// OfflinePairCounts computes the exact pair counts for a corpus.
+func OfflinePairCounts(tweets []kv.Pair, frequent map[string]bool) map[string]int {
+	counts := make(map[string]int)
+	for _, t := range tweets {
+		set := make(map[string]bool)
+		for _, w := range strings.Fields(t.Value) {
+			if frequent[w] {
+				set[w] = true
+			}
+		}
+		distinct := make([]string, 0, len(set))
+		for w := range set {
+			distinct = append(distinct, w)
+		}
+		sort.Strings(distinct)
+		for i := 0; i < len(distinct); i++ {
+			for j := i + 1; j < len(distinct); j++ {
+				counts[PairKey(distinct[i], distinct[j])]++
+			}
+		}
+	}
+	return counts
+}
+
+// OfflineWordCounts computes exact single-word counts (candidate
+// generation reference).
+func OfflineWordCounts(tweets []kv.Pair) map[string]int {
+	counts := make(map[string]int)
+	for _, t := range tweets {
+		for _, w := range strings.Fields(t.Value) {
+			counts[w]++
+		}
+	}
+	return counts
+}

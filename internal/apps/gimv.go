@@ -1,0 +1,362 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"i2mapreduce/internal/baseline/haloop"
+	"i2mapreduce/internal/core"
+	"i2mapreduce/internal/iter"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/mr"
+)
+
+// GIM-V (paper Sec. 4.1, Algorithm 4): generalized iterated
+// matrix-vector multiplication over an n x n matrix and a length-n
+// vector, both split into blocks. The concrete instantiation here is
+// the paper's evaluation choice — iterative matrix-vector
+// multiplication (blocked PageRank):
+//
+//	combine2(m_ij, v_j) = m_ij * v_j
+//	combineAll_i({mv})  = d * sum(mv) + (1-d)
+//	assign(v_i, v'_i)   = v'_i
+//
+// Structure records are <"i,j", "r:c:w;...">, the sparse entries of
+// block (i,j); state records are <"j", "x1,x2,...">, vector block j.
+// Many-to-one dependency: Project("i,j") = "j".
+
+// parseBlockKey splits "i,j" into row and column block ids.
+func parseBlockKey(sk string) (string, string, error) {
+	i, j, ok := strings.Cut(sk, ",")
+	if !ok {
+		return "", "", fmt.Errorf("gimv: malformed block key %q", sk)
+	}
+	return i, j, nil
+}
+
+// blockTimesVec multiplies a sparse block by a vector block.
+func blockTimesVec(block string, v []float64, size int) ([]float64, error) {
+	out := make([]float64, size)
+	if block == "" {
+		return out, nil
+	}
+	for _, entry := range strings.Split(block, ";") {
+		parts := strings.SplitN(entry, ":", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("gimv: malformed entry %q", entry)
+		}
+		r, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		c, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		w := parseF(parts[2])
+		if r < 0 || r >= size || c < 0 || c >= len(v) {
+			return nil, fmt.Errorf("gimv: entry %q out of block bounds", entry)
+		}
+		out[r] += w * v[c]
+	}
+	return out, nil
+}
+
+// GIMVSpec builds the single-job-per-iteration GIM-V for the iterative
+// engines (the formulation iterMR and i2MapReduce use; plainMR and
+// HaLoop need two jobs per iteration, see GIMVPlainMR).
+func GIMVSpec(name string, blockSize int, damping float64) core.Spec {
+	return core.Spec{
+		Name: name,
+		Project: func(sk string) string {
+			_, j, err := parseBlockKey(sk)
+			if err != nil {
+				return sk
+			}
+			return j
+		},
+		Map: func(sk, sv, dk, dv string, emit iter.Emit) error {
+			i, _, err := parseBlockKey(sk)
+			if err != nil {
+				return err
+			}
+			vj, err := parseVec(dv)
+			if err != nil {
+				return err
+			}
+			mv, err := blockTimesVec(sv, vj, blockSize)
+			if err != nil {
+				return err
+			}
+			emit(i, formatVec(mv))
+			return nil
+		},
+		Reduce: func(i string, values []string, state iter.StateGetter, emit iter.Emit) error {
+			sum := make([]float64, blockSize)
+			for _, v := range values {
+				mv, err := parseVec(v)
+				if err != nil {
+					return err
+				}
+				for d := range mv {
+					if d < len(sum) {
+						sum[d] += mv[d]
+					}
+				}
+			}
+			for d := range sum {
+				sum[d] = damping*sum[d] + (1 - damping)
+			}
+			emit(i, formatVec(sum))
+			return nil
+		},
+		InitState: func(dk string) string {
+			ones := make([]float64, blockSize)
+			for i := range ones {
+				ones[i] = 1
+			}
+			return formatVec(ones)
+		},
+		Difference: func(prev, cur string) float64 {
+			a, err1 := parseVec(prev)
+			b, err2 := parseVec(cur)
+			if err1 != nil || err2 != nil {
+				return 1e18
+			}
+			max := 0.0
+			for i := range a {
+				if i < len(b) {
+					if d := absF(a[i] - b[i]); d > max {
+						max = d
+					}
+				}
+			}
+			return max
+		},
+	}
+}
+
+// GIMVPlainMR runs Algorithm 4 verbatim: two MapReduce jobs per
+// iteration. Job 1 assigns vector blocks to matrix blocks and computes
+// combine2; job 2 groups by row block and applies combineAll + assign.
+// The matrix file is re-read and re-shuffled every iteration — the cost
+// the paper's iterMR/i2MapReduce eliminate ("both plainMR and HaLoop
+// run two MapReduce jobs in each iteration", Sec. 8.2).
+func GIMVPlainMR(eng *mr.Engine, name, matrixInput string, nBlocks, blockSize, iters int, damping float64) (map[string]string, *metrics.Report, error) {
+	total := &metrics.Report{}
+
+	// Initial vector file.
+	initVec := datagenInitialVector(nBlocks, blockSize)
+	var vecPairs []kv.Pair
+	for j, v := range initVec {
+		vecPairs = append(vecPairs, kv.Pair{Key: j, Value: v})
+	}
+	kv.SortPairs(vecPairs)
+	vecPath := name + "/vec-0"
+	if err := eng.FS().WriteAllPairs(vecPath, vecPairs); err != nil {
+		return nil, nil, err
+	}
+	vecInputs := []string{vecPath}
+
+	n := eng.Cluster().NumNodes()
+	for it := 1; it <= iters; it++ {
+		// Job 1: map matrix blocks (tagged M) and vector blocks
+		// (replicated to every row block, tagged V); reduce per (i,j)
+		// computes combine2.
+		job1 := mr.Job{
+			Name:        fmt.Sprintf("%s-combine2-%03d", name, it),
+			Inputs:      append([]string{matrixInput}, vecInputs...),
+			Output:      fmt.Sprintf("%s/mv-%d", name, it),
+			NumReducers: n,
+			StartupCost: StartupCost,
+			Mapper: mr.MapperFunc(func(k, v string, emit mr.Emit) error {
+				if strings.Contains(k, ",") {
+					emit(k, "M\x1f"+v)
+					return nil
+				}
+				for i := 0; i < nBlocks; i++ {
+					emit(fmt.Sprintf("%d,%s", i, k), "V\x1f"+v)
+				}
+				return nil
+			}),
+			Reducer: mr.ReducerFunc(func(bk string, values []string, emit mr.Emit) error {
+				var block string
+				var vec []float64
+				hasM := false
+				for _, v := range values {
+					tag, rest, ok := strings.Cut(v, "\x1f")
+					if !ok {
+						return fmt.Errorf("gimv: malformed tagged value %q", v)
+					}
+					switch tag {
+					case "M":
+						block, hasM = rest, true
+					case "V":
+						pv, err := parseVec(rest)
+						if err != nil {
+							return err
+						}
+						vec = pv
+					}
+				}
+				if !hasM || vec == nil {
+					return nil // empty block or vector-only group
+				}
+				i, _, err := parseBlockKey(bk)
+				if err != nil {
+					return err
+				}
+				mv, err := blockTimesVec(block, vec, blockSize)
+				if err != nil {
+					return err
+				}
+				emit(i, formatVec(mv))
+				return nil
+			}),
+		}
+		rep1, err := eng.Run(job1)
+		if err != nil {
+			return nil, nil, fmt.Errorf("gimv plainMR job1 (iteration %d): %w", it, err)
+		}
+		total.Merge(rep1)
+
+		// Job 2: combineAll + assign per row block.
+		job2 := mr.Job{
+			Name:        fmt.Sprintf("%s-combineall-%03d", name, it),
+			Inputs:      partPaths(job1.Output, n),
+			Output:      fmt.Sprintf("%s/vec-%d", name, it),
+			NumReducers: n,
+			StartupCost: StartupCost,
+			Mapper: mr.MapperFunc(func(k, v string, emit mr.Emit) error {
+				emit(k, v)
+				return nil
+			}),
+			Reducer: mr.ReducerFunc(func(i string, values []string, emit mr.Emit) error {
+				sum := make([]float64, blockSize)
+				for _, v := range values {
+					mv, err := parseVec(v)
+					if err != nil {
+						return err
+					}
+					for d := range mv {
+						if d < len(sum) {
+							sum[d] += mv[d]
+						}
+					}
+				}
+				for d := range sum {
+					sum[d] = damping*sum[d] + (1 - damping)
+				}
+				emit(i, formatVec(sum))
+				return nil
+			}),
+		}
+		rep2, err := eng.Run(job2)
+		if err != nil {
+			return nil, nil, fmt.Errorf("gimv plainMR job2 (iteration %d): %w", it, err)
+		}
+		total.Merge(rep2)
+		total.Add("iterations", 1)
+		vecInputs = partPaths(job2.Output, n)
+	}
+
+	out := make(map[string]string)
+	for _, path := range vecInputs {
+		ps, err := eng.FS().ReadAllPairs(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, p := range ps {
+			out[p.Key] = p.Value
+		}
+	}
+	return out, total, nil
+}
+
+// datagenInitialVector mirrors datagen.InitialVector without importing
+// it (apps must not depend on datagen).
+func datagenInitialVector(nBlocks, blockSize int) map[string]string {
+	ones := make([]float64, blockSize)
+	for i := range ones {
+		ones[i] = 1
+	}
+	v := formatVec(ones)
+	out := make(map[string]string, nBlocks)
+	for j := 0; j < nBlocks; j++ {
+		out[strconv.Itoa(j)] = v
+	}
+	return out
+}
+
+// OfflineGIMV computes the exact damped iteration on the dense
+// expansion of the block matrix.
+func OfflineGIMV(matrix []kv.Pair, nBlocks, blockSize, iters int, damping float64) (map[string]string, error) {
+	n := nBlocks * blockSize
+	type entry struct {
+		row, col int
+		w        float64
+	}
+	var entries []entry
+	for _, p := range matrix {
+		bi, bj, err := parseBlockKey(p.Key)
+		if err != nil {
+			return nil, err
+		}
+		i, _ := strconv.Atoi(bi)
+		j, _ := strconv.Atoi(bj)
+		if p.Value == "" {
+			continue
+		}
+		for _, e := range strings.Split(p.Value, ";") {
+			parts := strings.SplitN(e, ":", 3)
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("gimv: malformed entry %q", e)
+			}
+			r, _ := strconv.Atoi(parts[0])
+			c, _ := strconv.Atoi(parts[1])
+			entries = append(entries, entry{row: i*blockSize + r, col: j*blockSize + c, w: parseF(parts[2])})
+		}
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, n)
+		for _, e := range entries {
+			next[e.row] += e.w * v[e.col]
+		}
+		for i := range next {
+			next[i] = damping*next[i] + (1 - damping)
+		}
+		v = next
+	}
+	out := make(map[string]string, nBlocks)
+	for j := 0; j < nBlocks; j++ {
+		out[strconv.Itoa(j)] = formatVec(v[j*blockSize : (j+1)*blockSize])
+	}
+	return out, nil
+}
+
+// GIMVHaLoop builds the HaLoop two-job configuration for GIM-V: matrix
+// blocks cached at join reducers under their column block id.
+func GIMVHaLoop(name string, blockSize int, damping float64) haloop.Config {
+	spec := GIMVSpec(name, blockSize, damping)
+	return haloop.Config{
+		Name:    name,
+		Project: spec.Project,
+		Contribute: func(sk, sv, dk, dv string, emit mr.Emit) error {
+			return spec.Map(sk, sv, dk, dv, emit)
+		},
+		Aggregate: func(dk string, values []string, prev string, has bool) (string, error) {
+			var out string
+			err := spec.Reduce(dk, values, func(string) (string, bool) { return prev, has }, func(_, v string) { out = v })
+			return out, err
+		},
+		InitState:   spec.InitState,
+		Difference:  spec.Difference,
+		StartupCost: StartupCost,
+	}
+}

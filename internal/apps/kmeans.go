@@ -1,0 +1,311 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"i2mapreduce/internal/core"
+	"i2mapreduce/internal/iter"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/mr"
+)
+
+// KmeansStateKey is the single state key of the all-to-one Kmeans
+// dependency (paper Table 1: "unique key 1").
+const KmeansStateKey = "centroids"
+
+// Centroid is one cluster centre.
+type Centroid struct {
+	ID  string
+	Vec []float64
+}
+
+// ParseCentroids decodes "cid=x1,x2|cid=x1,x2|...".
+func ParseCentroids(s string) ([]Centroid, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "|")
+	out := make([]Centroid, 0, len(parts))
+	for _, p := range parts {
+		id, vec, ok := strings.Cut(p, "=")
+		if !ok {
+			return nil, fmt.Errorf("kmeans: malformed centroid %q", p)
+		}
+		v, err := parseVec(vec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Centroid{ID: id, Vec: v})
+	}
+	return out, nil
+}
+
+// FormatCentroids encodes a centroid set (sorted by ID for
+// determinism).
+func FormatCentroids(cs []Centroid) string {
+	sorted := append([]Centroid(nil), cs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	parts := make([]string, len(sorted))
+	for i, c := range sorted {
+		parts[i] = c.ID + "=" + formatVec(c.Vec)
+	}
+	return strings.Join(parts, "|")
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		if i < len(b) {
+			d := a[i] - b[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+func nearestCentroid(cs []Centroid, p []float64) string {
+	best, bestD := "", math.Inf(1)
+	for _, c := range cs {
+		if d := sqDist(c.Vec, p); d < bestD {
+			best, bestD = c.ID, d
+		}
+	}
+	return best
+}
+
+// centroidSetDiff is the Kmeans Difference: the largest movement of any
+// centroid between two centroid sets.
+func centroidSetDiff(prev, cur string) float64 {
+	a, err1 := ParseCentroids(prev)
+	b, err2 := ParseCentroids(cur)
+	if err1 != nil || err2 != nil {
+		return math.Inf(1)
+	}
+	byID := make(map[string][]float64, len(a))
+	for _, c := range a {
+		byID[c.ID] = c.Vec
+	}
+	max := 0.0
+	for _, c := range b {
+		if pv, ok := byID[c.ID]; ok {
+			if d := math.Sqrt(sqDist(pv, c.Vec)); d > max {
+				max = d
+			}
+		} else {
+			return math.Inf(1)
+		}
+	}
+	return max
+}
+
+// KmeansSpec builds Lloyd's algorithm (paper Algorithm 3) for the
+// iterative engines. Structure records are <point id, "x1,x2,...">;
+// the single replicated state record holds the whole centroid set
+// (all-to-one dependency). The paper turns MRBGraph maintenance off for
+// Kmeans — core.Config does this automatically for ReplicateState
+// specs.
+func KmeansSpec(name string) core.Spec {
+	return core.Spec{
+		Name: name,
+		Map: func(sk, sv, dk, dv string, emit iter.Emit) error {
+			cs, err := ParseCentroids(dv)
+			if err != nil {
+				return err
+			}
+			p, err := parseVec(sv)
+			if err != nil {
+				return err
+			}
+			// Emit the point with a count of 1; the reducer averages
+			// partial sums (the paper's average-as-sum/count rewrite).
+			emit(nearestCentroid(cs, p), sv+";1")
+			return nil
+		},
+		Reduce: func(cid string, values []string, state iter.StateGetter, emit iter.Emit) error {
+			var sum []float64
+			var count float64
+			for _, v := range values {
+				vec, cnt, ok := strings.Cut(v, ";")
+				if !ok {
+					return fmt.Errorf("kmeans: malformed assignment %q", v)
+				}
+				p, err := parseVec(vec)
+				if err != nil {
+					return err
+				}
+				if sum == nil {
+					sum = make([]float64, len(p))
+				}
+				for i := range p {
+					sum[i] += p[i]
+				}
+				count += parseF(cnt)
+			}
+			if count == 0 {
+				return nil
+			}
+			for i := range sum {
+				sum[i] /= count
+			}
+			emit(cid, formatVec(sum))
+			return nil
+		},
+		Difference:     centroidSetDiff,
+		ReplicateState: true,
+		AssembleState: func(prev map[string]string, outs []kv.Pair) map[string]string {
+			cs, err := ParseCentroids(prev[KmeansStateKey])
+			if err != nil {
+				return prev
+			}
+			byID := make(map[string]int, len(cs))
+			for i, c := range cs {
+				byID[c.ID] = i
+			}
+			for _, o := range outs {
+				v, err := parseVec(o.Value)
+				if err != nil {
+					continue
+				}
+				if i, ok := byID[o.Key]; ok {
+					cs[i].Vec = v
+				}
+			}
+			return map[string]string{KmeansStateKey: FormatCentroids(cs)}
+		},
+	}
+}
+
+// KmeansPlainMR runs the plain re-computation baseline: one MapReduce
+// job per iteration, re-reading (and re-shuffling assignments of) every
+// point, with the centroid set distributed through the job
+// configuration like Hadoop's distributed cache.
+func KmeansPlainMR(eng *mr.Engine, name, pointsInput, initialCentroids string, iters int) (string, *metrics.Report, error) {
+	centroids := initialCentroids
+	total := &metrics.Report{}
+	for it := 1; it <= iters; it++ {
+		cur := centroids
+		job := mr.Job{
+			Name:        fmt.Sprintf("%s-it%03d", name, it),
+			Input:       pointsInput,
+			Output:      fmt.Sprintf("%s/centroids-%d", name, it),
+			StartupCost: StartupCost,
+			Mapper: mr.MapperFunc(func(pid, pval string, emit mr.Emit) error {
+				cs, err := ParseCentroids(cur)
+				if err != nil {
+					return err
+				}
+				p, err := parseVec(pval)
+				if err != nil {
+					return err
+				}
+				emit(nearestCentroid(cs, p), pval+";1")
+				return nil
+			}),
+			Reducer: mr.ReducerFunc(func(cid string, values []string, emit mr.Emit) error {
+				var sum []float64
+				var count float64
+				for _, v := range values {
+					vec, cnt, ok := strings.Cut(v, ";")
+					if !ok {
+						return fmt.Errorf("kmeans: malformed assignment %q", v)
+					}
+					p, err := parseVec(vec)
+					if err != nil {
+						return err
+					}
+					if sum == nil {
+						sum = make([]float64, len(p))
+					}
+					for i := range p {
+						sum[i] += p[i]
+					}
+					count += parseF(cnt)
+				}
+				if count == 0 {
+					return nil
+				}
+				for i := range sum {
+					sum[i] /= count
+				}
+				emit(cid, formatVec(sum))
+				return nil
+			}),
+		}
+		rep, err := eng.Run(job)
+		if err != nil {
+			return "", nil, fmt.Errorf("kmeans plainMR (iteration %d): %w", it, err)
+		}
+		total.Merge(rep)
+		total.Add("iterations", 1)
+		out, err := eng.ReadOutput(job.Output, eng.Cluster().NumNodes())
+		if err != nil {
+			return "", nil, err
+		}
+		cs, err := ParseCentroids(centroids)
+		if err != nil {
+			return "", nil, err
+		}
+		byID := make(map[string]int, len(cs))
+		for i, c := range cs {
+			byID[c.ID] = i
+		}
+		for _, o := range out {
+			v, err := parseVec(o.Value)
+			if err != nil {
+				return "", nil, err
+			}
+			if i, ok := byID[o.Key]; ok {
+				cs[i].Vec = v
+			}
+		}
+		centroids = FormatCentroids(cs)
+	}
+	return centroids, total, nil
+}
+
+// OfflineKmeans runs Lloyd's algorithm exactly, from the same initial
+// centroid encoding, for the given iterations.
+func OfflineKmeans(points []kv.Pair, initial string, iters int) (string, error) {
+	centroids, err := ParseCentroids(initial)
+	if err != nil {
+		return "", err
+	}
+	vecs := make([][]float64, len(points))
+	for i, p := range points {
+		v, err := parseVec(p.Value)
+		if err != nil {
+			return "", err
+		}
+		vecs[i] = v
+	}
+	for it := 0; it < iters; it++ {
+		sums := make(map[string][]float64)
+		counts := make(map[string]float64)
+		for _, v := range vecs {
+			cid := nearestCentroid(centroids, v)
+			s := sums[cid]
+			if s == nil {
+				s = make([]float64, len(v))
+				sums[cid] = s
+			}
+			for i := range v {
+				s[i] += v[i]
+			}
+			counts[cid]++
+		}
+		for i, c := range centroids {
+			if counts[c.ID] > 0 {
+				nv := make([]float64, len(sums[c.ID]))
+				for d := range nv {
+					nv[d] = sums[c.ID][d] / counts[c.ID]
+				}
+				centroids[i].Vec = nv
+			}
+		}
+	}
+	return FormatCentroids(centroids), nil
+}

@@ -1,0 +1,195 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"i2mapreduce/internal/metrics"
+
+	"i2mapreduce/internal/baseline/haloop"
+	"i2mapreduce/internal/core"
+	"i2mapreduce/internal/iter"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/mr"
+)
+
+// DefaultDamping is PageRank's damping factor d.
+const DefaultDamping = 0.8
+
+// PageRankSpec builds the paper's Algorithm 2 for the iterative
+// engines. Structure records are <vertex, space-separated out-
+// neighbours>; state records are <vertex, rank>. One-to-one dependency:
+// Project is the identity. Every Map call emits a zero contribution to
+// its own vertex so every live vertex keeps a Reduce instance (and an
+// MRBGraph chunk) even with no in-edges.
+func PageRankSpec(name string, damping float64) core.Spec {
+	return core.Spec{
+		Name:    name,
+		Project: func(sk string) string { return sk },
+		Map: func(sk, sv, dk, dv string, emit iter.Emit) error {
+			rank := parseF(dv)
+			emit(sk, "0")
+			outs := strings.Fields(sv)
+			if len(outs) == 0 {
+				return nil
+			}
+			share := formatF(rank / float64(len(outs)))
+			for _, j := range outs {
+				emit(j, share)
+			}
+			return nil
+		},
+		Reduce: func(k2 string, values []string, state iter.StateGetter, emit iter.Emit) error {
+			var sum float64
+			for _, v := range values {
+				sum += parseF(v)
+			}
+			emit(k2, formatF(damping*sum+(1-damping)))
+			return nil
+		},
+		InitState:  func(dk string) string { return "1" },
+		Difference: AbsDiff,
+	}
+}
+
+// PageRankHaLoop builds the Algorithm 5 configuration for the HaLoop
+// baseline.
+func PageRankHaLoop(name string, damping float64) haloop.Config {
+	return haloop.Config{
+		Name:    name,
+		Project: func(sk string) string { return sk },
+		Contribute: func(sk, sv, dk, dv string, emit mr.Emit) error {
+			rank := parseF(dv)
+			emit(sk, "0")
+			outs := strings.Fields(sv)
+			if len(outs) == 0 {
+				return nil
+			}
+			share := formatF(rank / float64(len(outs)))
+			for _, j := range outs {
+				emit(j, share)
+			}
+			return nil
+		},
+		Aggregate: func(dk string, values []string, prev string, has bool) (string, error) {
+			var sum float64
+			for _, v := range values {
+				sum += parseF(v)
+			}
+			return formatF(damping*sum + (1 - damping)), nil
+		},
+		InitState:   func(dk string) string { return "1" },
+		Difference:  AbsDiff,
+		StartupCost: StartupCost,
+	}
+}
+
+// PageRankPlainMR runs the plain-MapReduce re-computation baseline:
+// Algorithm 2 exactly as written, one job per iteration over a mixed
+// <vertex, "N|R"> input that carries the structure data through every
+// shuffle. It returns the run report and the final ranks.
+func PageRankPlainMR(eng *mr.Engine, name, graphInput string, iters int, damping float64) (map[string]string, *metrics.Report, error) {
+	// Preprocessing: splice the initial rank into each record.
+	graph, err := eng.FS().ReadAllPairs(graphInput)
+	if err != nil {
+		return nil, nil, err
+	}
+	mixed := make([]kv.Pair, len(graph))
+	for i, p := range graph {
+		mixed[i] = kv.Pair{Key: p.Key, Value: p.Value + "|1"}
+	}
+	mixedPath := name + "/mixed-0"
+	if err := eng.FS().WriteAllPairs(mixedPath, mixed); err != nil {
+		return nil, nil, err
+	}
+
+	res, err := chainJobs(eng, iters, func(it int, inputs []string) mr.Job {
+		job := mr.Job{
+			Name:        fmt.Sprintf("%s-it%03d", name, it),
+			Output:      fmt.Sprintf("%s/mixed-%d", name, it),
+			StartupCost: StartupCost,
+			Mapper: mr.MapperFunc(func(i, nv string, emit mr.Emit) error {
+				n, r, ok := strings.Cut(nv, "|")
+				if !ok {
+					return fmt.Errorf("pagerank: malformed mixed record %q", nv)
+				}
+				emit(i, "S\x1f"+n)
+				emit(i, "C\x1f0")
+				outs := strings.Fields(n)
+				if len(outs) == 0 {
+					return nil
+				}
+				share := formatF(parseF(r) / float64(len(outs)))
+				for _, j := range outs {
+					emit(j, "C\x1f"+share)
+				}
+				return nil
+			}),
+			Reducer: mr.ReducerFunc(func(i string, values []string, emit mr.Emit) error {
+				var sum float64
+				n := ""
+				for _, v := range values {
+					tag, rest, ok := strings.Cut(v, "\x1f")
+					if !ok {
+						return fmt.Errorf("pagerank: malformed tagged value %q", v)
+					}
+					switch tag {
+					case "S":
+						n = rest
+					case "C":
+						sum += parseF(rest)
+					default:
+						return fmt.Errorf("pagerank: unknown tag %q", tag)
+					}
+				}
+				emit(i, n+"|"+formatF(damping*sum+(1-damping)))
+				return nil
+			}),
+		}
+		if it == 1 {
+			job.Input = mixedPath
+		} else {
+			job.Inputs = inputs
+		}
+		return job
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := readStateOutput(eng, res)
+	if err != nil {
+		return nil, nil, err
+	}
+	ranks := make(map[string]string, len(out))
+	for k, v := range out {
+		_, r, _ := strings.Cut(v, "|")
+		ranks[k] = r
+	}
+	return ranks, res.Report, nil
+}
+
+// OfflinePageRank computes the exact reference ranks after the given
+// number of synchronous iterations.
+func OfflinePageRank(graph []kv.Pair, damping float64, iters int) map[string]float64 {
+	adj := pairsToAdj(graph)
+	rank := make(map[string]float64, len(adj))
+	for v := range adj {
+		rank[v] = 1
+	}
+	for it := 0; it < iters; it++ {
+		next := make(map[string]float64, len(adj))
+		for v, outs := range adj {
+			if len(outs) == 0 {
+				continue
+			}
+			share := rank[v] / float64(len(outs))
+			for _, j := range outs {
+				next[j] += share
+			}
+		}
+		for v := range adj {
+			rank[v] = damping*next[v] + (1 - damping)
+		}
+	}
+	return rank
+}

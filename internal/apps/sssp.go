@@ -1,0 +1,267 @@
+package apps
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"strings"
+
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/mr"
+
+	"i2mapreduce/internal/baseline/haloop"
+	"i2mapreduce/internal/core"
+	"i2mapreduce/internal/iter"
+	"i2mapreduce/internal/kv"
+)
+
+// Inf is the SSSP "unreached" distance marker.
+const Inf = "inf"
+
+// SSSPSpec builds single-source shortest paths for the iterative
+// engines. Structure records are <vertex, "to:w;to:w;...">; state
+// records are <vertex, distance>. One-to-one dependency.
+//
+// Incremental caveat (documented in DESIGN.md): SSSP relaxation is
+// monotone, so incremental refreshes are exact for edge insertions and
+// weight decreases; a deletion that removes a shortest path is not
+// repaired without full re-computation (the paper shares this
+// limitation and evaluates SSSP with filter threshold 0, which keeps
+// results precise for monotone deltas).
+func SSSPSpec(name, source string) core.Spec {
+	return core.Spec{
+		Name:    name,
+		Project: func(sk string) string { return sk },
+		Map: func(sk, sv, dk, dv string, emit iter.Emit) error {
+			// Always emit a self marker so every live vertex keeps a
+			// Reduce instance (and its MRBGraph chunk).
+			emit(sk, "self")
+			if dv == Inf || sv == "" {
+				return nil
+			}
+			d := parseF(dv)
+			for _, e := range strings.Split(sv, ";") {
+				to, ws, ok := strings.Cut(e, ":")
+				if !ok {
+					return fmt.Errorf("sssp: malformed edge %q", e)
+				}
+				emit(to, formatF(d+parseF(ws)))
+			}
+			return nil
+		},
+		Reduce: func(k2 string, values []string, state iter.StateGetter, emit iter.Emit) error {
+			best := math.Inf(1)
+			if cur, ok := state(k2); ok && cur != Inf {
+				best = parseF(cur)
+			}
+			improved := false
+			for _, v := range values {
+				if v == "self" {
+					continue
+				}
+				if f := parseF(v); f < best {
+					best, improved = f, true
+				}
+			}
+			if improved {
+				emit(k2, formatF(best))
+			}
+			return nil
+		},
+		InitState: func(dk string) string {
+			if dk == source {
+				return "0"
+			}
+			return Inf
+		},
+		Difference: func(prev, cur string) float64 {
+			if prev == cur {
+				return 0
+			}
+			if prev == Inf || cur == Inf {
+				return math.Inf(1)
+			}
+			return absF(parseF(prev) - parseF(cur))
+		},
+	}
+}
+
+// OfflineSSSP computes exact shortest distances with Dijkstra.
+func OfflineSSSP(graph []kv.Pair, source string) map[string]float64 {
+	adj := make(map[string][][2]interface{}, len(graph))
+	dist := make(map[string]float64, len(graph))
+	for _, p := range graph {
+		dist[p.Key] = math.Inf(1)
+		if p.Value == "" {
+			adj[p.Key] = nil
+			continue
+		}
+		for _, e := range strings.Split(p.Value, ";") {
+			to, ws, ok := strings.Cut(e, ":")
+			if !ok {
+				continue
+			}
+			adj[p.Key] = append(adj[p.Key], [2]interface{}{to, parseF(ws)})
+		}
+	}
+	if _, ok := dist[source]; !ok {
+		return dist
+	}
+	dist[source] = 0
+	pq := &distHeap{{source, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, e := range adj[it.v] {
+			to := e[0].(string)
+			w := e[1].(float64)
+			if nd := it.d + w; nd < ifInf(dist, to) {
+				dist[to] = nd
+				heap.Push(pq, distItem{to, nd})
+			}
+		}
+	}
+	return dist
+}
+
+func ifInf(dist map[string]float64, v string) float64 {
+	if d, ok := dist[v]; ok {
+		return d
+	}
+	return math.Inf(1)
+}
+
+type distItem struct {
+	v string
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SSSPPlainMR runs the plain re-computation baseline for SSSP: one job
+// per iteration over a mixed <vertex, "edges|dist"> input.
+func SSSPPlainMR(eng *mr.Engine, name, graphInput, source string, iters int) (map[string]string, *metrics.Report, error) {
+	graph, err := eng.FS().ReadAllPairs(graphInput)
+	if err != nil {
+		return nil, nil, err
+	}
+	mixed := make([]kv.Pair, len(graph))
+	for i, p := range graph {
+		d := Inf
+		if p.Key == source {
+			d = "0"
+		}
+		mixed[i] = kv.Pair{Key: p.Key, Value: p.Value + "|" + d}
+	}
+	mixedPath := name + "/mixed-0"
+	if err := eng.FS().WriteAllPairs(mixedPath, mixed); err != nil {
+		return nil, nil, err
+	}
+
+	res, err := chainJobs(eng, iters, func(it int, inputs []string) mr.Job {
+		job := mr.Job{
+			Name:        fmt.Sprintf("%s-it%03d", name, it),
+			Output:      fmt.Sprintf("%s/mixed-%d", name, it),
+			StartupCost: StartupCost,
+			Mapper: mr.MapperFunc(func(u, ev string, emit mr.Emit) error {
+				edges, dist, ok := strings.Cut(ev, "|")
+				if !ok {
+					return fmt.Errorf("sssp: malformed mixed record %q", ev)
+				}
+				emit(u, "S\x1f"+edges)
+				emit(u, "C\x1f"+dist)
+				if dist == Inf || edges == "" {
+					return nil
+				}
+				d := parseF(dist)
+				for _, e := range strings.Split(edges, ";") {
+					to, ws, ok := strings.Cut(e, ":")
+					if !ok {
+						return fmt.Errorf("sssp: malformed edge %q", e)
+					}
+					emit(to, "C\x1f"+formatF(d+parseF(ws)))
+				}
+				return nil
+			}),
+			Reducer: mr.ReducerFunc(func(u string, values []string, emit mr.Emit) error {
+				best := math.Inf(1)
+				edges := ""
+				for _, v := range values {
+					tag, rest, ok := strings.Cut(v, "\x1f")
+					if !ok {
+						return fmt.Errorf("sssp: malformed tagged value %q", v)
+					}
+					switch tag {
+					case "S":
+						edges = rest
+					case "C":
+						if rest != Inf {
+							if f := parseF(rest); f < best {
+								best = f
+							}
+						}
+					}
+				}
+				d := Inf
+				if !math.IsInf(best, 1) {
+					d = formatF(best)
+				}
+				emit(u, edges+"|"+d)
+				return nil
+			}),
+		}
+		if it == 1 {
+			job.Input = mixedPath
+		} else {
+			job.Inputs = inputs
+		}
+		return job
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := readStateOutput(eng, res)
+	if err != nil {
+		return nil, nil, err
+	}
+	dists := make(map[string]string, len(out))
+	for k, v := range out {
+		_, d, _ := strings.Cut(v, "|")
+		dists[k] = d
+	}
+	return dists, res.Report, nil
+}
+
+// SSSPHaLoop builds the HaLoop two-job configuration for SSSP.
+func SSSPHaLoop(name, source string) haloop.Config {
+	spec := SSSPSpec(name, source)
+	return haloop.Config{
+		Name:    name,
+		Project: func(sk string) string { return sk },
+		Contribute: func(sk, sv, dk, dv string, emit mr.Emit) error {
+			return spec.Map(sk, sv, dk, dv, emit)
+		},
+		Aggregate: func(dk string, values []string, prev string, has bool) (string, error) {
+			out := prev
+			err := spec.Reduce(dk, values, func(k string) (string, bool) { return prev, has }, func(_, v string) { out = v })
+			return out, err
+		},
+		InitState:   spec.InitState,
+		Difference:  spec.Difference,
+		StartupCost: StartupCost,
+	}
+}

@@ -1,0 +1,64 @@
+package apps
+
+import (
+	"strconv"
+	"strings"
+
+	"i2mapreduce/internal/incr"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/mr"
+)
+
+// WordCountJob builds the canonical accumulator-Reduce example of the
+// paper's Sec. 3.5 for the incremental one-step engine: counts combine
+// with integer addition, so refreshes preserve only <word, count>
+// outputs.
+func WordCountJob(name string) incr.Job {
+	return incr.Job{
+		Name: name,
+		Mapper: mr.MapperFunc(func(id, text string, emit mr.Emit) error {
+			for _, w := range strings.Fields(text) {
+				emit(w, "1")
+			}
+			return nil
+		}),
+		Reducer: mr.ReducerFunc(func(w string, vs []string, emit mr.Emit) error {
+			total := 0
+			for _, v := range vs {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return err
+				}
+				total += n
+			}
+			emit(w, strconv.Itoa(total))
+			return nil
+		}),
+		Accumulate: func(old, new string) string {
+			a, _ := strconv.Atoi(old)
+			b, _ := strconv.Atoi(new)
+			return strconv.Itoa(a + b)
+		},
+	}
+}
+
+// FineGrainWordCountJob is the same computation without the accumulator
+// declaration: the engine preserves the full MRBGraph, supporting
+// deletions at higher state-maintenance cost. Used by the accumulator
+// ablation benchmark.
+func FineGrainWordCountJob(name string) incr.Job {
+	j := WordCountJob(name)
+	j.Accumulate = nil
+	return j
+}
+
+// OfflineWordCount counts words exactly.
+func OfflineWordCount(docs []kv.Pair) map[string]int {
+	counts := make(map[string]int)
+	for _, d := range docs {
+		for _, w := range strings.Fields(d.Value) {
+			counts[w]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,265 @@
+// Package haloop implements the HaLoop re-computation baseline of the
+// paper's evaluation (Sec. 8.1.1 solution (iii), Sec. 8.6).
+//
+// HaLoop improves plain MapReduce with loop-aware scheduling and a
+// reducer input cache for loop-invariant data, but it keeps the
+// two-jobs-per-iteration shape for algorithms like PageRank
+// (Algorithm 5): job 1 joins the structure data with the state data and
+// emits contributions; job 2 aggregates contributions into the new
+// state. The structure data is shuffled once (iteration 1) and cached
+// at the join reducers afterwards; the state still flows through HDFS
+// and a full shuffle every iteration, and every job pays MapReduce's
+// startup cost.
+package haloop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/mr"
+)
+
+// Config describes an iterative computation in HaLoop's two-job shape.
+type Config struct {
+	// Name labels jobs and DFS files.
+	Name string
+	// NumReducers defaults to the cluster node count.
+	NumReducers int
+	// StartupCost is accounted per MapReduce job (two jobs/iteration).
+	StartupCost time.Duration
+	// MaxIterations caps the loop. Defaults to 50.
+	MaxIterations int
+	// Epsilon declares convergence when no state value changes by more.
+	Epsilon float64
+	// Project maps a structure key to the join key it is cached under
+	// (identity for PageRank/SSSP; (i,j) -> j for GIM-V).
+	Project func(sk string) string
+	// Contribute is invoked in the join reducer for every cached
+	// structure record of the join key, with the current state value,
+	// emitting contribution records for job 2.
+	Contribute func(sk, sv, dk, dv string, emit mr.Emit) error
+	// Aggregate folds one state key's contributions into its new value.
+	// prev is the previous state value ("" and false if none).
+	Aggregate func(dk string, values []string, prev string, hasPrev bool) (string, error)
+	// InitState initializes the state value of a join key discovered in
+	// the structure data.
+	InitState func(dk string) string
+	// Difference measures state change for convergence.
+	Difference func(prev, cur string) float64
+}
+
+// Result reports one HaLoop run.
+type Result struct {
+	Iterations int
+	Converged  bool
+	State      map[string]string
+	Report     *metrics.Report
+}
+
+// Run executes the computation to convergence on structure input (a
+// DFS pair file), paying two MapReduce jobs per iteration.
+func Run(eng *mr.Engine, cfg Config) (func(structureInput string) (*Result, error), error) {
+	switch {
+	case cfg.Name == "":
+		return nil, errors.New("haloop: Config.Name required")
+	case cfg.Project == nil || cfg.Contribute == nil || cfg.Aggregate == nil,
+		cfg.InitState == nil || cfg.Difference == nil:
+		return nil, errors.New("haloop: Config requires Project, Contribute, Aggregate, InitState, Difference")
+	}
+	if cfg.NumReducers <= 0 {
+		cfg.NumReducers = eng.Cluster().NumNodes()
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 50
+	}
+	return func(structureInput string) (*Result, error) {
+		return run(eng, cfg, structureInput)
+	}, nil
+}
+
+// cacheEntry is one cached structure record at a join reducer —
+// HaLoop's reducer input cache.
+type cacheEntry struct {
+	sk, sv string
+}
+
+func run(eng *mr.Engine, cfg Config, structureInput string) (*Result, error) {
+	res := &Result{Report: &metrics.Report{}}
+
+	// Reducer input cache, keyed by join key. Guarded: join reduce
+	// tasks fill it concurrently during iteration 1.
+	var cacheMu sync.Mutex
+	cache := make(map[string][]cacheEntry)
+
+	state := make(map[string]string)
+	var stateMu sync.Mutex
+
+	// Iteration 1, job 1 runs over the structure input: the mapper
+	// tags records with their join key, the reducer caches them,
+	// initializes state, and emits the first contributions.
+	firstJoin := mr.Job{
+		Name:        cfg.Name + "-join-cachefill",
+		Input:       structureInput,
+		Output:      cfg.Name + "/contrib-1",
+		NumReducers: cfg.NumReducers,
+		StartupCost: cfg.StartupCost,
+		Mapper: mr.MapperFunc(func(sk, sv string, emit mr.Emit) error {
+			emit(cfg.Project(sk), sk+"\x1f"+sv)
+			return nil
+		}),
+		Reducer: mr.ReducerFunc(func(dk string, values []string, emit mr.Emit) error {
+			dv := cfg.InitState(dk)
+			stateMu.Lock()
+			state[dk] = dv
+			stateMu.Unlock()
+			var entries []cacheEntry
+			for _, v := range values {
+				sk, sv, ok := strings.Cut(v, "\x1f")
+				if !ok {
+					return fmt.Errorf("haloop: malformed tagged structure record %q", v)
+				}
+				entries = append(entries, cacheEntry{sk: sk, sv: sv})
+				if err := cfg.Contribute(sk, sv, dk, dv, emit); err != nil {
+					return err
+				}
+			}
+			cacheMu.Lock()
+			cache[dk] = entries
+			cacheMu.Unlock()
+			return nil
+		}),
+	}
+	rep, err := eng.Run(firstJoin)
+	if err != nil {
+		return nil, fmt.Errorf("haloop: cache-fill join job: %w", err)
+	}
+	res.Report.Merge(rep)
+
+	for it := 1; it <= cfg.MaxIterations; it++ {
+		// Job 2: aggregate contributions into the new state.
+		prev := snapshot(&stateMu, state)
+		agg := mr.Job{
+			Name:        fmt.Sprintf("%s-agg-%d", cfg.Name, it),
+			Inputs:      partPaths(fmt.Sprintf("%s/contrib-%d", cfg.Name, it), cfg.NumReducers),
+			Output:      fmt.Sprintf("%s/state-%d", cfg.Name, it),
+			NumReducers: cfg.NumReducers,
+			StartupCost: cfg.StartupCost,
+			Mapper: mr.MapperFunc(func(k, v string, emit mr.Emit) error {
+				emit(k, v) // identity map (Algorithm 5 Map Phase 2)
+				return nil
+			}),
+			Reducer: mr.ReducerFunc(func(dk string, values []string, emit mr.Emit) error {
+				p, has := prev[dk]
+				nv, err := cfg.Aggregate(dk, values, p, has)
+				if err != nil {
+					return err
+				}
+				emit(dk, nv)
+				return nil
+			}),
+		}
+		rep, err := eng.Run(agg)
+		if err != nil {
+			return nil, fmt.Errorf("haloop: aggregate job (iteration %d): %w", it, err)
+		}
+		res.Report.Merge(rep)
+
+		// Fold the job output back into the state map and measure
+		// convergence.
+		out, err := eng.ReadOutput(fmt.Sprintf("%s/state-%d", cfg.Name, it), cfg.NumReducers)
+		if err != nil {
+			return nil, err
+		}
+		maxDiff := 0.0
+		stateMu.Lock()
+		for _, p := range out {
+			if d := cfg.Difference(state[p.Key], p.Value); d > maxDiff {
+				maxDiff = d
+			}
+			state[p.Key] = p.Value
+		}
+		stateMu.Unlock()
+		res.Iterations = it
+		res.Report.Add("iterations", 1)
+		if maxDiff <= cfg.Epsilon {
+			res.Converged = true
+			break
+		}
+		if it == cfg.MaxIterations {
+			break
+		}
+
+		// Job 1 of the next iteration: join the updated state with the
+		// *cached* structure (state input only; no structure shuffle).
+		if err := writeState(eng, fmt.Sprintf("%s/statein-%d", cfg.Name, it+1), state, &stateMu); err != nil {
+			return nil, err
+		}
+		join := mr.Job{
+			Name:        fmt.Sprintf("%s-join-%d", cfg.Name, it+1),
+			Input:       fmt.Sprintf("%s/statein-%d", cfg.Name, it+1),
+			Output:      fmt.Sprintf("%s/contrib-%d", cfg.Name, it+1),
+			NumReducers: cfg.NumReducers,
+			StartupCost: cfg.StartupCost,
+			Mapper: mr.MapperFunc(func(dk, dv string, emit mr.Emit) error {
+				emit(dk, dv)
+				return nil
+			}),
+			Reducer: mr.ReducerFunc(func(dk string, values []string, emit mr.Emit) error {
+				if len(values) != 1 {
+					return fmt.Errorf("haloop: state key %q has %d values", dk, len(values))
+				}
+				cacheMu.Lock()
+				entries := cache[dk]
+				cacheMu.Unlock()
+				for _, e := range entries {
+					if err := cfg.Contribute(e.sk, e.sv, dk, values[0], emit); err != nil {
+						return err
+					}
+				}
+				return nil
+			}),
+		}
+		rep2, err := eng.Run(join)
+		if err != nil {
+			return nil, fmt.Errorf("haloop: join job (iteration %d): %w", it+1, err)
+		}
+		res.Report.Merge(rep2)
+	}
+	res.State = snapshot(&stateMu, state)
+	return res, nil
+}
+
+func snapshot(mu *sync.Mutex, m map[string]string) map[string]string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func writeState(eng *mr.Engine, path string, state map[string]string, mu *sync.Mutex) error {
+	mu.Lock()
+	ps := make([]kv.Pair, 0, len(state))
+	for k, v := range state {
+		ps = append(ps, kv.Pair{Key: k, Value: v})
+	}
+	mu.Unlock()
+	kv.SortPairs(ps)
+	return eng.FS().WriteAllPairs(path, ps)
+}
+
+// partPaths lists the part files a previous job wrote under output.
+func partPaths(output string, n int) []string {
+	paths := make([]string, n)
+	for r := 0; r < n; r++ {
+		paths[r] = mr.PartPath(output, r)
+	}
+	return paths
+}

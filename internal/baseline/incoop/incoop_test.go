@@ -1,0 +1,170 @@
+package incoop
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/mr"
+)
+
+func wordCountJob(split int) Job {
+	return Job{
+		Name: "wc",
+		Mapper: mr.MapperFunc(func(k, v string, emit mr.Emit) error {
+			for _, w := range strings.Fields(v) {
+				emit(w, "1")
+			}
+			return nil
+		}),
+		Reducer: mr.ReducerFunc(func(k string, vs []string, emit mr.Emit) error {
+			emit(k, strconv.Itoa(len(vs)))
+			return nil
+		}),
+		SplitSize:   split,
+		NumReducers: 4,
+	}
+}
+
+func docs(n int) []kv.Pair {
+	ps := make([]kv.Pair, n)
+	for i := range ps {
+		ps[i] = kv.Pair{Key: fmt.Sprintf("doc-%05d", i), Value: fmt.Sprintf("word%d common", i%50)}
+	}
+	return ps
+}
+
+func countsOf(ps []kv.Pair) map[string]string {
+	m := map[string]string{}
+	for _, p := range ps {
+		m[p.Key] = p.Value
+	}
+	return m
+}
+
+func TestInitialRunComputesEverything(t *testing.T) {
+	r, err := NewRunner(wordCountJob(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, rep, err := r.Run(docs(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MapReused != 0 || stats.ReduceReused != 0 {
+		t.Fatalf("first run reused tasks: %+v", stats)
+	}
+	if stats.MapTasks != 10 {
+		t.Fatalf("MapTasks = %d, want 10", stats.MapTasks)
+	}
+	got := countsOf(r.Output())
+	if got["common"] != "1000" {
+		t.Fatalf("count[common] = %s", got["common"])
+	}
+	if rep.Counter("map.tasks") != 10 {
+		t.Fatalf("map.tasks counter = %d", rep.Counter("map.tasks"))
+	}
+}
+
+func TestIdenticalRerunReusesAllTasks(t *testing.T) {
+	r, err := NewRunner(wordCountJob(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := docs(1000)
+	if _, _, err := r.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]kv.Pair(nil), r.Output()...)
+	stats, _, err := r.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MapReused != stats.MapTasks {
+		t.Fatalf("rerun reused %d/%d map tasks", stats.MapReused, stats.MapTasks)
+	}
+	if stats.ReduceReused != stats.ReduceTasks {
+		t.Fatalf("rerun reused %d/%d reduce tasks", stats.ReduceReused, stats.ReduceTasks)
+	}
+	if !reflect.DeepEqual(r.Output(), first) {
+		t.Fatal("rerun output differs")
+	}
+}
+
+func TestLocalizedChangeReusesMostMapTasks(t *testing.T) {
+	r, err := NewRunner(wordCountJob(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := docs(1000)
+	if _, _, err := r.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	// One record changed: exactly one split's hash changes.
+	in2 := append([]kv.Pair(nil), in...)
+	in2[42] = kv.Pair{Key: in2[42].Key, Value: "changed words"}
+	stats, _, err := r.Run(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MapReused != stats.MapTasks-1 {
+		t.Fatalf("reused %d/%d map tasks after 1-record change", stats.MapReused, stats.MapTasks)
+	}
+	got := countsOf(r.Output())
+	if got["changed"] != "1" || got["common"] != "999" {
+		t.Fatalf("counts after change: changed=%s common=%s", got["changed"], got["common"])
+	}
+}
+
+func TestScatteredChangesDefeatTaskLevelReuse(t *testing.T) {
+	// The paper's observation: scattered deltas touch nearly every
+	// task, so task-level incremental processing saves little.
+	r, err := NewRunner(wordCountJob(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := docs(1000)
+	if _, _, err := r.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	in2 := append([]kv.Pair(nil), in...)
+	for i := 0; i < len(in2); i += 100 { // one record per split
+		in2[i] = kv.Pair{Key: in2[i].Key, Value: "touched"}
+	}
+	stats, _, err := r.Run(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MapReused != 0 {
+		t.Fatalf("scattered changes still reused %d map tasks", stats.MapReused)
+	}
+}
+
+func TestInsertionShiftsSplitsButStaysCorrect(t *testing.T) {
+	r, err := NewRunner(wordCountJob(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := docs(500)
+	if _, _, err := r.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	in2 := append([]kv.Pair(nil), in...)
+	in2 = append(in2, kv.Pair{Key: "doc-99999", Value: "brandnew"})
+	if _, _, err := r.Run(in2); err != nil {
+		t.Fatal(err)
+	}
+	got := countsOf(r.Output())
+	if got["brandnew"] != "1" || got["common"] != "500" {
+		t.Fatalf("counts after insertion: %v", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewRunner(Job{}); err == nil {
+		t.Fatal("NewRunner without mapper/reducer succeeded")
+	}
+}

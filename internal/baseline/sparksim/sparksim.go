@@ -1,0 +1,274 @@
+// Package sparksim implements the Spark comparison substrate of the
+// paper's Sec. 8.7: an in-memory, partitioned, immutable dataset
+// abstraction (an RDD stand-in) with map/flatMap/join/reduceByKey
+// operators and a memory-capped context.
+//
+// Spark's characteristic behaviour in the paper's Fig. 12 — fastest on
+// small inputs, degrading sharply once input plus per-iteration
+// intermediate datasets exceed cluster memory — comes from two modelled
+// properties: every transformation materializes a *new* dataset
+// (RDDs are read-only, so iterative state snowballs), and datasets past
+// the memory cap spill to real files on disk and must be re-read on
+// access.
+package sparksim
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"i2mapreduce/internal/kv"
+)
+
+// Context owns datasets and enforces the memory cap.
+type Context struct {
+	// MemoryCap is the in-memory byte budget across all live datasets.
+	memoryCap int64
+	spillDir  string
+	used      int64
+	resident  *list.List // *Dataset, LRU by materialization/access
+	nextID    int
+	// SpilledBytes and SpillReads count spill I/O for reporting.
+	SpilledBytes int64
+	SpillReads   int64
+}
+
+// NewContext creates a context with the given in-memory budget and a
+// real directory for spills.
+func NewContext(memoryCap int64, spillDir string) (*Context, error) {
+	if memoryCap <= 0 {
+		return nil, fmt.Errorf("sparksim: memory cap must be positive")
+	}
+	if err := os.MkdirAll(spillDir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Context{memoryCap: memoryCap, spillDir: spillDir, resident: list.New()}, nil
+}
+
+// Dataset is an immutable partitioned collection of kv pairs.
+type Dataset struct {
+	ctx     *Context
+	id      int
+	parts   [][]kv.Pair // nil when spilled
+	bytes   int64
+	spilled bool
+	freed   bool
+	elem    *list.Element
+	n       int // partition count
+}
+
+// Parallelize materializes ps as a dataset with n partitions,
+// partitioned by key hash.
+func (c *Context) Parallelize(ps []kv.Pair, n int) *Dataset {
+	parts := make([][]kv.Pair, n)
+	for _, p := range ps {
+		i := kv.Partition(p.Key, n)
+		parts[i] = append(parts[i], p)
+	}
+	return c.register(parts)
+}
+
+func dataBytes(parts [][]kv.Pair) int64 {
+	var b int64
+	for _, part := range parts {
+		for _, p := range part {
+			b += int64(len(p.Key) + len(p.Value) + 16)
+		}
+	}
+	return b
+}
+
+// register accounts a new materialized dataset, spilling older
+// datasets if the memory budget is exceeded.
+func (c *Context) register(parts [][]kv.Pair) *Dataset {
+	d := &Dataset{ctx: c, id: c.nextID, parts: parts, bytes: dataBytes(parts), n: len(parts)}
+	c.nextID++
+	c.used += d.bytes
+	d.elem = c.resident.PushBack(d)
+	c.enforceCap(d)
+	return d
+}
+
+// enforceCap spills the least-recently used datasets (except keep)
+// until the budget holds.
+func (c *Context) enforceCap(keep *Dataset) {
+	for c.used > c.memoryCap {
+		var victim *Dataset
+		for e := c.resident.Front(); e != nil; e = e.Next() {
+			d := e.Value.(*Dataset)
+			if d != keep && !d.spilled && !d.freed {
+				victim = d
+				break
+			}
+		}
+		if victim == nil {
+			return // only `keep` is resident; nothing to evict
+		}
+		victim.spill()
+	}
+}
+
+func (d *Dataset) spillPath(p int) string {
+	return filepath.Join(d.ctx.spillDir, fmt.Sprintf("ds-%06d-part-%03d", d.id, p))
+}
+
+// spill writes the dataset's partitions to disk and releases memory.
+func (d *Dataset) spill() {
+	for p, part := range d.parts {
+		f, err := os.Create(d.spillPath(p))
+		if err != nil {
+			panic(fmt.Sprintf("sparksim: spill: %v", err)) // real disk failure: unrecoverable in a bench
+		}
+		if _, err := kv.EncodePairs(f, part); err != nil {
+			f.Close()
+			panic(fmt.Sprintf("sparksim: spill encode: %v", err))
+		}
+		f.Close()
+	}
+	d.ctx.SpilledBytes += d.bytes
+	d.ctx.used -= d.bytes
+	d.parts = nil
+	d.spilled = true
+	d.ctx.resident.Remove(d.elem)
+}
+
+// load brings a spilled dataset's partition back from disk.
+func (d *Dataset) partition(p int) []kv.Pair {
+	if d.freed {
+		panic("sparksim: access to unpersisted dataset")
+	}
+	if !d.spilled {
+		return d.parts[p]
+	}
+	f, err := os.Open(d.spillPath(p))
+	if err != nil {
+		panic(fmt.Sprintf("sparksim: reload: %v", err))
+	}
+	defer f.Close()
+	ps, err := kv.DecodePairs(f)
+	if err != nil {
+		panic(fmt.Sprintf("sparksim: reload decode: %v", err))
+	}
+	d.ctx.SpillReads++
+	return ps
+}
+
+// Unpersist frees the dataset's memory (Spark's rdd.unpersist); the
+// iterative driver calls it on superseded state datasets.
+func (d *Dataset) Unpersist() {
+	if d.freed {
+		return
+	}
+	if !d.spilled {
+		d.ctx.used -= d.bytes
+		d.ctx.resident.Remove(d.elem)
+	} else {
+		for p := 0; p < d.n; p++ {
+			os.Remove(d.spillPath(p))
+		}
+	}
+	d.freed = true
+	d.parts = nil
+}
+
+// NumPartitions returns the dataset's partition count.
+func (d *Dataset) NumPartitions() int { return d.n }
+
+// Count returns the number of records.
+func (d *Dataset) Count() int {
+	total := 0
+	for p := 0; p < d.n; p++ {
+		total += len(d.partition(p))
+	}
+	return total
+}
+
+// Collect returns all records, key-sorted.
+func (d *Dataset) Collect() []kv.Pair {
+	var out []kv.Pair
+	for p := 0; p < d.n; p++ {
+		out = append(out, d.partition(p)...)
+	}
+	kv.SortPairs(out)
+	return out
+}
+
+// FlatMap materializes a new dataset by applying fn to every record.
+func (d *Dataset) FlatMap(fn func(p kv.Pair, emit func(kv.Pair))) *Dataset {
+	parts := make([][]kv.Pair, d.n)
+	for p := 0; p < d.n; p++ {
+		emit := func(out kv.Pair) {
+			i := kv.Partition(out.Key, d.n)
+			parts[i] = append(parts[i], out)
+		}
+		for _, rec := range d.partition(p) {
+			fn(rec, emit)
+		}
+	}
+	return d.ctx.register(parts)
+}
+
+// MapValues materializes a new dataset transforming values only
+// (keys, and therefore partitioning, are preserved).
+func (d *Dataset) MapValues(fn func(v string) string) *Dataset {
+	parts := make([][]kv.Pair, d.n)
+	for p := 0; p < d.n; p++ {
+		src := d.partition(p)
+		dst := make([]kv.Pair, len(src))
+		for i, rec := range src {
+			dst[i] = kv.Pair{Key: rec.Key, Value: fn(rec.Value)}
+		}
+		parts[p] = dst
+	}
+	return d.ctx.register(parts)
+}
+
+// ReduceByKey materializes a new dataset folding all values of each key
+// with fn (values are folded in sorted order for determinism).
+func (d *Dataset) ReduceByKey(fn func(a, b string) string) *Dataset {
+	parts := make([][]kv.Pair, d.n)
+	for p := 0; p < d.n; p++ {
+		run := append([]kv.Pair(nil), d.partition(p)...)
+		kv.SortPairs(run)
+		var out []kv.Pair
+		_ = kv.GroupSorted(run, func(g kv.Group) error {
+			acc := g.Values[0]
+			for _, v := range g.Values[1:] {
+				acc = fn(acc, v)
+			}
+			out = append(out, kv.Pair{Key: g.Key, Value: acc})
+			return nil
+		})
+		parts[p] = out
+	}
+	return d.ctx.register(parts)
+}
+
+// Join materializes the inner hash join of two datasets on key; the
+// output value is left + "\x1f" + right for every matching pair.
+func (d *Dataset) Join(other *Dataset) *Dataset {
+	if other.n != d.n {
+		panic(fmt.Sprintf("sparksim: join partition mismatch %d vs %d", d.n, other.n))
+	}
+	parts := make([][]kv.Pair, d.n)
+	for p := 0; p < d.n; p++ {
+		right := make(map[string][]string)
+		for _, rec := range other.partition(p) {
+			right[rec.Key] = append(right[rec.Key], rec.Value)
+		}
+		var out []kv.Pair
+		for _, rec := range d.partition(p) {
+			for _, rv := range right[rec.Key] {
+				out = append(out, kv.Pair{Key: rec.Key, Value: rec.Value + "\x1f" + rv})
+			}
+		}
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		parts[p] = out
+	}
+	return d.ctx.register(parts)
+}
+
+// MemoryUsed returns the bytes currently held in memory.
+func (c *Context) MemoryUsed() int64 { return c.used }

@@ -1,0 +1,236 @@
+package sparksim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"i2mapreduce/internal/kv"
+)
+
+func newCtx(t *testing.T, cap int64) *Context {
+	t.Helper()
+	c, err := NewContext(cap, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParallelizeAndCollect(t *testing.T) {
+	c := newCtx(t, 1<<20)
+	ps := []kv.Pair{{Key: "b", Value: "2"}, {Key: "a", Value: "1"}, {Key: "c", Value: "3"}}
+	d := c.Parallelize(ps, 3)
+	if d.NumPartitions() != 3 {
+		t.Fatalf("NumPartitions = %d", d.NumPartitions())
+	}
+	got := d.Collect()
+	want := []kv.Pair{{Key: "a", Value: "1"}, {Key: "b", Value: "2"}, {Key: "c", Value: "3"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Collect = %v", got)
+	}
+	if d.Count() != 3 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+}
+
+func TestFlatMapAndReduceByKey(t *testing.T) {
+	c := newCtx(t, 1<<20)
+	d := c.Parallelize([]kv.Pair{
+		{Key: "l1", Value: "a b a"},
+		{Key: "l2", Value: "b"},
+	}, 2)
+	words := d.FlatMap(func(p kv.Pair, emit func(kv.Pair)) {
+		for _, w := range strings.Fields(p.Value) {
+			emit(kv.Pair{Key: w, Value: "1"})
+		}
+	})
+	counts := words.ReduceByKey(func(a, b string) string {
+		x, _ := strconv.Atoi(a)
+		y, _ := strconv.Atoi(b)
+		return strconv.Itoa(x + y)
+	})
+	got := counts.Collect()
+	want := []kv.Pair{{Key: "a", Value: "2"}, {Key: "b", Value: "2"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("counts = %v", got)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	c := newCtx(t, 1<<20)
+	left := c.Parallelize([]kv.Pair{{Key: "k", Value: "L1"}, {Key: "k", Value: "L2"}, {Key: "x", Value: "LX"}}, 2)
+	right := c.Parallelize([]kv.Pair{{Key: "k", Value: "R"}}, 2)
+	got := left.Join(right).Collect()
+	want := []kv.Pair{{Key: "k", Value: "L1\x1fR"}, {Key: "k", Value: "L2\x1fR"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("join = %v", got)
+	}
+}
+
+func TestMapValuesPreservesPartitioning(t *testing.T) {
+	c := newCtx(t, 1<<20)
+	d := c.Parallelize([]kv.Pair{{Key: "a", Value: "1"}, {Key: "b", Value: "2"}}, 4)
+	doubled := d.MapValues(func(v string) string { return v + v })
+	got := doubled.Collect()
+	want := []kv.Pair{{Key: "a", Value: "11"}, {Key: "b", Value: "22"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MapValues = %v", got)
+	}
+}
+
+func TestSpillAndReload(t *testing.T) {
+	// Cap small enough that creating a second dataset spills the first.
+	c := newCtx(t, 200)
+	big := make([]kv.Pair, 10)
+	for i := range big {
+		big[i] = kv.Pair{Key: fmt.Sprintf("k%02d", i), Value: strings.Repeat("v", 10)}
+	}
+	d1 := c.Parallelize(big, 2)
+	d2 := c.Parallelize(big, 2)
+	if c.SpilledBytes == 0 {
+		t.Fatal("no spill despite exceeding the cap")
+	}
+	// Both datasets still fully readable.
+	if len(d1.Collect()) != 10 || len(d2.Collect()) != 10 {
+		t.Fatal("datasets lost records across spill")
+	}
+	if c.SpillReads == 0 {
+		t.Fatal("spilled dataset read without counting SpillReads")
+	}
+}
+
+func TestUnpersistFreesMemory(t *testing.T) {
+	c := newCtx(t, 1<<20)
+	d := c.Parallelize([]kv.Pair{{Key: "a", Value: "1"}}, 1)
+	used := c.MemoryUsed()
+	if used <= 0 {
+		t.Fatal("no memory accounted")
+	}
+	d.Unpersist()
+	if c.MemoryUsed() != 0 {
+		t.Fatalf("MemoryUsed = %d after Unpersist", c.MemoryUsed())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access to unpersisted dataset did not panic")
+		}
+	}()
+	d.Collect()
+}
+
+// pageRank runs the canonical sparksim PageRank loop.
+func pageRank(c *Context, adj map[string][]string, nParts, iters int) map[string]float64 {
+	var linkPairs []kv.Pair
+	for v, outs := range adj {
+		linkPairs = append(linkPairs, kv.Pair{Key: v, Value: strings.Join(outs, " ")})
+	}
+	links := c.Parallelize(linkPairs, nParts)
+	var rankPairs []kv.Pair
+	for v := range adj {
+		rankPairs = append(rankPairs, kv.Pair{Key: v, Value: "1"})
+	}
+	ranks := c.Parallelize(rankPairs, nParts)
+
+	sum := func(a, b string) string {
+		x, _ := strconv.ParseFloat(a, 64)
+		y, _ := strconv.ParseFloat(b, 64)
+		return strconv.FormatFloat(x+y, 'g', 17, 64)
+	}
+	for it := 0; it < iters; it++ {
+		joined := links.Join(ranks)
+		contribs := joined.FlatMap(func(p kv.Pair, emit func(kv.Pair)) {
+			sv, dv, _ := strings.Cut(p.Value, "\x1f")
+			emit(kv.Pair{Key: p.Key, Value: "0"})
+			outs := strings.Fields(sv)
+			if len(outs) == 0 {
+				return
+			}
+			r, _ := strconv.ParseFloat(dv, 64)
+			share := strconv.FormatFloat(r/float64(len(outs)), 'g', 17, 64)
+			for _, j := range outs {
+				emit(kv.Pair{Key: j, Value: share})
+			}
+		})
+		newRanks := contribs.ReduceByKey(sum).MapValues(func(v string) string {
+			f, _ := strconv.ParseFloat(v, 64)
+			return strconv.FormatFloat(0.8*f+0.2, 'g', 17, 64)
+		})
+		joined.Unpersist()
+		contribs.Unpersist()
+		ranks.Unpersist()
+		ranks = newRanks
+	}
+	out := map[string]float64{}
+	for _, p := range ranks.Collect() {
+		out[p.Key], _ = strconv.ParseFloat(p.Value, 64)
+	}
+	return out
+}
+
+func offlinePageRank(adj map[string][]string, iters int) map[string]float64 {
+	rank := map[string]float64{}
+	for v := range adj {
+		rank[v] = 1
+	}
+	for it := 0; it < iters; it++ {
+		next := map[string]float64{}
+		for v, outs := range adj {
+			if len(outs) == 0 {
+				continue
+			}
+			share := rank[v] / float64(len(outs))
+			for _, j := range outs {
+				next[j] += share
+			}
+		}
+		for v := range adj {
+			rank[v] = 0.8*next[v] + 0.2
+		}
+	}
+	return rank
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	adj := map[string][]string{
+		"a": {"b", "c"}, "b": {"c"}, "c": {"a"}, "d": {"a", "c"},
+	}
+	c := newCtx(t, 1<<20)
+	got := pageRank(c, adj, 2, 10)
+	want := offlinePageRank(adj, 10)
+	for v, w := range want {
+		if math.Abs(got[v]-w) > 1e-9 {
+			t.Errorf("rank[%s] = %v, want %v", v, got[v], w)
+		}
+	}
+	if c.SpilledBytes != 0 {
+		t.Fatal("unexpected spill with a large cap")
+	}
+}
+
+func TestPageRankUnderMemoryPressureStillCorrect(t *testing.T) {
+	adj := map[string][]string{}
+	for i := 0; i < 50; i++ {
+		adj[fmt.Sprintf("v%02d", i)] = []string{fmt.Sprintf("v%02d", (i+1)%50), fmt.Sprintf("v%02d", (i+7)%50)}
+	}
+	c := newCtx(t, 2048) // forces spills
+	got := pageRank(c, adj, 4, 8)
+	want := offlinePageRank(adj, 8)
+	for v, w := range want {
+		if math.Abs(got[v]-w) > 1e-9 {
+			t.Errorf("rank[%s] = %v, want %v", v, got[v], w)
+		}
+	}
+	if c.SpilledBytes == 0 || c.SpillReads == 0 {
+		t.Fatalf("expected spills under a 2 KiB cap: %+v bytes, %d reads", c.SpilledBytes, c.SpillReads)
+	}
+}
+
+func TestContextValidation(t *testing.T) {
+	if _, err := NewContext(0, t.TempDir()); err == nil {
+		t.Fatal("NewContext with zero cap succeeded")
+	}
+}

@@ -1,0 +1,490 @@
+// Package bench reproduces every table and figure of the paper's
+// evaluation (Sec. 8) at laptop scale. Each experiment function returns
+// structured results plus a formatted table whose rows/series mirror
+// what the paper reports. cmd/i2mr-bench prints them; bench_test.go
+// wraps them in testing.B benchmarks.
+//
+// Absolute numbers differ from the paper (simulated 4-node in-process
+// cluster vs 32 EC2 instances); EXPERIMENTS.md records the shape
+// comparison: who wins, by roughly what factor, where the crossovers
+// fall.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"i2mapreduce/internal/apps"
+	"i2mapreduce/internal/baseline/haloop"
+	"i2mapreduce/internal/cluster"
+	"i2mapreduce/internal/core"
+	"i2mapreduce/internal/datagen"
+	"i2mapreduce/internal/dfs"
+	"i2mapreduce/internal/iter"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/mr"
+)
+
+// Scale sizes the synthetic workloads.
+type Scale struct {
+	Nodes         int
+	Partitions    int
+	GraphVertices int
+	GraphDegree   int
+	Points        int
+	PointDims     int
+	Clusters      int
+	MatrixBlocks  int
+	BlockSize     int
+	Tweets        int
+	Vocab         int
+	WordsPerTweet int
+	DeltaFraction float64
+	MaxIterations int
+	Epsilon       float64
+	// CPCThreshold is the filter threshold used for "i2MR w/ CPC" runs
+	// (ranks are O(1) here, as in the paper's un-normalized PageRank).
+	CPCThreshold float64
+	Seed         int64
+}
+
+// DefaultScale is the full benchmark configuration.
+func DefaultScale() Scale {
+	return Scale{
+		Nodes: 4, Partitions: 4,
+		GraphVertices: 4000, GraphDegree: 4,
+		Points: 6000, PointDims: 8, Clusters: 8,
+		MatrixBlocks: 8, BlockSize: 16,
+		Tweets: 6000, Vocab: 200, WordsPerTweet: 8,
+		DeltaFraction: 0.10,
+		MaxIterations: 60, Epsilon: 1e-6,
+		CPCThreshold: 0.01,
+		Seed:         1,
+	}
+}
+
+// SmallScale shrinks everything for quick runs (go test -short).
+func SmallScale() Scale {
+	s := DefaultScale()
+	s.GraphVertices, s.Points, s.Tweets = 600, 1200, 1200
+	s.MatrixBlocks, s.BlockSize = 4, 8
+	return s
+}
+
+// Env is one benchmark environment: a DFS and a simulated cluster.
+type Env struct {
+	Eng *mr.Engine
+}
+
+// NewEnv builds an environment rooted at dir.
+func NewEnv(dir string, nodes int) (*Env, error) {
+	fs, err := dfs.New(dfs.Config{Root: filepath.Join(dir, "dfs"), BlockSize: 64 << 10, Nodes: nodes})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(cluster.Config{Nodes: nodes, SlotsPerNode: 2, ScratchRoot: filepath.Join(dir, "scratch")})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Eng: mr.NewEngine(fs, cl)}, nil
+}
+
+// effective folds the simulated per-job startup cost into measured
+// wall-clock time, as the paper's totals do.
+func effective(wall time.Duration, rep *metrics.Report) time.Duration {
+	if rep == nil {
+		return wall
+	}
+	return wall + time.Duration(rep.Counter("startup.ns"))
+}
+
+func timeIt(f func() (*metrics.Report, error)) (time.Duration, *metrics.Report, error) {
+	start := time.Now()
+	rep, err := f()
+	return effective(time.Since(start), rep), rep, err
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8: normalized runtime of the four iterative algorithms across
+// the five solutions, with DeltaFraction of the input changed.
+// ---------------------------------------------------------------------
+
+// Fig8Row is one application's timings.
+type Fig8Row struct {
+	App     string
+	PlainMR time.Duration
+	HaLoop  time.Duration
+	IterMR  time.Duration
+	I2NoCPC time.Duration
+	I2CPC   time.Duration
+}
+
+// Normalized returns the row scaled so PlainMR = 1 (the paper's
+// normalization).
+func (r Fig8Row) Normalized() [5]float64 {
+	base := float64(r.PlainMR)
+	if base == 0 {
+		base = 1
+	}
+	return [5]float64{
+		1,
+		float64(r.HaLoop) / base,
+		float64(r.IterMR) / base,
+		float64(r.I2NoCPC) / base,
+		float64(r.I2CPC) / base,
+	}
+}
+
+// Fig8 runs the headline experiment.
+func Fig8(env *Env, sc Scale) ([]Fig8Row, error) {
+	rows := make([]Fig8Row, 0, 4)
+	pr, err := fig8PageRank(env, sc)
+	if err != nil {
+		return nil, fmt.Errorf("fig8 pagerank: %w", err)
+	}
+	rows = append(rows, pr)
+	ss, err := fig8SSSP(env, sc)
+	if err != nil {
+		return nil, fmt.Errorf("fig8 sssp: %w", err)
+	}
+	rows = append(rows, ss)
+	km, err := fig8Kmeans(env, sc)
+	if err != nil {
+		return nil, fmt.Errorf("fig8 kmeans: %w", err)
+	}
+	rows = append(rows, km)
+	gv, err := fig8GIMV(env, sc)
+	if err != nil {
+		return nil, fmt.Errorf("fig8 gimv: %w", err)
+	}
+	rows = append(rows, gv)
+	return rows, nil
+}
+
+// runI2 prepares a core runner on the initial input (untimed) and times
+// the incremental refresh.
+func runI2(env *Env, spec core.Spec, cfg core.Config, initial, delta string) (time.Duration, *core.Result, error) {
+	r, err := core.NewRunner(env.Eng, spec, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer r.Close()
+	if _, err := r.RunInitial(initial); err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	res, err := r.RunIncremental(delta)
+	if err != nil {
+		return 0, nil, err
+	}
+	return time.Since(start), res, nil
+}
+
+// refIterations runs a converged iterMR job and reports its iteration
+// count and state — the fixed-point the re-computation baselines are
+// charged for reproducing.
+func refIterations(env *Env, spec iter.Spec, parts int, maxIter int, eps float64, input string, initState map[string]string) (int, map[string]string, time.Duration, error) {
+	r, err := iter.NewRunner(env.Eng, spec, iter.Config{
+		NumPartitions: parts, MaxIterations: maxIter, Epsilon: eps, InitialState: initState,
+	})
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	start := time.Now()
+	if _, err := r.LoadStructure(input); err != nil {
+		return 0, nil, 0, err
+	}
+	res, err := r.Run()
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	return res.Iterations, r.State(), time.Since(start), nil
+}
+
+func fig8PageRank(env *Env, sc Scale) (Fig8Row, error) {
+	g0 := datagen.Graph(sc.Seed, sc.GraphVertices, sc.GraphDegree)
+	if err := env.Eng.FS().WriteAllPairs("fig8/pr/g0", g0); err != nil {
+		return Fig8Row{}, err
+	}
+	deltas, g1 := datagen.Mutate(sc.Seed+1, g0, datagen.MutateOptions{
+		ModifyFraction: sc.DeltaFraction,
+		Rewrite:        datagen.RewireGraphValue(sc.GraphVertices),
+	})
+	if err := env.Eng.FS().WriteAllDeltas("fig8/pr/delta", deltas); err != nil {
+		return Fig8Row{}, err
+	}
+	if err := env.Eng.FS().WriteAllPairs("fig8/pr/g1", g1); err != nil {
+		return Fig8Row{}, err
+	}
+
+	spec := apps.PageRankSpec("fig8-pr", apps.DefaultDamping)
+	iters, _, iterTime, err := refIterations(env, spec, sc.Partitions, sc.MaxIterations, sc.Epsilon, "fig8/pr/g1", nil)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+
+	row := Fig8Row{App: "PageRank", IterMR: iterTime}
+
+	plainStart := time.Now()
+	_, plainRep, err := apps.PageRankPlainMR(env.Eng, "fig8-pr-plain", "fig8/pr/g1", iters, apps.DefaultDamping)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.PlainMR = effective(time.Since(plainStart), plainRep)
+
+	hcfg := apps.PageRankHaLoop("fig8-pr-haloop", apps.DefaultDamping)
+	hcfg.MaxIterations = iters
+	hcfg.Epsilon = sc.Epsilon
+	hcfg.NumReducers = sc.Partitions
+	hrun, err := haloop.Run(env.Eng, hcfg)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	hStart := time.Now()
+	hres, err := hrun("fig8/pr/g1")
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.HaLoop = effective(time.Since(hStart), hres.Report)
+
+	coreCfg := core.Config{
+		NumPartitions: sc.Partitions, MaxIterations: sc.MaxIterations, Epsilon: sc.Epsilon,
+	}
+	d, _, err := runI2(env, apps.PageRankSpec("fig8-pr-i2a", apps.DefaultDamping), coreCfg, "fig8/pr/g0", "fig8/pr/delta")
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.I2NoCPC = d
+	coreCfg.CPC, coreCfg.FilterThreshold = true, sc.CPCThreshold
+	d, _, err = runI2(env, apps.PageRankSpec("fig8-pr-i2b", apps.DefaultDamping), coreCfg, "fig8/pr/g0", "fig8/pr/delta")
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.I2CPC = d
+	return row, nil
+}
+
+func fig8SSSP(env *Env, sc Scale) (Fig8Row, error) {
+	g0 := datagen.WeightedGraph(sc.Seed+10, sc.GraphVertices, sc.GraphDegree)
+	source := g0[0].Key
+	if err := env.Eng.FS().WriteAllPairs("fig8/sssp/g0", g0); err != nil {
+		return Fig8Row{}, err
+	}
+	// Monotone delta: append a new low-weight edge to DeltaFraction of
+	// the vertices (shortest paths only improve).
+	deltas, g1 := datagen.Mutate(sc.Seed+11, g0, datagen.MutateOptions{
+		ModifyFraction: sc.DeltaFraction,
+		Rewrite: func(rng *rand.Rand, key, value string) string {
+			tgt := fmt.Sprintf("v%07d", rng.Intn(sc.GraphVertices))
+			if strings.Contains(value, tgt+":") || tgt == key {
+				return value
+			}
+			return value + ";" + tgt + ":0.5"
+		},
+	})
+	if err := env.Eng.FS().WriteAllDeltas("fig8/sssp/delta", deltas); err != nil {
+		return Fig8Row{}, err
+	}
+	if err := env.Eng.FS().WriteAllPairs("fig8/sssp/g1", g1); err != nil {
+		return Fig8Row{}, err
+	}
+
+	spec := apps.SSSPSpec("fig8-sssp", source)
+	iters, _, iterTime, err := refIterations(env, spec, sc.Partitions, sc.MaxIterations, 0, "fig8/sssp/g1", nil)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row := Fig8Row{App: "SSSP", IterMR: iterTime}
+
+	plainStart := time.Now()
+	_, plainRep, err := apps.SSSPPlainMR(env.Eng, "fig8-sssp-plain", "fig8/sssp/g1", source, iters)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.PlainMR = effective(time.Since(plainStart), plainRep)
+
+	hcfg := apps.SSSPHaLoop("fig8-sssp-haloop", source)
+	hcfg.MaxIterations = iters
+	hcfg.NumReducers = sc.Partitions
+	hrun, err := haloop.Run(env.Eng, hcfg)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	hStart := time.Now()
+	hres, err := hrun("fig8/sssp/g1")
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.HaLoop = effective(time.Since(hStart), hres.Report)
+
+	// SSSP uses filter threshold 0 (paper Sec. 8.2: results stay
+	// precise); "w/o CPC" and "w/ CPC" differ only in the explicit
+	// filter, which is 0 anyway.
+	coreCfg := core.Config{NumPartitions: sc.Partitions, MaxIterations: sc.MaxIterations}
+	d, _, err := runI2(env, apps.SSSPSpec("fig8-sssp-i2a", source), coreCfg, "fig8/sssp/g0", "fig8/sssp/delta")
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.I2NoCPC = d
+	coreCfg.CPC = true
+	d, _, err = runI2(env, apps.SSSPSpec("fig8-sssp-i2b", source), coreCfg, "fig8/sssp/g0", "fig8/sssp/delta")
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.I2CPC = d
+	return row, nil
+}
+
+func fig8Kmeans(env *Env, sc Scale) (Fig8Row, error) {
+	pts := datagen.Points(sc.Seed+20, sc.Points, sc.PointDims, sc.Clusters)
+	initial := datagen.InitialCentroids(sc.Seed+20, pts, sc.Clusters)
+	if err := env.Eng.FS().WriteAllPairs("fig8/km/p0", pts); err != nil {
+		return Fig8Row{}, err
+	}
+	extra := datagen.Points(sc.Seed+21, int(float64(sc.Points)*sc.DeltaFraction), sc.PointDims, sc.Clusters)
+	var deltas []kv.Delta
+	merged := append([]kv.Pair(nil), pts...)
+	for i, p := range extra {
+		np := kv.Pair{Key: fmt.Sprintf("x%07d", i), Value: p.Value}
+		deltas = append(deltas, kv.Delta{Key: np.Key, Value: np.Value, Op: kv.OpInsert})
+		merged = append(merged, np)
+	}
+	if err := env.Eng.FS().WriteAllDeltas("fig8/km/delta", deltas); err != nil {
+		return Fig8Row{}, err
+	}
+	if err := env.Eng.FS().WriteAllPairs("fig8/km/p1", merged); err != nil {
+		return Fig8Row{}, err
+	}
+
+	initState := map[string]string{apps.KmeansStateKey: initial}
+	iters, _, iterTime, err := refIterations(env, apps.KmeansSpec("fig8-km"), sc.Partitions, sc.MaxIterations, 1e-9, "fig8/km/p1", initState)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row := Fig8Row{App: "Kmeans", IterMR: iterTime}
+
+	plainStart := time.Now()
+	_, plainRep, err := apps.KmeansPlainMR(env.Eng, "fig8-km-plain", "fig8/km/p1", initial, iters)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.PlainMR = effective(time.Since(plainStart), plainRep)
+
+	// HaLoop Kmeans: one job per iteration with point caching — the
+	// paper observes it performs like iterMR plus per-job startup. We
+	// account it that way (see DESIGN.md).
+	row.HaLoop = iterTime + time.Duration(iters)*apps.StartupCost
+
+	// i2MapReduce: MRBG is off for Kmeans (P_delta = 100%); the gain
+	// comes from restarting at the converged centroids.
+	coreCfg := core.Config{
+		NumPartitions: sc.Partitions, MaxIterations: sc.MaxIterations, Epsilon: 1e-9,
+		InitialState: initState,
+	}
+	d, _, err := runI2(env, apps.KmeansSpec("fig8-km-i2a"), coreCfg, "fig8/km/p0", "fig8/km/delta")
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.I2NoCPC = d
+	row.I2CPC = d // CPC is not applicable with a single state kv-pair
+	return row, nil
+}
+
+func fig8GIMV(env *Env, sc Scale) (Fig8Row, error) {
+	mat := datagen.BlockMatrix(sc.Seed+30, sc.MatrixBlocks, sc.BlockSize, 3)
+	if err := env.Eng.FS().WriteAllPairs("fig8/gimv/m0", mat); err != nil {
+		return Fig8Row{}, err
+	}
+	deltas, m1 := datagen.Mutate(sc.Seed+31, mat, datagen.MutateOptions{
+		ModifyFraction: sc.DeltaFraction,
+		Rewrite: func(rng *rand.Rand, key, value string) string {
+			// Drop one entry from the block (a link disappears).
+			entries := strings.Split(value, ";")
+			if len(entries) <= 1 {
+				return value
+			}
+			i := rng.Intn(len(entries))
+			return strings.Join(append(entries[:i], entries[i+1:]...), ";")
+		},
+	})
+	if err := env.Eng.FS().WriteAllDeltas("fig8/gimv/delta", deltas); err != nil {
+		return Fig8Row{}, err
+	}
+	if err := env.Eng.FS().WriteAllPairs("fig8/gimv/m1", m1); err != nil {
+		return Fig8Row{}, err
+	}
+
+	spec := apps.GIMVSpec("fig8-gimv", sc.BlockSize, apps.DefaultDamping)
+	iters, _, iterTime, err := refIterations(env, spec, sc.Partitions, sc.MaxIterations, sc.Epsilon, "fig8/gimv/m1", nil)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row := Fig8Row{App: "GIM-V", IterMR: iterTime}
+
+	plainStart := time.Now()
+	_, plainRep, err := apps.GIMVPlainMR(env.Eng, "fig8-gimv-plain", "fig8/gimv/m1", sc.MatrixBlocks, sc.BlockSize, iters, apps.DefaultDamping)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.PlainMR = effective(time.Since(plainStart), plainRep)
+
+	hcfg := apps.GIMVHaLoop("fig8-gimv-haloop", sc.BlockSize, apps.DefaultDamping)
+	hcfg.MaxIterations = iters
+	hcfg.Epsilon = sc.Epsilon
+	hcfg.NumReducers = sc.Partitions
+	hrun, err := haloop.Run(env.Eng, hcfg)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	hStart := time.Now()
+	hres, err := hrun("fig8/gimv/m1")
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.HaLoop = effective(time.Since(hStart), hres.Report)
+
+	coreCfg := core.Config{NumPartitions: sc.Partitions, MaxIterations: sc.MaxIterations, Epsilon: sc.Epsilon}
+	d, _, err := runI2(env, apps.GIMVSpec("fig8-gimv-i2a", sc.BlockSize, apps.DefaultDamping), coreCfg, "fig8/gimv/m0", "fig8/gimv/delta")
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.I2NoCPC = d
+	coreCfg.CPC, coreCfg.FilterThreshold = true, sc.CPCThreshold
+	d, _, err = runI2(env, apps.GIMVSpec("fig8-gimv-i2b", sc.BlockSize, apps.DefaultDamping), coreCfg, "fig8/gimv/m0", "fig8/gimv/delta")
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row.I2CPC = d
+	return row, nil
+}
+
+// FormatFig8 renders the normalized-runtime table.
+func FormatFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8 — normalized runtime (plainMR = 1.00), %s\n", "10% delta")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s %12s\n", "app", "plainMR", "HaLoop", "iterMR", "i2MR w/oCPC", "i2MR w/CPC")
+	for _, r := range rows {
+		n := r.Normalized()
+		fmt.Fprintf(&b, "%-10s %10.3f %10.3f %10.3f %12.3f %12.3f\n", r.App, n[0], n[1], n[2], n[3], n[4])
+		fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s %12s\n", "  (abs)",
+			r.PlainMR.Round(time.Millisecond), r.HaLoop.Round(time.Millisecond),
+			r.IterMR.Round(time.Millisecond), r.I2NoCPC.Round(time.Millisecond), r.I2CPC.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// iterRunner aliases the iterMR runner for experiment helpers.
+type iterRunner = iter.Runner
+
+// iterNew builds an iterMR runner sized by the scale.
+func iterNew(env *Env, spec core.Spec, sc Scale) (*iter.Runner, error) {
+	return iter.NewRunner(env.Eng, spec, iter.Config{
+		NumPartitions: sc.Partitions,
+		MaxIterations: sc.MaxIterations,
+		Epsilon:       sc.Epsilon,
+	})
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyScale() Scale {
+	s := SmallScale()
+	s.GraphVertices = 300
+	s.Points = 400
+	s.Tweets = 400
+	s.MaxIterations = 40
+	return s
+}
+
+func newTestEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestFig8ShapeHolds(t *testing.T) {
+	env := newTestEnv(t)
+	sc := tinyScale()
+	rows, err := Fig8(env, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	byApp := map[string]Fig8Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+		if r.PlainMR <= 0 || r.IterMR <= 0 || r.I2NoCPC <= 0 || r.I2CPC <= 0 {
+			t.Fatalf("row %s has non-positive timings: %+v", r.App, r)
+		}
+	}
+	// The paper's headline shapes: for PageRank and GIM-V, i2MR beats
+	// plainMR by a wide margin; iterMR beats plainMR everywhere.
+	for _, app := range []string{"PageRank", "SSSP", "GIM-V"} {
+		r := byApp[app]
+		if r.I2CPC >= r.PlainMR {
+			t.Errorf("%s: i2MR w/CPC (%v) not faster than plainMR (%v)", app, r.I2CPC, r.PlainMR)
+		}
+		if r.IterMR >= r.PlainMR {
+			t.Errorf("%s: iterMR (%v) not faster than plainMR (%v)", app, r.IterMR, r.PlainMR)
+		}
+	}
+	if out := FormatFig8(rows); !strings.Contains(out, "PageRank") {
+		t.Fatalf("FormatFig8 missing rows:\n%s", out)
+	}
+}
+
+func TestFig9StagesRecorded(t *testing.T) {
+	env := newTestEnv(t)
+	rows, err := Fig9(env, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	// i2MR's map stage must be far below plainMR's (the paper reports
+	// a 98% reduction).
+	plainMap := rows[0].Stages.Stages[0]
+	i2Map := rows[2].Stages.Stages[0]
+	if i2Map >= plainMap {
+		t.Errorf("i2MR map stage (%v) not below plainMR (%v)", i2Map, plainMap)
+	}
+	_ = FormatFig9(rows)
+}
+
+func TestTable4StrategiesOrdered(t *testing.T) {
+	env := newTestEnv(t)
+	rows, err := Table4(env, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	indexOnly, dynamic := rows[0], rows[3]
+	// index-only: smallest read size, most reads (paper Table 4).
+	if indexOnly.ReadBytes > dynamic.ReadBytes {
+		t.Errorf("index-only read %d bytes > multi-dynamic %d", indexOnly.ReadBytes, dynamic.ReadBytes)
+	}
+	if dynamic.Reads >= indexOnly.Reads {
+		t.Errorf("multi-dynamic issued %d reads >= index-only %d", dynamic.Reads, indexOnly.Reads)
+	}
+	_ = FormatTable4(rows)
+}
+
+func TestFig10LargerThresholdFiltersMore(t *testing.T) {
+	env := newTestEnv(t)
+	rows, err := Fig10(env, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	// Mean error grows (weakly) with the threshold; all errors small.
+	for i, r := range rows {
+		if r.MeanError < 0 || r.MeanError > 0.25 {
+			t.Errorf("FT=%v mean error %v out of range", r.FT, r.MeanError)
+		}
+		if i > 0 && r.MeanError+1e-9 < rows[i-1].MeanError/4 {
+			// Allow noise, but a larger threshold should not be
+			// dramatically more accurate.
+			t.Logf("note: FT=%v error %v < FT=%v error %v", r.FT, r.MeanError, rows[i-1].FT, rows[i-1].MeanError)
+		}
+	}
+	_ = FormatFig10(rows)
+}
+
+func TestFig11PropagationShapes(t *testing.T) {
+	env := newTestEnv(t)
+	series, err := Fig11(env, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("%d series, want 4", len(series))
+	}
+	noCPC := series[0]
+	ft01 := series[3]
+	sum := func(xs []int) int {
+		t := 0
+		for _, x := range xs {
+			t += x
+		}
+		return t
+	}
+	if sum(ft01.Propagated) > sum(noCPC.Propagated) {
+		t.Errorf("FT=0.1 propagated %d > w/o CPC %d", sum(ft01.Propagated), sum(noCPC.Propagated))
+	}
+	_ = FormatFig11(series)
+}
+
+func TestFig12SparkCrossover(t *testing.T) {
+	env := newTestEnv(t)
+	sc := tinyScale()
+	rows, err := Fig12(env, sc, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	// Small datasets fit in memory; the largest spills.
+	if rows[0].SparkSpilled {
+		t.Error("smallest dataset spilled")
+	}
+	if !rows[3].SparkSpilled {
+		t.Error("largest dataset did not spill")
+	}
+	// Spark beats plainMR on the small input (paper: "really fast when
+	// processing small data sets").
+	if rows[0].Spark >= rows[0].PlainMR {
+		t.Errorf("Spark (%v) not faster than plainMR (%v) on the small input", rows[0].Spark, rows[0].PlainMR)
+	}
+	_ = FormatFig12(rows)
+}
+
+func TestFig13RecoversFromInjectedFailures(t *testing.T) {
+	env := newTestEnv(t)
+	res, err := Fig13(env, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures < 2 {
+		t.Fatalf("only %d injected failures observed; the run may have converged too fast", res.Failures)
+	}
+	if !res.Recovered {
+		t.Fatal("a failed task never recovered")
+	}
+	if res.MaxRecovery <= 0 {
+		t.Fatal("recovery gap not measured")
+	}
+	_ = FormatFig13(res)
+}
+
+func TestAPrioriSpeedup(t *testing.T) {
+	env := newTestEnv(t)
+	res, err := APriori(env, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup <= 1 {
+		t.Fatalf("incremental APriori speedup %.2fx <= 1", res.Speedup)
+	}
+	if res.Pairs == 0 {
+		t.Fatal("no frequent pairs counted")
+	}
+	_ = FormatAPriori(res)
+}

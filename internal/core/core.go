@@ -1,0 +1,706 @@
+// Package core implements i2MapReduce itself: incremental processing
+// for iterative computation (paper Sec. 5), combining the iterative
+// model of internal/iter with the MRBG-Store of internal/mrbg.
+//
+// Lifecycle of a computation over an evolving dataset:
+//
+//	r, _ := core.NewRunner(engine, spec, cfg)
+//	r.RunInitial("structure-v1")        // job A1: iterate to convergence,
+//	                                    // then preserve state + MRBGraph
+//	r.RunIncremental("delta-1")         // job A2: start from A1's converged
+//	                                    // state, re-compute only what the
+//	                                    // delta touches
+//	r.RunIncremental("delta-2")         // job A3: ...
+//
+// RunIncremental feeds the delta *structure* data into iteration 1 and
+// the delta *state* data into iterations >= 2 (Sec. 5.1), controls
+// change propagation with a filter threshold (Sec. 5.3), detects the
+// P_delta over-cost condition and falls back to pure iterative
+// processing with MRBGraph maintenance off (Sec. 5.2), and checkpoints
+// state and MRBGraph files every iteration (Sec. 6.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"i2mapreduce/internal/cluster"
+	"i2mapreduce/internal/iter"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/mr"
+	"i2mapreduce/internal/mrbg"
+)
+
+// Spec re-exports the iterative application model; core adds two
+// requirements on top of iter's contract for fine-grain incremental
+// processing:
+//
+//   - a Map instance's set of output keys K2 must be determined by the
+//     structure record alone (PageRank/SSSP/GIM-V satisfy this), so a
+//     state-only change replaces edges at the same (K2, MK);
+//   - the prime Reduce must emit at most one state update, keyed by its
+//     own K2 (the chunk <-> state-key bijection).
+type Spec = iter.Spec
+
+// Config tunes the incremental iterative engine.
+type Config struct {
+	// NumPartitions defaults to the cluster node count.
+	NumPartitions int
+	// MaxIterations caps each job's loop. Defaults to 50.
+	MaxIterations int
+	// Epsilon is the convergence tolerance: state changes at or below
+	// it never propagate.
+	Epsilon float64
+	// CPC enables change propagation control (Sec. 5.3).
+	CPC bool
+	// FilterThreshold is the CPC filter: with CPC on, only state
+	// changes strictly greater than this propagate to the next
+	// iteration. The paper's Fig. 10/11 sweep 0.1 / 0.5 / 1.
+	FilterThreshold float64
+	// DisableMRBG turns MRBGraph maintenance off for the whole
+	// computation (the paper's advice for Kmeans). ReplicateState specs
+	// force this.
+	DisableMRBG bool
+	// PDeltaThreshold triggers the automatic MRBG shutdown when the
+	// fraction of changed state keys in one iteration exceeds it.
+	// Defaults to 0.5 (Sec. 5.2).
+	PDeltaThreshold float64
+	// StoreOpts templates the per-partition MRBG-Store options.
+	StoreOpts mrbg.Options
+	// InitialState seeds the state for ReplicateState specs.
+	InitialState map[string]string
+	// Checkpoint persists state and MRBGraph files after every
+	// incremental iteration (Sec. 6.1). On by default for incremental
+	// runs when true.
+	Checkpoint bool
+}
+
+// IterStats reports one iteration of an initial or incremental run.
+type IterStats struct {
+	// Iteration is 1-based within its job.
+	Iteration int
+	// Propagated counts the state kv-pairs whose change exceeded the
+	// active threshold and were emitted to the next iteration —
+	// Fig. 11a's "prop. kv-pairs".
+	Propagated int
+	// Filtered counts state updates suppressed by CPC.
+	Filtered int
+	// Removed counts state keys whose chunks disappeared entirely.
+	Removed int
+	// Duration is the iteration wall time (Fig. 11b).
+	Duration time.Duration
+	// Stages is the per-stage breakdown (Fig. 9).
+	Stages metrics.Snapshot
+	// MRBGOn records whether MRBGraph maintenance was active.
+	MRBGOn bool
+}
+
+// Result summarizes one job (initial or incremental).
+type Result struct {
+	Iterations int
+	Converged  bool
+	// MRBGDisabledAt is the iteration at which the P_delta detector
+	// turned MRBGraph maintenance off, or 0.
+	MRBGDisabledAt int
+	PerIter        []IterStats
+	Report         *metrics.Report
+	// Events is the task attempt timeline across the job (Fig. 13).
+	Events []cluster.Event
+}
+
+// Runner owns one evolving iterative computation.
+type Runner struct {
+	eng  *mr.Engine
+	spec Spec
+	cfg  Config
+	n    int
+
+	parts  []*structPart
+	state  []map[string]string
+	last   []map[string]string // last propagated value per DK (CPC baseline)
+	global map[string]string   // replicated state (ReplicateState specs)
+	stores []*mrbg.Store
+
+	mrbgOn      bool
+	initialDone bool
+	jobSeq      int
+
+	jobStart time.Time
+	events   []cluster.Event
+	mu       sync.Mutex
+}
+
+// NewRunner validates the spec and prepares stores and scratch space.
+func NewRunner(eng *mr.Engine, spec Spec, cfg Config) (*Runner, error) {
+	probe, err := iter.NewRunner(eng, spec, iter.Config{
+		NumPartitions: cfg.NumPartitions,
+		InitialState:  cfg.InitialState,
+	})
+	if err != nil {
+		return nil, err
+	}
+	_ = probe // validation only; core runs its own loop
+	if cfg.NumPartitions <= 0 {
+		cfg.NumPartitions = eng.Cluster().NumNodes()
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 50
+	}
+	if cfg.PDeltaThreshold <= 0 {
+		cfg.PDeltaThreshold = 0.5
+	}
+	r := &Runner{
+		eng:    eng,
+		spec:   spec,
+		cfg:    cfg,
+		n:      cfg.NumPartitions,
+		mrbgOn: !cfg.DisableMRBG && !spec.ReplicateState,
+	}
+	if r.mrbgOn {
+		for p := 0; p < r.n; p++ {
+			node := eng.Cluster().NodeByID(p % eng.Cluster().NumNodes())
+			opts := cfg.StoreOpts
+			opts.Dir = filepath.Join(node.ScratchDir, "core-mrbg", sanitize(spec.Name), fmt.Sprintf("part-%04d", p))
+			st, err := mrbg.Open(opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: opening store %d: %w", p, err)
+			}
+			r.stores = append(r.stores, st)
+		}
+	}
+	return r, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			return c
+		}
+		return '_'
+	}, s)
+}
+
+// Close releases the MRBG-Stores.
+func (r *Runner) Close() error {
+	var first error
+	for _, s := range r.stores {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stores exposes the per-partition MRBG-Stores for the Table 4 harness.
+func (r *Runner) Stores() []*mrbg.Store { return r.stores }
+
+// MRBGEnabled reports whether MRBGraph maintenance is currently active.
+func (r *Runner) MRBGEnabled() bool { return r.mrbgOn }
+
+// threshold returns the active propagation threshold: Epsilon floor,
+// raised to FilterThreshold when CPC is on.
+func (r *Runner) threshold() float64 {
+	t := r.cfg.Epsilon
+	if r.cfg.CPC && r.cfg.FilterThreshold > t {
+		t = r.cfg.FilterThreshold
+	}
+	return t
+}
+
+// partitionOf returns the partition owning a structure key (Eq. 2).
+func (r *Runner) partitionOf(sk string) int {
+	if r.spec.ReplicateState {
+		return kv.Partition(sk, r.n)
+	}
+	return kv.Partition(r.spec.Project(sk), r.n)
+}
+
+// structPath names partition p's cached structure file.
+func (r *Runner) structPath(p int) string {
+	node := r.eng.Cluster().NodeByID(p % r.eng.Cluster().NumNodes())
+	return filepath.Join(node.ScratchDir, "core", sanitize(r.spec.Name), fmt.Sprintf("part-%04d.struct", p))
+}
+
+// runTasks executes tasks on the cluster and accumulates their events
+// into the job timeline, offset by the job's start time.
+func (r *Runner) runTasks(tasks []cluster.Task) error {
+	offset := time.Since(r.jobStart)
+	evs, err := r.eng.Cluster().Run(tasks)
+	r.mu.Lock()
+	for _, e := range evs {
+		e.Start += offset
+		e.End += offset
+		r.events = append(r.events, e)
+	}
+	r.mu.Unlock()
+	return err
+}
+
+// stateOrInit returns the current state value for dk in partition p.
+func (r *Runner) stateOrInit(p int, dk string) string {
+	if v, ok := r.state[p][dk]; ok {
+		return v
+	}
+	return r.spec.InitState(dk)
+}
+
+// State returns a copy of the merged state store.
+func (r *Runner) State() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string)
+	if r.spec.ReplicateState {
+		for k, v := range r.global {
+			out[k] = v
+		}
+		return out
+	}
+	for _, st := range r.state {
+		for k, v := range st {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// StateKeyCount returns |D|, the number of live state kv-pairs.
+func (r *Runner) StateKeyCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spec.ReplicateState {
+		return len(r.global)
+	}
+	n := 0
+	for _, st := range r.state {
+		n += len(st)
+	}
+	return n
+}
+
+// loadStructure partitions the structure input (Eq. 2), builds the
+// per-partition files + span indexes, and initializes state.
+func (r *Runner) loadStructure(input string) error {
+	fi, err := r.eng.FS().Stat(input)
+	if err != nil {
+		return fmt.Errorf("core: structure input: %w", err)
+	}
+	project := r.spec.Project
+	if r.spec.ReplicateState {
+		project = nil
+	}
+	parts := make([][]kv.Pair, r.n)
+	for b := 0; b < len(fi.Blocks); b++ {
+		br, err := r.eng.FS().OpenBlock(input, b)
+		if err != nil {
+			return err
+		}
+		for {
+			p, err := br.ReadPair()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				br.Close()
+				return err
+			}
+			i := r.partitionOf(p.Key)
+			parts[i] = append(parts[i], p)
+		}
+		br.Close()
+	}
+	r.parts = make([]*structPart, r.n)
+	if r.spec.ReplicateState {
+		r.global = make(map[string]string, len(r.cfg.InitialState))
+		for k, v := range r.cfg.InitialState {
+			r.global[k] = v
+		}
+	} else {
+		r.state = make([]map[string]string, r.n)
+		r.last = make([]map[string]string, r.n)
+	}
+	for p := 0; p < r.n; p++ {
+		sp, err := buildStructPart(r.structPath(p), parts[p], project)
+		if err != nil {
+			return err
+		}
+		r.parts[p] = sp
+		if !r.spec.ReplicateState {
+			st := make(map[string]string)
+			for dk := range sp.spans {
+				st[dk] = r.spec.InitState(dk)
+			}
+			r.state[p] = st
+			r.last[p] = make(map[string]string)
+		}
+	}
+	return nil
+}
+
+// RunInitial executes job A1: load structure, iterate to convergence
+// with full passes, then preserve the converged state and MRBGraph for
+// future incremental jobs.
+func (r *Runner) RunInitial(input string) (*Result, error) {
+	if r.initialDone {
+		return nil, errors.New("core: RunInitial called twice")
+	}
+	r.jobStart = time.Now()
+	r.events = nil
+	r.jobSeq++
+	if err := r.loadStructure(input); err != nil {
+		return nil, err
+	}
+	res := &Result{Report: &metrics.Report{}}
+	for it := 1; it <= r.cfg.MaxIterations; it++ {
+		stats, err := r.runFullIteration(it)
+		if err != nil {
+			return nil, err
+		}
+		stats.MRBGOn = false
+		res.PerIter = append(res.PerIter, stats)
+		res.Iterations = it
+		if stats.Propagated == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	if r.mrbgOn {
+		if err := r.preservePass(); err != nil {
+			return nil, err
+		}
+	}
+	r.resetLastEmitted()
+	if r.cfg.Checkpoint {
+		if err := r.checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	r.finishResult(res)
+	r.initialDone = true
+	return res, nil
+}
+
+func (r *Runner) finishResult(res *Result) {
+	for _, s := range res.PerIter {
+		for _, st := range metrics.Stages() {
+			res.Report.AddStage(st, s.Stages.Stages[st])
+		}
+	}
+	res.Report.Add("iterations", int64(res.Iterations))
+	r.mu.Lock()
+	res.Events = append([]cluster.Event(nil), r.events...)
+	r.mu.Unlock()
+}
+
+// resetLastEmitted aligns the CPC baseline with the current state (at
+// job boundaries the preserved MRBGraph reflects exactly the current
+// state, so the accumulated-change baseline restarts from it).
+func (r *Runner) resetLastEmitted() {
+	if r.spec.ReplicateState {
+		return
+	}
+	for p := 0; p < r.n; p++ {
+		l := make(map[string]string, len(r.state[p]))
+		for k, v := range r.state[p] {
+			l[k] = v
+		}
+		r.last[p] = l
+	}
+}
+
+// runFullIteration is one complete prime Map -> shuffle -> prime
+// Reduce pass over all structure records (used by the initial run and
+// by MRBG-off mode). State updates apply in place; Propagated counts
+// keys that changed beyond the active threshold.
+func (r *Runner) runFullIteration(it int) (IterStats, error) {
+	start := time.Now()
+	rep := &metrics.Report{}
+	shuffle := make([][]kv.Pair, r.n)
+	var mu sync.Mutex
+
+	mapTasks := make([]cluster.Task, 0, r.n)
+	for p := 0; p < r.n; p++ {
+		p := p
+		mapTasks = append(mapTasks, cluster.Task{
+			Name:      fmt.Sprintf("%s/j%d-it%03d/map-%04d", sanitize(r.spec.Name), r.jobSeq, it, p),
+			Preferred: p % r.eng.Cluster().NumNodes(),
+			Run: func(tc cluster.TaskContext) error {
+				t0 := time.Now()
+				local := make([][]kv.Pair, r.n)
+				emit := func(k2, v2 string) {
+					d := kv.Partition(k2, r.n)
+					local[d] = append(local[d], kv.Pair{Key: k2, Value: v2})
+				}
+				var repDK, repDV string
+				if r.spec.ReplicateState {
+					g := r.globalView()
+					if len(g) != 1 {
+						return fmt.Errorf("core: ReplicateState spec %q has %d state keys; expected 1", r.spec.Name, len(g))
+					}
+					for k, v := range g {
+						repDK, repDV = k, v
+					}
+				}
+				var recs int64
+				err := r.parts[p].readAll(func(pr kv.Pair) error {
+					recs++
+					dk, dv := repDK, repDV
+					if !r.spec.ReplicateState {
+						dk = r.spec.Project(pr.Key)
+						dv = r.stateOrInit(p, dk)
+					}
+					return r.spec.Map(pr.Key, pr.Value, dk, dv, emit)
+				})
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				for d := range local {
+					shuffle[d] = append(shuffle[d], local[d]...)
+				}
+				mu.Unlock()
+				rep.Add("map.records.in", recs)
+				rep.AddStage(metrics.StageMap, time.Since(t0))
+				return nil
+			},
+		})
+	}
+	if err := r.runTasks(mapTasks); err != nil {
+		return IterStats{}, fmt.Errorf("core: full map phase (iteration %d): %w", it, err)
+	}
+
+	shuffleStart := time.Now()
+	var shuffleBytes int64
+	for _, part := range shuffle {
+		for _, pr := range part {
+			shuffleBytes += int64(len(pr.Key) + len(pr.Value))
+		}
+	}
+	rep.Add("shuffle.bytes", shuffleBytes)
+	rep.AddStage(metrics.StageShuffle, time.Since(shuffleStart))
+
+	sortStart := time.Now()
+	for p := range shuffle {
+		kv.SortPairs(shuffle[p])
+	}
+	rep.AddStage(metrics.StageSort, time.Since(sortStart))
+
+	propagated := 0
+	filtered := 0
+	var allOuts []kv.Pair
+	var outsMu sync.Mutex
+	thr := r.threshold()
+	reduceTasks := make([]cluster.Task, 0, r.n)
+	for p := 0; p < r.n; p++ {
+		p := p
+		reduceTasks = append(reduceTasks, cluster.Task{
+			Name:      fmt.Sprintf("%s/j%d-it%03d/reduce-%04d", sanitize(r.spec.Name), r.jobSeq, it, p),
+			Preferred: p % r.eng.Cluster().NumNodes(),
+			Run: func(tc cluster.TaskContext) error {
+				t0 := time.Now()
+				getter := r.stateGetterFor(p)
+				type upd struct{ dk, dv string }
+				var ups []upd
+				var outs []kv.Pair
+				err := kv.GroupSorted(shuffle[p], func(g kv.Group) error {
+					return r.spec.Reduce(g.Key, g.Values, getter, func(dk, dv string) {
+						if r.spec.ReplicateState {
+							outs = append(outs, kv.Pair{Key: dk, Value: dv})
+							return
+						}
+						ups = append(ups, upd{dk, dv})
+					})
+				})
+				if err != nil {
+					return err
+				}
+				if r.spec.ReplicateState {
+					outsMu.Lock()
+					allOuts = append(allOuts, outs...)
+					outsMu.Unlock()
+				} else {
+					nProp, nFilt := 0, 0
+					r.mu.Lock()
+					for _, u := range ups {
+						if kv.Partition(u.dk, r.n) != p {
+							r.mu.Unlock()
+							return fmt.Errorf("core: reduce task %d emitted foreign state key %q", p, u.dk)
+						}
+						prev := r.state[p][u.dk]
+						if r.spec.Difference(prev, u.dv) > thr {
+							nProp++
+						} else {
+							nFilt++
+						}
+						r.state[p][u.dk] = u.dv
+					}
+					r.mu.Unlock()
+					mu.Lock()
+					propagated += nProp
+					filtered += nFilt
+					mu.Unlock()
+				}
+				rep.AddStage(metrics.StageReduce, time.Since(t0))
+				return nil
+			},
+		})
+	}
+	if err := r.runTasks(reduceTasks); err != nil {
+		return IterStats{}, fmt.Errorf("core: full reduce phase (iteration %d): %w", it, err)
+	}
+
+	if r.spec.ReplicateState {
+		kv.SortPairs(allOuts)
+		prev := r.globalView()
+		next := r.spec.AssembleState(prev, allOuts)
+		for k, nv := range next {
+			if r.spec.Difference(prev[k], nv) > thr {
+				propagated++
+			}
+		}
+		r.mu.Lock()
+		r.global = next
+		r.mu.Unlock()
+	}
+
+	return IterStats{
+		Iteration:  it,
+		Propagated: propagated,
+		Filtered:   filtered,
+		Duration:   time.Since(start),
+		Stages:     rep.Snapshot(),
+	}, nil
+}
+
+func (r *Runner) globalView() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.global
+}
+
+func (r *Runner) stateGetterFor(p int) iter.StateGetter {
+	if r.spec.ReplicateState {
+		return func(dk string) (string, bool) {
+			v, ok := r.globalView()[dk]
+			return v, ok
+		}
+	}
+	return func(dk string) (string, bool) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		v, ok := r.state[p][dk]
+		return v, ok
+	}
+}
+
+// preservePass rebuilds the MRBGraph from the converged state: every
+// structure record is mapped once and the resulting edges are stored as
+// chunks. This realizes the paper's "only the states in the last
+// iteration of A_{i-1} need to be saved" — the preserved MRBGraph is
+// the fixed-point edge set.
+func (r *Runner) preservePass() error {
+	edges := make([][]mrbg.DeltaEdge, r.n)
+	var mu sync.Mutex
+	tasks := make([]cluster.Task, 0, r.n)
+	for p := 0; p < r.n; p++ {
+		p := p
+		tasks = append(tasks, cluster.Task{
+			Name:      fmt.Sprintf("%s/j%d-preserve/map-%04d", sanitize(r.spec.Name), r.jobSeq, p),
+			Preferred: p % r.eng.Cluster().NumNodes(),
+			Run: func(tc cluster.TaskContext) error {
+				local := make([][]mrbg.DeltaEdge, r.n)
+				err := r.parts[p].readAll(func(pr kv.Pair) error {
+					dk := r.spec.Project(pr.Key)
+					dv := r.stateOrInit(p, dk)
+					return r.mapToEdges(pr.Key, pr.Value, dk, dv, false, local)
+				})
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				for d := range local {
+					edges[d] = append(edges[d], local[d]...)
+				}
+				mu.Unlock()
+				return nil
+			},
+		})
+	}
+	if err := r.runTasks(tasks); err != nil {
+		return fmt.Errorf("core: preserve pass: %w", err)
+	}
+
+	stasks := make([]cluster.Task, 0, r.n)
+	for p := 0; p < r.n; p++ {
+		p := p
+		stasks = append(stasks, cluster.Task{
+			Name:      fmt.Sprintf("%s/j%d-preserve/store-%04d", sanitize(r.spec.Name), r.jobSeq, p),
+			Preferred: p % r.eng.Cluster().NumNodes(),
+			Run: func(tc cluster.TaskContext) error {
+				es := edges[p]
+				sort.Slice(es, func(i, j int) bool {
+					if es[i].Key != es[j].Key {
+						return es[i].Key < es[j].Key
+					}
+					return es[i].MK < es[j].MK
+				})
+				var cur mrbg.Chunk
+				started := false
+				flush := func() error {
+					if !started {
+						return nil
+					}
+					return r.stores[p].Put(cur)
+				}
+				for i, e := range es {
+					if i == 0 || e.Key != cur.Key {
+						if err := flush(); err != nil {
+							return err
+						}
+						cur = mrbg.Chunk{Key: e.Key}
+						started = true
+					}
+					cur.Edges = append(cur.Edges, mrbg.Edge{MK: e.MK, V2: e.V2})
+				}
+				if err := flush(); err != nil {
+					return err
+				}
+				if err := r.stores[p].CommitBatch(); err != nil {
+					return err
+				}
+				return r.stores[p].Checkpoint()
+			},
+		})
+	}
+	if err := r.runTasks(stasks); err != nil {
+		return fmt.Errorf("core: preserve store pass: %w", err)
+	}
+	return nil
+}
+
+// mapToEdges invokes the prime Map for one structure record and
+// collects the emissions as MRBGraph delta edges, partitioned by K2.
+// MKs are occurrence-aware fingerprints of (SK, SV), so re-mapping the
+// same record replaces its previous edges and a deletion cancels them.
+func (r *Runner) mapToEdges(sk, sv, dk, dv string, del bool, out [][]mrbg.DeltaEdge) error {
+	base := kv.Fingerprint(sk, sv)
+	occ := make(map[string]uint32, 4)
+	return r.spec.Map(sk, sv, dk, dv, func(k2, v2 string) {
+		o := occ[k2]
+		occ[k2] = o + 1
+		mk := kv.Mix64(base + uint64(o)*0x9e3779b97f4a7c15)
+		d := kv.Partition(k2, r.n)
+		de := mrbg.DeltaEdge{Key: k2, MK: mk, Delete: del}
+		if !del {
+			de.V2 = v2
+		}
+		out[d] = append(out[d], de)
+	})
+}

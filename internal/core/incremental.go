@@ -1,0 +1,402 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"i2mapreduce/internal/cluster"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/mrbg"
+)
+
+// RunIncremental executes job A_i: refresh the computation from a
+// delta structure input (a DFS delta file of <SK, SV, '+'/'-'>
+// records), starting from the previous job's converged state
+// (Sec. 5.1).
+//
+// Iteration 1's delta input is the delta structure data; from iteration
+// 2 on, the delta input is the delta state data — the kv-pairs whose
+// change exceeded the propagation threshold. Each iteration runs as an
+// incremental one-step job against the preserved MRBGraph. When the
+// changed fraction P_delta exceeds Config.PDeltaThreshold, MRBGraph
+// maintenance turns off and the job falls back to full iterative
+// passes from the current state (Sec. 5.2).
+func (r *Runner) RunIncremental(deltaInput string) (*Result, error) {
+	if !r.initialDone {
+		return nil, errors.New("core: RunIncremental before RunInitial")
+	}
+	r.jobStart = time.Now()
+	r.events = nil
+	r.jobSeq++
+
+	deltas, err := r.eng.FS().ReadAllDeltas(deltaInput)
+	if err != nil {
+		return nil, fmt.Errorf("core: delta input: %w", err)
+	}
+
+	res := &Result{Report: &metrics.Report{}}
+	res.Report.Add("delta.records", int64(len(deltas)))
+
+	// Replicated-state or MRBG-off computations process the delta by
+	// re-running full iterations from the converged state (the paper's
+	// Kmeans path: "it is better to only use iterative processing
+	// engine without using MRBGraph").
+	if !r.mrbgOn {
+		if err := r.applyStructureDelta(deltas); err != nil {
+			return nil, err
+		}
+		if err := r.runFullLoop(res, 1); err != nil {
+			return nil, err
+		}
+		r.finishResult(res)
+		return res, nil
+	}
+
+	// Iteration 1: incremental Map over the delta structure data
+	// produces the delta MRBGraph (insertions for '+', deletion markers
+	// for '-'), exactly Fig. 3's flow.
+	deltaEdges, err := r.mapStructureDelta(deltas, res.Report)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.applyStructureDelta(deltas); err != nil {
+		return nil, err
+	}
+
+	for it := 1; it <= r.cfg.MaxIterations; it++ {
+		stats, props, err := r.runIncrementalIteration(it, deltaEdges)
+		if err != nil {
+			return nil, err
+		}
+		stats.MRBGOn = true
+		res.PerIter = append(res.PerIter, stats)
+		res.Iterations = it
+
+		if r.cfg.Checkpoint {
+			if err := r.checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+
+		total := r.StateKeyCount()
+		if total > 0 && float64(stats.Propagated)/float64(total) > r.cfg.PDeltaThreshold {
+			// P_delta exceeded: MRBGraph maintenance is costing more
+			// than it saves. Turn it off and finish with full passes.
+			r.mrbgOn = false
+			res.MRBGDisabledAt = it
+			res.Report.Add("mrbg.disabled", 1)
+			if err := r.runFullLoop(res, it+1); err != nil {
+				return nil, err
+			}
+			// Re-sync the preserved MRBGraph with the new fixed point
+			// so the next incremental job can use it again.
+			r.mrbgOn = true
+			if err := r.preservePass(); err != nil {
+				return nil, err
+			}
+			r.resetLastEmitted()
+			break
+		}
+
+		if stats.Propagated == 0 {
+			res.Converged = true
+			break
+		}
+		// Iterations >= 2: the delta input is the delta state data.
+		deltaEdges, err = r.mapStateDelta(props, res.Report)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(res.PerIter) > 0 && res.PerIter[len(res.PerIter)-1].Propagated == 0 {
+		res.Converged = true
+	}
+	r.finishResult(res)
+	return res, nil
+}
+
+// runFullLoop iterates full passes until convergence, appending stats.
+func (r *Runner) runFullLoop(res *Result, firstIt int) error {
+	for it := firstIt; it <= firstIt+r.cfg.MaxIterations-1; it++ {
+		stats, err := r.runFullIteration(it)
+		if err != nil {
+			return err
+		}
+		stats.MRBGOn = false
+		res.PerIter = append(res.PerIter, stats)
+		res.Iterations = it
+		if r.cfg.Checkpoint {
+			if err := r.checkpoint(); err != nil {
+				return err
+			}
+		}
+		if stats.Propagated == 0 {
+			res.Converged = true
+			return nil
+		}
+	}
+	return nil
+}
+
+// applyStructureDelta merges the delta into the cached structure
+// partitions and registers state keys for newly appearing DKs.
+func (r *Runner) applyStructureDelta(deltas []kv.Delta) error {
+	project := r.spec.Project
+	if r.spec.ReplicateState {
+		project = nil
+	}
+	byPart := make([][]kv.Delta, r.n)
+	for _, d := range deltas {
+		p := r.partitionOf(d.Key)
+		byPart[p] = append(byPart[p], d)
+	}
+	for p := 0; p < r.n; p++ {
+		if len(byPart[p]) == 0 {
+			continue
+		}
+		sp, err := r.parts[p].applyDelta(byPart[p], project)
+		if err != nil {
+			return err
+		}
+		r.parts[p] = sp
+		if r.spec.ReplicateState {
+			continue
+		}
+		r.mu.Lock()
+		for dk := range sp.spans {
+			if _, ok := r.state[p][dk]; !ok {
+				r.state[p][dk] = r.spec.InitState(dk)
+			}
+		}
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// mapStructureDelta performs the incremental Map over delta structure
+// records: '+' records yield edge insertions, '-' records regenerate
+// and mark their original edges deleted (Sec. 3.3 applied to iteration
+// 1 of an incremental iterative job).
+func (r *Runner) mapStructureDelta(deltas []kv.Delta, rep *metrics.Report) ([][]mrbg.DeltaEdge, error) {
+	start := time.Now()
+	byPart := make([][]kv.Delta, r.n)
+	for _, d := range deltas {
+		byPart[r.partitionOf(d.Key)] = append(byPart[r.partitionOf(d.Key)], d)
+	}
+	edges := make([][]mrbg.DeltaEdge, r.n)
+	var mu sync.Mutex
+	tasks := make([]cluster.Task, 0, r.n)
+	for p := 0; p < r.n; p++ {
+		p := p
+		if len(byPart[p]) == 0 {
+			continue
+		}
+		tasks = append(tasks, cluster.Task{
+			Name:      fmt.Sprintf("%s/j%d-it001/deltamap-%04d", sanitize(r.spec.Name), r.jobSeq, p),
+			Preferred: p % r.eng.Cluster().NumNodes(),
+			Run: func(tc cluster.TaskContext) error {
+				local := make([][]mrbg.DeltaEdge, r.n)
+				for _, d := range byPart[p] {
+					dk := r.spec.Project(d.Key)
+					dv := r.stateOrInit(p, dk)
+					del := d.Op == kv.OpDelete
+					if err := r.mapToEdges(d.Key, d.Value, dk, dv, del, local); err != nil {
+						return err
+					}
+				}
+				mu.Lock()
+				for i := range local {
+					edges[i] = append(edges[i], local[i]...)
+				}
+				mu.Unlock()
+				return nil
+			},
+		})
+	}
+	if err := r.runTasks(tasks); err != nil {
+		return nil, fmt.Errorf("core: delta structure map: %w", err)
+	}
+	var n int64
+	for _, e := range edges {
+		n += int64(len(e))
+	}
+	rep.Add("delta.edges", n)
+	rep.AddStage(metrics.StageMap, time.Since(start))
+	return edges, nil
+}
+
+// propagated carries one iteration's delta state data: the DKs (with
+// their newly propagated values) that feed the next iteration's Map.
+type propagated struct {
+	byPart []map[string]string
+	count  int
+}
+
+// mapStateDelta performs the selective incremental Map for iterations
+// >= 2: only structure records whose projected state key changed are
+// re-mapped, located through the span index rather than a full scan.
+func (r *Runner) mapStateDelta(props *propagated, rep *metrics.Report) ([][]mrbg.DeltaEdge, error) {
+	start := time.Now()
+	edges := make([][]mrbg.DeltaEdge, r.n)
+	var mu sync.Mutex
+	tasks := make([]cluster.Task, 0, r.n)
+	for p := 0; p < r.n; p++ {
+		p := p
+		if len(props.byPart[p]) == 0 {
+			continue
+		}
+		tasks = append(tasks, cluster.Task{
+			Name:      fmt.Sprintf("%s/j%d-statemap-%04d", sanitize(r.spec.Name), r.jobSeq, p),
+			Preferred: p % r.eng.Cluster().NumNodes(),
+			Run: func(tc cluster.TaskContext) error {
+				dks := make([]string, 0, len(props.byPart[p]))
+				for dk := range props.byPart[p] {
+					dks = append(dks, dk)
+				}
+				sort.Strings(dks)
+				local := make([][]mrbg.DeltaEdge, r.n)
+				var recs int64
+				bytesRead, err := r.parts[p].readDKsSorted(dks, func(dk string, pr kv.Pair) error {
+					recs++
+					return r.mapToEdges(pr.Key, pr.Value, dk, props.byPart[p][dk], false, local)
+				})
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				for i := range local {
+					edges[i] = append(edges[i], local[i]...)
+				}
+				mu.Unlock()
+				rep.Add("map.records.in", recs)
+				rep.Add("structure.bytes.read", bytesRead)
+				return nil
+			},
+		})
+	}
+	if err := r.runTasks(tasks); err != nil {
+		return nil, fmt.Errorf("core: delta state map: %w", err)
+	}
+	rep.AddStage(metrics.StageMap, time.Since(start))
+	return edges, nil
+}
+
+// runIncrementalIteration merges one delta MRBGraph into the stores and
+// re-reduces affected K2s, applying change propagation control to
+// decide which updated state kv-pairs feed the next iteration.
+func (r *Runner) runIncrementalIteration(it int, deltaEdges [][]mrbg.DeltaEdge) (IterStats, *propagated, error) {
+	start := time.Now()
+	rep := &metrics.Report{}
+
+	// Shuffle/sort accounting for the delta edges.
+	sortStart := time.Now()
+	var shuffleBytes int64
+	for p := range deltaEdges {
+		sort.SliceStable(deltaEdges[p], func(i, j int) bool { return deltaEdges[p][i].Key < deltaEdges[p][j].Key })
+		for _, d := range deltaEdges[p] {
+			shuffleBytes += int64(len(d.Key) + len(d.V2) + 9)
+		}
+	}
+	rep.Add("shuffle.bytes", shuffleBytes)
+	rep.AddStage(metrics.StageSort, time.Since(sortStart))
+
+	props := &propagated{byPart: make([]map[string]string, r.n)}
+	for p := range props.byPart {
+		props.byPart[p] = make(map[string]string)
+	}
+	thr := r.threshold()
+	var totalProp, totalFilt, totalRemoved int
+	var mu sync.Mutex
+
+	tasks := make([]cluster.Task, 0, r.n)
+	for p := 0; p < r.n; p++ {
+		p := p
+		tasks = append(tasks, cluster.Task{
+			Name:      fmt.Sprintf("%s/j%d-it%03d/reduce-%04d", sanitize(r.spec.Name), r.jobSeq, it, p),
+			Preferred: p % r.eng.Cluster().NumNodes(),
+			Run: func(tc cluster.TaskContext) error {
+				t0 := time.Now()
+				getter := r.stateGetterFor(p)
+				nProp, nFilt, nRem := 0, 0, 0
+				var reduced int64
+				err := r.stores[p].Merge(deltaEdges[p], func(res mrbg.MergeResult) error {
+					if res.Removed {
+						r.mu.Lock()
+						delete(r.state[p], res.Key)
+						delete(r.last[p], res.Key)
+						r.mu.Unlock()
+						nRem++
+						return nil
+					}
+					var newDV string
+					var emitErr error
+					emitted := false
+					err := r.spec.Reduce(res.Key, res.Chunk.Values(), getter, func(dk, dv string) {
+						switch {
+						case emitted:
+							emitErr = fmt.Errorf("core: reduce for %q emitted more than one state update", res.Key)
+						case dk != res.Key:
+							emitErr = fmt.Errorf("core: reduce for %q emitted state key %q; incremental reduce must update its own key", res.Key, dk)
+						default:
+							newDV, emitted = dv, true
+						}
+					})
+					if err != nil {
+						return err
+					}
+					if emitErr != nil {
+						return emitErr
+					}
+					reduced++
+					if !emitted {
+						return nil // reduce chose not to update (e.g. SSSP no improvement)
+					}
+					r.mu.Lock()
+					r.state[p][res.Key] = newDV
+					base, had := r.last[p][res.Key]
+					var diff float64
+					if had {
+						diff = r.spec.Difference(base, newDV)
+					}
+					if !had || diff > thr {
+						r.last[p][res.Key] = newDV
+						props.byPart[p][res.Key] = newDV
+						nProp++
+					} else {
+						nFilt++
+					}
+					r.mu.Unlock()
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				rep.Add("reduce.instances", reduced)
+				rep.AddStage(metrics.StageReduce, time.Since(t0))
+				mu.Lock()
+				totalProp += nProp
+				totalFilt += nFilt
+				totalRemoved += nRem
+				mu.Unlock()
+				return nil
+			},
+		})
+	}
+	if err := r.runTasks(tasks); err != nil {
+		return IterStats{}, nil, fmt.Errorf("core: incremental reduce (iteration %d): %w", it, err)
+	}
+	props.count = totalProp
+
+	return IterStats{
+		Iteration:  it,
+		Propagated: totalProp,
+		Filtered:   totalFilt,
+		Removed:    totalRemoved,
+		Duration:   time.Since(start),
+		Stages:     rep.Snapshot(),
+	}, props, nil
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"i2mapreduce/internal/kv"
+)
+
+func identity(s string) string { return s }
+
+// prefixProject groups structure keys by their first byte — a
+// many-to-one projection like GIM-V's (i,j) -> j.
+func prefixProject(s string) string {
+	if s == "" {
+		return s
+	}
+	return s[:1]
+}
+
+func TestBuildStructPartSpansCoverFile(t *testing.T) {
+	dir := t.TempDir()
+	ps := []kv.Pair{
+		{Key: "b1", Value: "x"},
+		{Key: "a2", Value: "yy"},
+		{Key: "a1", Value: "zzz"},
+		{Key: "c9", Value: ""},
+	}
+	sp, err := buildStructPart(filepath.Join(dir, "part"), ps, prefixProject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.recs != 4 {
+		t.Fatalf("recs = %d", sp.recs)
+	}
+	// Spans must tile the file exactly: sorted by dk, contiguous,
+	// summing to the file length.
+	var total int64
+	for _, dk := range []string{"a", "b", "c"} {
+		s, ok := sp.spans[dk]
+		if !ok {
+			t.Fatalf("no span for %q", dk)
+		}
+		total += s.len
+	}
+	if total != sp.bytes {
+		t.Fatalf("spans cover %d bytes, file has %d", total, sp.bytes)
+	}
+	// Records within a span are exactly those projecting to it.
+	n, err := sp.readDK("a", func(p kv.Pair) error {
+		if prefixProject(p.Key) != "a" {
+			return fmt.Errorf("record %q in span a", p.Key)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != sp.spans["a"].len {
+		t.Fatalf("readDK read %d bytes, span is %d", n, sp.spans["a"].len)
+	}
+}
+
+func TestReadDKMissingIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := buildStructPart(filepath.Join(dir, "part"), []kv.Pair{{Key: "a", Value: "1"}}, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sp.readDK("missing", func(kv.Pair) error {
+		t.Fatal("callback invoked for missing dk")
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("readDK(missing) = %d bytes, err %v", n, err)
+	}
+}
+
+func TestReadDKsSortedSelective(t *testing.T) {
+	dir := t.TempDir()
+	var ps []kv.Pair
+	for i := 0; i < 100; i++ {
+		ps = append(ps, kv.Pair{Key: fmt.Sprintf("k%03d", i), Value: fmt.Sprintf("v%d", i)})
+	}
+	sp, err := buildStructPart(filepath.Join(dir, "part"), ps, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"k005", "k050", "k099"}
+	var got []string
+	n, err := sp.readDKsSorted(want, func(dk string, p kv.Pair) error {
+		if dk != p.Key {
+			return fmt.Errorf("dk %q delivered record %q", dk, p.Key)
+		}
+		got = append(got, p.Key)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("selective read = %v, want %v", got, want)
+	}
+	if n >= sp.bytes {
+		t.Fatalf("selective read touched %d of %d bytes; expected far less", n, sp.bytes)
+	}
+}
+
+func TestApplyDeltaRoundTripProperty(t *testing.T) {
+	// For random record sets and random delete/insert splits, applying
+	// the delta must yield exactly the expected multiset.
+	f := func(seed int64, nByte uint8) bool {
+		dir := t.TempDir()
+		n := int(nByte%20) + 1
+		var ps []kv.Pair
+		for i := 0; i < n; i++ {
+			ps = append(ps, kv.Pair{Key: fmt.Sprintf("k%02d", i), Value: fmt.Sprintf("v%02d", i)})
+		}
+		sp, err := buildStructPart(filepath.Join(dir, fmt.Sprintf("p%d", seed)), ps, identity)
+		if err != nil {
+			return false
+		}
+		// Delete the even records, insert replacements.
+		var ds []kv.Delta
+		expect := map[string]string{}
+		for i, p := range ps {
+			if i%2 == 0 {
+				ds = append(ds, kv.Delta{Key: p.Key, Value: p.Value, Op: kv.OpDelete})
+				ds = append(ds, kv.Delta{Key: p.Key, Value: "new-" + p.Value, Op: kv.OpInsert})
+				expect[p.Key] = "new-" + p.Value
+			} else {
+				expect[p.Key] = p.Value
+			}
+		}
+		sp2, err := sp.applyDelta(ds, identity)
+		if err != nil {
+			return false
+		}
+		got := map[string]string{}
+		if err := sp2.readAll(func(p kv.Pair) error {
+			got[p.Key] = p.Value
+			return nil
+		}); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, expect)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyDeltaChainedWithinBatch(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := buildStructPart(filepath.Join(dir, "p"), []kv.Pair{{Key: "a", Value: "v1"}}, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 -> v2 -> v3 within one batch must net to v3.
+	ds := []kv.Delta{
+		{Key: "a", Value: "v1", Op: kv.OpDelete},
+		{Key: "a", Value: "v2", Op: kv.OpInsert},
+		{Key: "a", Value: "v2", Op: kv.OpDelete},
+		{Key: "a", Value: "v3", Op: kv.OpInsert},
+	}
+	sp2, err := sp.applyDelta(ds, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals []string
+	if err := sp2.readAll(func(p kv.Pair) error { vals = append(vals, p.Value); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vals, []string{"v3"}) {
+		t.Fatalf("chained delta = %v, want [v3]", vals)
+	}
+}
+
+func TestApplyDeltaRejectsMissingDeletion(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := buildStructPart(filepath.Join(dir, "p"), []kv.Pair{{Key: "a", Value: "v1"}}, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.applyDelta([]kv.Delta{{Key: "a", Value: "wrong", Op: kv.OpDelete}}, identity); err == nil {
+		t.Fatal("deletion with mismatched value succeeded")
+	}
+}
+
+func TestAppendPairFrameMatchesCodec(t *testing.T) {
+	// The span index relies on appendPairFrame producing exactly the
+	// bytes kv.Writer writes; divergence would corrupt every selective
+	// read.
+	f := func(k, v string) bool {
+		frame := appendPairFrame(nil, kv.Pair{Key: k, Value: v})
+		var enc frameBuf
+		w := kv.NewWriter(&enc)
+		if err := w.WritePair(kv.Pair{Key: k, Value: v}); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		return string(frame) == string(enc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type frameBuf []byte
+
+func (b *frameBuf) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+func TestReplicateStatePartHasNoSpans(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := buildStructPart(filepath.Join(dir, "p"), []kv.Pair{{Key: "b", Value: "2"}, {Key: "a", Value: "1"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.spans != nil {
+		t.Fatal("nil-project part built a span index")
+	}
+	var keys []string
+	if err := sp.readAll(func(p kv.Pair) error { keys = append(keys, p.Key); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"a", "b"}) {
+		t.Fatalf("records = %v (should be key-sorted)", keys)
+	}
+}

@@ -1,0 +1,268 @@
+// Package datagen generates the synthetic datasets and deltas the
+// benchmark harness uses in place of the paper's ClueWeb / ClueWeb2 /
+// BigCross / WikiTalk / Twitter data (see DESIGN.md "Substitutions").
+// All generators are deterministic under a seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"i2mapreduce/internal/kv"
+)
+
+// zipfRank draws a 1-based rank from an approximate Zipf(s=1)
+// distribution over [1, n] using inverse-CDF sampling on the harmonic
+// series.
+func zipfRank(rng *rand.Rand, n int) int {
+	// H(n) ~ ln(n) + gamma; sample u*H(n) and invert by exponentiation.
+	u := rng.Float64()
+	hn := math.Log(float64(n)) + 0.5772156649
+	return int(math.Exp(u*hn))%n + 1
+}
+
+// Graph generates a ClueWeb-like directed web graph: n vertices whose
+// out-degrees follow a Zipf-flavoured skew with the given mean.
+// Records are <vertex id, space-separated out-neighbour list>.
+func Graph(seed int64, n, meanOutDegree int) []kv.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]kv.Pair, 0, n)
+	for i := 0; i < n; i++ {
+		deg := 1 + rng.Intn(2*meanOutDegree-1) // mean ~= meanOutDegree
+		seen := map[int]bool{i: true}
+		outs := make([]string, 0, deg)
+		for len(outs) < deg && len(seen) < n {
+			// Popular pages attract links: target ids skew low.
+			j := zipfRank(rng, n) - 1
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			outs = append(outs, vertexID(j))
+		}
+		ps = append(ps, kv.Pair{Key: vertexID(i), Value: strings.Join(outs, " ")})
+	}
+	return ps
+}
+
+func vertexID(i int) string { return fmt.Sprintf("v%07d", i) }
+
+// WeightedGraph generates a ClueWeb2-like weighted digraph for SSSP.
+// Records are <vertex id, "to:weight;to:weight;...">; weights follow
+// |N(mean=5, sd=2)| + 0.1, mirroring the paper's gaussian edge weights.
+func WeightedGraph(seed int64, n, meanOutDegree int) []kv.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	base := Graph(seed+1, n, meanOutDegree)
+	out := make([]kv.Pair, len(base))
+	for i, p := range base {
+		var parts []string
+		for _, to := range strings.Fields(p.Value) {
+			w := math.Abs(rng.NormFloat64()*2+5) + 0.1
+			parts = append(parts, fmt.Sprintf("%s:%.3f", to, w))
+		}
+		out[i] = kv.Pair{Key: p.Key, Value: strings.Join(parts, ";")}
+	}
+	return out
+}
+
+// Points generates a BigCross-like point cloud: n points of dims
+// dimensions drawn from k Gaussian clusters. Records are
+// <point id, comma-separated coordinates>.
+func Points(seed int64, n, dims, k int) []kv.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dims)
+		for d := range centers[c] {
+			centers[c][d] = rng.Float64() * 100
+		}
+	}
+	ps := make([]kv.Pair, 0, n)
+	for i := 0; i < n; i++ {
+		c := centers[i%k]
+		coords := make([]string, dims)
+		for d := 0; d < dims; d++ {
+			coords[d] = strconv.FormatFloat(c[d]+rng.NormFloat64()*3, 'g', 8, 64)
+		}
+		ps = append(ps, kv.Pair{Key: fmt.Sprintf("p%07d", i), Value: strings.Join(coords, ",")})
+	}
+	return ps
+}
+
+// InitialCentroids picks k points as the starting centroid set,
+// serialized as "cid=x1,x2|cid=x1,x2|..." for the Kmeans state value.
+func InitialCentroids(seed int64, points []kv.Pair, k int) string {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(points))
+	parts := make([]string, 0, k)
+	for c := 0; c < k && c < len(points); c++ {
+		parts = append(parts, fmt.Sprintf("c%03d=%s", c, points[perm[c]].Value))
+	}
+	return strings.Join(parts, "|")
+}
+
+// BlockMatrix generates a WikiTalk-like sparse matrix for GIM-V,
+// partitioned into nBlocks x nBlocks blocks of blockSize x blockSize,
+// column-substochastic so the damped iteration converges. Records are
+// <"i,j", "r:c:w;...">, one per non-empty block.
+func BlockMatrix(seed int64, nBlocks, blockSize, entriesPerColumn int) []kv.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	n := nBlocks * blockSize
+	blocks := make(map[[2]int][]string)
+	for col := 0; col < n; col++ {
+		bj, c := col/blockSize, col%blockSize
+		k := entriesPerColumn
+		w := 1.0 / float64(k)
+		seen := map[int]bool{}
+		for e := 0; e < k; e++ {
+			row := rng.Intn(n)
+			if seen[row] {
+				continue
+			}
+			seen[row] = true
+			bi, r := row/blockSize, row%blockSize
+			key := [2]int{bi, bj}
+			blocks[key] = append(blocks[key], fmt.Sprintf("%d:%d:%.6f", r, c, w))
+		}
+	}
+	var ps []kv.Pair
+	for key, entries := range blocks {
+		sort.Strings(entries)
+		ps = append(ps, kv.Pair{
+			Key:   fmt.Sprintf("%d,%d", key[0], key[1]),
+			Value: strings.Join(entries, ";"),
+		})
+	}
+	kv.SortPairs(ps)
+	return ps
+}
+
+// InitialVector builds the GIM-V state: one vector block per block id,
+// all components 1.
+func InitialVector(nBlocks, blockSize int) map[string]string {
+	ones := make([]string, blockSize)
+	for i := range ones {
+		ones[i] = "1"
+	}
+	v := strings.Join(ones, ",")
+	out := make(map[string]string, nBlocks)
+	for j := 0; j < nBlocks; j++ {
+		out[strconv.Itoa(j)] = v
+	}
+	return out
+}
+
+// Tweets generates a Twitter-like corpus: n tweets of wordsPerTweet
+// words drawn from a Zipf-skewed vocabulary of vocab words. Records are
+// <tweet id, space-separated words>.
+func Tweets(seed int64, n, vocab, wordsPerTweet int) []kv.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]kv.Pair, 0, n)
+	for i := 0; i < n; i++ {
+		words := make([]string, wordsPerTweet)
+		for w := range words {
+			words[w] = fmt.Sprintf("w%05d", zipfRank(rng, vocab)-1)
+		}
+		ps = append(ps, kv.Pair{Key: fmt.Sprintf("t%08d", i), Value: strings.Join(words, " ")})
+	}
+	return ps
+}
+
+// MutateOptions controls delta generation.
+type MutateOptions struct {
+	// Fraction of existing records to modify (delete+insert pairs).
+	ModifyFraction float64
+	// Fraction of existing records to delete outright.
+	DeleteFraction float64
+	// Fraction of new records to insert, relative to current size.
+	InsertFraction float64
+	// Rewrite produces the modified value for a record; required when
+	// ModifyFraction > 0.
+	Rewrite func(rng *rand.Rand, key, value string) string
+	// NewRecord produces a brand-new record; required when
+	// InsertFraction > 0.
+	NewRecord func(rng *rand.Rand, i int) kv.Pair
+}
+
+// Mutate applies MutateOptions to a dataset, returning the delta (in
+// the i2MapReduce '+'/'-' convention) and the updated dataset. Each
+// record is touched at most once per call, so deltas never chain.
+func Mutate(seed int64, data []kv.Pair, opts MutateOptions) ([]kv.Delta, []kv.Pair) {
+	rng := rand.New(rand.NewSource(seed))
+	var deltas []kv.Delta
+	updated := make([]kv.Pair, 0, len(data))
+	nextNew := 0
+	for _, p := range data {
+		roll := rng.Float64()
+		switch {
+		case roll < opts.DeleteFraction:
+			deltas = append(deltas, kv.Delta{Key: p.Key, Value: p.Value, Op: kv.OpDelete})
+		case roll < opts.DeleteFraction+opts.ModifyFraction:
+			nv := opts.Rewrite(rng, p.Key, p.Value)
+			if nv == p.Value {
+				updated = append(updated, p)
+				continue
+			}
+			deltas = append(deltas, kv.Delta{Key: p.Key, Value: p.Value, Op: kv.OpDelete})
+			deltas = append(deltas, kv.Delta{Key: p.Key, Value: nv, Op: kv.OpInsert})
+			updated = append(updated, kv.Pair{Key: p.Key, Value: nv})
+		default:
+			updated = append(updated, p)
+		}
+	}
+	nInsert := int(float64(len(data)) * opts.InsertFraction)
+	for i := 0; i < nInsert; i++ {
+		rec := opts.NewRecord(rng, nextNew)
+		nextNew++
+		deltas = append(deltas, kv.Delta{Key: rec.Key, Value: rec.Value, Op: kv.OpInsert})
+		updated = append(updated, rec)
+	}
+	return deltas, updated
+}
+
+// RewireGraphValue is a Rewrite for Graph records: it re-targets one
+// random out-edge, preserving degree, never self-linking.
+func RewireGraphValue(n int) func(rng *rand.Rand, key, value string) string {
+	return func(rng *rand.Rand, key, value string) string {
+		outs := strings.Fields(value)
+		if len(outs) == 0 {
+			return value
+		}
+		seen := map[string]bool{key: true}
+		for _, o := range outs {
+			seen[o] = true
+		}
+		for tries := 0; tries < 16; tries++ {
+			cand := vertexID(rng.Intn(n))
+			if !seen[cand] {
+				outs[rng.Intn(len(outs))] = cand
+				break
+			}
+		}
+		return strings.Join(outs, " ")
+	}
+}
+
+// AppendTweets builds the APriori delta: the paper appends the last
+// week of tweets (insert-only, 7.9% of the corpus).
+func AppendTweets(seed int64, existing []kv.Pair, fraction float64, vocab, wordsPerTweet int) []kv.Delta {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(float64(len(existing)) * fraction)
+	deltas := make([]kv.Delta, 0, n)
+	for i := 0; i < n; i++ {
+		words := make([]string, wordsPerTweet)
+		for w := range words {
+			words[w] = fmt.Sprintf("w%05d", zipfRank(rng, vocab)-1)
+		}
+		deltas = append(deltas, kv.Delta{
+			Key:   fmt.Sprintf("t9%07d", i),
+			Value: strings.Join(words, " "),
+			Op:    kv.OpInsert,
+		})
+	}
+	return deltas
+}

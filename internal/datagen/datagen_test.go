@@ -1,0 +1,259 @@
+package datagen
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"i2mapreduce/internal/kv"
+)
+
+func TestGraphDeterministicAndWellFormed(t *testing.T) {
+	a := Graph(42, 100, 3)
+	b := Graph(42, 100, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Graph not deterministic under the same seed")
+	}
+	if len(a) != 100 {
+		t.Fatalf("Graph has %d records, want 100", len(a))
+	}
+	ids := map[string]bool{}
+	for _, p := range a {
+		ids[p.Key] = true
+	}
+	totalOut := 0
+	for _, p := range a {
+		outs := strings.Fields(p.Value)
+		if len(outs) == 0 {
+			t.Fatalf("vertex %s has no out-edges", p.Key)
+		}
+		totalOut += len(outs)
+		seen := map[string]bool{}
+		for _, o := range outs {
+			if o == p.Key {
+				t.Fatalf("vertex %s links to itself", p.Key)
+			}
+			if seen[o] {
+				t.Fatalf("vertex %s has duplicate edge to %s", p.Key, o)
+			}
+			seen[o] = true
+			if !ids[o] {
+				t.Fatalf("vertex %s links to unknown vertex %s", p.Key, o)
+			}
+		}
+	}
+	if avg := float64(totalOut) / 100; avg < 1 || avg > 6 {
+		t.Fatalf("average out-degree %v far from mean 3", avg)
+	}
+}
+
+func TestWeightedGraphParses(t *testing.T) {
+	ps := WeightedGraph(7, 50, 3)
+	if len(ps) != 50 {
+		t.Fatalf("%d records", len(ps))
+	}
+	for _, p := range ps {
+		for _, e := range strings.Split(p.Value, ";") {
+			_, w, ok := strings.Cut(e, ":")
+			if !ok {
+				t.Fatalf("malformed edge %q", e)
+			}
+			if !strings.ContainsAny(w, "0123456789") {
+				t.Fatalf("edge weight %q not numeric", w)
+			}
+		}
+	}
+}
+
+func TestPointsAndCentroids(t *testing.T) {
+	ps := Points(9, 200, 5, 4)
+	if len(ps) != 200 {
+		t.Fatalf("%d points", len(ps))
+	}
+	for _, p := range ps {
+		if got := len(strings.Split(p.Value, ",")); got != 5 {
+			t.Fatalf("point %s has %d dims, want 5", p.Key, got)
+		}
+	}
+	init := InitialCentroids(9, ps, 4)
+	if got := len(strings.Split(init, "|")); got != 4 {
+		t.Fatalf("%d centroids, want 4", got)
+	}
+}
+
+func TestBlockMatrixColumnsSubstochastic(t *testing.T) {
+	const nBlocks, blockSize = 3, 4
+	ps := BlockMatrix(11, nBlocks, blockSize, 2)
+	colSums := map[int]float64{}
+	for _, p := range ps {
+		var bi, bj int
+		if _, err := sscanf2(p.Key, &bi, &bj); err != nil {
+			t.Fatalf("bad block key %q", p.Key)
+		}
+		for _, e := range strings.Split(p.Value, ";") {
+			parts := strings.SplitN(e, ":", 3)
+			if len(parts) != 3 {
+				t.Fatalf("bad entry %q", e)
+			}
+			var c int
+			var w float64
+			if _, err := sscanfInt(parts[1], &c); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sscanfFloat(parts[2], &w); err != nil {
+				t.Fatal(err)
+			}
+			colSums[bj*blockSize+c] += w
+		}
+	}
+	for col, sum := range colSums {
+		if sum > 1.0001 {
+			t.Fatalf("column %d sums to %v > 1 (not substochastic)", col, sum)
+		}
+	}
+}
+
+func TestTweetsVocabulary(t *testing.T) {
+	ps := Tweets(13, 100, 20, 5)
+	if len(ps) != 100 {
+		t.Fatalf("%d tweets", len(ps))
+	}
+	for _, p := range ps {
+		words := strings.Fields(p.Value)
+		if len(words) != 5 {
+			t.Fatalf("tweet %s has %d words", p.Key, len(words))
+		}
+		for _, w := range words {
+			if !strings.HasPrefix(w, "w") {
+				t.Fatalf("unexpected word %q", w)
+			}
+		}
+	}
+}
+
+func TestMutateConsistency(t *testing.T) {
+	data := Graph(21, 80, 3)
+	deltas, updated := Mutate(5, data, MutateOptions{
+		ModifyFraction: 0.2,
+		DeleteFraction: 0.05,
+		InsertFraction: 0.05,
+		Rewrite:        RewireGraphValue(80),
+		NewRecord: func(rng *rand.Rand, i int) kv.Pair {
+			return kv.Pair{Key: "new" + string(rune('a'+i%26)) + string(rune('0'+i/26)), Value: "v0000001"}
+		},
+	})
+	if len(deltas) == 0 {
+		t.Fatal("no deltas generated")
+	}
+	// Applying the delta to the original must produce `updated`.
+	type rec struct{ k, v string }
+	set := map[rec]int{}
+	for _, p := range data {
+		set[rec{p.Key, p.Value}]++
+	}
+	for _, d := range deltas {
+		r := rec{d.Key, d.Value}
+		if d.Op == kv.OpDelete {
+			if set[r] == 0 {
+				t.Fatalf("delta deletes %v which is not present", r)
+			}
+			set[r]--
+		} else {
+			set[r]++
+		}
+	}
+	for _, p := range updated {
+		r := rec{p.Key, p.Value}
+		if set[r] == 0 {
+			t.Fatalf("updated record %v not in applied set", r)
+		}
+		set[r]--
+	}
+	for r, n := range set {
+		if n != 0 {
+			t.Fatalf("applied set has leftover %v x%d", r, n)
+		}
+	}
+}
+
+func TestAppendTweetsInsertOnly(t *testing.T) {
+	base := Tweets(1, 200, 30, 4)
+	deltas := AppendTweets(2, base, 0.079, 30, 4)
+	if len(deltas) != 15 { // 7.9% of 200
+		t.Fatalf("%d delta tweets, want 15", len(deltas))
+	}
+	for _, d := range deltas {
+		if d.Op != kv.OpInsert {
+			t.Fatalf("AppendTweets produced a %v record", d.Op)
+		}
+	}
+}
+
+// tiny scanf helpers to avoid fmt.Sscanf error-prone usage in tests
+func sscanf2(s string, a, b *int) (int, error) {
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		return 0, errBad(s)
+	}
+	if _, err := sscanfInt(parts[0], a); err != nil {
+		return 0, err
+	}
+	if _, err := sscanfInt(parts[1], b); err != nil {
+		return 1, err
+	}
+	return 2, nil
+}
+
+func sscanfInt(s string, out *int) (int, error) {
+	n := 0
+	neg := false
+	i := 0
+	if i < len(s) && s[i] == '-' {
+		neg = true
+		i++
+	}
+	if i >= len(s) {
+		return 0, errBad(s)
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, errBad(s)
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	if neg {
+		n = -n
+	}
+	*out = n
+	return 1, nil
+}
+
+func sscanfFloat(s string, out *float64) (int, error) {
+	var f float64
+	var frac float64 = 0
+	div := 1.0
+	seenDot := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '.':
+			seenDot = true
+		case c >= '0' && c <= '9':
+			if seenDot {
+				div *= 10
+				frac += float64(c-'0') / div
+			} else {
+				f = f*10 + float64(c-'0')
+			}
+		default:
+			return 0, errBad(s)
+		}
+	}
+	*out = f + frac
+	return 1, nil
+}
+
+type errBad string
+
+func (e errBad) Error() string { return "bad number: " + string(e) }

@@ -1,0 +1,424 @@
+// Package dfs implements the simulated distributed file system that
+// plays HDFS's role in this reproduction. Files are sequences of
+// fixed-capacity blocks stored as real files on local disk; each block
+// carries a (simulated) placement across cluster nodes that the
+// MapReduce engine uses for data-local task assignment, mirroring
+// "the JobTracker starts a Map task per data block, and typically
+// assigns it to the TaskTracker on the machine that holds the block"
+// (paper Sec. 2).
+//
+// Blocks split at record boundaries, never inside a record, so every
+// block is independently decodable — exactly the property map tasks
+// rely on.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"i2mapreduce/internal/kv"
+)
+
+// DefaultBlockSize is the block capacity used when Config.BlockSize is
+// zero. It is deliberately small (1 MiB, vs HDFS's 64 MB) so laptop-
+// scale datasets still split into enough blocks to exercise multi-task
+// map phases.
+const DefaultBlockSize = 1 << 20
+
+// Config configures a file system instance.
+type Config struct {
+	// Root is the on-disk directory backing the DFS. It is created if
+	// missing.
+	Root string
+	// BlockSize is the capacity in bytes at which a writer seals the
+	// current block and opens the next one. Defaults to
+	// DefaultBlockSize.
+	BlockSize int64
+	// Nodes is the number of simulated cluster nodes blocks are placed
+	// on (round-robin with replication). Defaults to 1.
+	Nodes int
+	// Replication is the number of nodes each block is placed on.
+	// Defaults to 1 and is capped at Nodes.
+	Replication int
+}
+
+// BlockInfo describes one block of a file.
+type BlockInfo struct {
+	// Index is the block's position within the file.
+	Index int
+	// Bytes is the encoded size of the block on disk.
+	Bytes int64
+	// Records is the number of records in the block.
+	Records int64
+	// Nodes lists the simulated nodes holding a replica, primary first.
+	Nodes []int
+}
+
+// FileInfo describes a DFS file.
+type FileInfo struct {
+	Path    string
+	Blocks  []BlockInfo
+	Bytes   int64
+	Records int64
+}
+
+// ErrNotExist reports a lookup of a path with no committed file.
+var ErrNotExist = errors.New("dfs: file does not exist")
+
+// FS is a simulated distributed file system. All methods are safe for
+// concurrent use.
+type FS struct {
+	cfg   Config
+	mu    sync.Mutex
+	files map[string]*FileInfo
+	next  int // round-robin placement cursor
+}
+
+// New creates (or reopens an empty view over) the DFS rooted at
+// cfg.Root.
+func New(cfg Config) (*FS, error) {
+	if cfg.Root == "" {
+		return nil, errors.New("dfs: Config.Root is required")
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication > cfg.Nodes {
+		cfg.Replication = cfg.Nodes
+	}
+	if err := os.MkdirAll(cfg.Root, 0o755); err != nil {
+		return nil, fmt.Errorf("dfs: creating root: %w", err)
+	}
+	return &FS{cfg: cfg, files: make(map[string]*FileInfo)}, nil
+}
+
+// BlockSize returns the configured block capacity.
+func (fs *FS) BlockSize() int64 { return fs.cfg.BlockSize }
+
+// encodePath maps a DFS path to a directory name under Root. Slashes
+// are flattened so nested DFS paths do not create nested directories.
+func (fs *FS) encodePath(path string) string {
+	enc := strings.NewReplacer("/", "__", "\\", "__").Replace(path)
+	return filepath.Join(fs.cfg.Root, enc)
+}
+
+func (fs *FS) blockPath(path string, idx int) string {
+	return filepath.Join(fs.encodePath(path), fmt.Sprintf("block-%05d", idx))
+}
+
+// placement returns the replica node list for the next block.
+func (fs *FS) placement() []int {
+	nodes := make([]int, 0, fs.cfg.Replication)
+	for i := 0; i < fs.cfg.Replication; i++ {
+		nodes = append(nodes, (fs.next+i)%fs.cfg.Nodes)
+	}
+	fs.next = (fs.next + 1) % fs.cfg.Nodes
+	return nodes
+}
+
+// Writer writes one DFS file as a sequence of blocks. It is not safe
+// for concurrent use. Close commits the file; abandoning a writer
+// without Close leaves no visible file.
+type Writer struct {
+	fs      *FS
+	path    string
+	info    FileInfo
+	cur     *os.File
+	enc     *kv.Writer
+	curIdx  int
+	curRecs int64
+	closed  bool
+}
+
+// Create opens a writer for path, replacing any existing file on
+// commit. The replacement is atomic with respect to readers resolving
+// paths through this FS instance: Stat/Open see the old file until
+// Close succeeds.
+func (fs *FS) Create(path string) (*Writer, error) {
+	if path == "" {
+		return nil, errors.New("dfs: empty path")
+	}
+	dir := fs.encodePath(path) + ".tmp"
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("dfs: clearing temp dir: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dfs: creating temp dir: %w", err)
+	}
+	return &Writer{fs: fs, path: path, info: FileInfo{Path: path}}, nil
+}
+
+func (w *Writer) tmpBlockPath(idx int) string {
+	return filepath.Join(w.fs.encodePath(w.path)+".tmp", fmt.Sprintf("block-%05d", idx))
+}
+
+func (w *Writer) openBlock() error {
+	f, err := os.Create(w.tmpBlockPath(w.curIdx))
+	if err != nil {
+		return fmt.Errorf("dfs: creating block: %w", err)
+	}
+	w.cur = f
+	w.enc = kv.NewWriter(f)
+	w.curRecs = 0
+	return nil
+}
+
+func (w *Writer) sealBlock() error {
+	if w.cur == nil {
+		return nil
+	}
+	if err := w.enc.Flush(); err != nil {
+		return err
+	}
+	if err := w.cur.Close(); err != nil {
+		return err
+	}
+	w.fs.mu.Lock()
+	nodes := w.fs.placement()
+	w.fs.mu.Unlock()
+	w.info.Blocks = append(w.info.Blocks, BlockInfo{
+		Index:   w.curIdx,
+		Bytes:   w.enc.Bytes,
+		Records: w.curRecs,
+		Nodes:   nodes,
+	})
+	w.info.Bytes += w.enc.Bytes
+	w.info.Records += w.curRecs
+	w.cur, w.enc = nil, nil
+	w.curIdx++
+	return nil
+}
+
+func (w *Writer) maybeRoll() error {
+	if w.cur == nil {
+		return w.openBlock()
+	}
+	if w.enc.Bytes >= w.fs.cfg.BlockSize {
+		if err := w.sealBlock(); err != nil {
+			return err
+		}
+		return w.openBlock()
+	}
+	return nil
+}
+
+// WritePair appends one pair record, rolling to a new block when the
+// current one is at capacity.
+func (w *Writer) WritePair(p kv.Pair) error {
+	if w.closed {
+		return errors.New("dfs: write on closed writer")
+	}
+	if err := w.maybeRoll(); err != nil {
+		return err
+	}
+	if err := w.enc.WritePair(p); err != nil {
+		return err
+	}
+	w.curRecs++
+	return nil
+}
+
+// WriteDelta appends one delta record.
+func (w *Writer) WriteDelta(d kv.Delta) error {
+	if w.closed {
+		return errors.New("dfs: write on closed writer")
+	}
+	if err := w.maybeRoll(); err != nil {
+		return err
+	}
+	if err := w.enc.WriteDelta(d); err != nil {
+		return err
+	}
+	w.curRecs++
+	return nil
+}
+
+// Close seals the final block and atomically commits the file. A file
+// written with zero records commits as an empty file with no blocks.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.sealBlock(); err != nil {
+		return err
+	}
+	final := w.fs.encodePath(w.path)
+	if err := os.RemoveAll(final); err != nil {
+		return fmt.Errorf("dfs: removing old file: %w", err)
+	}
+	if err := os.Rename(final+".tmp", final); err != nil {
+		return fmt.Errorf("dfs: committing file: %w", err)
+	}
+	w.fs.mu.Lock()
+	w.fs.files[w.path] = &w.info
+	w.fs.mu.Unlock()
+	return nil
+}
+
+// Stat returns metadata for path.
+func (fs *FS) Stat(path string) (FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fi, ok := fs.files[path]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return *fi, nil
+}
+
+// List returns all committed paths in sorted order.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a file and its blocks. Deleting a missing file is an
+// error so callers notice typo'd paths.
+func (fs *FS) Delete(path string) error {
+	fs.mu.Lock()
+	_, ok := fs.files[path]
+	delete(fs.files, path)
+	fs.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return os.RemoveAll(fs.encodePath(path))
+}
+
+// OpenBlock returns a record reader over one block of path.
+func (fs *FS) OpenBlock(path string, idx int) (*BlockReader, error) {
+	fi, err := fs.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= len(fi.Blocks) {
+		return nil, fmt.Errorf("dfs: %s has no block %d", path, idx)
+	}
+	f, err := os.Open(fs.blockPath(path, idx))
+	if err != nil {
+		return nil, fmt.Errorf("dfs: opening block: %w", err)
+	}
+	return &BlockReader{f: f, dec: kv.NewReader(f)}, nil
+}
+
+// BlockReader reads the records of one block.
+type BlockReader struct {
+	f   *os.File
+	dec *kv.Reader
+}
+
+// ReadPair returns the next pair record (io.EOF at end of block).
+func (b *BlockReader) ReadPair() (kv.Pair, error) { return b.dec.ReadPair() }
+
+// ReadDelta returns the next delta record (io.EOF at end of block).
+func (b *BlockReader) ReadDelta() (kv.Delta, error) { return b.dec.ReadDelta() }
+
+// Close releases the underlying file.
+func (b *BlockReader) Close() error { return b.f.Close() }
+
+// ReadAllPairs reads every pair record of path across all blocks.
+func (fs *FS) ReadAllPairs(path string) ([]kv.Pair, error) {
+	fi, err := fs.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []kv.Pair
+	for i := range fi.Blocks {
+		br, err := fs.OpenBlock(path, i)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			p, err := br.ReadPair()
+			if err != nil {
+				if err == io.EOF {
+					break
+				}
+				br.Close()
+				return nil, err
+			}
+			out = append(out, p)
+		}
+		if err := br.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ReadAllDeltas reads every delta record of path across all blocks.
+func (fs *FS) ReadAllDeltas(path string) ([]kv.Delta, error) {
+	fi, err := fs.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []kv.Delta
+	for i := range fi.Blocks {
+		br, err := fs.OpenBlock(path, i)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			d, err := br.ReadDelta()
+			if err != nil {
+				if err == io.EOF {
+					break
+				}
+				br.Close()
+				return nil, err
+			}
+			out = append(out, d)
+		}
+		if err := br.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WriteAllPairs creates path holding exactly ps.
+func (fs *FS) WriteAllPairs(path string, ps []kv.Pair) error {
+	w, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, p := range ps {
+		if err := w.WritePair(p); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// WriteAllDeltas creates path holding exactly ds.
+func (fs *FS) WriteAllDeltas(path string, ds []kv.Delta) error {
+	w, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, d := range ds {
+		if err := w.WriteDelta(d); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -1,0 +1,299 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"i2mapreduce/internal/kv"
+)
+
+func newFS(t *testing.T, cfg Config) *FS {
+	t.Helper()
+	if cfg.Root == "" {
+		cfg.Root = t.TempDir()
+	}
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestNewRequiresRoot(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without root succeeded")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	fs := newFS(t, Config{Replication: 9})
+	if fs.BlockSize() != DefaultBlockSize {
+		t.Fatalf("BlockSize = %d", fs.BlockSize())
+	}
+	// Replication capped at Nodes (1).
+	if fs.cfg.Replication != 1 {
+		t.Fatalf("Replication = %d, want 1", fs.cfg.Replication)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := newFS(t, Config{})
+	want := []kv.Pair{{Key: "a", Value: "1"}, {Key: "b", Value: "2"}, {Key: "c", Value: "3"}}
+	if err := fs.WriteAllPairs("data", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAllPairs("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip = %v, want %v", got, want)
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	fs := newFS(t, Config{})
+	want := []kv.Delta{
+		{Key: "a", Value: "1", Op: kv.OpInsert},
+		{Key: "b", Value: "2", Op: kv.OpDelete},
+	}
+	if err := fs.WriteAllDeltas("delta", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAllDeltas("delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip = %v, want %v", got, want)
+	}
+}
+
+func TestBlockSplittingAtRecordBoundaries(t *testing.T) {
+	fs := newFS(t, Config{BlockSize: 64, Nodes: 3})
+	var want []kv.Pair
+	for i := 0; i < 100; i++ {
+		want = append(want, kv.Pair{Key: fmt.Sprintf("key-%03d", i), Value: "value"})
+	}
+	if err := fs.WriteAllPairs("big", want); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fs.Stat("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fi.Blocks) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(fi.Blocks))
+	}
+	if fi.Records != 100 {
+		t.Fatalf("Records = %d", fi.Records)
+	}
+	// Every block independently decodable and in order.
+	var got []kv.Pair
+	var total int64
+	for i, b := range fi.Blocks {
+		if b.Index != i {
+			t.Fatalf("block %d has Index %d", i, b.Index)
+		}
+		br, err := fs.OpenBlock("big", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int64(0)
+		for {
+			p, err := br.ReadPair()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, p)
+			n++
+		}
+		br.Close()
+		if n != b.Records {
+			t.Fatalf("block %d decoded %d records, metadata says %d", i, n, b.Records)
+		}
+		total += n
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("concatenated blocks differ from written records")
+	}
+	if total != fi.Records {
+		t.Fatalf("blocks total %d records, file says %d", total, fi.Records)
+	}
+}
+
+func TestPlacementRoundRobinWithReplication(t *testing.T) {
+	fs := newFS(t, Config{BlockSize: 32, Nodes: 4, Replication: 2})
+	var ps []kv.Pair
+	for i := 0; i < 40; i++ {
+		ps = append(ps, kv.Pair{Key: fmt.Sprintf("k%02d", i), Value: "vvvvvvvv"})
+	}
+	if err := fs.WriteAllPairs("f", ps); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fs.Stat("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, b := range fi.Blocks {
+		if len(b.Nodes) != 2 {
+			t.Fatalf("block %d has %d replicas", b.Index, len(b.Nodes))
+		}
+		for _, n := range b.Nodes {
+			if n < 0 || n >= 4 {
+				t.Fatalf("replica node %d out of range", n)
+			}
+			seen[n] = true
+		}
+		if b.Nodes[0] == b.Nodes[1] {
+			t.Fatalf("block %d replicas on same node", b.Index)
+		}
+	}
+	if len(fi.Blocks) >= 4 && len(seen) < 4 {
+		t.Errorf("placement used %d of 4 nodes over %d blocks", len(seen), len(fi.Blocks))
+	}
+}
+
+func TestStatMissing(t *testing.T) {
+	fs := newFS(t, Config{})
+	if _, err := fs.Stat("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Stat(missing) = %v, want ErrNotExist", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := newFS(t, Config{})
+	if err := fs.WriteAllPairs("gone", []kv.Pair{{Key: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("gone"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("file still visible after delete")
+	}
+	if err := fs.Delete("gone"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double delete = %v, want ErrNotExist", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := newFS(t, Config{})
+	for _, p := range []string{"b", "a", "c"} {
+		if err := fs.WriteAllPairs(p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fs.List()
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestOverwriteReplacesContent(t *testing.T) {
+	fs := newFS(t, Config{})
+	if err := fs.WriteAllPairs("f", []kv.Pair{{Key: "old"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteAllPairs("f", []kv.Pair{{Key: "new1"}, {Key: "new2"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAllPairs("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Key != "new1" {
+		t.Fatalf("after overwrite = %v", got)
+	}
+}
+
+func TestAbandonedWriterInvisible(t *testing.T) {
+	fs := newFS(t, Config{})
+	w, err := fs.Create("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePair(kv.Pair{Key: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// Never closed: file must not be visible.
+	if _, err := fs.Stat("ghost"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("abandoned writer produced a visible file")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	fs := newFS(t, Config{})
+	w, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePair(kv.Pair{Key: "x"}); err == nil {
+		t.Fatal("WritePair after Close succeeded")
+	}
+	if err := w.WriteDelta(kv.Delta{Key: "x", Op: kv.OpInsert}); err == nil {
+		t.Fatal("WriteDelta after Close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double Close = %v", err)
+	}
+}
+
+func TestEmptyFileCommits(t *testing.T) {
+	fs := newFS(t, Config{})
+	if err := fs.WriteAllPairs("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fs.Stat("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fi.Blocks) != 0 || fi.Records != 0 {
+		t.Fatalf("empty file metadata = %+v", fi)
+	}
+	got, err := fs.ReadAllPairs("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty file read = %v", got)
+	}
+}
+
+func TestOpenBlockOutOfRange(t *testing.T) {
+	fs := newFS(t, Config{})
+	if err := fs.WriteAllPairs("f", []kv.Pair{{Key: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.OpenBlock("f", 5); err == nil {
+		t.Fatal("OpenBlock(5) on 1-block file succeeded")
+	}
+	if _, err := fs.OpenBlock("f", -1); err == nil {
+		t.Fatal("OpenBlock(-1) succeeded")
+	}
+}
+
+func TestPathEncodingKeepsSlashesFlat(t *testing.T) {
+	fs := newFS(t, Config{})
+	if err := fs.WriteAllPairs("dir/sub/file", []kv.Pair{{Key: "k"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAllPairs("dir/sub/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key != "k" {
+		t.Fatalf("nested path read = %v", got)
+	}
+}

@@ -1,0 +1,601 @@
+// Package incr implements fine-grain incremental processing for
+// one-step MapReduce computation (paper Sec. 3).
+//
+// A Runner owns one logical computation across a sequence of input
+// versions. RunInitial executes a normal MapReduce job while preserving
+// the MRBGraph — each reduce task transfers the globally unique Map key
+// MK through the shuffle and saves its (K2, MK, V2) edges into a
+// per-task MRBG-Store. RunDelta then refreshes the results from a delta
+// input: it invokes Map only on inserted/deleted records, turns the
+// outputs into a delta MRBGraph, merges it with the preserved states,
+// and re-invokes Reduce only for affected K2s.
+//
+// The accumulator-Reduce optimization (Sec. 3.5) is supported: when the
+// job declares an Accumulate function and deltas contain only
+// insertions, no MRBGraph is preserved at all — only the final
+// <K3, V3> outputs, which the accumulator updates in place.
+package incr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"i2mapreduce/internal/cluster"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/mr"
+	"i2mapreduce/internal/mrbg"
+)
+
+// Job describes an incrementally refreshable one-step computation.
+type Job struct {
+	// Name labels store directories and task names.
+	Name string
+	// Mapper and Reducer carry exactly the vanilla MapReduce
+	// semantics; the engine wraps them for state preservation.
+	Mapper  mr.Mapper
+	Reducer mr.Reducer
+	// NumReducers defaults to the cluster node count.
+	NumReducers int
+	// Accumulate, when non-nil, declares the Reduce an accumulator
+	// (paper Sec. 3.5): Reduce output values for the same K3 combine
+	// with ⊕ = Accumulate. Deltas must then contain only insertions,
+	// and the engine preserves only Reduce outputs, not the MRBGraph.
+	Accumulate func(old, new string) string
+	// StoreOpts templates the per-partition MRBG-Store options
+	// (Dir is filled in per partition).
+	StoreOpts mrbg.Options
+}
+
+// Runner executes and refreshes one Job.
+type Runner struct {
+	eng    *mr.Engine
+	job    Job
+	stores []*mrbg.Store
+	// outputs[r] maps a reduce input key K2 to the output pairs its
+	// Reduce call emitted; replacing a K2's group replaces exactly
+	// those outputs. For accumulator jobs outputs[r] maps K3 to a
+	// single accumulated pair.
+	outputs []map[string][]kv.Pair
+	initial bool
+	mu      sync.Mutex
+}
+
+// NewRunner prepares a runner; per-partition MRBG-Stores are created
+// under the node scratch dir of the node that will host each reduce
+// task (co-location, as the paper preserves states at the reduce side).
+func NewRunner(eng *mr.Engine, job Job) (*Runner, error) {
+	if job.Name == "" {
+		return nil, errors.New("incr: job requires a Name")
+	}
+	if job.Mapper == nil || job.Reducer == nil {
+		return nil, errors.New("incr: job requires Mapper and Reducer")
+	}
+	if job.NumReducers <= 0 {
+		job.NumReducers = eng.Cluster().NumNodes()
+	}
+	r := &Runner{
+		eng:     eng,
+		job:     job,
+		outputs: make([]map[string][]kv.Pair, job.NumReducers),
+	}
+	for i := range r.outputs {
+		r.outputs[i] = make(map[string][]kv.Pair)
+	}
+	if job.Accumulate == nil {
+		for p := 0; p < job.NumReducers; p++ {
+			node := eng.Cluster().NodeByID(p % eng.Cluster().NumNodes())
+			opts := job.StoreOpts
+			opts.Dir = filepath.Join(node.ScratchDir, "mrbg", sanitize(job.Name), fmt.Sprintf("part-%04d", p))
+			st, err := mrbg.Open(opts)
+			if err != nil {
+				return nil, fmt.Errorf("incr: opening store %d: %w", p, err)
+			}
+			r.stores = append(r.stores, st)
+		}
+	}
+	return r, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			return c
+		}
+		return '_'
+	}, s)
+}
+
+// Close releases the per-partition stores.
+func (r *Runner) Close() error {
+	var first error
+	for _, s := range r.stores {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stores exposes the per-partition MRBG-Stores (nil for accumulator
+// jobs); the Table 4 harness reads their statistics.
+func (r *Runner) Stores() []*mrbg.Store { return r.stores }
+
+// mkFor derives the globally unique Map key for the occ-th value a Map
+// instance emits to one K2. The paper treats (K2, MK) as a unique edge
+// id; a Map call that emits several values to the same K2 (WordCount
+// emitting the same word twice from one line) would collide, so the
+// occurrence index is folded in. The derivation depends only on the
+// input record and the Map function's deterministic emission order, so
+// a delta deletion regenerates exactly the MKs of the original run.
+func mkFor(base uint64, occ uint32) uint64 {
+	return kv.Mix64(base + uint64(occ)*0x9e3779b97f4a7c15)
+}
+
+// occTracker numbers repeated emissions to the same K2 within one Map
+// call.
+type occTracker map[string]uint32
+
+func (o occTracker) next(k2 string) uint32 {
+	n := o[k2]
+	o[k2] = n + 1
+	return n
+}
+
+// encodeMKV packs (MK, V2) into a shuffle value so the engine can
+// transfer MK alongside V2 (paper Sec. 3.3: "the engine transfers the
+// globally unique MK along with <K2,V2> during the shuffle phase").
+// The fixed-width hex MK keeps values of one K2 sorted by MK.
+func encodeMKV(mk uint64, v2 string) string {
+	return fmt.Sprintf("%016x:%s", mk, v2)
+}
+
+// decodeMKV unpacks a shuffle value produced by encodeMKV.
+func decodeMKV(s string) (uint64, string, error) {
+	if len(s) < 17 || s[16] != ':' {
+		return 0, "", fmt.Errorf("incr: malformed MK-tagged value %q", s)
+	}
+	mk, err := strconv.ParseUint(s[:16], 16, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("incr: malformed MK in %q: %v", s, err)
+	}
+	return mk, s[17:], nil
+}
+
+// RunInitial executes the full computation on input (a DFS pair file),
+// preserves state, and writes outputs under the output path prefix.
+func (r *Runner) RunInitial(input, output string) (*metrics.Report, error) {
+	if r.initial {
+		return nil, errors.New("incr: RunInitial called twice; use RunDelta for refreshes")
+	}
+
+	var rep *metrics.Report
+	var err error
+	if r.job.Accumulate != nil {
+		rep, err = r.runInitialAccumulator(input, output)
+	} else {
+		rep, err = r.runInitialFineGrain(input, output)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.initial = true
+	return rep, nil
+}
+
+// runInitialFineGrain runs a normal MapReduce job with MK-tagged
+// intermediate values, capturing chunks into the MRBG-Stores.
+func (r *Runner) runInitialFineGrain(input, output string) (*metrics.Report, error) {
+	userMap := r.job.Mapper
+	wrappedMapper := mr.MapperFunc(func(k1, v1 string, emit mr.Emit) error {
+		base := kv.Fingerprint(k1, v1)
+		occ := occTracker{}
+		return userMap.Map(k1, v1, func(k2, v2 string) {
+			emit(k2, encodeMKV(mkFor(base, occ.next(k2)), v2))
+		})
+	})
+
+	job := mr.Job{
+		Name:        r.job.Name + "-initial",
+		Input:       input,
+		Output:      output,
+		Mapper:      wrappedMapper,
+		NumReducers: r.job.NumReducers,
+		ReducerFactory: func(p int) mr.Reducer {
+			return mr.ReducerFunc(func(k2 string, tagged []string, emit mr.Emit) error {
+				chunk := mrbg.Chunk{Key: k2}
+				for _, tv := range tagged {
+					mk, v2, err := decodeMKV(tv)
+					if err != nil {
+						return err
+					}
+					chunk.Edges = append(chunk.Edges, mrbg.Edge{MK: mk, V2: v2})
+				}
+				// Values arrive MK-sorted per map-task run but only
+				// key-merged across runs; restore the store's global
+				// MK order and derive the Reduce value list from it so
+				// re-reduction after a merge sees the same ordering.
+				sort.Slice(chunk.Edges, func(i, j int) bool { return chunk.Edges[i].MK < chunk.Edges[j].MK })
+				vals := chunk.Values()
+				if err := r.stores[p].Put(chunk); err != nil {
+					return err
+				}
+				var outs []kv.Pair
+				err := r.job.Reducer.Reduce(k2, vals, func(k3, v3 string) {
+					outs = append(outs, kv.Pair{Key: k3, Value: v3})
+					emit(k3, v3)
+				})
+				if err != nil {
+					return err
+				}
+				r.mu.Lock()
+				r.outputs[p][k2] = outs
+				r.mu.Unlock()
+				return nil
+			})
+		},
+	}
+	rep, err := r.eng.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range r.stores {
+		if err := s.CommitBatch(); err != nil {
+			return nil, err
+		}
+		if err := s.Checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// runInitialAccumulator runs a plain job and preserves only outputs.
+func (r *Runner) runInitialAccumulator(input, output string) (*metrics.Report, error) {
+	job := mr.Job{
+		Name:        r.job.Name + "-initial",
+		Input:       input,
+		Output:      output,
+		Mapper:      r.job.Mapper,
+		NumReducers: r.job.NumReducers,
+		ReducerFactory: func(p int) mr.Reducer {
+			return mr.ReducerFunc(func(k2 string, vals []string, emit mr.Emit) error {
+				var outs []kv.Pair
+				err := r.job.Reducer.Reduce(k2, vals, func(k3, v3 string) {
+					outs = append(outs, kv.Pair{Key: k3, Value: v3})
+					emit(k3, v3)
+				})
+				if err != nil {
+					return err
+				}
+				r.mu.Lock()
+				for _, o := range outs {
+					r.outputs[p][o.Key] = []kv.Pair{o}
+				}
+				r.mu.Unlock()
+				return nil
+			})
+		},
+	}
+	return r.eng.Run(job)
+}
+
+// RunDelta refreshes the computation from a delta input (a DFS delta
+// file with '+'/'-' records) and writes the full refreshed outputs
+// under the output path prefix.
+func (r *Runner) RunDelta(deltaInput, output string) (*metrics.Report, error) {
+	if !r.initial {
+		return nil, errors.New("incr: RunDelta before RunInitial")
+	}
+	if r.job.Accumulate != nil {
+		return r.runDeltaAccumulator(deltaInput, output)
+	}
+	return r.runDeltaFineGrain(deltaInput, output)
+}
+
+// mapDelta runs the incremental Map computation: Map is invoked for
+// every delta record, and the emitted edges are partitioned by K2 into
+// per-partition delta MRBGraphs (paper Sec. 3.3, "Incremental Map
+// Computation to Obtain the Delta MRBGraph").
+func (r *Runner) mapDelta(deltaInput string, rep *metrics.Report) ([][]mrbg.DeltaEdge, error) {
+	fi, err := r.eng.FS().Stat(deltaInput)
+	if err != nil {
+		return nil, fmt.Errorf("incr: delta input: %w", err)
+	}
+	parts := make([][]mrbg.DeltaEdge, r.job.NumReducers)
+	var mu sync.Mutex
+
+	tasks := make([]cluster.Task, 0, len(fi.Blocks))
+	for b := range fi.Blocks {
+		b := b
+		pref := -1
+		if len(fi.Blocks[b].Nodes) > 0 {
+			pref = fi.Blocks[b].Nodes[0] % r.eng.Cluster().NumNodes()
+		}
+		tasks = append(tasks, cluster.Task{
+			Name:      fmt.Sprintf("%s-delta/map-%04d", sanitize(r.job.Name), b),
+			Preferred: pref,
+			Run: func(tc cluster.TaskContext) error {
+				start := time.Now()
+				br, err := r.eng.FS().OpenBlock(deltaInput, b)
+				if err != nil {
+					return err
+				}
+				defer br.Close()
+				local := make([][]mrbg.DeltaEdge, r.job.NumReducers)
+				var recs int64
+				for {
+					d, err := br.ReadDelta()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						return err
+					}
+					recs++
+					base := kv.Fingerprint(d.Key, d.Value)
+					occ := occTracker{}
+					del := d.Op == kv.OpDelete
+					err = r.job.Mapper.Map(d.Key, d.Value, func(k2, v2 string) {
+						p := kv.Partition(k2, r.job.NumReducers)
+						de := mrbg.DeltaEdge{Key: k2, MK: mkFor(base, occ.next(k2)), Delete: del}
+						if !del {
+							de.V2 = v2
+						}
+						local[p] = append(local[p], de)
+					})
+					if err != nil {
+						return err
+					}
+				}
+				mu.Lock()
+				for p := range local {
+					parts[p] = append(parts[p], local[p]...)
+				}
+				mu.Unlock()
+				rep.Add("map.records.in", recs)
+				rep.AddStage(metrics.StageMap, time.Since(start))
+				return nil
+			},
+		})
+	}
+	if _, err := r.eng.Cluster().Run(tasks); err != nil {
+		return nil, fmt.Errorf("incr: delta map phase: %w", err)
+	}
+	var edges int64
+	for _, p := range parts {
+		edges += int64(len(p))
+	}
+	rep.Add("delta.edges", edges)
+	return parts, nil
+}
+
+// runDeltaFineGrain performs incremental Reduce computation through the
+// MRBG-Stores and rewrites only affected outputs.
+func (r *Runner) runDeltaFineGrain(deltaInput, output string) (*metrics.Report, error) {
+	rep := &metrics.Report{}
+	parts, err := r.mapDelta(deltaInput, rep)
+	if err != nil {
+		return nil, err
+	}
+
+	// Shuffle/sort stage: the delta edges were partitioned by K2 above;
+	// sorting per partition is what the MapReduce shuffle would do.
+	sortStart := time.Now()
+	for p := range parts {
+		sort.SliceStable(parts[p], func(i, j int) bool { return parts[p][i].Key < parts[p][j].Key })
+	}
+	rep.AddStage(metrics.StageSort, time.Since(sortStart))
+	var shuffleBytes int64
+	for _, part := range parts {
+		for _, d := range part {
+			shuffleBytes += int64(len(d.Key) + len(d.V2) + 9)
+		}
+	}
+	rep.Add("shuffle.bytes", shuffleBytes)
+
+	// Incremental Reduce: one task per partition, co-located with its
+	// store; merge the delta MRBGraph and re-reduce affected K2s.
+	tasks := make([]cluster.Task, 0, r.job.NumReducers)
+	for p := 0; p < r.job.NumReducers; p++ {
+		p := p
+		tasks = append(tasks, cluster.Task{
+			Name:      fmt.Sprintf("%s-delta/reduce-%04d", sanitize(r.job.Name), p),
+			Preferred: p % r.eng.Cluster().NumNodes(),
+			Run: func(tc cluster.TaskContext) error {
+				start := time.Now()
+				var reduced int64
+				err := r.stores[p].Merge(parts[p], func(mr2 mrbg.MergeResult) error {
+					r.mu.Lock()
+					defer r.mu.Unlock()
+					if mr2.Removed {
+						delete(r.outputs[p], mr2.Key)
+						return nil
+					}
+					var outs []kv.Pair
+					err := r.job.Reducer.Reduce(mr2.Key, mr2.Chunk.Values(), func(k3, v3 string) {
+						outs = append(outs, kv.Pair{Key: k3, Value: v3})
+					})
+					if err != nil {
+						return err
+					}
+					reduced++
+					r.outputs[p][mr2.Key] = outs
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				if err := r.stores[p].Checkpoint(); err != nil {
+					return err
+				}
+				rep.Add("reduce.instances", reduced)
+				rep.AddStage(metrics.StageReduce, time.Since(start))
+				return nil
+			},
+		})
+	}
+	if _, err := r.eng.Cluster().Run(tasks); err != nil {
+		return nil, fmt.Errorf("incr: incremental reduce phase: %w", err)
+	}
+
+	if err := r.writeOutputs(output); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// runDeltaAccumulator refreshes an accumulator-Reduce job: group the
+// delta's intermediate values, reduce them into partial results, and
+// fold each partial result into the preserved output with ⊕.
+func (r *Runner) runDeltaAccumulator(deltaInput, output string) (*metrics.Report, error) {
+	rep := &metrics.Report{}
+	fi, err := r.eng.FS().Stat(deltaInput)
+	if err != nil {
+		return nil, fmt.Errorf("incr: delta input: %w", err)
+	}
+	parts := make([][]kv.Pair, r.job.NumReducers)
+	var mu sync.Mutex
+	tasks := make([]cluster.Task, 0, len(fi.Blocks))
+	for b := range fi.Blocks {
+		b := b
+		tasks = append(tasks, cluster.Task{
+			Name:      fmt.Sprintf("%s-delta/map-%04d", sanitize(r.job.Name), b),
+			Preferred: -1,
+			Run: func(tc cluster.TaskContext) error {
+				start := time.Now()
+				br, err := r.eng.FS().OpenBlock(deltaInput, b)
+				if err != nil {
+					return err
+				}
+				defer br.Close()
+				local := make([][]kv.Pair, r.job.NumReducers)
+				var recs int64
+				for {
+					d, err := br.ReadDelta()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						return err
+					}
+					if d.Op == kv.OpDelete {
+						return fmt.Errorf("incr: accumulator job %q received a deletion for key %q; accumulator deltas must be insert-only (Sec. 3.5)", r.job.Name, d.Key)
+					}
+					recs++
+					err = r.job.Mapper.Map(d.Key, d.Value, func(k2, v2 string) {
+						p := kv.Partition(k2, r.job.NumReducers)
+						local[p] = append(local[p], kv.Pair{Key: k2, Value: v2})
+					})
+					if err != nil {
+						return err
+					}
+				}
+				mu.Lock()
+				for p := range local {
+					parts[p] = append(parts[p], local[p]...)
+				}
+				mu.Unlock()
+				rep.Add("map.records.in", recs)
+				rep.AddStage(metrics.StageMap, time.Since(start))
+				return nil
+			},
+		})
+	}
+	if _, err := r.eng.Cluster().Run(tasks); err != nil {
+		return nil, fmt.Errorf("incr: delta map phase: %w", err)
+	}
+
+	rtasks := make([]cluster.Task, 0, r.job.NumReducers)
+	for p := 0; p < r.job.NumReducers; p++ {
+		p := p
+		rtasks = append(rtasks, cluster.Task{
+			Name:      fmt.Sprintf("%s-delta/reduce-%04d", sanitize(r.job.Name), p),
+			Preferred: p % r.eng.Cluster().NumNodes(),
+			Run: func(tc cluster.TaskContext) error {
+				start := time.Now()
+				run := parts[p]
+				kv.SortPairs(run)
+				var reduced int64
+				err := kv.GroupSorted(run, func(g kv.Group) error {
+					var outs []kv.Pair
+					err := r.job.Reducer.Reduce(g.Key, g.Values, func(k3, v3 string) {
+						outs = append(outs, kv.Pair{Key: k3, Value: v3})
+					})
+					if err != nil {
+						return err
+					}
+					reduced++
+					r.mu.Lock()
+					defer r.mu.Unlock()
+					for _, o := range outs {
+						if old, ok := r.outputs[p][o.Key]; ok {
+							merged := r.job.Accumulate(old[0].Value, o.Value)
+							r.outputs[p][o.Key] = []kv.Pair{{Key: o.Key, Value: merged}}
+						} else {
+							r.outputs[p][o.Key] = []kv.Pair{o}
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				rep.Add("reduce.instances", reduced)
+				rep.AddStage(metrics.StageReduce, time.Since(start))
+				return nil
+			},
+		})
+	}
+	if _, err := r.eng.Cluster().Run(rtasks); err != nil {
+		return nil, fmt.Errorf("incr: accumulate phase: %w", err)
+	}
+	if err := r.writeOutputs(output); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// writeOutputs materializes the current output maps as DFS part files.
+func (r *Runner) writeOutputs(output string) error {
+	for p := 0; p < r.job.NumReducers; p++ {
+		r.mu.Lock()
+		keys := make([]string, 0, len(r.outputs[p]))
+		for k := range r.outputs[p] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var ps []kv.Pair
+		for _, k := range keys {
+			ps = append(ps, r.outputs[p][k]...)
+		}
+		r.mu.Unlock()
+		if err := r.eng.FS().WriteAllPairs(mr.PartPath(output, p), ps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Outputs returns the current result set as a key-sorted slice,
+// concatenated across partitions.
+func (r *Runner) Outputs() []kv.Pair {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []kv.Pair
+	for p := range r.outputs {
+		for _, ps := range r.outputs[p] {
+			out = append(out, ps...)
+		}
+	}
+	kv.SortPairs(out)
+	return out
+}

@@ -1,0 +1,181 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairCodecRoundTrip(t *testing.T) {
+	ps := []Pair{
+		{"", ""},
+		{"k", "v"},
+		{"key with spaces", "value\twith\ttabs\nand newlines"},
+		{string(make([]byte, 1000)), "big-key"},
+	}
+	var buf bytes.Buffer
+	n, err := EncodePairs(&buf, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("EncodePairs reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	got, err := DecodePairs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ps) {
+		t.Fatalf("round trip = %v, want %v", got, ps)
+	}
+}
+
+func TestPairCodecRoundTripProperty(t *testing.T) {
+	f := func(keys, vals []string) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		ps := make([]Pair, n)
+		for i := 0; i < n; i++ {
+			ps[i] = Pair{Key: keys[i], Value: vals[i]}
+		}
+		var buf bytes.Buffer
+		if _, err := EncodePairs(&buf, ps); err != nil {
+			return false
+		}
+		got, err := DecodePairs(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) == 0 && n == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, ps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	ds := []Delta{
+		{"a", "1", OpInsert},
+		{"b", "", OpDelete},
+		{"", "only-value", OpInsert},
+	}
+	var buf bytes.Buffer
+	if _, err := EncodeDeltas(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDeltas(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ds) {
+		t.Fatalf("round trip = %v, want %v", got, ds)
+	}
+}
+
+func TestWriteDeltaRejectsInvalidOp(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteDelta(Delta{Key: "k", Op: Op('?')}); err == nil {
+		t.Fatal("WriteDelta with invalid op succeeded")
+	}
+}
+
+func TestReaderCleanEOF(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.ReadPair(); err != io.EOF {
+		t.Fatalf("ReadPair on empty stream = %v, want io.EOF", err)
+	}
+	r = NewReader(bytes.NewReader(nil))
+	if _, err := r.ReadDelta(); err != io.EOF {
+		t.Fatalf("ReadDelta on empty stream = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := EncodePairs(&buf, []Pair{{"hello", "world"}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for cut := 1; cut < len(b); cut++ {
+		r := NewReader(bytes.NewReader(b[:cut]))
+		_, err := r.ReadPair()
+		if err == nil {
+			t.Fatalf("truncated at %d bytes: ReadPair succeeded", cut)
+		}
+		if err == io.EOF {
+			t.Fatalf("truncated at %d bytes: got clean io.EOF, want corrupt error", cut)
+		}
+	}
+}
+
+func TestReaderCorruptLength(t *testing.T) {
+	// A huge uvarint length must be rejected, not allocated.
+	buf := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	r := NewReader(bytes.NewReader(buf))
+	_, err := r.ReadPair()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadPair on oversized length = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderInvalidDeltaOp(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.writeField("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.writeField("v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.w.WriteByte('z'); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.ReadDelta(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadDelta with op 'z' = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriterCounters(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePair(Pair{"abc", "de"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records != 1 {
+		t.Fatalf("Records = %d, want 1", w.Records)
+	}
+	if w.Bytes != int64(buf.Len()) {
+		t.Fatalf("Bytes = %d, buffer = %d", w.Bytes, buf.Len())
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := r.ReadPair(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes != int64(buf.Len()) || r.Records != 1 {
+		t.Fatalf("reader counters = (%d bytes, %d records)", r.Bytes, r.Records)
+	}
+}
+
+func TestUvarintLen(t *testing.T) {
+	cases := map[uint64]int{0: 1, 1: 1, 127: 1, 128: 2, 16383: 2, 16384: 3}
+	for v, want := range cases {
+		if got := uvarintLen(v); got != want {
+			t.Errorf("uvarintLen(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

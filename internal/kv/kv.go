@@ -1,0 +1,273 @@
+// Package kv defines the key-value record types that flow through every
+// stage of the i2MapReduce engine, together with the sorting, grouping,
+// fingerprinting, and partitioning primitives shared by the MapReduce
+// engine, the MRBG-Store, and the incremental processing engines.
+//
+// Keys and values are Go strings end-to-end. Applications encode richer
+// values (floats, adjacency lists, centroid sets) with strconv/strings;
+// the engine never interprets values.
+package kv
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Pair is a single key-value record: the unit of data between all
+// MapReduce stages (K1/V1 input, K2/V2 intermediate, K3/V3 output).
+type Pair struct {
+	Key   string
+	Value string
+}
+
+// String renders the pair in the text codec form ("key\tvalue").
+func (p Pair) String() string { return p.Key + "\t" + p.Value }
+
+// Op marks a delta record as an insertion or a deletion. An update is
+// represented as a deletion of the old record followed by an insertion
+// of the new record, exactly as in the paper (Sec. 3.1).
+type Op byte
+
+const (
+	// OpInsert marks a newly inserted kv-pair ('+' in the paper).
+	OpInsert Op = '+'
+	// OpDelete marks a deleted kv-pair ('-' in the paper).
+	OpDelete Op = '-'
+)
+
+// Valid reports whether the op is one of the two defined markers.
+func (o Op) Valid() bool { return o == OpInsert || o == OpDelete }
+
+// String returns "+" or "-" (or "?" for an invalid op).
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "+"
+	case OpDelete:
+		return "-"
+	}
+	return "?"
+}
+
+// Delta is a kv-pair tagged with an insertion/deletion marker. Delta
+// inputs drive incremental processing (Sec. 3.3 "Delta Input").
+type Delta struct {
+	Key   string
+	Value string
+	Op    Op
+}
+
+// Pair returns the underlying kv-pair without the op marker.
+func (d Delta) Pair() Pair { return Pair{Key: d.Key, Value: d.Value} }
+
+// String renders the delta in the text codec form ("key\tvalue\t+").
+func (d Delta) String() string {
+	return d.Key + "\t" + d.Value + "\t" + d.Op.String()
+}
+
+// SortPairs sorts records by key, breaking ties by value, mirroring the
+// total order the MapReduce shuffle produces. Sorting is stable with
+// respect to nothing else; equal (key,value) records may be reordered.
+func SortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Key != ps[j].Key {
+			return ps[i].Key < ps[j].Key
+		}
+		return ps[i].Value < ps[j].Value
+	})
+}
+
+// SortDeltas sorts delta records by key, then value, then op.
+func SortDeltas(ds []Delta) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Key != ds[j].Key {
+			return ds[i].Key < ds[j].Key
+		}
+		if ds[i].Value != ds[j].Value {
+			return ds[i].Value < ds[j].Value
+		}
+		return ds[i].Op < ds[j].Op
+	})
+}
+
+// PairsSorted reports whether ps is in non-decreasing key order.
+func PairsSorted(ps []Pair) bool {
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Key < ps[i-1].Key {
+			return false
+		}
+	}
+	return true
+}
+
+// Group is the reduce-side view of one intermediate key: the key and all
+// values shuffled to it.
+type Group struct {
+	Key    string
+	Values []string
+}
+
+// GroupSorted walks a key-sorted pair slice and yields one Group per
+// distinct key, in key order. It panics if ps is not sorted by key,
+// because silently mis-grouping would corrupt reduce outputs.
+func GroupSorted(ps []Pair, yield func(g Group) error) error {
+	i := 0
+	for i < len(ps) {
+		j := i + 1
+		for j < len(ps) && ps[j].Key == ps[i].Key {
+			j++
+		}
+		if i > 0 && ps[i].Key < ps[i-1].Key {
+			panic("kv: GroupSorted called on unsorted pairs")
+		}
+		vals := make([]string, 0, j-i)
+		for k := i; k < j; k++ {
+			vals = append(vals, ps[k].Value)
+		}
+		if err := yield(Group{Key: ps[i].Key, Values: vals}); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// Fingerprint computes the 64-bit FNV-1a hash of a (key, value) record.
+// i2MapReduce uses fingerprints as the globally unique Map key MK
+// attached to every MRBGraph edge: a deletion in a delta input
+// fingerprints to the same MK as the original record, so it cancels
+// exactly the edges that record produced (DESIGN.md "Key design
+// decisions"). The 0x1f separator keeps ("ab","c") and ("a","bc")
+// distinct.
+func Fingerprint(key, value string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0x1f})
+	h.Write([]byte(value))
+	return h.Sum64()
+}
+
+// HashString is the engine-wide string hash used by partitioners and the
+// MRBG-Store chunk index (FNV-1a, 64-bit).
+func HashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Mix64 is a splitmix64-style finalizer applied before reducing a hash
+// modulo a small partition count. FNV-1a's low bit is a linear function
+// of the input bytes (its parity is the XOR of all byte parities), so
+// without avalanche mixing, structured key sets can collapse onto a
+// single partition when n is even.
+func Mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Partition maps a key to one of n partitions with the engine-wide hash,
+// matching the paper's partition functions (1) and (2) in Sec. 4.3.
+// It panics if n <= 0: a job with no partitions is a configuration bug.
+func Partition(key string, n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("kv: Partition called with n=%d", n))
+	}
+	return int(Mix64(HashString(key)) % uint64(n))
+}
+
+// EscapeField makes a string safe for the tab/newline-delimited text
+// codec by escaping backslash, tab, and newline characters.
+func EscapeField(s string) string {
+	if !strings.ContainsAny(s, "\\\t\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// UnescapeField reverses EscapeField. Unknown escapes are preserved
+// verbatim (backslash kept) rather than rejected, so hand-written input
+// files degrade gracefully.
+func UnescapeField(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 't':
+				b.WriteByte('\t')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// FormatTextPair renders a pair as one line of the text codec.
+func FormatTextPair(p Pair) string {
+	return EscapeField(p.Key) + "\t" + EscapeField(p.Value)
+}
+
+// ParseTextPair parses one line of the text codec ("key\tvalue"). A line
+// without a tab parses as a pair with an empty value, matching Hadoop's
+// TextInputFormat behaviour of tolerating value-less lines.
+func ParseTextPair(line string) Pair {
+	k, v, ok := strings.Cut(line, "\t")
+	if !ok {
+		return Pair{Key: UnescapeField(line)}
+	}
+	return Pair{Key: UnescapeField(k), Value: UnescapeField(v)}
+}
+
+// FormatTextDelta renders a delta as one line ("key\tvalue\t+").
+func FormatTextDelta(d Delta) string {
+	return EscapeField(d.Key) + "\t" + EscapeField(d.Value) + "\t" + d.Op.String()
+}
+
+// ParseTextDelta parses one line of the delta text codec. It returns an
+// error if the op field is missing or not "+"/"-", because a silently
+// mis-parsed delta would corrupt incremental results.
+func ParseTextDelta(line string) (Delta, error) {
+	i := strings.LastIndexByte(line, '\t')
+	if i < 0 {
+		return Delta{}, fmt.Errorf("kv: delta line %q has no op field", line)
+	}
+	opField := line[i+1:]
+	if opField != "+" && opField != "-" {
+		return Delta{}, fmt.Errorf("kv: delta line %q has invalid op %q", line, opField)
+	}
+	p := ParseTextPair(line[:i])
+	return Delta{Key: p.Key, Value: p.Value, Op: Op(opField[0])}, nil
+}

@@ -1,0 +1,277 @@
+package kv
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairString(t *testing.T) {
+	p := Pair{Key: "a", Value: "b"}
+	if got := p.String(); got != "a\tb" {
+		t.Fatalf("Pair.String() = %q, want %q", got, "a\tb")
+	}
+}
+
+func TestOpValidAndString(t *testing.T) {
+	cases := []struct {
+		op    Op
+		valid bool
+		str   string
+	}{
+		{OpInsert, true, "+"},
+		{OpDelete, true, "-"},
+		{Op('x'), false, "?"},
+		{Op(0), false, "?"},
+	}
+	for _, c := range cases {
+		if got := c.op.Valid(); got != c.valid {
+			t.Errorf("Op(%q).Valid() = %v, want %v", byte(c.op), got, c.valid)
+		}
+		if got := c.op.String(); got != c.str {
+			t.Errorf("Op(%q).String() = %q, want %q", byte(c.op), got, c.str)
+		}
+	}
+}
+
+func TestDeltaPairAndString(t *testing.T) {
+	d := Delta{Key: "k", Value: "v", Op: OpDelete}
+	if got := d.Pair(); got != (Pair{Key: "k", Value: "v"}) {
+		t.Fatalf("Delta.Pair() = %+v", got)
+	}
+	if got := d.String(); got != "k\tv\t-" {
+		t.Fatalf("Delta.String() = %q", got)
+	}
+}
+
+func TestSortPairsOrdersByKeyThenValue(t *testing.T) {
+	ps := []Pair{{"b", "2"}, {"a", "9"}, {"b", "1"}, {"a", "1"}}
+	SortPairs(ps)
+	want := []Pair{{"a", "1"}, {"a", "9"}, {"b", "1"}, {"b", "2"}}
+	if !reflect.DeepEqual(ps, want) {
+		t.Fatalf("SortPairs = %v, want %v", ps, want)
+	}
+	if !PairsSorted(ps) {
+		t.Fatal("PairsSorted(sorted) = false")
+	}
+}
+
+func TestPairsSortedDetectsDisorder(t *testing.T) {
+	if PairsSorted([]Pair{{"b", ""}, {"a", ""}}) {
+		t.Fatal("PairsSorted on unsorted input = true")
+	}
+	if !PairsSorted(nil) {
+		t.Fatal("PairsSorted(nil) = false")
+	}
+}
+
+func TestSortDeltasTotalOrder(t *testing.T) {
+	ds := []Delta{
+		{"a", "1", OpInsert},
+		{"a", "1", OpDelete},
+		{"a", "0", OpInsert},
+		{"b", "0", OpDelete},
+	}
+	SortDeltas(ds)
+	want := []Delta{
+		{"a", "0", OpInsert},
+		{"a", "1", OpInsert}, // '+' (43) < '-' (45)
+		{"a", "1", OpDelete},
+		{"b", "0", OpDelete},
+	}
+	if !reflect.DeepEqual(ds, want) {
+		t.Fatalf("SortDeltas = %v, want %v", ds, want)
+	}
+}
+
+func TestGroupSorted(t *testing.T) {
+	ps := []Pair{{"a", "1"}, {"a", "2"}, {"b", "3"}, {"c", "4"}, {"c", "5"}}
+	var got []Group
+	err := GroupSorted(ps, func(g Group) error {
+		got = append(got, g)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Group{
+		{"a", []string{"1", "2"}},
+		{"b", []string{"3"}},
+		{"c", []string{"4", "5"}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("GroupSorted = %v, want %v", got, want)
+	}
+}
+
+func TestGroupSortedEmpty(t *testing.T) {
+	called := false
+	if err := GroupSorted(nil, func(Group) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("GroupSorted(nil) invoked yield")
+	}
+}
+
+func TestGroupSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GroupSorted on unsorted input did not panic")
+		}
+	}()
+	_ = GroupSorted([]Pair{{"b", ""}, {"a", ""}, {"a", ""}}, func(Group) error { return nil })
+}
+
+func TestFingerprintDistinguishesBoundary(t *testing.T) {
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal(`Fingerprint("ab","c") == Fingerprint("a","bc")`)
+	}
+	if Fingerprint("k", "v") != Fingerprint("k", "v") {
+		t.Fatal("Fingerprint is not deterministic")
+	}
+}
+
+func TestPartitionInRangeAndDeterministic(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64} {
+		seen := map[int]bool{}
+		for i := 0; i < 200; i++ {
+			k := "key" + string(rune('a'+i%26)) + string(rune('0'+i%10))
+			p := Partition(k, n)
+			if p < 0 || p >= n {
+				t.Fatalf("Partition(%q,%d) = %d out of range", k, n, p)
+			}
+			if Partition(k, n) != p {
+				t.Fatalf("Partition(%q,%d) not deterministic", k, n)
+			}
+			seen[p] = true
+		}
+		if n > 1 && len(seen) < 2 {
+			t.Errorf("Partition over %d buckets used only %d", n, len(seen))
+		}
+	}
+}
+
+func TestPartitionPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Partition(k, 0) did not panic")
+		}
+	}()
+	Partition("k", 0)
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	cases := []string{"", "plain", "tab\there", "nl\nhere", `back\slash`, "\t\n\\", "mix\\t"}
+	for _, s := range cases {
+		e := EscapeField(s)
+		if strings.ContainsAny(e, "\t\n") {
+			t.Errorf("EscapeField(%q) = %q still contains separators", s, e)
+		}
+		if got := UnescapeField(e); got != s {
+			t.Errorf("UnescapeField(EscapeField(%q)) = %q", s, got)
+		}
+	}
+}
+
+func TestEscapeRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		return UnescapeField(EscapeField(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextPairRoundTripProperty(t *testing.T) {
+	f := func(k, v string) bool {
+		line := FormatTextPair(Pair{Key: k, Value: v})
+		got := ParseTextPair(line)
+		return got.Key == k && got.Value == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTextPairNoTab(t *testing.T) {
+	p := ParseTextPair("solo")
+	if p.Key != "solo" || p.Value != "" {
+		t.Fatalf("ParseTextPair(solo) = %+v", p)
+	}
+}
+
+func TestTextDeltaRoundTrip(t *testing.T) {
+	for _, op := range []Op{OpInsert, OpDelete} {
+		d := Delta{Key: "k\t1", Value: "v\n2", Op: op}
+		line := FormatTextDelta(d)
+		got, err := ParseTextDelta(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != d {
+			t.Fatalf("delta round trip = %+v, want %+v", got, d)
+		}
+	}
+}
+
+func TestParseTextDeltaErrors(t *testing.T) {
+	if _, err := ParseTextDelta("noop"); err == nil {
+		t.Fatal("ParseTextDelta without op succeeded")
+	}
+	if _, err := ParseTextDelta("k\tv\tz"); err == nil {
+		t.Fatal("ParseTextDelta with bad op succeeded")
+	}
+}
+
+func TestSortPairsMatchesSortSliceProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		ps := make([]Pair, len(keys))
+		for i, k := range keys {
+			ps[i] = Pair{Key: string(rune('a' + k%16)), Value: string(rune('0' + k%8))}
+		}
+		cp := append([]Pair(nil), ps...)
+		SortPairs(ps)
+		sort.SliceStable(cp, func(i, j int) bool {
+			if cp[i].Key != cp[j].Key {
+				return cp[i].Key < cp[j].Key
+			}
+			return cp[i].Value < cp[j].Value
+		})
+		return len(ps) == len(cp) && (len(ps) == 0 || reflect.DeepEqual(ps, cp))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomPairs(rng *rand.Rand, n int) []Pair {
+	ps := make([]Pair, n)
+	for i := range ps {
+		ps[i] = Pair{
+			Key:   string(rune('a' + rng.Intn(10))),
+			Value: string(rune('0' + rng.Intn(10))),
+		}
+	}
+	return ps
+}
+
+func TestGroupSortedPartitionOfInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps := randomPairs(rng, 200)
+	SortPairs(ps)
+	total := 0
+	err := GroupSorted(ps, func(g Group) error {
+		total += len(g.Values)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(ps) {
+		t.Fatalf("groups cover %d values, want %d", total, len(ps))
+	}
+}

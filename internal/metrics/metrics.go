@@ -1,0 +1,192 @@
+// Package metrics collects the per-stage timings and I/O counters that
+// the experiment harness reports. Every job run produces a Report;
+// iterative runs produce one Report per iteration plus a merged total.
+//
+// The paper's Fig. 9 breaks PageRank run time into map / shuffle / sort /
+// reduce stages; Table 4 reports MRBG-Store read counts and read bytes.
+// Both come straight out of this package.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage identifies one of the MapReduce phases we time separately.
+type Stage int
+
+const (
+	// StageMap covers Map function invocation and map-side spill writing.
+	StageMap Stage = iota
+	// StageShuffle covers copying map outputs to reduce tasks.
+	StageShuffle
+	// StageSort covers the reduce-side merge-sort of fetched runs.
+	StageSort
+	// StageReduce covers Reduce invocation plus MRBG-Store maintenance.
+	StageReduce
+	numStages
+)
+
+// String returns the lower-case stage name used in reports.
+func (s Stage) String() string {
+	switch s {
+	case StageMap:
+		return "map"
+	case StageShuffle:
+		return "shuffle"
+	case StageSort:
+		return "sort"
+	case StageReduce:
+		return "reduce"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Stages lists all stages in execution order.
+func Stages() []Stage {
+	return []Stage{StageMap, StageShuffle, StageSort, StageReduce}
+}
+
+// Report accumulates stage durations and named counters for one job (or
+// one iteration). The zero value is ready to use. Reports are safe for
+// concurrent use: map tasks running on different simulated nodes add to
+// the same Report.
+type Report struct {
+	mu       sync.Mutex
+	stages   [numStages]time.Duration
+	counters map[string]int64
+}
+
+// AddStage records d of work attributed to stage s.
+func (r *Report) AddStage(s Stage, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stages[s] += d
+}
+
+// TimeStage runs f and attributes its wall-clock duration to stage s.
+func (r *Report) TimeStage(s Stage, f func() error) error {
+	start := time.Now()
+	err := f()
+	r.AddStage(s, time.Since(start))
+	return err
+}
+
+// Stage returns the accumulated duration for s.
+func (r *Report) Stage(s Stage) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stages[s]
+}
+
+// Total returns the sum over all stages.
+func (r *Report) Total() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t time.Duration
+	for _, d := range r.stages {
+		t += d
+	}
+	return t
+}
+
+// Add increments counter name by v, creating it if needed. Counter names
+// in use across the engine include "map.records.in", "map.records.out",
+// "shuffle.bytes", "reduce.groups", "mrbg.reads", "mrbg.read.bytes".
+func (r *Report) Add(name string, v int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]int64)
+	}
+	r.counters[name] += v
+}
+
+// Counter returns the value of counter name (zero if never written).
+func (r *Report) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// CounterNames returns all counter names in sorted order.
+func (r *Report) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds every stage duration and counter of other into r.
+func (r *Report) Merge(other *Report) {
+	if other == nil {
+		return
+	}
+	other.mu.Lock()
+	stages := other.stages
+	counters := make(map[string]int64, len(other.counters))
+	for k, v := range other.counters {
+		counters[k] = v
+	}
+	other.mu.Unlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range stages {
+		r.stages[i] += stages[i]
+	}
+	if r.counters == nil && len(counters) > 0 {
+		r.counters = make(map[string]int64, len(counters))
+	}
+	for k, v := range counters {
+		r.counters[k] += v
+	}
+}
+
+// Snapshot returns an immutable copy of the report for reporting code
+// that should not hold the lock while formatting.
+func (r *Report) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Counters: make(map[string]int64, len(r.counters))}
+	for i, d := range r.stages {
+		s.Stages[i] = d
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Report.
+type Snapshot struct {
+	Stages   [numStages]time.Duration
+	Counters map[string]int64
+}
+
+// Total returns the sum of all stage durations in the snapshot.
+func (s Snapshot) Total() time.Duration {
+	var t time.Duration
+	for _, d := range s.Stages {
+		t += d
+	}
+	return t
+}
+
+// String renders the snapshot as a single line:
+// "map=12ms shuffle=3ms sort=1ms reduce=8ms total=24ms".
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, st := range Stages() {
+		fmt.Fprintf(&b, "%s=%s ", st, s.Stages[st].Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "total=%s", s.Total().Round(time.Microsecond))
+	return b.String()
+}

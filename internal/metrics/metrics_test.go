@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		StageMap:     "map",
+		StageShuffle: "shuffle",
+		StageSort:    "sort",
+		StageReduce:  "reduce",
+		Stage(99):    "stage(99)",
+	}
+	for s, w := range want {
+		if got := s.String(); got != w {
+			t.Errorf("Stage(%d).String() = %q, want %q", int(s), got, w)
+		}
+	}
+}
+
+func TestStagesOrder(t *testing.T) {
+	got := Stages()
+	if len(got) != 4 || got[0] != StageMap || got[3] != StageReduce {
+		t.Fatalf("Stages() = %v", got)
+	}
+}
+
+func TestAddStageAndTotal(t *testing.T) {
+	var r Report
+	r.AddStage(StageMap, 10*time.Millisecond)
+	r.AddStage(StageMap, 5*time.Millisecond)
+	r.AddStage(StageReduce, 7*time.Millisecond)
+	if got := r.Stage(StageMap); got != 15*time.Millisecond {
+		t.Fatalf("Stage(Map) = %v", got)
+	}
+	if got := r.Total(); got != 22*time.Millisecond {
+		t.Fatalf("Total() = %v", got)
+	}
+}
+
+func TestTimeStagePropagatesError(t *testing.T) {
+	var r Report
+	sentinel := errors.New("boom")
+	if err := r.TimeStage(StageSort, func() error { return sentinel }); err != sentinel {
+		t.Fatalf("TimeStage error = %v", err)
+	}
+	if r.Stage(StageSort) < 0 {
+		t.Fatal("negative duration recorded")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var r Report
+	if got := r.Counter("missing"); got != 0 {
+		t.Fatalf("Counter(missing) = %d", got)
+	}
+	r.Add("a", 2)
+	r.Add("a", 3)
+	r.Add("b", 1)
+	if got := r.Counter("a"); got != 5 {
+		t.Fatalf("Counter(a) = %d", got)
+	}
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("CounterNames() = %v", names)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Report
+	a.AddStage(StageMap, time.Second)
+	a.Add("x", 1)
+	b.AddStage(StageMap, 2*time.Second)
+	b.AddStage(StageShuffle, time.Second)
+	b.Add("x", 10)
+	b.Add("y", 5)
+	a.Merge(&b)
+	if got := a.Stage(StageMap); got != 3*time.Second {
+		t.Fatalf("merged map = %v", got)
+	}
+	if got := a.Stage(StageShuffle); got != time.Second {
+		t.Fatalf("merged shuffle = %v", got)
+	}
+	if a.Counter("x") != 11 || a.Counter("y") != 5 {
+		t.Fatalf("merged counters = x:%d y:%d", a.Counter("x"), a.Counter("y"))
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestMergeIntoEmptyCreatesCounters(t *testing.T) {
+	var a, b Report
+	b.Add("only", 7)
+	a.Merge(&b)
+	if a.Counter("only") != 7 {
+		t.Fatalf("Counter(only) = %d", a.Counter("only"))
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	var r Report
+	r.AddStage(StageReduce, time.Minute)
+	r.Add("c", 9)
+	s := r.Snapshot()
+	r.AddStage(StageReduce, time.Minute)
+	r.Add("c", 1)
+	if s.Stages[StageReduce] != time.Minute {
+		t.Fatal("snapshot stage mutated")
+	}
+	if s.Counters["c"] != 9 {
+		t.Fatal("snapshot counter mutated")
+	}
+	if s.Total() != time.Minute {
+		t.Fatalf("snapshot total = %v", s.Total())
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var r Report
+	r.AddStage(StageMap, 1500*time.Microsecond)
+	out := r.Snapshot().String()
+	for _, want := range []string{"map=", "shuffle=", "sort=", "reduce=", "total="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Snapshot.String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var r Report
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.AddStage(StageMap, time.Nanosecond)
+				r.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n"); got != 8000 {
+		t.Fatalf("Counter(n) = %d, want 8000", got)
+	}
+	if got := r.Stage(StageMap); got != 8000*time.Nanosecond {
+		t.Fatalf("Stage(Map) = %v", got)
+	}
+}

@@ -1,0 +1,231 @@
+package mrbg
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// MergeResult is one affected key after a merge: its up-to-date chunk
+// (the new Reduce input), or Removed=true when every edge of a
+// previously live chunk was deleted, meaning the Reduce instance — and
+// its final output — no longer exists.
+type MergeResult struct {
+	Key     string
+	Chunk   Chunk
+	Removed bool
+}
+
+// Merge joins a delta MRBGraph into the store (paper Sec. 3.3-3.4):
+// for each affected K2 it retrieves the preserved chunk (index
+// nested-loop join, window-read according to the strategy), applies
+// deletions and insertions/updates by (K2, MK), emits the merged chunk
+// so the caller can re-run Reduce, and appends the new chunk version
+// through the append buffer as the next sorted batch.
+//
+// delta does not need to be sorted; Merge sorts a copy. Records with
+// the same (key, MK) apply in slice order, so a deletion followed by an
+// insertion (the paper's representation of an update) nets to the
+// insertion.
+//
+// The emit callback runs before the new batch commits; if it returns an
+// error the merge aborts with the index unchanged.
+func (s *Store) Merge(delta []DeltaEdge, emit func(r MergeResult) error) error {
+	if len(s.pending) != 0 {
+		return errors.New("mrbg: Merge re-entered before commit")
+	}
+	ds := append([]DeltaEdge(nil), delta...)
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].Key < ds[j].Key })
+
+	// Distinct affected keys, already sorted: Algorithm 1's list L.
+	keys := make([]string, 0, len(ds))
+	for i, d := range ds {
+		if i == 0 || d.Key != ds[i-1].Key {
+			keys = append(keys, d.Key)
+		}
+	}
+	plan := &queryPlan{keys: keys}
+
+	removed := make([]string, 0, 4)
+	abort := func(err error) error {
+		s.appendBuf = s.appendBuf[:0]
+		s.pending = make(map[string]loc)
+		return err
+	}
+
+	di := 0
+	for ki, key := range keys {
+		plan.pos = ki
+		old, ok, err := s.fetch(key, plan)
+		if err != nil {
+			return abort(err)
+		}
+
+		// Merge preserved edges with this key's delta records.
+		merged := make(map[uint64]string, len(old.Edges)+4)
+		if ok {
+			for _, e := range old.Edges {
+				merged[e.MK] = e.V2
+			}
+		}
+		for ; di < len(ds) && ds[di].Key == key; di++ {
+			if ds[di].Delete {
+				delete(merged, ds[di].MK)
+			} else {
+				merged[ds[di].MK] = ds[di].V2
+			}
+		}
+
+		if len(merged) == 0 {
+			if ok {
+				removed = append(removed, key)
+				if err := emit(MergeResult{Key: key, Removed: true}); err != nil {
+					return abort(err)
+				}
+			} else {
+				// Deletions for a key that was never live: dropped, but
+				// counted so tests can detect mismatched deltas.
+				s.stats.DanglingDeletes++
+			}
+			continue
+		}
+
+		edges := make([]Edge, 0, len(merged))
+		for mk, v2 := range merged {
+			edges = append(edges, Edge{MK: mk, V2: v2})
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i].MK < edges[j].MK })
+		c := Chunk{Key: key, Edges: edges}
+		if err := emit(MergeResult{Key: key, Chunk: c}); err != nil {
+			return abort(err)
+		}
+		if err := s.appendChunk(c); err != nil {
+			return abort(err)
+		}
+	}
+
+	if err := s.commitPending(); err != nil {
+		return err
+	}
+	for _, k := range removed {
+		delete(s.index, k)
+	}
+	return nil
+}
+
+// Put stores a chunk directly, bypassing the delta join — used by the
+// initial (non-incremental) run to preserve the first MRBGraph, where
+// every chunk is new. Chunks must arrive in sorted key order per batch;
+// call CommitBatch when the batch is complete.
+func (s *Store) Put(c Chunk) error {
+	return s.appendChunk(c)
+}
+
+// CommitBatch seals chunks staged with Put into one sorted batch.
+func (s *Store) CommitBatch() error {
+	return s.commitPending()
+}
+
+// AllChunks retrieves every live chunk in sorted key order.
+func (s *Store) AllChunks(fn func(c Chunk) error) error {
+	return s.GetMany(s.Keys(), func(_ string, c Chunk, ok bool) error {
+		if !ok {
+			return errors.New("mrbg: indexed key has no chunk")
+		}
+		return fn(c)
+	})
+}
+
+// Compact reconstructs the MRBGraph file offline, dropping obsolete
+// chunk versions (paper: "the MRBGraph file is reconstructed off-line
+// when the worker is idle"). Afterwards the store holds exactly the
+// live chunks in one sorted batch, and the on-disk checkpoint reflects
+// the compacted file.
+func (s *Store) Compact() error {
+	if len(s.pending) != 0 || len(s.appendBuf) != 0 {
+		return errors.New("mrbg: Compact during an uncommitted merge")
+	}
+	tmpPath := filepath.Join(s.opts.Dir, datName+".compact")
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	newIndex := make(map[string]loc, len(s.index))
+	var off int64
+	var buf []byte
+	err = s.AllChunks(func(c Chunk) error {
+		buf = encodeChunk(buf[:0], c)
+		if _, err := tmp.Write(buf); err != nil {
+			return err
+		}
+		newIndex[c.Key] = loc{off: off, len: int64(len(buf)), batch: 1}
+		off += int64(len(buf))
+		return nil
+	})
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.opts.Dir, datName)); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(s.opts.Dir, datName), os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.index = newIndex
+	s.size = off
+	if len(newIndex) > 0 {
+		s.batch = 1
+	} else {
+		s.batch = 0
+	}
+	s.windows = make(map[int]*window)
+	return s.Checkpoint()
+}
+
+// VerifyInvariants walks the index and checks every entry decodes to a
+// chunk with the matching key, edges in ascending MK order, and bounds
+// inside the file. Tests and the failure-injection harness call it
+// after recovery; it is not on any hot path.
+func (s *Store) VerifyInvariants() error {
+	for k, l := range s.index {
+		if l.off < 0 || l.len <= 0 || l.off+l.len > s.size {
+			return fmt.Errorf("mrbg: index entry %q out of bounds: %+v size=%d", k, l, s.size)
+		}
+		buf, err := s.readAt(l.off, l.len)
+		if err != nil {
+			return err
+		}
+		c, n, err := decodeChunk(buf)
+		if err != nil {
+			return fmt.Errorf("mrbg: chunk %q: %w", k, err)
+		}
+		if int64(n) != l.len {
+			return fmt.Errorf("mrbg: chunk %q decoded %d bytes, index says %d", k, n, l.len)
+		}
+		if c.Key != k {
+			return fmt.Errorf("mrbg: chunk at %d holds %q, index says %q", l.off, c.Key, k)
+		}
+		for i := 1; i < len(c.Edges); i++ {
+			if c.Edges[i].MK <= c.Edges[i-1].MK {
+				return fmt.Errorf("mrbg: chunk %q edges out of MK order", k)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,498 @@
+// Package mrbg implements the MRBGraph abstraction and the MRBG-Store
+// (paper Sec. 3.2-3.4 and 5.2): the fine-grain intermediate state
+// `(K2, MK, V2)` of a MapReduce computation, preserved reduce-side so
+// incremental jobs re-compute only affected Reduce instances.
+//
+// On disk a store is two files in its directory:
+//
+//	mrbg.dat — the MRBGraph file: chunks appended in sorted batches,
+//	           one batch per merge operation (iteration). A chunk holds
+//	           every live edge of one K2, stored contiguously; the unit
+//	           of every read and write is a whole chunk.
+//	mrbg.idx — the persisted chunk index + batch counter + logical file
+//	           length, written by Checkpoint. Open recovers from it,
+//	           truncating a partially-appended tail if the process died
+//	           between Checkpoint calls.
+//
+// Obsolete chunk versions are not rewritten in place (paper: "obsolete
+// chunks are NOT immediately updated in the file for I/O efficiency");
+// Compact reconstructs the file offline.
+package mrbg
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Edge is one MRBGraph edge as preserved in a chunk: the source Map
+// instance (MK, a globally unique fingerprint of the map input record)
+// and the intermediate value V2 it contributed to this chunk's K2.
+type Edge struct {
+	MK uint64
+	V2 string
+}
+
+// Chunk is the preserved Reduce input of one intermediate key: K2 plus
+// all edges incident on it. Edges are kept in ascending MK order so
+// chunk contents are deterministic.
+type Chunk struct {
+	Key   string
+	Edges []Edge
+}
+
+// Values returns just the V2 list, in edge order — the {V2} multiset
+// handed to the Reduce function.
+func (c Chunk) Values() []string {
+	vs := make([]string, len(c.Edges))
+	for i, e := range c.Edges {
+		vs[i] = e.V2
+	}
+	return vs
+}
+
+// DeltaEdge is one record of a delta MRBGraph: an edge insertion/update
+// (Delete=false) or an edge deletion (Delete=true, V2 ignored), as
+// produced by incremental Map computation (paper Sec. 3.3).
+type DeltaEdge struct {
+	Key    string
+	MK     uint64
+	V2     string
+	Delete bool
+}
+
+// ReadStrategy selects how Merge reads preserved chunks (paper Table 4).
+type ReadStrategy int
+
+const (
+	// IndexOnly reads exactly one chunk per I/O using the index.
+	IndexOnly ReadStrategy = iota
+	// SingleFixedWindow keeps one fixed-size read window for the whole
+	// file; a miss reads FixedWindowSize bytes at the chunk position.
+	// With multiple batches the window thrashes, re-reading obsolete
+	// regions — the pathology Table 4 shows.
+	SingleFixedWindow
+	// MultiFixedWindow keeps one fixed-size window per batch.
+	MultiFixedWindow
+	// MultiDynamicWindow keeps one window per batch and sizes each read
+	// with Algorithm 1's gap heuristic over the query plan. This is
+	// i2MapReduce's default.
+	MultiDynamicWindow
+)
+
+// String names the strategy as in Table 4.
+func (s ReadStrategy) String() string {
+	switch s {
+	case IndexOnly:
+		return "index-only"
+	case SingleFixedWindow:
+		return "single-fix-window"
+	case MultiFixedWindow:
+		return "multi-fix-window"
+	case MultiDynamicWindow:
+		return "multi-dynamic-window"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Options configures a store.
+type Options struct {
+	// Dir is the directory holding mrbg.dat and mrbg.idx. Required.
+	Dir string
+	// Strategy defaults to MultiDynamicWindow.
+	Strategy ReadStrategy
+	// GapThreshold is Algorithm 1's T: a gap between consecutive
+	// queried chunks below T is worth reading through. Default 100 KB
+	// (paper default).
+	GapThreshold int64
+	// ReadCacheSize caps any single read window. Default 1 MiB.
+	ReadCacheSize int64
+	// FixedWindowSize is the read size for the fixed-window strategies.
+	// Default 256 KiB.
+	FixedWindowSize int64
+	// AppendBufSize is the append buffer capacity; the buffer flushes
+	// with sequential I/O when full (paper Sec. 3.4). Default 256 KiB.
+	AppendBufSize int64
+}
+
+func (o *Options) applyDefaults() {
+	if o.GapThreshold <= 0 {
+		o.GapThreshold = 100 << 10
+	}
+	if o.ReadCacheSize <= 0 {
+		o.ReadCacheSize = 1 << 20
+	}
+	if o.FixedWindowSize <= 0 {
+		o.FixedWindowSize = 256 << 10
+	}
+	if o.FixedWindowSize > o.ReadCacheSize {
+		o.FixedWindowSize = o.ReadCacheSize
+	}
+	if o.AppendBufSize <= 0 {
+		o.AppendBufSize = 256 << 10
+	}
+}
+
+// Stats reports the store's I/O behaviour (Table 4's columns).
+type Stats struct {
+	// Reads is the number of read I/O operations issued.
+	Reads int64
+	// BytesRead is the total bytes fetched by those reads.
+	BytesRead int64
+	// CacheHits counts chunk retrievals satisfied by a read window.
+	CacheHits int64
+	// AppendedChunks counts chunks written through the append buffer.
+	AppendedChunks int64
+	// Flushes counts append-buffer flushes.
+	Flushes int64
+	// DanglingDeletes counts delta deletions whose key had no live
+	// chunk (a symptom of a delta that does not match the preserved
+	// MRBGraph).
+	DanglingDeletes int64
+	// Batches is the number of sorted batches in the file.
+	Batches int
+	// LiveChunks is the number of keys in the index.
+	LiveChunks int
+	// FileBytes is the logical length of the MRBGraph file, including
+	// obsolete chunk versions.
+	FileBytes int64
+	// LiveBytes is the total size of live chunks only.
+	LiveBytes int64
+}
+
+// loc locates one live chunk version inside the MRBGraph file.
+type loc struct {
+	off   int64
+	len   int64
+	batch int
+}
+
+// Store is one reduce task's MRBG-Store. It is not safe for concurrent
+// use: each reduce task owns its store exclusively, matching the
+// paper's per-task MRBGraph file.
+type Store struct {
+	opts  Options
+	f     *os.File
+	index map[string]loc
+	// size is the logical end of the file: committed bytes plus
+	// buffered-but-unflushed appends land beyond it only after flush.
+	size  int64
+	batch int
+
+	appendBuf []byte
+	// pending maps keys to their new locations assigned at append time;
+	// applied to the index when a merge completes.
+	pending map[string]loc
+
+	windows map[int]*window // per-batch read windows (strategy-dependent)
+	stats   Stats
+}
+
+const (
+	datName = "mrbg.dat"
+	idxName = "mrbg.idx"
+)
+
+// Open creates a store in opts.Dir or recovers the one checkpointed
+// there.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("mrbg: Options.Dir is required")
+	}
+	opts.applyDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("mrbg: creating dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(opts.Dir, datName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("mrbg: opening data file: %w", err)
+	}
+	s := &Store{
+		opts:    opts,
+		f:       f,
+		index:   make(map[string]loc),
+		pending: make(map[string]loc),
+		windows: make(map[int]*window),
+	}
+	if err := s.loadIndex(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close releases the underlying file without checkpointing.
+func (s *Store) Close() error { return s.f.Close() }
+
+// Len returns the number of live chunks.
+func (s *Store) Len() int { return len(s.index) }
+
+// Has reports whether key has a live chunk.
+func (s *Store) Has(key string) bool {
+	_, ok := s.index[key]
+	return ok
+}
+
+// Keys returns all live chunk keys in sorted order.
+func (s *Store) Keys() []string {
+	ks := make([]string, 0, len(s.index))
+	for k := range s.index {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Stats returns a snapshot of the store's I/O statistics.
+func (s *Store) Stats() Stats {
+	st := s.stats
+	st.Batches = s.batch
+	st.LiveChunks = len(s.index)
+	st.FileBytes = s.size
+	for _, l := range s.index {
+		st.LiveBytes += l.len
+	}
+	return st
+}
+
+// ResetStats zeroes the I/O counters (batch/live counts are derived and
+// unaffected). The Table 4 harness resets between phases.
+func (s *Store) ResetStats() { s.stats = Stats{} }
+
+// encodeChunk appends the chunk's frame to buf and returns it. Frame:
+//
+//	uvarint(len(key)) key uvarint(nEdges) { mk:8 bytes uvarint(len(v2)) v2 }*
+func encodeChunk(buf []byte, c Chunk) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(c.Key)))
+	buf = append(buf, tmp[:n]...)
+	buf = append(buf, c.Key...)
+	n = binary.PutUvarint(tmp[:], uint64(len(c.Edges)))
+	buf = append(buf, tmp[:n]...)
+	for _, e := range c.Edges {
+		binary.LittleEndian.PutUint64(tmp[:8], e.MK)
+		buf = append(buf, tmp[:8]...)
+		n = binary.PutUvarint(tmp[:], uint64(len(e.V2)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, e.V2...)
+	}
+	return buf
+}
+
+// decodeChunk parses one chunk frame from data. It returns the chunk
+// and the number of bytes consumed.
+func decodeChunk(data []byte) (Chunk, int, error) {
+	keyLen, n := binary.Uvarint(data)
+	if n <= 0 || keyLen > uint64(len(data)-n) {
+		return Chunk{}, 0, errors.New("mrbg: corrupt chunk key length")
+	}
+	pos := n
+	key := string(data[pos : pos+int(keyLen)])
+	pos += int(keyLen)
+	nEdges, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return Chunk{}, 0, errors.New("mrbg: corrupt chunk edge count")
+	}
+	pos += n
+	edges := make([]Edge, 0, nEdges)
+	for i := uint64(0); i < nEdges; i++ {
+		if pos+8 > len(data) {
+			return Chunk{}, 0, errors.New("mrbg: corrupt edge MK")
+		}
+		mk := binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+		vLen, n := binary.Uvarint(data[pos:])
+		if n <= 0 || vLen > uint64(len(data)-pos-n) {
+			return Chunk{}, 0, errors.New("mrbg: corrupt edge value length")
+		}
+		pos += n
+		v := string(data[pos : pos+int(vLen)])
+		pos += int(vLen)
+		edges = append(edges, Edge{MK: mk, V2: v})
+	}
+	return Chunk{Key: key, Edges: edges}, pos, nil
+}
+
+// appendChunk stages one chunk in the append buffer, recording its
+// future location in pending, and flushes the buffer when full.
+func (s *Store) appendChunk(c Chunk) error {
+	start := len(s.appendBuf)
+	s.appendBuf = encodeChunk(s.appendBuf, c)
+	frameLen := int64(len(s.appendBuf) - start)
+	s.pending[c.Key] = loc{
+		off:   s.size + int64(start),
+		len:   frameLen,
+		batch: s.batch + 1,
+	}
+	s.stats.AppendedChunks++
+	if int64(len(s.appendBuf)) >= s.opts.AppendBufSize {
+		return s.flushAppendBuf()
+	}
+	return nil
+}
+
+// flushAppendBuf appends the buffered bytes to the file with one
+// sequential write.
+func (s *Store) flushAppendBuf() error {
+	if len(s.appendBuf) == 0 {
+		return nil
+	}
+	if _, err := s.f.WriteAt(s.appendBuf, s.size); err != nil {
+		return fmt.Errorf("mrbg: append flush: %w", err)
+	}
+	s.size += int64(len(s.appendBuf))
+	// pending locations were assigned against the pre-buffer size, so
+	// they are already correct; just reset the buffer.
+	s.appendBuf = s.appendBuf[:0]
+	s.stats.Flushes++
+	return nil
+}
+
+// commitPending flushes buffered appends, advances the batch counter,
+// and applies pending index updates. Called at the end of a merge.
+func (s *Store) commitPending() error {
+	if err := s.flushAppendBuf(); err != nil {
+		return err
+	}
+	if len(s.pending) == 0 {
+		return nil
+	}
+	s.batch++
+	for k, l := range s.pending {
+		s.index[k] = l
+	}
+	s.pending = make(map[string]loc)
+	return nil
+}
+
+// Checkpoint persists the index, batch counter, and logical file length
+// to mrbg.idx, fsyncing the data file first. A store reopened from a
+// checkpoint sees exactly the chunks live at Checkpoint time (paper
+// Sec. 6.1: the MRBGraph file is checkpointed every iteration).
+func (s *Store) Checkpoint() error {
+	if err := s.flushAppendBuf(); err != nil {
+		return err
+	}
+	if len(s.pending) != 0 {
+		return errors.New("mrbg: Checkpoint during an uncommitted merge")
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.opts.Dir, idxName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := w.Write(scratch[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(s.size)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(s.batch)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(s.index))); err != nil {
+		return err
+	}
+	for k, l := range s.index {
+		if err := writeUvarint(uint64(len(k))); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(k); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(l.off)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(l.len)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(l.batch)); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.opts.Dir, idxName))
+}
+
+// loadIndex recovers the index from mrbg.idx if present, truncating an
+// unchckpointed tail of the data file.
+func (s *Store) loadIndex() error {
+	f, err := os.Open(filepath.Join(s.opts.Dir, idxName))
+	if errors.Is(err, os.ErrNotExist) {
+		// Fresh store: start empty, discarding any uncheckpointed data.
+		return s.f.Truncate(0)
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(r) }
+	size, err := readUvarint()
+	if err != nil {
+		return fmt.Errorf("mrbg: corrupt index: %w", err)
+	}
+	batch, err := readUvarint()
+	if err != nil {
+		return fmt.Errorf("mrbg: corrupt index: %w", err)
+	}
+	n, err := readUvarint()
+	if err != nil {
+		return fmt.Errorf("mrbg: corrupt index: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		kLen, err := readUvarint()
+		if err != nil {
+			return fmt.Errorf("mrbg: corrupt index entry: %w", err)
+		}
+		kb := make([]byte, kLen)
+		if _, err := io.ReadFull(r, kb); err != nil {
+			return fmt.Errorf("mrbg: corrupt index key: %w", err)
+		}
+		off, err := readUvarint()
+		if err != nil {
+			return fmt.Errorf("mrbg: corrupt index off: %w", err)
+		}
+		l, err := readUvarint()
+		if err != nil {
+			return fmt.Errorf("mrbg: corrupt index len: %w", err)
+		}
+		b, err := readUvarint()
+		if err != nil {
+			return fmt.Errorf("mrbg: corrupt index batch: %w", err)
+		}
+		s.index[string(kb)] = loc{off: int64(off), len: int64(l), batch: int(b)}
+	}
+	s.size = int64(size)
+	s.batch = int(batch)
+	// Drop any bytes appended after the last checkpoint.
+	fi, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() > s.size {
+		if err := s.f.Truncate(s.size); err != nil {
+			return err
+		}
+	} else if fi.Size() < s.size {
+		return fmt.Errorf("mrbg: data file shorter (%d) than checkpoint (%d)", fi.Size(), s.size)
+	}
+	return nil
+}
