@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race lint bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent packages (the sharded MRBG-Store and its
+# incremental-processing consumers).
+race:
+	$(GO) test -race ./internal/mrbg/... ./internal/incr/...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# One iteration of every benchmark so the bench harness cannot rot.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Everything CI runs, in the same order.
+ci: build lint test race bench-smoke

@@ -165,7 +165,7 @@ func BenchmarkFig13FaultTolerance(b *testing.B) {
 
 // --- MRBG-Store micro-benchmarks (the data structure under Table 4) ---
 
-func populateStore(b *testing.B, strategy mrbg.ReadStrategy, nKeys int) *mrbg.Store {
+func populateStore(b *testing.B, strategy mrbg.ReadStrategy, nKeys int) *mrbg.ShardedStore {
 	b.Helper()
 	s, err := mrbg.Open(mrbg.Options{Dir: b.TempDir(), Strategy: strategy})
 	if err != nil {
@@ -225,6 +225,22 @@ func BenchmarkMRBGStoreGetMany(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkShardSweep regenerates the shard-count sweep of the sharded
+// MRBG-Store (Merge + full scan per shard count); on multi-core
+// hardware the per-shard-count times should fall as shards rise.
+func BenchmarkShardSweep(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.ShardSweep(b.TempDir(), sc, []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(float64(r.MergeTime.Microseconds()), fmt.Sprintf("shards%d-merge-us", r.Shards))
+		}
 	}
 }
 

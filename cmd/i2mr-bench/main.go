@@ -5,7 +5,8 @@
 //
 //	i2mr-bench [-scale small|default] [-workdir DIR] [experiment ...]
 //
-// Experiments: fig8 fig9 table4 fig10 fig11 fig12 fig13 apriori all
+// Experiments: fig8 fig9 table4 fig10 fig11 fig12 fig13 apriori shards
+// all
 package main
 
 import (
@@ -21,12 +22,14 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "default", "workload scale: small or default")
 	workdir := flag.String("workdir", "", "working directory (default: a temp dir, removed on exit)")
+	shards := flag.Int("shards", 0, "MRBG-Store shard count for i2MR runs (0 = store default)")
 	flag.Parse()
 
 	sc := bench.DefaultScale()
 	if *scaleFlag == "small" {
 		sc = bench.SmallScale()
 	}
+	sc.StoreShards = *shards
 
 	dir := *workdir
 	if dir == "" {
@@ -40,7 +43,7 @@ func main() {
 
 	experiments := flag.Args()
 	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
-		experiments = []string{"apriori", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13"}
+		experiments = []string{"apriori", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
 	}
 
 	for _, name := range experiments {
@@ -107,6 +110,12 @@ func runExperiment(env *bench.Env, sc bench.Scale, dir, name string) error {
 			return err
 		}
 		fmt.Print(bench.FormatAPriori(res))
+	case "shards":
+		rows, err := bench.ShardSweep(filepath.Join(dir, "shard-sweep"), sc, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatShardSweep(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	i2mr -app pagerank|sssp|kmeans|gimv [-n N] [-delta F] [-nodes K]
+//	i2mr -app pagerank|sssp|kmeans|gimv [-n N] [-delta F] [-nodes K] [-shards S]
 package main
 
 import (
@@ -29,6 +29,8 @@ func main() {
 	nodes := flag.Int("nodes", 4, "simulated cluster nodes")
 	cpc := flag.Bool("cpc", true, "enable change propagation control")
 	ft := flag.Float64("ft", 0.001, "CPC filter threshold")
+	shards := flag.Int("shards", 1, "MRBG-Store shard files per partition")
+	storePar := flag.Int("store-par", 0, "MRBG-Store shard fan-out (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	dir, err := os.MkdirTemp("", "i2mr-run-*")
@@ -37,7 +39,10 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	sys, err := i2mr.New(i2mr.Options{WorkDir: dir, Nodes: *nodes})
+	sys, err := i2mr.New(i2mr.Options{
+		WorkDir: dir, Nodes: *nodes,
+		StoreShards: *shards, StoreParallelism: *storePar,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

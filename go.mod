@@ -1,0 +1,3 @@
+module i2mapreduce
+
+go 1.23

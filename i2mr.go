@@ -106,11 +106,20 @@ type Options struct {
 	SlotsPerNode int
 	// BlockSize is the DFS block capacity. Defaults to 1 MiB.
 	BlockSize int64
+	// StoreShards is the default MRBG-Store shard count for runners
+	// created by this System; jobs that set StoreOpts.Shards themselves
+	// win. Defaults to the store's own default (1).
+	StoreShards int
+	// StoreParallelism bounds the per-store shard fan-out; jobs that
+	// set StoreOpts.Parallelism win. Defaults to GOMAXPROCS.
+	StoreParallelism int
 }
 
 // System is a ready-to-use i2MapReduce deployment.
 type System struct {
-	eng *mr.Engine
+	eng              *mr.Engine
+	storeShards      int
+	storeParallelism int
 }
 
 // New builds a System under opts.WorkDir.
@@ -140,7 +149,22 @@ func New(opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{eng: mr.NewEngine(fs, cl)}, nil
+	return &System{
+		eng:              mr.NewEngine(fs, cl),
+		storeShards:      opts.StoreShards,
+		storeParallelism: opts.StoreParallelism,
+	}, nil
+}
+
+// applyStoreDefaults fills unset store knobs from the System's
+// defaults.
+func (s *System) applyStoreDefaults(opts *mrbg.Options) {
+	if opts.Shards == 0 {
+		opts.Shards = s.storeShards
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = s.storeParallelism
+	}
 }
 
 // WritePairs stores records as a DFS file.
@@ -171,6 +195,7 @@ func (s *System) MapReduce(job Job) (*Report, error) {
 // NewOneStep prepares a fine-grain incremental one-step runner:
 // RunInitial once, then RunDelta per refresh.
 func (s *System) NewOneStep(job OneStepJob) (*OneStepRunner, error) {
+	s.applyStoreDefaults(&job.StoreOpts)
 	return incr.NewRunner(s.eng, job)
 }
 
@@ -182,6 +207,7 @@ func (s *System) NewIterative(spec Spec, cfg IterConfig) (*IterRunner, error) {
 // NewIncremental prepares the i2MapReduce incremental iterative runner:
 // RunInitial once, then RunIncremental per delta.
 func (s *System) NewIncremental(spec Spec, cfg Config) (*Runner, error) {
+	s.applyStoreDefaults(&cfg.StoreOpts)
 	return core.NewRunner(s.eng, spec, cfg)
 }
 

@@ -27,6 +27,7 @@ import (
 	"i2mapreduce/internal/kv"
 	"i2mapreduce/internal/metrics"
 	"i2mapreduce/internal/mr"
+	"i2mapreduce/internal/mrbg"
 )
 
 // Scale sizes the synthetic workloads.
@@ -49,7 +50,18 @@ type Scale struct {
 	// CPCThreshold is the filter threshold used for "i2MR w/ CPC" runs
 	// (ranks are O(1) here, as in the paper's un-normalized PageRank).
 	CPCThreshold float64
-	Seed         int64
+	// StoreShards is the MRBG-Store shard count used by i2MR runs
+	// (0 = the store default of 1); ShardSweep sweeps it explicitly.
+	StoreShards int
+	// StoreParallelism bounds the per-store shard fan-out
+	// (0 = GOMAXPROCS).
+	StoreParallelism int
+	Seed             int64
+}
+
+// storeOpts builds the MRBG-Store options the scale prescribes.
+func (sc Scale) storeOpts() mrbg.Options {
+	return mrbg.Options{Shards: sc.StoreShards, Parallelism: sc.StoreParallelism}
 }
 
 // DefaultScale is the full benchmark configuration.
@@ -166,8 +178,12 @@ func Fig8(env *Env, sc Scale) ([]Fig8Row, error) {
 }
 
 // runI2 prepares a core runner on the initial input (untimed) and times
-// the incremental refresh.
-func runI2(env *Env, spec core.Spec, cfg core.Config, initial, delta string) (time.Duration, *core.Result, error) {
+// the incremental refresh. An unset cfg.StoreOpts picks up the scale's
+// store configuration (shard count, fan-out).
+func runI2(env *Env, sc Scale, spec core.Spec, cfg core.Config, initial, delta string) (time.Duration, *core.Result, error) {
+	if cfg.StoreOpts == (mrbg.Options{}) {
+		cfg.StoreOpts = sc.storeOpts()
+	}
 	r, err := core.NewRunner(env.Eng, spec, cfg)
 	if err != nil {
 		return 0, nil, err
@@ -254,13 +270,13 @@ func fig8PageRank(env *Env, sc Scale) (Fig8Row, error) {
 	coreCfg := core.Config{
 		NumPartitions: sc.Partitions, MaxIterations: sc.MaxIterations, Epsilon: sc.Epsilon,
 	}
-	d, _, err := runI2(env, apps.PageRankSpec("fig8-pr-i2a", apps.DefaultDamping), coreCfg, "fig8/pr/g0", "fig8/pr/delta")
+	d, _, err := runI2(env, sc, apps.PageRankSpec("fig8-pr-i2a", apps.DefaultDamping), coreCfg, "fig8/pr/g0", "fig8/pr/delta")
 	if err != nil {
 		return Fig8Row{}, err
 	}
 	row.I2NoCPC = d
 	coreCfg.CPC, coreCfg.FilterThreshold = true, sc.CPCThreshold
-	d, _, err = runI2(env, apps.PageRankSpec("fig8-pr-i2b", apps.DefaultDamping), coreCfg, "fig8/pr/g0", "fig8/pr/delta")
+	d, _, err = runI2(env, sc, apps.PageRankSpec("fig8-pr-i2b", apps.DefaultDamping), coreCfg, "fig8/pr/g0", "fig8/pr/delta")
 	if err != nil {
 		return Fig8Row{}, err
 	}
@@ -325,13 +341,13 @@ func fig8SSSP(env *Env, sc Scale) (Fig8Row, error) {
 	// precise); "w/o CPC" and "w/ CPC" differ only in the explicit
 	// filter, which is 0 anyway.
 	coreCfg := core.Config{NumPartitions: sc.Partitions, MaxIterations: sc.MaxIterations}
-	d, _, err := runI2(env, apps.SSSPSpec("fig8-sssp-i2a", source), coreCfg, "fig8/sssp/g0", "fig8/sssp/delta")
+	d, _, err := runI2(env, sc, apps.SSSPSpec("fig8-sssp-i2a", source), coreCfg, "fig8/sssp/g0", "fig8/sssp/delta")
 	if err != nil {
 		return Fig8Row{}, err
 	}
 	row.I2NoCPC = d
 	coreCfg.CPC = true
-	d, _, err = runI2(env, apps.SSSPSpec("fig8-sssp-i2b", source), coreCfg, "fig8/sssp/g0", "fig8/sssp/delta")
+	d, _, err = runI2(env, sc, apps.SSSPSpec("fig8-sssp-i2b", source), coreCfg, "fig8/sssp/g0", "fig8/sssp/delta")
 	if err != nil {
 		return Fig8Row{}, err
 	}
@@ -385,7 +401,7 @@ func fig8Kmeans(env *Env, sc Scale) (Fig8Row, error) {
 		NumPartitions: sc.Partitions, MaxIterations: sc.MaxIterations, Epsilon: 1e-9,
 		InitialState: initState,
 	}
-	d, _, err := runI2(env, apps.KmeansSpec("fig8-km-i2a"), coreCfg, "fig8/km/p0", "fig8/km/delta")
+	d, _, err := runI2(env, sc, apps.KmeansSpec("fig8-km-i2a"), coreCfg, "fig8/km/p0", "fig8/km/delta")
 	if err != nil {
 		return Fig8Row{}, err
 	}
@@ -448,13 +464,13 @@ func fig8GIMV(env *Env, sc Scale) (Fig8Row, error) {
 	row.HaLoop = effective(time.Since(hStart), hres.Report)
 
 	coreCfg := core.Config{NumPartitions: sc.Partitions, MaxIterations: sc.MaxIterations, Epsilon: sc.Epsilon}
-	d, _, err := runI2(env, apps.GIMVSpec("fig8-gimv-i2a", sc.BlockSize, apps.DefaultDamping), coreCfg, "fig8/gimv/m0", "fig8/gimv/delta")
+	d, _, err := runI2(env, sc, apps.GIMVSpec("fig8-gimv-i2a", sc.BlockSize, apps.DefaultDamping), coreCfg, "fig8/gimv/m0", "fig8/gimv/delta")
 	if err != nil {
 		return Fig8Row{}, err
 	}
 	row.I2NoCPC = d
 	coreCfg.CPC, coreCfg.FilterThreshold = true, sc.CPCThreshold
-	d, _, err = runI2(env, apps.GIMVSpec("fig8-gimv-i2b", sc.BlockSize, apps.DefaultDamping), coreCfg, "fig8/gimv/m0", "fig8/gimv/delta")
+	d, _, err = runI2(env, sc, apps.GIMVSpec("fig8-gimv-i2b", sc.BlockSize, apps.DefaultDamping), coreCfg, "fig8/gimv/m0", "fig8/gimv/delta")
 	if err != nil {
 		return Fig8Row{}, err
 	}

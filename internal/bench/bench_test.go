@@ -199,3 +199,47 @@ func TestAPrioriSpeedup(t *testing.T) {
 	}
 	_ = FormatAPriori(res)
 }
+
+func TestShardSweepShapeHolds(t *testing.T) {
+	sc := tinyScale()
+	rows, err := ShardSweep(t.TempDir(), sc, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for i, want := range []int{1, 2, 4} {
+		r := rows[i]
+		if r.Shards != want {
+			t.Errorf("row %d shards = %d, want %d", i, r.Shards, want)
+		}
+		if r.MergeTime <= 0 || r.QueryTime <= 0 {
+			t.Errorf("row %d has non-positive timings: %+v", i, r)
+		}
+		if r.LiveChunks != sc.GraphVertices {
+			t.Errorf("row %d live chunks = %d, want %d", i, r.LiveChunks, sc.GraphVertices)
+		}
+	}
+	if out := FormatShardSweep(rows); !strings.Contains(out, "shards") {
+		t.Fatalf("FormatShardSweep missing header:\n%s", out)
+	}
+}
+
+func TestFig8RunsWithShardedStores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig8 with sharding is covered by the long run")
+	}
+	env := newTestEnv(t)
+	sc := tinyScale()
+	sc.StoreShards = 4
+	rows, err := Fig8(env, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.I2CPC <= 0 {
+			t.Fatalf("row %s has non-positive i2MR timing: %+v", r.App, r)
+		}
+	}
+}

@@ -68,6 +68,7 @@ func Fig9(env *Env, sc Scale) ([]Fig9Row, error) {
 	r, err := core.NewRunner(env.Eng, apps.PageRankSpec("fig9-i2", apps.DefaultDamping), core.Config{
 		NumPartitions: sc.Partitions, MaxIterations: sc.MaxIterations, Epsilon: sc.Epsilon,
 		CPC: true, FilterThreshold: sc.CPCThreshold,
+		StoreOpts: sc.storeOpts(),
 	})
 	if err != nil {
 		return nil, err
@@ -149,7 +150,7 @@ func Table4(env *Env, sc Scale) ([]Table4Row, error) {
 		r, err := core.NewRunner(env.Eng, apps.PageRankSpec(fmt.Sprintf("table4-%d", i), apps.DefaultDamping), core.Config{
 			NumPartitions: sc.Partitions, MaxIterations: sc.MaxIterations, Epsilon: sc.Epsilon,
 			CPC: true, FilterThreshold: sc.CPCThreshold,
-			StoreOpts: mrbg.Options{Strategy: strat},
+			StoreOpts: mrbg.Options{Strategy: strat, Shards: sc.StoreShards, Parallelism: sc.StoreParallelism},
 		})
 		if err != nil {
 			return nil, err
@@ -236,6 +237,7 @@ func Fig10(env *Env, sc Scale) ([]Fig10Row, error) {
 		cfg := core.Config{
 			NumPartitions: sc.Partitions, MaxIterations: sc.MaxIterations, Epsilon: sc.Epsilon,
 			CPC: true, FilterThreshold: ft,
+			StoreOpts: sc.storeOpts(),
 		}
 		r, err := core.NewRunner(env.Eng, apps.PageRankSpec(fmt.Sprintf("fig10-%d", i), apps.DefaultDamping), cfg)
 		if err != nil {
@@ -341,6 +343,7 @@ func Fig11(env *Env, sc Scale) ([]Fig11Series, error) {
 			// Disable the P_delta fallback so propagation growth is
 			// observable, as in the paper's Fig. 11 "w/o CPC" line.
 			PDeltaThreshold: 1.1,
+			StoreOpts:       sc.storeOpts(),
 		}
 		r, err := core.NewRunner(env.Eng, apps.PageRankSpec(fmt.Sprintf("fig11-%d", i), apps.DefaultDamping), cfg)
 		if err != nil {
@@ -556,6 +559,7 @@ func Fig13(env *Env, sc Scale) (*Fig13Result, error) {
 	r, err := core.NewRunner(env.Eng, apps.PageRankSpec("fig13", apps.DefaultDamping), core.Config{
 		NumPartitions: sc.Partitions, MaxIterations: sc.MaxIterations, Epsilon: sc.Epsilon,
 		CPC: true, FilterThreshold: sc.CPCThreshold, Checkpoint: true,
+		StoreOpts: sc.storeOpts(),
 	})
 	if err != nil {
 		return nil, err

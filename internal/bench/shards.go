@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"i2mapreduce/internal/mrbg"
+)
+
+// ---------------------------------------------------------------------
+// Shard sweep: MRBG-Store Merge/GetMany wall-clock across shard counts.
+// Not a paper figure — it measures this reproduction's sharded store
+// (the ROADMAP's "as fast as the hardware allows" axis). On multi-core
+// hardware Merge and GetMany should improve with shard count until the
+// fan-out exhausts the cores.
+// ---------------------------------------------------------------------
+
+// ShardSweepRow is one shard count's profile.
+type ShardSweepRow struct {
+	Shards     int
+	MergeTime  time.Duration
+	QueryTime  time.Duration
+	Reads      int64
+	LiveChunks int
+}
+
+// ShardSweep populates one store per shard count under dir, then times
+// a delta merge touching DeltaFraction of the keys and a full sorted
+// scan.
+func ShardSweep(dir string, sc Scale, shardCounts []int) ([]ShardSweepRow, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	nKeys := sc.GraphVertices
+	if nKeys <= 0 {
+		nKeys = 4000
+	}
+	nDelta := int(float64(nKeys) * sc.DeltaFraction)
+	if nDelta <= 0 {
+		nDelta = nKeys / 10
+	}
+
+	rows := make([]ShardSweepRow, 0, len(shardCounts))
+	for _, shards := range shardCounts {
+		opts := sc.storeOpts()
+		opts.Dir = filepath.Join(dir, fmt.Sprintf("shards-%d", shards))
+		opts.Shards = shards
+		s, err := mrbg.Open(opts)
+		if err != nil {
+			return nil, err
+		}
+
+		var initial []mrbg.DeltaEdge
+		for i := 0; i < nKeys; i++ {
+			initial = append(initial, mrbg.DeltaEdge{
+				Key: fmt.Sprintf("key-%07d", i), MK: 1,
+				V2: "payload-" + strings.Repeat("x", 24),
+			})
+		}
+		if err := s.Merge(initial, func(mrbg.MergeResult) error { return nil }); err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.ResetStats()
+
+		var delta []mrbg.DeltaEdge
+		for i := 0; i < nDelta; i++ {
+			delta = append(delta, mrbg.DeltaEdge{
+				Key: fmt.Sprintf("key-%07d", (i*37)%nKeys), MK: 2,
+				V2: "updated-" + strings.Repeat("y", 24),
+			})
+		}
+		mergeStart := time.Now()
+		if err := s.Merge(delta, func(mrbg.MergeResult) error { return nil }); err != nil {
+			s.Close()
+			return nil, err
+		}
+		row := ShardSweepRow{Shards: s.NumShards(), MergeTime: time.Since(mergeStart)}
+
+		keys := s.Keys()
+		queryStart := time.Now()
+		if err := s.GetMany(keys, func(string, mrbg.Chunk, bool) error { return nil }); err != nil {
+			s.Close()
+			return nil, err
+		}
+		row.QueryTime = time.Since(queryStart)
+		st := s.Stats()
+		row.Reads = st.Reads
+		row.LiveChunks = st.LiveChunks
+		rows = append(rows, row)
+		if err := s.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// FormatShardSweep renders the sweep table.
+func FormatShardSweep(rows []ShardSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shard sweep — MRBG-Store Merge/GetMany wall-clock vs shard count\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %10s %10s\n", "shards", "merge", "scan", "#reads", "chunks")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %12s %12s %10d %10d\n", r.Shards,
+			r.MergeTime.Round(time.Millisecond), r.QueryTime.Round(time.Millisecond),
+			r.Reads, r.LiveChunks)
+	}
+	return b.String()
+}

@@ -126,7 +126,7 @@ type Runner struct {
 	state  []map[string]string
 	last   []map[string]string // last propagated value per DK (CPC baseline)
 	global map[string]string   // replicated state (ReplicateState specs)
-	stores []*mrbg.Store
+	stores []*mrbg.ShardedStore
 
 	mrbgOn      bool
 	initialDone bool
@@ -200,7 +200,7 @@ func (r *Runner) Close() error {
 }
 
 // Stores exposes the per-partition MRBG-Stores for the Table 4 harness.
-func (r *Runner) Stores() []*mrbg.Store { return r.stores }
+func (r *Runner) Stores() []*mrbg.ShardedStore { return r.stores }
 
 // MRBGEnabled reports whether MRBGraph maintenance is currently active.
 func (r *Runner) MRBGEnabled() bool { return r.mrbgOn }

@@ -58,7 +58,7 @@ type Job struct {
 type Runner struct {
 	eng    *mr.Engine
 	job    Job
-	stores []*mrbg.Store
+	stores []*mrbg.ShardedStore
 	// outputs[r] maps a reduce input key K2 to the output pairs its
 	// Reduce call emitted; replacing a K2's group replaces exactly
 	// those outputs. For accumulator jobs outputs[r] maps K3 to a
@@ -127,7 +127,7 @@ func (r *Runner) Close() error {
 
 // Stores exposes the per-partition MRBG-Stores (nil for accumulator
 // jobs); the Table 4 harness reads their statistics.
-func (r *Runner) Stores() []*mrbg.Store { return r.stores }
+func (r *Runner) Stores() []*mrbg.ShardedStore { return r.stores }
 
 // mkFor derives the globally unique Map key for the occ-th value a Map
 // instance emits to one K2. The paper treats (K2, MK) as a unique edge

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 )
 
@@ -31,8 +30,52 @@ type MergeResult struct {
 // insertion.
 //
 // The emit callback runs before the new batch commits; if it returns an
-// error the merge aborts with the index unchanged.
+// error the merge aborts with the index unchanged. Results stream one
+// key at a time — only the chunk being merged is in memory.
 func (s *Store) Merge(delta []DeltaEdge, emit func(r MergeResult) error) error {
+	var removed []string
+	err := s.mergeDeltas(delta, func(r MergeResult) error {
+		if r.Removed {
+			removed = append(removed, r.Key)
+		}
+		return emit(r)
+	})
+	if err != nil {
+		s.abortMerge()
+		return err
+	}
+	if err := s.commitPending(); err != nil {
+		s.abortMerge()
+		return err
+	}
+	for _, k := range removed {
+		delete(s.index, k)
+	}
+	return nil
+}
+
+// stageMerge performs the join of a delta MRBGraph against this shard:
+// merged chunks are staged in the append buffer / pending index and the
+// per-key results are returned in sorted key order, but nothing is
+// committed. The caller must follow with commitMerge or abortMerge.
+// Used by the multi-shard merge, which must buffer results to re-merge
+// them into global key order before emitting.
+func (s *Store) stageMerge(delta []DeltaEdge) ([]MergeResult, error) {
+	results := make([]MergeResult, 0, len(delta))
+	err := s.mergeDeltas(delta, func(r MergeResult) error {
+		results = append(results, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// mergeDeltas is the join loop shared by Merge (streaming) and
+// stageMerge (buffered): it invokes onResult per affected key in sorted
+// order while staging new chunk versions, committing nothing.
+func (s *Store) mergeDeltas(delta []DeltaEdge, onResult func(r MergeResult) error) error {
 	if len(s.pending) != 0 {
 		return errors.New("mrbg: Merge re-entered before commit")
 	}
@@ -48,19 +91,12 @@ func (s *Store) Merge(delta []DeltaEdge, emit func(r MergeResult) error) error {
 	}
 	plan := &queryPlan{keys: keys}
 
-	removed := make([]string, 0, 4)
-	abort := func(err error) error {
-		s.appendBuf = s.appendBuf[:0]
-		s.pending = make(map[string]loc)
-		return err
-	}
-
 	di := 0
 	for ki, key := range keys {
 		plan.pos = ki
 		old, ok, err := s.fetch(key, plan)
 		if err != nil {
-			return abort(err)
+			return err
 		}
 
 		// Merge preserved edges with this key's delta records.
@@ -80,9 +116,8 @@ func (s *Store) Merge(delta []DeltaEdge, emit func(r MergeResult) error) error {
 
 		if len(merged) == 0 {
 			if ok {
-				removed = append(removed, key)
-				if err := emit(MergeResult{Key: key, Removed: true}); err != nil {
-					return abort(err)
+				if err := onResult(MergeResult{Key: key, Removed: true}); err != nil {
+					return err
 				}
 			} else {
 				// Deletions for a key that was never live: dropped, but
@@ -98,21 +133,42 @@ func (s *Store) Merge(delta []DeltaEdge, emit func(r MergeResult) error) error {
 		}
 		sort.Slice(edges, func(i, j int) bool { return edges[i].MK < edges[j].MK })
 		c := Chunk{Key: key, Edges: edges}
-		if err := emit(MergeResult{Key: key, Chunk: c}); err != nil {
-			return abort(err)
+		if err := onResult(MergeResult{Key: key, Chunk: c}); err != nil {
+			return err
 		}
 		if err := s.appendChunk(c); err != nil {
-			return abort(err)
+			return err
 		}
 	}
+	return nil
+}
 
+// abortMerge discards everything staged since the last commit, leaving
+// the index unchanged. Bytes already flushed mid-merge remain in the
+// file as unreferenced garbage (reclaimed by Compact).
+func (s *Store) abortMerge() {
+	s.appendBuf = s.appendBuf[:0]
+	s.pending = make(map[string]loc)
+}
+
+// commitMerge seals a staged merge: the new batch commits and fully
+// deleted keys leave the index.
+func (s *Store) commitMerge(results []MergeResult) error {
 	if err := s.commitPending(); err != nil {
 		return err
 	}
-	for _, k := range removed {
-		delete(s.index, k)
+	for _, r := range results {
+		if r.Removed {
+			delete(s.index, r.Key)
+		}
 	}
 	return nil
+}
+
+// hasPending reports whether a merge or Put batch is staged but not yet
+// committed.
+func (s *Store) hasPending() bool {
+	return len(s.pending) != 0 || len(s.appendBuf) != 0
 }
 
 // Put stores a chunk directly, bypassing the delta join — used by the
@@ -144,10 +200,10 @@ func (s *Store) AllChunks(fn func(c Chunk) error) error {
 // live chunks in one sorted batch, and the on-disk checkpoint reflects
 // the compacted file.
 func (s *Store) Compact() error {
-	if len(s.pending) != 0 || len(s.appendBuf) != 0 {
+	if s.hasPending() {
 		return errors.New("mrbg: Compact during an uncommitted merge")
 	}
-	tmpPath := filepath.Join(s.opts.Dir, datName+".compact")
+	tmpPath := s.datPath + ".compact"
 	tmp, err := os.Create(tmpPath)
 	if err != nil {
 		return err
@@ -179,10 +235,10 @@ func (s *Store) Compact() error {
 	if err := s.f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmpPath, filepath.Join(s.opts.Dir, datName)); err != nil {
+	if err := os.Rename(tmpPath, s.datPath); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(filepath.Join(s.opts.Dir, datName), os.O_RDWR, 0o644)
+	f, err := os.OpenFile(s.datPath, os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}

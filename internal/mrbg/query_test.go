@@ -8,7 +8,7 @@ import (
 
 // populate fills a store with nKeys chunks, each carrying a payload of
 // valSize bytes, committed as one batch per call.
-func populate(t *testing.T, s *Store, nKeys, valSize int, tag string) []string {
+func populate(t *testing.T, s *ShardedStore, nKeys, valSize int, tag string) []string {
 	t.Helper()
 	keys := make([]string, 0, nKeys)
 	for i := 0; i < nKeys; i++ {
@@ -141,7 +141,7 @@ func TestDynamicWindowReadsThroughSmallGap(t *testing.T) {
 // populateMultiBatch builds a store whose keys alternate between two
 // batches: even keys were rewritten in batch 2, odd keys remain in
 // batch 1 — the Fig. 7 scenario.
-func populateMultiBatch(t *testing.T, s *Store, nKeys, valSize int) []string {
+func populateMultiBatch(t *testing.T, s *ShardedStore, nKeys, valSize int) []string {
 	t.Helper()
 	keys := populate(t, s, nKeys, valSize, "old-")
 	var delta []DeltaEdge

@@ -3,20 +3,37 @@
 // `(K2, MK, V2)` of a MapReduce computation, preserved reduce-side so
 // incremental jobs re-compute only affected Reduce instances.
 //
-// On disk a store is two files in its directory:
+// # On-disk layout
 //
-//	mrbg.dat — the MRBGraph file: chunks appended in sorted batches,
-//	           one batch per merge operation (iteration). A chunk holds
-//	           every live edge of one K2, stored contiguously; the unit
-//	           of every read and write is a whole chunk.
-//	mrbg.idx — the persisted chunk index + batch counter + logical file
-//	           length, written by Checkpoint. Open recovers from it,
-//	           truncating a partially-appended tail if the process died
-//	           between Checkpoint calls.
+// Open returns a ShardedStore: chunks are partitioned across
+// Options.Shards independent shard files by hash(K2) % Shards, so the
+// hot paths (Merge, GetMany, Compact) can run one goroutine per shard.
+// A store directory holds:
+//
+//	mrbg.meta  — the shard count, fixed at creation time. Reopening
+//	             with a different Options.Shards adopts the persisted
+//	             count (keys would otherwise hash to the wrong file).
+//	mrbg-<i>.dat — shard i's MRBGraph file: chunks appended in sorted
+//	             batches, one batch per merge operation (iteration). A
+//	             chunk holds every live edge of one K2, stored
+//	             contiguously; the unit of every read and write is a
+//	             whole chunk.
+//	mrbg-<i>.idx — shard i's persisted chunk index + batch counter +
+//	             logical file length, written by Checkpoint. Open
+//	             recovers from it, truncating a partially-appended tail
+//	             if the process died between Checkpoint calls.
+//
+// A legacy single-file store (mrbg.dat/mrbg.idx with no mrbg.meta, the
+// layout before sharding) is recognized and opened as one shard under
+// its original file names.
+//
+// With Shards: 1 (the default) a ShardedStore behaves exactly like the
+// historical single-file store: same emit order, same query results,
+// same I/O statistics.
 //
 // Obsolete chunk versions are not rewritten in place (paper: "obsolete
 // chunks are NOT immediately updated in the file for I/O efficiency");
-// Compact reconstructs the file offline.
+// Compact reconstructs the files offline.
 package mrbg
 
 import (
@@ -27,6 +44,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 )
 
@@ -102,8 +120,16 @@ func (s ReadStrategy) String() string {
 
 // Options configures a store.
 type Options struct {
-	// Dir is the directory holding mrbg.dat and mrbg.idx. Required.
+	// Dir is the directory holding the shard files. Required.
 	Dir string
+	// Shards is the number of independent shard files chunks are
+	// partitioned across by hash(K2). Fixed at store creation and
+	// persisted in mrbg.meta; reopening adopts the persisted count.
+	// Default 1 (the historical single-file layout).
+	Shards int
+	// Parallelism bounds the goroutines fanned out across shards by
+	// Merge, GetMany, Compact, and Checkpoint. Default GOMAXPROCS.
+	Parallelism int
 	// Strategy defaults to MultiDynamicWindow.
 	Strategy ReadStrategy
 	// GapThreshold is Algorithm 1's T: a gap between consecutive
@@ -121,6 +147,12 @@ type Options struct {
 }
 
 func (o *Options) applyDefaults() {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	if o.GapThreshold <= 0 {
 		o.GapThreshold = 100 << 10
 	}
@@ -172,13 +204,15 @@ type loc struct {
 	batch int
 }
 
-// Store is one reduce task's MRBG-Store. It is not safe for concurrent
-// use: each reduce task owns its store exclusively, matching the
-// paper's per-task MRBGraph file.
+// Store is one shard of an MRBG-Store: a single MRBGraph file plus its
+// index. It is not safe for concurrent use — the ShardedStore front end
+// guarantees each shard is touched by one goroutine at a time.
 type Store struct {
-	opts  Options
-	f     *os.File
-	index map[string]loc
+	opts    Options
+	datPath string
+	idxPath string
+	f       *os.File
+	index   map[string]loc
 	// size is the logical end of the file: committed bytes plus
 	// buffered-but-unflushed appends land beyond it only after flush.
 	size  int64
@@ -194,26 +228,26 @@ type Store struct {
 }
 
 const (
-	datName = "mrbg.dat"
-	idxName = "mrbg.idx"
+	legacyDatName = "mrbg.dat"
+	legacyIdxName = "mrbg.idx"
 )
 
-// Open creates a store in opts.Dir or recovers the one checkpointed
-// there.
-func Open(opts Options) (*Store, error) {
-	if opts.Dir == "" {
-		return nil, errors.New("mrbg: Options.Dir is required")
-	}
-	opts.applyDefaults()
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
-		return nil, fmt.Errorf("mrbg: creating dir: %w", err)
-	}
-	f, err := os.OpenFile(filepath.Join(opts.Dir, datName), os.O_RDWR|os.O_CREATE, 0o644)
+// shardDatName / shardIdxName name shard i's files.
+func shardDatName(i int) string { return fmt.Sprintf("mrbg-%d.dat", i) }
+func shardIdxName(i int) string { return fmt.Sprintf("mrbg-%d.idx", i) }
+
+// openShard creates or recovers one shard file pair in opts.Dir. opts
+// must already have defaults applied and opts.Dir must exist.
+func openShard(opts Options, datName, idxName string) (*Store, error) {
+	datPath := filepath.Join(opts.Dir, datName)
+	f, err := os.OpenFile(datPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("mrbg: opening data file: %w", err)
 	}
 	s := &Store{
 		opts:    opts,
+		datPath: datPath,
+		idxPath: filepath.Join(opts.Dir, idxName),
 		f:       f,
 		index:   make(map[string]loc),
 		pending: make(map[string]loc),
@@ -371,9 +405,10 @@ func (s *Store) commitPending() error {
 }
 
 // Checkpoint persists the index, batch counter, and logical file length
-// to mrbg.idx, fsyncing the data file first. A store reopened from a
-// checkpoint sees exactly the chunks live at Checkpoint time (paper
-// Sec. 6.1: the MRBGraph file is checkpointed every iteration).
+// to the shard's index file, fsyncing the data file first. A store
+// reopened from a checkpoint sees exactly the chunks live at Checkpoint
+// time (paper Sec. 6.1: the MRBGraph file is checkpointed every
+// iteration).
 func (s *Store) Checkpoint() error {
 	if err := s.flushAppendBuf(); err != nil {
 		return err
@@ -384,7 +419,7 @@ func (s *Store) Checkpoint() error {
 	if err := s.f.Sync(); err != nil {
 		return err
 	}
-	tmp := filepath.Join(s.opts.Dir, idxName+".tmp")
+	tmp := s.idxPath + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
@@ -428,13 +463,13 @@ func (s *Store) Checkpoint() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(s.opts.Dir, idxName))
+	return os.Rename(tmp, s.idxPath)
 }
 
-// loadIndex recovers the index from mrbg.idx if present, truncating an
-// unchckpointed tail of the data file.
+// loadIndex recovers the index from the shard's index file if present,
+// truncating an uncheckpointed tail of the data file.
 func (s *Store) loadIndex() error {
-	f, err := os.Open(filepath.Join(s.opts.Dir, idxName))
+	f, err := os.Open(s.idxPath)
 	if errors.Is(err, os.ErrNotExist) {
 		// Fresh store: start empty, discarding any uncheckpointed data.
 		return s.f.Truncate(0)

@@ -9,7 +9,7 @@ import (
 	"testing/quick"
 )
 
-func openStore(t *testing.T, opts Options) *Store {
+func openStore(t *testing.T, opts Options) *ShardedStore {
 	t.Helper()
 	if opts.Dir == "" {
 		opts.Dir = t.TempDir()
