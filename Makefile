@@ -10,13 +10,24 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent packages (the sharded MRBG-Store and its
-# incremental-processing consumers).
+# Race-check the concurrent packages: the sharded MRBG-Store, the
+# streaming shuffle runtime, the engines that run concurrent tasks over
+# its shared buffers, and the task scheduler itself.
 race:
-	$(GO) test -race ./internal/mrbg/... ./internal/incr/...
+	$(GO) test -race ./internal/mrbg/... ./internal/incr/... \
+		./internal/shuffle/... ./internal/iter/... ./internal/core/... \
+		./internal/cluster/...
 
+# staticcheck runs when installed (CI always installs it); locally it
+# degrades to a notice so `make lint` needs nothing beyond the Go
+# toolchain.
 lint:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; \
+	fi
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi

@@ -23,6 +23,7 @@ func main() {
 	scaleFlag := flag.String("scale", "default", "workload scale: small or default")
 	workdir := flag.String("workdir", "", "working directory (default: a temp dir, removed on exit)")
 	shards := flag.Int("shards", 0, "MRBG-Store shard count for i2MR runs (0 = store default)")
+	shuffleMem := flag.Int64("shuffle-mem", 0, "shuffle memory budget in bytes per iteration for iterMR/i2MR runs (0 = unbounded)")
 	flag.Parse()
 
 	sc := bench.DefaultScale()
@@ -30,6 +31,7 @@ func main() {
 		sc = bench.SmallScale()
 	}
 	sc.StoreShards = *shards
+	sc.ShuffleMemoryBudget = *shuffleMem
 
 	dir := *workdir
 	if dir == "" {

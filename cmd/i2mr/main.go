@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	i2mr -app pagerank|sssp|kmeans|gimv [-n N] [-delta F] [-nodes K] [-shards S]
+//	i2mr -app pagerank|sssp|kmeans|gimv [-n N] [-delta F] [-nodes K] [-shards S] [-shuffle-mem B]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 	"i2mapreduce/internal/core"
 	"i2mapreduce/internal/datagen"
 	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 	ft := flag.Float64("ft", 0.001, "CPC filter threshold")
 	shards := flag.Int("shards", 1, "MRBG-Store shard files per partition")
 	storePar := flag.Int("store-par", 0, "MRBG-Store shard fan-out (0 = GOMAXPROCS)")
+	shuffleMem := flag.Int64("shuffle-mem", 0, "shuffle memory budget in bytes per iteration; beyond it map output spills sorted runs to scratch (0 = unbounded)")
 	flag.Parse()
 
 	dir, err := os.MkdirTemp("", "i2mr-run-*")
@@ -42,6 +44,7 @@ func main() {
 	sys, err := i2mr.New(i2mr.Options{
 		WorkDir: dir, Nodes: *nodes,
 		StoreShards: *shards, StoreParallelism: *storePar,
+		ShuffleMemoryBudget: *shuffleMem,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -120,6 +123,14 @@ func main() {
 	}
 	fmt.Printf("%s initial: %d iterations in %s (converged=%v, %d state keys)\n",
 		*app, res.Iterations, time.Since(start).Round(time.Millisecond), res.Converged, runner.StateKeyCount())
+	if *shuffleMem > 0 {
+		var runs, bytes int64
+		for _, s := range res.PerIter {
+			runs += s.Stages.Counters[metrics.CounterSpillRuns]
+			bytes += s.Stages.Counters[metrics.CounterSpillBytes]
+		}
+		fmt.Printf("shuffle: budget %d B, spilled %d runs / %d bytes during the initial job\n", *shuffleMem, runs, bytes)
+	}
 
 	start = time.Now()
 	inc, err := runner.RunIncremental("delta")

@@ -113,6 +113,15 @@ type Options struct {
 	// StoreParallelism bounds the per-store shard fan-out; jobs that
 	// set StoreOpts.Parallelism win. Defaults to GOMAXPROCS.
 	StoreParallelism int
+	// ShuffleMemoryBudget is the default per-iteration memory budget of
+	// the iterative engines' streaming shuffle: beyond it, map output
+	// spills to node-local scratch as sorted runs ("shuffle.spill.runs"
+	// / "shuffle.spill.bytes" count the spills). Runners whose config
+	// sets the budget themselves win: a positive config value overrides
+	// this default, and a negative one explicitly opts the runner out
+	// of spilling. 0 here (the default) keeps all intermediate data in
+	// memory.
+	ShuffleMemoryBudget int64
 }
 
 // System is a ready-to-use i2MapReduce deployment.
@@ -120,6 +129,7 @@ type System struct {
 	eng              *mr.Engine
 	storeShards      int
 	storeParallelism int
+	shuffleBudget    int64
 }
 
 // New builds a System under opts.WorkDir.
@@ -153,6 +163,7 @@ func New(opts Options) (*System, error) {
 		eng:              mr.NewEngine(fs, cl),
 		storeShards:      opts.StoreShards,
 		storeParallelism: opts.StoreParallelism,
+		shuffleBudget:    opts.ShuffleMemoryBudget,
 	}, nil
 }
 
@@ -201,6 +212,9 @@ func (s *System) NewOneStep(job OneStepJob) (*OneStepRunner, error) {
 
 // NewIterative prepares an iterMR (re-computation) runner.
 func (s *System) NewIterative(spec Spec, cfg IterConfig) (*IterRunner, error) {
+	if cfg.ShuffleMemoryBudget == 0 {
+		cfg.ShuffleMemoryBudget = s.shuffleBudget
+	}
 	return iter.NewRunner(s.eng, spec, cfg)
 }
 
@@ -208,6 +222,9 @@ func (s *System) NewIterative(spec Spec, cfg IterConfig) (*IterRunner, error) {
 // RunInitial once, then RunIncremental per delta.
 func (s *System) NewIncremental(spec Spec, cfg Config) (*Runner, error) {
 	s.applyStoreDefaults(&cfg.StoreOpts)
+	if cfg.ShuffleMemoryBudget == 0 {
+		cfg.ShuffleMemoryBudget = s.shuffleBudget
+	}
 	return core.NewRunner(s.eng, spec, cfg)
 }
 

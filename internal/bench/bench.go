@@ -56,7 +56,11 @@ type Scale struct {
 	// StoreParallelism bounds the per-store shard fan-out
 	// (0 = GOMAXPROCS).
 	StoreParallelism int
-	Seed             int64
+	// ShuffleMemoryBudget is the iterative engines' per-iteration
+	// shuffle memory budget in bytes (0 = unbounded, no spilling; a
+	// run config with its own positive budget wins).
+	ShuffleMemoryBudget int64
+	Seed                int64
 }
 
 // storeOpts builds the MRBG-Store options the scale prescribes.
@@ -184,6 +188,9 @@ func runI2(env *Env, sc Scale, spec core.Spec, cfg core.Config, initial, delta s
 	if cfg.StoreOpts == (mrbg.Options{}) {
 		cfg.StoreOpts = sc.storeOpts()
 	}
+	if cfg.ShuffleMemoryBudget == 0 {
+		cfg.ShuffleMemoryBudget = sc.ShuffleMemoryBudget
+	}
 	r, err := core.NewRunner(env.Eng, spec, cfg)
 	if err != nil {
 		return 0, nil, err
@@ -203,9 +210,10 @@ func runI2(env *Env, sc Scale, spec core.Spec, cfg core.Config, initial, delta s
 // refIterations runs a converged iterMR job and reports its iteration
 // count and state — the fixed-point the re-computation baselines are
 // charged for reproducing.
-func refIterations(env *Env, spec iter.Spec, parts int, maxIter int, eps float64, input string, initState map[string]string) (int, map[string]string, time.Duration, error) {
+func refIterations(env *Env, spec iter.Spec, parts int, maxIter int, eps float64, budget int64, input string, initState map[string]string) (int, map[string]string, time.Duration, error) {
 	r, err := iter.NewRunner(env.Eng, spec, iter.Config{
 		NumPartitions: parts, MaxIterations: maxIter, Epsilon: eps, InitialState: initState,
+		ShuffleMemoryBudget: budget,
 	})
 	if err != nil {
 		return 0, nil, 0, err
@@ -238,7 +246,7 @@ func fig8PageRank(env *Env, sc Scale) (Fig8Row, error) {
 	}
 
 	spec := apps.PageRankSpec("fig8-pr", apps.DefaultDamping)
-	iters, _, iterTime, err := refIterations(env, spec, sc.Partitions, sc.MaxIterations, sc.Epsilon, "fig8/pr/g1", nil)
+	iters, _, iterTime, err := refIterations(env, spec, sc.Partitions, sc.MaxIterations, sc.Epsilon, sc.ShuffleMemoryBudget, "fig8/pr/g1", nil)
 	if err != nil {
 		return Fig8Row{}, err
 	}
@@ -310,7 +318,7 @@ func fig8SSSP(env *Env, sc Scale) (Fig8Row, error) {
 	}
 
 	spec := apps.SSSPSpec("fig8-sssp", source)
-	iters, _, iterTime, err := refIterations(env, spec, sc.Partitions, sc.MaxIterations, 0, "fig8/sssp/g1", nil)
+	iters, _, iterTime, err := refIterations(env, spec, sc.Partitions, sc.MaxIterations, 0, sc.ShuffleMemoryBudget, "fig8/sssp/g1", nil)
 	if err != nil {
 		return Fig8Row{}, err
 	}
@@ -377,7 +385,7 @@ func fig8Kmeans(env *Env, sc Scale) (Fig8Row, error) {
 	}
 
 	initState := map[string]string{apps.KmeansStateKey: initial}
-	iters, _, iterTime, err := refIterations(env, apps.KmeansSpec("fig8-km"), sc.Partitions, sc.MaxIterations, 1e-9, "fig8/km/p1", initState)
+	iters, _, iterTime, err := refIterations(env, apps.KmeansSpec("fig8-km"), sc.Partitions, sc.MaxIterations, 1e-9, sc.ShuffleMemoryBudget, "fig8/km/p1", initState)
 	if err != nil {
 		return Fig8Row{}, err
 	}
@@ -435,7 +443,7 @@ func fig8GIMV(env *Env, sc Scale) (Fig8Row, error) {
 	}
 
 	spec := apps.GIMVSpec("fig8-gimv", sc.BlockSize, apps.DefaultDamping)
-	iters, _, iterTime, err := refIterations(env, spec, sc.Partitions, sc.MaxIterations, sc.Epsilon, "fig8/gimv/m1", nil)
+	iters, _, iterTime, err := refIterations(env, spec, sc.Partitions, sc.MaxIterations, sc.Epsilon, sc.ShuffleMemoryBudget, "fig8/gimv/m1", nil)
 	if err != nil {
 		return Fig8Row{}, err
 	}
@@ -499,8 +507,9 @@ type iterRunner = iter.Runner
 // iterNew builds an iterMR runner sized by the scale.
 func iterNew(env *Env, spec core.Spec, sc Scale) (*iter.Runner, error) {
 	return iter.NewRunner(env.Eng, spec, iter.Config{
-		NumPartitions: sc.Partitions,
-		MaxIterations: sc.MaxIterations,
-		Epsilon:       sc.Epsilon,
+		NumPartitions:       sc.Partitions,
+		MaxIterations:       sc.MaxIterations,
+		Epsilon:             sc.Epsilon,
+		ShuffleMemoryBudget: sc.ShuffleMemoryBudget,
 	})
 }

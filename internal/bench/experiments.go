@@ -46,7 +46,7 @@ func Fig9(env *Env, sc Scale) ([]Fig9Row, error) {
 	}
 
 	spec := apps.PageRankSpec("fig9-ref", apps.DefaultDamping)
-	iters, _, _, err := refIterations(env, spec, sc.Partitions, sc.MaxIterations, sc.Epsilon, "fig9/g1", nil)
+	iters, _, _, err := refIterations(env, spec, sc.Partitions, sc.MaxIterations, sc.Epsilon, sc.ShuffleMemoryBudget, "fig9/g1", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +224,7 @@ func Fig10(env *Env, sc Scale) ([]Fig10Row, error) {
 	// Exact reference (computed offline): converged run on the updated
 	// graph.
 	_, exact, _, err := refIterations(env, apps.PageRankSpec("fig10-ref", apps.DefaultDamping),
-		sc.Partitions, 300, 1e-10, "fig10/g1", nil)
+		sc.Partitions, 300, 1e-10, sc.ShuffleMemoryBudget, "fig10/g1", nil)
 	if err != nil {
 		return nil, err
 	}

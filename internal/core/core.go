@@ -36,6 +36,7 @@ import (
 	"i2mapreduce/internal/metrics"
 	"i2mapreduce/internal/mr"
 	"i2mapreduce/internal/mrbg"
+	"i2mapreduce/internal/shuffle"
 )
 
 // Spec re-exports the iterative application model; core adds two
@@ -74,6 +75,14 @@ type Config struct {
 	PDeltaThreshold float64
 	// StoreOpts templates the per-partition MRBG-Store options.
 	StoreOpts mrbg.Options
+	// ShuffleMemoryBudget bounds the bytes of intermediate data the
+	// full-pass shuffle buffers in memory per iteration; beyond it, map
+	// output spills to node-local scratch as sorted runs streamed back
+	// through a k-way merge ("shuffle.spill.runs" /
+	// "shuffle.spill.bytes"). <= 0 keeps everything in memory; when the
+	// runner is built through i2mr.System, 0 inherits the System-wide
+	// default and a negative value explicitly opts out of spilling.
+	ShuffleMemoryBudget int64
 	// InitialState seeds the state for ReplicateState specs.
 	InitialState map[string]string
 	// Checkpoint persists state and MRBGraph files after every
@@ -227,6 +236,14 @@ func (r *Runner) partitionOf(sk string) int {
 func (r *Runner) structPath(p int) string {
 	node := r.eng.Cluster().NodeByID(p % r.eng.Cluster().NumNodes())
 	return filepath.Join(node.ScratchDir, "core", sanitize(r.spec.Name), fmt.Sprintf("part-%04d.struct", p))
+}
+
+// shuffleDir names the node-local spill directory of one iteration's
+// partition p (jobSeq disambiguates iterations across jobs).
+func (r *Runner) shuffleDir(it, p int) string {
+	node := r.eng.Cluster().NodeByID(p % r.eng.Cluster().NumNodes())
+	return filepath.Join(node.ScratchDir, "core-shuffle", sanitize(r.spec.Name),
+		fmt.Sprintf("j%d-it%03d-part-%04d", r.jobSeq, it, p))
 }
 
 // runTasks executes tasks on the cluster and accumulates their events
@@ -417,143 +434,99 @@ func (r *Runner) resetLastEmitted() {
 
 // runFullIteration is one complete prime Map -> shuffle -> prime
 // Reduce pass over all structure records (used by the initial run and
-// by MRBG-off mode). State updates apply in place; Propagated counts
+// by MRBG-off mode), executed on the shared streaming shuffle runtime
+// (internal/shuffle). State updates apply in place; Propagated counts
 // keys that changed beyond the active threshold.
 func (r *Runner) runFullIteration(it int) (IterStats, error) {
 	start := time.Now()
 	rep := &metrics.Report{}
-	shuffle := make([][]kv.Pair, r.n)
-	var mu sync.Mutex
-
-	mapTasks := make([]cluster.Task, 0, r.n)
-	for p := 0; p < r.n; p++ {
-		p := p
-		mapTasks = append(mapTasks, cluster.Task{
-			Name:      fmt.Sprintf("%s/j%d-it%03d/map-%04d", sanitize(r.spec.Name), r.jobSeq, it, p),
-			Preferred: p % r.eng.Cluster().NumNodes(),
-			Run: func(tc cluster.TaskContext) error {
-				t0 := time.Now()
-				local := make([][]kv.Pair, r.n)
-				emit := func(k2, v2 string) {
-					d := kv.Partition(k2, r.n)
-					local[d] = append(local[d], kv.Pair{Key: k2, Value: v2})
-				}
-				var repDK, repDV string
-				if r.spec.ReplicateState {
-					g := r.globalView()
-					if len(g) != 1 {
-						return fmt.Errorf("core: ReplicateState spec %q has %d state keys; expected 1", r.spec.Name, len(g))
-					}
-					for k, v := range g {
-						repDK, repDV = k, v
-					}
-				}
-				var recs int64
-				err := r.parts[p].readAll(func(pr kv.Pair) error {
-					recs++
-					dk, dv := repDK, repDV
-					if !r.spec.ReplicateState {
-						dk = r.spec.Project(pr.Key)
-						dv = r.stateOrInit(p, dk)
-					}
-					return r.spec.Map(pr.Key, pr.Value, dk, dv, emit)
-				})
-				if err != nil {
-					return err
-				}
-				mu.Lock()
-				for d := range local {
-					shuffle[d] = append(shuffle[d], local[d]...)
-				}
-				mu.Unlock()
-				rep.Add("map.records.in", recs)
-				rep.AddStage(metrics.StageMap, time.Since(t0))
-				return nil
-			},
-		})
-	}
-	if err := r.runTasks(mapTasks); err != nil {
-		return IterStats{}, fmt.Errorf("core: full map phase (iteration %d): %w", it, err)
-	}
-
-	shuffleStart := time.Now()
-	var shuffleBytes int64
-	for _, part := range shuffle {
-		for _, pr := range part {
-			shuffleBytes += int64(len(pr.Key) + len(pr.Value))
-		}
-	}
-	rep.Add("shuffle.bytes", shuffleBytes)
-	rep.AddStage(metrics.StageShuffle, time.Since(shuffleStart))
-
-	sortStart := time.Now()
-	for p := range shuffle {
-		kv.SortPairs(shuffle[p])
-	}
-	rep.AddStage(metrics.StageSort, time.Since(sortStart))
 
 	propagated := 0
 	filtered := 0
-	var allOuts []kv.Pair
+	var statMu sync.Mutex
+	var allOuts []kv.Pair // ReplicateState only
 	var outsMu sync.Mutex
 	thr := r.threshold()
-	reduceTasks := make([]cluster.Task, 0, r.n)
-	for p := 0; p < r.n; p++ {
-		p := p
-		reduceTasks = append(reduceTasks, cluster.Task{
-			Name:      fmt.Sprintf("%s/j%d-it%03d/reduce-%04d", sanitize(r.spec.Name), r.jobSeq, it, p),
-			Preferred: p % r.eng.Cluster().NumNodes(),
-			Run: func(tc cluster.TaskContext) error {
-				t0 := time.Now()
-				getter := r.stateGetterFor(p)
-				type upd struct{ dk, dv string }
-				var ups []upd
-				var outs []kv.Pair
-				err := kv.GroupSorted(shuffle[p], func(g kv.Group) error {
-					return r.spec.Reduce(g.Key, g.Values, getter, func(dk, dv string) {
-						if r.spec.ReplicateState {
-							outs = append(outs, kv.Pair{Key: dk, Value: dv})
-							return
-						}
-						ups = append(ups, upd{dk, dv})
-					})
-				})
-				if err != nil {
-					return err
+
+	err := shuffle.Iteration{
+		Name:         fmt.Sprintf("%s/j%d-it%03d", sanitize(r.spec.Name), r.jobSeq, it),
+		Partitions:   r.n,
+		NumNodes:     r.eng.Cluster().NumNodes(),
+		RunTasks:     r.runTasks,
+		MemoryBudget: r.cfg.ShuffleMemoryBudget,
+		ScratchDir:   func(p int) string { return r.shuffleDir(it, p) },
+		Report:       rep,
+		MapPartition: func(p int, emit func(k2, v2 string)) (int64, error) {
+			var repDK, repDV string
+			if r.spec.ReplicateState {
+				g := r.globalView()
+				if len(g) != 1 {
+					return 0, fmt.Errorf("core: ReplicateState spec %q has %d state keys; expected 1", r.spec.Name, len(g))
 				}
-				if r.spec.ReplicateState {
-					outsMu.Lock()
-					allOuts = append(allOuts, outs...)
-					outsMu.Unlock()
-				} else {
-					nProp, nFilt := 0, 0
-					r.mu.Lock()
-					for _, u := range ups {
-						if kv.Partition(u.dk, r.n) != p {
-							r.mu.Unlock()
-							return fmt.Errorf("core: reduce task %d emitted foreign state key %q", p, u.dk)
-						}
-						prev := r.state[p][u.dk]
-						if r.spec.Difference(prev, u.dv) > thr {
-							nProp++
-						} else {
-							nFilt++
-						}
-						r.state[p][u.dk] = u.dv
+				for k, v := range g {
+					repDK, repDV = k, v
+				}
+			}
+			var recs int64
+			err := r.parts[p].readAll(func(pr kv.Pair) error {
+				recs++
+				dk, dv := repDK, repDV
+				if !r.spec.ReplicateState {
+					dk = r.spec.Project(pr.Key)
+					dv = r.stateOrInit(p, dk)
+				}
+				return r.spec.Map(pr.Key, pr.Value, dk, dv, emit)
+			})
+			return recs, err
+		},
+		ReducePartition: func(p int, groups shuffle.GroupSource) error {
+			getter := r.stateGetterFor(p)
+			type upd struct{ dk, dv string }
+			var ups []upd
+			var outs []kv.Pair
+			err := groups(func(g kv.Group) error {
+				return r.spec.Reduce(g.Key, g.Values, getter, func(dk, dv string) {
+					if r.spec.ReplicateState {
+						outs = append(outs, kv.Pair{Key: dk, Value: dv})
+						return
 					}
-					r.mu.Unlock()
-					mu.Lock()
-					propagated += nProp
-					filtered += nFilt
-					mu.Unlock()
-				}
-				rep.AddStage(metrics.StageReduce, time.Since(t0))
+					ups = append(ups, upd{dk, dv})
+				})
+			})
+			if err != nil {
+				return err
+			}
+			if r.spec.ReplicateState {
+				outsMu.Lock()
+				allOuts = append(allOuts, outs...)
+				outsMu.Unlock()
 				return nil
-			},
-		})
-	}
-	if err := r.runTasks(reduceTasks); err != nil {
-		return IterStats{}, fmt.Errorf("core: full reduce phase (iteration %d): %w", it, err)
+			}
+			nProp, nFilt := 0, 0
+			r.mu.Lock()
+			for _, u := range ups {
+				if kv.Partition(u.dk, r.n) != p {
+					r.mu.Unlock()
+					return fmt.Errorf("core: reduce task %d emitted foreign state key %q", p, u.dk)
+				}
+				prev := r.state[p][u.dk]
+				if r.spec.Difference(prev, u.dv) > thr {
+					nProp++
+				} else {
+					nFilt++
+				}
+				r.state[p][u.dk] = u.dv
+			}
+			r.mu.Unlock()
+			statMu.Lock()
+			propagated += nProp
+			filtered += nFilt
+			statMu.Unlock()
+			return nil
+		},
+	}.Run()
+	if err != nil {
+		return IterStats{}, fmt.Errorf("core: full iteration %d: %w", it, err)
 	}
 
 	if r.spec.ReplicateState {

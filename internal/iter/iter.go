@@ -35,6 +35,7 @@ import (
 	"i2mapreduce/internal/kv"
 	"i2mapreduce/internal/metrics"
 	"i2mapreduce/internal/mr"
+	"i2mapreduce/internal/shuffle"
 )
 
 // Emit passes one intermediate or state record out of a user function.
@@ -105,6 +106,22 @@ type Config struct {
 	Epsilon float64
 	// InitialState seeds the state store for ReplicateState specs.
 	InitialState map[string]string
+	// ShuffleMemoryBudget bounds the bytes of intermediate data the
+	// shuffle buffers in memory per iteration; beyond it, map output
+	// spills to node-local scratch as sorted runs that the reduce side
+	// streams back through a k-way merge ("shuffle.spill.runs" /
+	// "shuffle.spill.bytes" count the spills). <= 0 keeps everything in
+	// memory; when the runner is built through i2mr.System, 0 inherits
+	// the System-wide default and a negative value explicitly opts out
+	// of spilling.
+	ShuffleMemoryBudget int64
+	// StructCacheBytes caps an optional decoded-structure cache: the
+	// iter engine re-reads its node-local structure partition every
+	// iteration, and this cache keeps decoded partitions in memory up
+	// to the cap, falling back to ReadStructFile for partitions that do
+	// not fit ("structcache.hits" / "structcache.misses" count the
+	// outcomes). 0 disables the cache.
+	StructCacheBytes int64
 }
 
 // IterationStats describes one iteration of a run.
@@ -139,8 +156,55 @@ type Runner struct {
 	structRecs  []int64             // records per partition
 	state       []map[string]string // per-partition state (co-partitioned)
 	global      map[string]string   // replicated state (ReplicateState)
+	cache       *structCache        // decoded-structure cache (nil = off)
 	loaded      bool
 	mu          sync.Mutex
+}
+
+// structCache keeps decoded structure partitions in memory, capped by
+// total bytes. Partitions that do not fit are simply not cached (the
+// caller falls back to ReadStructFile), keeping behaviour deterministic
+// without eviction bookkeeping — iter's structure data is immutable
+// after LoadStructure, so entries never invalidate.
+type structCache struct {
+	mu    sync.Mutex
+	cap   int64
+	bytes int64
+	parts map[int][]kv.Pair
+	skip  map[int]bool // partitions known not to fit: never re-collect
+}
+
+func (c *structCache) get(p int) ([]kv.Pair, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ps, ok := c.parts[p]
+	return ps, ok
+}
+
+// collectible reports whether it is worth accumulating partition p's
+// pairs for insertion: false once the cache is full or p was already
+// rejected, so oversized partitions stream without an O(partition)
+// transient allocation every iteration.
+func (c *structCache) collectible(p int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes < c.cap && !c.skip[p]
+}
+
+// put inserts partition p if it fits under the cap, otherwise marks it
+// as never fitting.
+func (c *structCache) put(p int, ps []kv.Pair, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.parts[p]; ok {
+		return
+	}
+	if c.bytes+size > c.cap {
+		c.skip[p] = true
+		return
+	}
+	c.parts[p] = ps
+	c.bytes += size
 }
 
 // NewRunner validates the spec and prepares a runner.
@@ -158,6 +222,13 @@ func NewRunner(eng *mr.Engine, spec Spec, cfg Config) (*Runner, error) {
 		return nil, errors.New("iter: ReplicateState requires Config.InitialState")
 	}
 	r := &Runner{eng: eng, spec: spec, cfg: cfg, n: cfg.NumPartitions}
+	if cfg.StructCacheBytes > 0 {
+		r.cache = &structCache{
+			cap:   cfg.StructCacheBytes,
+			parts: make(map[int][]kv.Pair),
+			skip:  make(map[int]bool),
+		}
+	}
 	return r, nil
 }
 
@@ -186,6 +257,52 @@ func (r *Runner) partitionOf(sk string) int {
 func (r *Runner) structPath(p int) string {
 	node := r.eng.Cluster().NodeByID(p % r.eng.Cluster().NumNodes())
 	return filepath.Join(node.ScratchDir, "iter", sanitize(r.spec.Name), fmt.Sprintf("part-%04d.struct", p))
+}
+
+// shuffleDir names the node-local spill directory of iteration it's
+// partition p (on the node that runs partition p's reduce task).
+func (r *Runner) shuffleDir(it, p int) string {
+	node := r.eng.Cluster().NodeByID(p % r.eng.Cluster().NumNodes())
+	return filepath.Join(node.ScratchDir, "iter-shuffle", sanitize(r.spec.Name), fmt.Sprintf("it%03d-part-%04d", it, p))
+}
+
+// structCachePairOverhead approximates per-pair bookkeeping charged
+// against Config.StructCacheBytes.
+const structCachePairOverhead = 32
+
+// readStructure streams partition p's structure records, serving them
+// from the decoded cache when enabled and populated, and falling back
+// to (and, capacity permitting, filling the cache from) the node-local
+// structure file.
+func (r *Runner) readStructure(p int, rep *metrics.Report, fn func(pr kv.Pair) error) error {
+	if r.cache == nil {
+		return ReadStructFile(r.structPaths[p], fn)
+	}
+	if ps, ok := r.cache.get(p); ok {
+		rep.Add(metrics.CounterStructCacheHits, 1)
+		for _, pr := range ps {
+			if err := fn(pr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rep.Add(metrics.CounterStructCacheMisses, 1)
+	if !r.cache.collectible(p) {
+		return ReadStructFile(r.structPaths[p], fn)
+	}
+	ps := make([]kv.Pair, 0, r.structRecs[p])
+	var size int64
+	err := ReadStructFile(r.structPaths[p], func(pr kv.Pair) error {
+		ps = append(ps, pr)
+		size += int64(len(pr.Key)+len(pr.Value)) + structCachePairOverhead
+		return fn(pr)
+	})
+	if err != nil {
+		return err
+	}
+	r.cache.put(p, ps, size)
+	return nil
 }
 
 // LoadStructure runs the preprocessing step (paper Sec. 4.3):
@@ -377,145 +494,101 @@ func (r *Runner) Run() (*Result, error) {
 	return res, nil
 }
 
-// runIteration executes one prime Map -> shuffle -> prime Reduce pass.
+// runIteration executes one prime Map -> shuffle -> prime Reduce pass
+// on the shared streaming shuffle runtime (internal/shuffle): the
+// runtime owns the task scaffolding, lock-striped partition buffers,
+// budgeted spilling, and the streaming merge; this method supplies the
+// structure reader, the prime Map/Reduce bindings, and the state-update
+// policy (buffer updates, then apply with convergence accounting).
 func (r *Runner) runIteration(it int) (IterationStats, error) {
 	iterStart := time.Now()
 	rep := &metrics.Report{}
 
-	// Prime Map: one task per partition, co-located with its cached
-	// structure file and state store.
-	shuffle := make([][]kv.Pair, r.n) // destination partition buffers
-	var mu sync.Mutex
-	mapTasks := make([]cluster.Task, 0, r.n)
-	for p := 0; p < r.n; p++ {
-		p := p
-		mapTasks = append(mapTasks, cluster.Task{
-			Name:      fmt.Sprintf("%s/it%03d/map-%04d", sanitize(r.spec.Name), it, p),
-			Preferred: p % r.eng.Cluster().NumNodes(),
-			Run: func(tc cluster.TaskContext) error {
-				start := time.Now()
-				local := make([][]kv.Pair, r.n)
-				emit := func(k2, v2 string) {
-					d := kv.Partition(k2, r.n)
-					local[d] = append(local[d], kv.Pair{Key: k2, Value: v2})
-				}
-				// All-to-one specs see the whole replicated state as a
-				// single canonical kv-pair, resolved once per task.
-				var repDK, repDV string
-				if r.spec.ReplicateState {
-					g := r.globalView()
-					if len(g) != 1 {
-						return fmt.Errorf("iter: ReplicateState spec %q has %d state keys; expected 1", r.spec.Name, len(g))
-					}
-					for k, v := range g {
-						repDK, repDV = k, v
-					}
-				}
-				var recs int64
-				err := ReadStructFile(r.structPaths[p], func(pr kv.Pair) error {
-					recs++
-					dk, dv := repDK, repDV
-					if !r.spec.ReplicateState {
-						dk = r.spec.Project(pr.Key)
-						var ok bool
-						dv, ok = r.state[p][dk]
-						if !ok {
-							dv = r.spec.InitState(dk)
-						}
-					}
-					return r.spec.Map(pr.Key, pr.Value, dk, dv, emit)
-				})
-				if err != nil {
-					return err
-				}
-				mu.Lock()
-				for d := range local {
-					shuffle[d] = append(shuffle[d], local[d]...)
-				}
-				mu.Unlock()
-				rep.Add("map.records.in", recs)
-				rep.AddStage(metrics.StageMap, time.Since(start))
-				return nil
-			},
-		})
-	}
-	if _, err := r.eng.Cluster().Run(mapTasks); err != nil {
-		return IterationStats{}, fmt.Errorf("iter: map phase (iteration %d): %w", it, err)
-	}
-
-	// Shuffle accounting + sort.
-	var shuffleBytes, interRecs int64
-	shuffleStart := time.Now()
-	for _, part := range shuffle {
-		interRecs += int64(len(part))
-		for _, pr := range part {
-			shuffleBytes += int64(len(pr.Key) + len(pr.Value))
-		}
-	}
-	rep.Add("shuffle.bytes", shuffleBytes)
-	rep.Add("map.records.out", interRecs)
-	rep.AddStage(metrics.StageShuffle, time.Since(shuffleStart))
-
-	sortStart := time.Now()
-	for p := range shuffle {
-		kv.SortPairs(shuffle[p])
-	}
-	rep.AddStage(metrics.StageSort, time.Since(sortStart))
-
-	// Prime Reduce: per partition, co-located with the prime Map task
-	// of the same partition so new state lands where the next
-	// iteration's map reads it.
 	type stateUpdate struct {
 		dk, dv string
 	}
 	updates := make([][]stateUpdate, r.n)
 	var allOuts []kv.Pair // ReplicateState only
 	var outsMu sync.Mutex
-	reduceTasks := make([]cluster.Task, 0, r.n)
-	for p := 0; p < r.n; p++ {
-		p := p
-		reduceTasks = append(reduceTasks, cluster.Task{
-			Name:      fmt.Sprintf("%s/it%03d/reduce-%04d", sanitize(r.spec.Name), it, p),
-			Preferred: p % r.eng.Cluster().NumNodes(),
-			Run: func(tc cluster.TaskContext) error {
-				start := time.Now()
-				getter := r.stateGetterFor(p)
-				var ups []stateUpdate
-				var outs []kv.Pair
-				var groups int64
-				err := kv.GroupSorted(shuffle[p], func(g kv.Group) error {
-					groups++
-					return r.spec.Reduce(g.Key, g.Values, getter, func(dk, dv string) {
-						if r.spec.ReplicateState {
-							outs = append(outs, kv.Pair{Key: dk, Value: dv})
-							return
-						}
-						ups = append(ups, stateUpdate{dk: dk, dv: dv})
-					})
-				})
-				if err != nil {
-					return err
+
+	err := shuffle.Iteration{
+		Name:         fmt.Sprintf("%s/it%03d", sanitize(r.spec.Name), it),
+		Partitions:   r.n,
+		NumNodes:     r.eng.Cluster().NumNodes(),
+		RunTasks:     func(ts []cluster.Task) error { _, err := r.eng.Cluster().Run(ts); return err },
+		MemoryBudget: r.cfg.ShuffleMemoryBudget,
+		ScratchDir:   func(p int) string { return r.shuffleDir(it, p) },
+		Report:       rep,
+		// Prime Map: one task per partition, co-located with its cached
+		// structure file and state store.
+		MapPartition: func(p int, emit func(k2, v2 string)) (int64, error) {
+			// All-to-one specs see the whole replicated state as a
+			// single canonical kv-pair, resolved once per task.
+			var repDK, repDV string
+			if r.spec.ReplicateState {
+				g := r.globalView()
+				if len(g) != 1 {
+					return 0, fmt.Errorf("iter: ReplicateState spec %q has %d state keys; expected 1", r.spec.Name, len(g))
 				}
+				for k, v := range g {
+					repDK, repDV = k, v
+				}
+			}
+			var recs int64
+			err := r.readStructure(p, rep, func(pr kv.Pair) error {
+				recs++
+				dk, dv := repDK, repDV
 				if !r.spec.ReplicateState {
-					for _, u := range ups {
-						if kv.Partition(u.dk, r.n) != p {
-							return fmt.Errorf("iter: reduce task %d emitted state key %q owned by partition %d", p, u.dk, kv.Partition(u.dk, r.n))
-						}
+					dk = r.spec.Project(pr.Key)
+					var ok bool
+					dv, ok = r.state[p][dk]
+					if !ok {
+						dv = r.spec.InitState(dk)
 					}
-					updates[p] = ups
-				} else {
-					outsMu.Lock()
-					allOuts = append(allOuts, outs...)
-					outsMu.Unlock()
 				}
-				rep.Add("reduce.groups", groups)
-				rep.AddStage(metrics.StageReduce, time.Since(start))
-				return nil
-			},
-		})
-	}
-	if _, err := r.eng.Cluster().Run(reduceTasks); err != nil {
-		return IterationStats{}, fmt.Errorf("iter: reduce phase (iteration %d): %w", it, err)
+				return r.spec.Map(pr.Key, pr.Value, dk, dv, emit)
+			})
+			return recs, err
+		},
+		// Prime Reduce: per partition, co-located with the prime Map
+		// task of the same partition so new state lands where the next
+		// iteration's map reads it.
+		ReducePartition: func(p int, groups shuffle.GroupSource) error {
+			getter := r.stateGetterFor(p)
+			var ups []stateUpdate
+			var outs []kv.Pair
+			var ngroups int64
+			err := groups(func(g kv.Group) error {
+				ngroups++
+				return r.spec.Reduce(g.Key, g.Values, getter, func(dk, dv string) {
+					if r.spec.ReplicateState {
+						outs = append(outs, kv.Pair{Key: dk, Value: dv})
+						return
+					}
+					ups = append(ups, stateUpdate{dk: dk, dv: dv})
+				})
+			})
+			if err != nil {
+				return err
+			}
+			if !r.spec.ReplicateState {
+				for _, u := range ups {
+					if kv.Partition(u.dk, r.n) != p {
+						return fmt.Errorf("iter: reduce task %d emitted state key %q owned by partition %d", p, u.dk, kv.Partition(u.dk, r.n))
+					}
+				}
+				updates[p] = ups
+			} else {
+				outsMu.Lock()
+				allOuts = append(allOuts, outs...)
+				outsMu.Unlock()
+			}
+			rep.Add("reduce.groups", ngroups)
+			return nil
+		},
+	}.Run()
+	if err != nil {
+		return IterationStats{}, fmt.Errorf("iter: iteration %d: %w", it, err)
 	}
 
 	// Apply state updates and measure convergence.

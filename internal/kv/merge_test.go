@@ -44,6 +44,58 @@ func TestReaderSource(t *testing.T) {
 	}
 }
 
+func TestMergerByKeyValueReproducesSortPairsOrder(t *testing.T) {
+	// Split a random multiset of pairs into arbitrary sorted runs; the
+	// (key, value)-ordered merge must reproduce SortPairs' total order
+	// on the union, regardless of how the runs were cut.
+	rng := rand.New(rand.NewSource(42))
+	var all []Pair
+	for i := 0; i < 500; i++ {
+		all = append(all, Pair{
+			Key:   string(rune('a' + rng.Intn(8))),
+			Value: string(rune('0' + rng.Intn(10))),
+		})
+	}
+	want := append([]Pair(nil), all...)
+	SortPairs(want)
+
+	for _, runsN := range []int{1, 3, 7} {
+		runs := make([][]Pair, runsN)
+		for i, p := range all {
+			r := (i * 31) % runsN
+			runs[r] = append(runs[r], p)
+		}
+		sources := make([]PairSource, runsN)
+		for r := range runs {
+			SortPairs(runs[r])
+			sources[r] = NewSliceSource(runs[r])
+		}
+		m, err := NewMergerByKeyValue(sources...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, m)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%d runs: merge order differs from SortPairs order", runsN)
+		}
+	}
+}
+
+func TestMergerByKeyValueOrdersValuesAcrossRuns(t *testing.T) {
+	// Equal keys with different values interleave by value, not by run.
+	a := []Pair{{"k", "3"}, {"k", "5"}}
+	b := []Pair{{"k", "1"}, {"k", "4"}}
+	m, err := NewMergerByKeyValue(NewSliceSource(a), NewSliceSource(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, m)
+	want := []Pair{{"k", "1"}, {"k", "3"}, {"k", "4"}, {"k", "5"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+}
+
 func TestMergerTwoRuns(t *testing.T) {
 	a := []Pair{{"a", "1"}, {"c", "3"}, {"e", "5"}}
 	b := []Pair{{"b", "2"}, {"c", "30"}, {"d", "4"}}

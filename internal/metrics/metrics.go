@@ -50,6 +50,22 @@ func Stages() []Stage {
 	return []Stage{StageMap, StageShuffle, StageSort, StageReduce}
 }
 
+// Counter names shared across engine layers. Packages are free to use
+// ad-hoc names too; these are the ones more than one package reads.
+const (
+	// CounterSpillRuns counts sorted runs the shuffle runtime spilled to
+	// node-local scratch because a map-side buffer exceeded its share of
+	// the shuffle memory budget.
+	CounterSpillRuns = "shuffle.spill.runs"
+	// CounterSpillBytes counts the encoded bytes of those spilled runs.
+	CounterSpillBytes = "shuffle.spill.bytes"
+	// CounterStructCacheHits / Misses count iterations that served a
+	// partition's structure data from the iter engine's decoded cache
+	// vs. re-decoding the node-local structure file.
+	CounterStructCacheHits   = "structcache.hits"
+	CounterStructCacheMisses = "structcache.misses"
+)
+
 // Report accumulates stage durations and named counters for one job (or
 // one iteration). The zero value is ready to use. Reports are safe for
 // concurrent use: map tasks running on different simulated nodes add to
@@ -95,7 +111,9 @@ func (r *Report) Total() time.Duration {
 
 // Add increments counter name by v, creating it if needed. Counter names
 // in use across the engine include "map.records.in", "map.records.out",
-// "shuffle.bytes", "reduce.groups", "mrbg.reads", "mrbg.read.bytes".
+// "shuffle.bytes", "reduce.groups", "mrbg.reads", "mrbg.read.bytes",
+// and the shared constants above ("shuffle.spill.runs",
+// "shuffle.spill.bytes", "structcache.hits", "structcache.misses").
 func (r *Report) Add(name string, v int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

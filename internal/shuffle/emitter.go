@@ -1,0 +1,138 @@
+package shuffle
+
+import (
+	"time"
+
+	"i2mapreduce/internal/kv"
+)
+
+// Emitter stages one map task attempt's output privately and publishes
+// it to the shared Buffer only when the attempt succeeds. The cluster
+// retries failed task attempts, so a direct Buffer.Emit from a task
+// body would leave a failed attempt's partial output visible and a
+// successful retry would duplicate it; an Emitter's output is atomic
+// per attempt: Publish on success, Discard on failure, never both
+// halves. Spill counters and sort-stage time are likewise accounted
+// only at Publish, so a discarded attempt leaves no trace in metrics.
+//
+// Staging honours the memory budget: the attempt's total staging is
+// bounded by the Buffer's per-partition share, and on overflow the
+// largest destination stage spills to that destination's scratch dir —
+// so skewed output produces few large runs rather than many tiny ones.
+// An Emitter is not safe for concurrent use (a task attempt is
+// single-goroutine); distinct Emitters are independent.
+type Emitter struct {
+	b     *Buffer
+	bufs  [][]kv.Pair
+	bytes []int64
+	runs  [][]string
+	recs  []int64
+	net   []int64
+	total int64 // budget-charged bytes staged in memory across bufs
+	err   error
+
+	// Deferred spill accounting, applied at Publish.
+	spillRuns  int64
+	spillBytes int64
+	spillDur   time.Duration
+}
+
+// NewEmitter returns an empty staging emitter for one task attempt.
+func (b *Buffer) NewEmitter() *Emitter {
+	n := b.cfg.Partitions
+	return &Emitter{
+		b:     b,
+		bufs:  make([][]kv.Pair, n),
+		bytes: make([]int64, n),
+		runs:  make([][]string, n),
+		recs:  make([]int64, n),
+		net:   make([]int64, n),
+	}
+}
+
+// Emit stages one intermediate pair. I/O errors from staging spills are
+// remembered and returned by Err (and by Publish), so user Map
+// functions keep their error-free emit signature.
+func (e *Emitter) Emit(key, value string) {
+	if e.err != nil {
+		return
+	}
+	d := e.b.cfg.Partition(key, e.b.cfg.Partitions)
+	e.bufs[d] = append(e.bufs[d], kv.Pair{Key: key, Value: value})
+	sz := int64(len(key) + len(value))
+	e.recs[d]++
+	e.net[d] += sz
+	e.bytes[d] += sz + pairOverhead
+	e.total += sz + pairOverhead
+	if e.b.perPart > 0 && e.total > e.b.perPart {
+		e.spillLargest()
+	}
+}
+
+// spillLargest spills the destination stage holding the most bytes.
+func (e *Emitter) spillLargest() {
+	d := 0
+	for i := range e.bytes {
+		if e.bytes[i] > e.bytes[d] {
+			d = i
+		}
+	}
+	if len(e.bufs[d]) == 0 {
+		return
+	}
+	path, n, dur, err := e.b.writeSpillRun(d, e.bufs[d])
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.runs[d] = append(e.runs[d], path)
+	e.total -= e.bytes[d]
+	e.bufs[d], e.bytes[d] = nil, 0
+	e.spillRuns++
+	e.spillBytes += n
+	e.spillDur += dur
+}
+
+// Err returns the first staging error, if any.
+func (e *Emitter) Err() error { return e.err }
+
+// Publish atomically registers the staged output with the shared
+// Buffer: spilled runs and residual pairs become visible to reducers,
+// deferred spill accounting lands in the report, and stripes that
+// overflow their share spill as usual. The Emitter is spent afterwards.
+func (e *Emitter) Publish() error {
+	if e.err != nil {
+		e.Discard()
+		return e.err
+	}
+	for d := range e.bufs {
+		if len(e.bufs[d]) == 0 && len(e.runs[d]) == 0 {
+			continue
+		}
+		p := &e.b.parts[d]
+		p.mu.Lock()
+		if p.sealed {
+			p.mu.Unlock()
+			panic("shuffle: Publish after FinishMap")
+		}
+		p.runs = append(p.runs, e.runs[d]...)
+		p.pairs = append(p.pairs, e.bufs[d]...)
+		p.bytes += e.bytes[d]
+		p.recs += e.recs[d]
+		p.netBytes += e.net[d]
+		e.b.maybeSpillLocked(d, p) // releases p.mu
+		e.bufs[d], e.runs[d] = nil, nil
+	}
+	e.b.accountSpills(e.spillRuns, e.spillBytes, e.spillDur)
+	e.spillRuns, e.spillBytes, e.spillDur = 0, 0, 0
+	return nil
+}
+
+// Discard drops the staged output of a failed attempt, removing its
+// spill files. The shared Buffer and the metrics are untouched.
+func (e *Emitter) Discard() {
+	for d := range e.runs {
+		removeFiles(e.runs[d])
+		e.runs[d], e.bufs[d] = nil, nil
+	}
+}

@@ -1,0 +1,144 @@
+package shuffle
+
+import (
+	"fmt"
+	"time"
+
+	"i2mapreduce/internal/cluster"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+)
+
+// GroupSource streams the merged, grouped intermediate data of one
+// partition to a reduce callback.
+type GroupSource func(yield func(g kv.Group) error) error
+
+// Iteration describes one prime Map -> shuffle -> prime Reduce pass of
+// an iterative engine. The engine supplies the per-partition callbacks
+// (structure reading, the user Map, state access inside Reduce); the
+// runtime owns the scaffolding both engines used to duplicate: task
+// construction, the lock-striped shuffle buffers, spilling, the
+// streaming merge, and stage/counter accounting.
+type Iteration struct {
+	// Name prefixes task names, e.g. "pagerank/it003".
+	Name string
+	// Partitions is the partition count; one prime Map and one prime
+	// Reduce task run per partition.
+	Partitions int
+	// NumNodes sizes the cluster; partition p prefers node p % NumNodes,
+	// co-locating a partition's map task, reduce task, cached structure
+	// file, and state store (the paper's Sec. 4.3 placement).
+	NumNodes int
+	// RunTasks executes one task wave on the cluster (iter passes
+	// Cluster.Run; core passes its event-accumulating wrapper).
+	RunTasks func(tasks []cluster.Task) error
+	// MemoryBudget and ScratchDir configure spilling (see Config).
+	MemoryBudget int64
+	ScratchDir   func(p int) string
+	// Report receives the iteration's stage timings and counters.
+	Report *metrics.Report
+	// MapPartition feeds partition p's structure records through the
+	// prime Map, emitting intermediate pairs. It returns the input
+	// record count ("map.records.in").
+	MapPartition func(p int, emit func(k2, v2 string)) (records int64, err error)
+	// ReducePartition consumes partition p's grouped stream and applies
+	// the engine's state-update policy.
+	ReducePartition func(p int, groups GroupSource) error
+}
+
+// Run executes the pass. The intermediate data lives in a Buffer whose
+// memory footprint is bounded by MemoryBudget; spill files are removed
+// before Run returns.
+func (it Iteration) Run() error {
+	buf, err := New(Config{
+		Partitions:   it.Partitions,
+		MemoryBudget: it.MemoryBudget,
+		ScratchDir:   it.ScratchDir,
+		Report:       it.Report,
+	})
+	if err != nil {
+		return err
+	}
+	defer buf.Close()
+
+	mapTasks := make([]cluster.Task, 0, it.Partitions)
+	for p := 0; p < it.Partitions; p++ {
+		p := p
+		mapTasks = append(mapTasks, cluster.Task{
+			Name:      fmt.Sprintf("%s/map-%04d", it.Name, p),
+			Preferred: p % it.NumNodes,
+			Run: func(tc cluster.TaskContext) error {
+				start := time.Now()
+				// Stage through a per-attempt Emitter: a failed attempt
+				// publishes nothing, so the cluster's retry cannot
+				// duplicate intermediate pairs.
+				em := buf.NewEmitter()
+				recs, err := it.MapPartition(p, em.Emit)
+				if err != nil {
+					em.Discard()
+					return err
+				}
+				if err := em.Publish(); err != nil {
+					return err
+				}
+				if it.Report != nil {
+					it.Report.Add("map.records.in", recs)
+					it.Report.AddStage(metrics.StageMap, time.Since(start))
+				}
+				return nil
+			},
+		})
+	}
+	if err := it.RunTasks(mapTasks); err != nil {
+		return fmt.Errorf("map phase: %w", err)
+	}
+	if err := buf.FinishMap(); err != nil {
+		return fmt.Errorf("map spill: %w", err)
+	}
+	// Spill sorting happened inside the timed map windows but is
+	// reported as StageSort; rebalance so Total() counts it once.
+	mapSort := buf.sortDuration()
+	if it.Report != nil {
+		it.Report.AddStage(metrics.StageMap, -mapSort)
+	}
+
+	if it.Report != nil {
+		// The network hop of the shuffle is accounted, not performed:
+		// spill runs are already written to the consuming partition's
+		// node-local scratch.
+		shuffleStart := time.Now()
+		it.Report.Add("shuffle.bytes", buf.Bytes())
+		it.Report.Add("map.records.out", buf.Records())
+		it.Report.AddStage(metrics.StageShuffle, time.Since(shuffleStart))
+	}
+
+	reduceTasks := make([]cluster.Task, 0, it.Partitions)
+	for p := 0; p < it.Partitions; p++ {
+		p := p
+		reduceTasks = append(reduceTasks, cluster.Task{
+			Name:      fmt.Sprintf("%s/reduce-%04d", it.Name, p),
+			Preferred: p % it.NumNodes,
+			Run: func(tc cluster.TaskContext) error {
+				start := time.Now()
+				err := it.ReducePartition(p, func(yield func(g kv.Group) error) error {
+					return buf.Reduce(p, yield)
+				})
+				if err != nil {
+					return err
+				}
+				if it.Report != nil {
+					it.Report.AddStage(metrics.StageReduce, time.Since(start))
+				}
+				return nil
+			},
+		})
+	}
+	if err := it.RunTasks(reduceTasks); err != nil {
+		return fmt.Errorf("reduce phase: %w", err)
+	}
+	// Same rebalance for the residue sorts inside reduce windows.
+	if it.Report != nil {
+		it.Report.AddStage(metrics.StageReduce, -(buf.sortDuration() - mapSort))
+	}
+	return nil
+}
