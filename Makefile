@@ -10,13 +10,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent packages: the sharded MRBG-Store, the
-# streaming shuffle runtime, the engines that run concurrent tasks over
-# its shared buffers, and the task scheduler itself.
+# Race-check the full module: every engine runs concurrent tasks over
+# shared buffers and stores, so nothing is exempt.
 race:
-	$(GO) test -race ./internal/mrbg/... ./internal/incr/... \
-		./internal/shuffle/... ./internal/iter/... ./internal/core/... \
-		./internal/cluster/...
+	$(GO) test -race ./...
 
 # staticcheck runs when installed (CI always installs it); locally it
 # degrades to a notice so `make lint` needs nothing beyond the Go
@@ -32,9 +29,11 @@ lint:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# One iteration of every benchmark so the bench harness cannot rot.
+# One iteration of every benchmark so the bench harness cannot rot,
+# plus the formatted one-step sweep table.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) run ./cmd/i2mr-bench -scale small -shuffle-mem 65536 onestep
 
 # Everything CI runs, in the same order.
 ci: build lint test race bench-smoke

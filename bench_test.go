@@ -307,3 +307,21 @@ func BenchmarkAccumulatorAblation(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkOneStepSweep regenerates the one-step delta-size sweep:
+// recompute vs incremental refresh wall time plus the delta shuffle's
+// spill counters and the durable result store's maintenance counters.
+func BenchmarkOneStepSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(b)
+		sc := benchScale()
+		sc.ShuffleMemoryBudget = 64 << 10
+		rows, err := bench.OneStepSweep(env, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Speedup, fmt.Sprintf("delta%.0fpct-speedup", r.DeltaFraction*100))
+		}
+	}
+}

@@ -6,7 +6,7 @@
 //	i2mr-bench [-scale small|default] [-workdir DIR] [experiment ...]
 //
 // Experiments: fig8 fig9 table4 fig10 fig11 fig12 fig13 apriori shards
-// all
+// onestep all
 package main
 
 import (
@@ -45,7 +45,7 @@ func main() {
 
 	experiments := flag.Args()
 	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
-		experiments = []string{"apriori", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
+		experiments = []string{"apriori", "onestep", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
 	}
 
 	for _, name := range experiments {
@@ -112,6 +112,12 @@ func runExperiment(env *bench.Env, sc bench.Scale, dir, name string) error {
 			return err
 		}
 		fmt.Print(bench.FormatAPriori(res))
+	case "onestep":
+		rows, err := bench.OneStepSweep(env, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatOneStep(rows))
 	case "shards":
 		rows, err := bench.ShardSweep(filepath.Join(dir, "shard-sweep"), sc, nil)
 		if err != nil {

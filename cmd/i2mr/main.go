@@ -2,9 +2,16 @@
 // cluster: generate (or load) a dataset, compute the initial result,
 // apply a delta, refresh incrementally, and print run statistics.
 //
+// The iterative apps (pagerank, sssp, kmeans, gimv) drive the
+// incremental iterative engine; wordcount drives the one-step engine
+// (fine-grain MRBGraph preservation plus the durable result store),
+// including a RunDelta after a simulated process restart via
+// System.OpenOneStep.
+//
 // Usage:
 //
-//	i2mr -app pagerank|sssp|kmeans|gimv [-n N] [-delta F] [-nodes K] [-shards S] [-shuffle-mem B]
+//	i2mr -app pagerank|sssp|kmeans|gimv|wordcount [-n N] [-delta F] [-nodes K]
+//	     [-shards S] [-shuffle-mem B] [-result-compact T]
 package main
 
 import (
@@ -24,7 +31,7 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "pagerank", "application: pagerank, sssp, kmeans, gimv")
+	app := flag.String("app", "pagerank", "application: pagerank, sssp, kmeans, gimv, wordcount (one-step)")
 	n := flag.Int("n", 5000, "dataset size (vertices / points / matrix blocks x16)")
 	deltaFrac := flag.Float64("delta", 0.10, "fraction of the input to change")
 	nodes := flag.Int("nodes", 4, "simulated cluster nodes")
@@ -32,7 +39,8 @@ func main() {
 	ft := flag.Float64("ft", 0.001, "CPC filter threshold")
 	shards := flag.Int("shards", 1, "MRBG-Store shard files per partition")
 	storePar := flag.Int("store-par", 0, "MRBG-Store shard fan-out (0 = GOMAXPROCS)")
-	shuffleMem := flag.Int64("shuffle-mem", 0, "shuffle memory budget in bytes per iteration; beyond it map output spills sorted runs to scratch (0 = unbounded)")
+	shuffleMem := flag.Int64("shuffle-mem", 0, "shuffle memory budget in bytes per iteration / per delta refresh; beyond it map output spills sorted runs to scratch (0 = unbounded)")
+	resultCompact := flag.Int("result-compact", 0, "one-step result store segment count that triggers compaction (0 = default, negative disables)")
 	flag.Parse()
 
 	dir, err := os.MkdirTemp("", "i2mr-run-*")
@@ -41,13 +49,20 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	sys, err := i2mr.New(i2mr.Options{
+	sysOpts := i2mr.Options{
 		WorkDir: dir, Nodes: *nodes,
 		StoreShards: *shards, StoreParallelism: *storePar,
-		ShuffleMemoryBudget: *shuffleMem,
-	})
+		ShuffleMemoryBudget:    *shuffleMem,
+		ResultCompactThreshold: *resultCompact,
+	}
+	sys, err := i2mr.New(sysOpts)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *app == "wordcount" {
+		runOneStep(sys, sysOpts, *n, *deltaFrac, *shuffleMem)
+		return
 	}
 
 	var spec core.Spec
@@ -141,4 +156,87 @@ func main() {
 		*app, inc.Report.Counter("delta.records"), inc.Iterations,
 		time.Since(start).Round(time.Millisecond), inc.Converged, inc.MRBGDisabledAt)
 	fmt.Printf("stages: %s\n", inc.Report.Snapshot())
+}
+
+// runOneStep drives the one-step engine end to end: initial job, a
+// timed incremental refresh, then a simulated process restart
+// (OpenOneStep over the same WorkDir) followed by another refresh —
+// proving the preserved MRBG and result stores carry the computation
+// across process death.
+func runOneStep(sys *i2mr.System, sysOpts i2mr.Options, n int, deltaFrac float64, shuffleMem int64) {
+	const vocab, wordsPerTweet = 200, 8
+	corpus := datagen.Tweets(1, n, vocab, wordsPerTweet)
+	if err := sys.WritePairs("tweets", corpus); err != nil {
+		log.Fatal(err)
+	}
+	job := apps.FineGrainWordCountJob("wordcount")
+	runner, err := sys.NewOneStep(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	if _, err := runner.RunInitial("tweets", "wc-v1"); err != nil {
+		log.Fatal(err)
+	}
+	outs, err := runner.Outputs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wordcount initial: %d documents -> %d words in %s\n",
+		n, len(outs), time.Since(start).Round(time.Millisecond))
+
+	deltas, _ := datagen.Mutate(2, corpus, datagen.MutateOptions{
+		ModifyFraction: deltaFrac,
+		Rewrite: func(rng *rand.Rand, key, value string) string {
+			return value + fmt.Sprintf(" w%04d", rng.Intn(vocab))
+		},
+	})
+	if err := sys.WriteDeltas("delta-1", deltas); err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	rep, err := runner.RunDelta("delta-1", "wc-v2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	printOneStepRefresh("refresh", len(deltas), time.Since(start), rep, shuffleMem)
+
+	// Simulated restart: drop the runner, open a second System over the
+	// same WorkDir, and reattach to the preserved state.
+	if err := runner.Close(); err != nil {
+		log.Fatal(err)
+	}
+	sys2, err := i2mr.New(sysOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumed, err := sys2.OpenOneStep(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resumed.Close()
+	more := datagen.AppendTweets(3, corpus, deltaFrac, vocab, wordsPerTweet)
+	if err := sys2.WriteDeltas("delta-2", more); err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	rep, err = resumed.RunDelta("delta-2", "wc-v3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	printOneStepRefresh("refresh after restart", len(more), time.Since(start), rep, shuffleMem)
+}
+
+func printOneStepRefresh(label string, deltaRecords int, wall time.Duration, rep *i2mr.Report, shuffleMem int64) {
+	fmt.Printf("wordcount %s (%d delta records): %s\n", label, deltaRecords, wall.Round(time.Millisecond))
+	fmt.Printf("  result store: dirty partitions %d, rewritten %d B, segments %d, compactions %d\n",
+		rep.Counter(metrics.CounterResultDirtyPartitions),
+		rep.Counter(metrics.CounterResultBytesRewritten),
+		rep.Counter(metrics.CounterResultSegments),
+		rep.Counter(metrics.CounterResultCompactions))
+	if shuffleMem > 0 {
+		fmt.Printf("  delta shuffle: budget %d B, spilled %d runs / %d B\n", shuffleMem,
+			rep.Counter(metrics.CounterSpillRuns), rep.Counter(metrics.CounterSpillBytes))
+	}
 }

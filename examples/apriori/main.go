@@ -66,7 +66,10 @@ func main() {
 	fmt.Printf("incremental refresh (+%d tweets): %s\n", len(delta), time.Since(start).Round(time.Millisecond))
 
 	fmt.Println("\ntop word pairs:")
-	outs := runner.Outputs()
+	outs, err := runner.Outputs()
+	if err != nil {
+		log.Fatal(err)
+	}
 	sort.Slice(outs, func(i, j int) bool {
 		a, _ := strconv.Atoi(outs[i].Value)
 		b, _ := strconv.Atoi(outs[j].Value)

@@ -64,8 +64,12 @@ func main() {
 	if _, err := runner.RunInitial("docs", "counts-v1"); err != nil {
 		log.Fatal(err)
 	}
+	initialOuts, err := runner.Outputs()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("initial counts:")
-	printCounts(runner.Outputs())
+	printCounts(initialOuts)
 
 	// New documents arrive: an insert-only delta.
 	delta := []i2mr.Delta{
@@ -78,9 +82,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	refreshedOuts, err := runner.Outputs()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nrefreshed counts (processed %d delta records, not the whole corpus):\n",
 		rep.Counter("map.records.in"))
-	printCounts(runner.Outputs())
+	printCounts(refreshedOuts)
 }
 
 func printCounts(ps []i2mr.Pair) {

@@ -8,8 +8,10 @@
 //
 //   - System.MapReduce — vanilla MapReduce (paper Sec. 2);
 //   - System.NewOneStep — fine-grain incremental one-step processing
-//     backed by the MRBG-Store, with the accumulator-Reduce
-//     optimization (Sec. 3);
+//     backed by the MRBG-Store and a durable per-partition result
+//     store, with the accumulator-Reduce optimization (Sec. 3);
+//     System.OpenOneStep resumes a preserved one-step computation
+//     after a process restart;
 //   - System.NewIterative — general-purpose iterative processing with
 //     structure/state separation and Project (Sec. 4), the "iterMR"
 //     engine;
@@ -35,6 +37,7 @@ import (
 	"i2mapreduce/internal/metrics"
 	"i2mapreduce/internal/mr"
 	"i2mapreduce/internal/mrbg"
+	"i2mapreduce/internal/results"
 )
 
 // Re-exported record types.
@@ -94,6 +97,9 @@ type (
 
 	// StoreOptions tunes the MRBG-Store (read strategy, window sizes).
 	StoreOptions = mrbg.Options
+	// ResultStoreOptions tunes the one-step engine's durable result
+	// store (segment compaction threshold).
+	ResultStoreOptions = results.Options
 )
 
 // Options configures a System.
@@ -122,6 +128,11 @@ type Options struct {
 	// of spilling. 0 here (the default) keeps all intermediate data in
 	// memory.
 	ShuffleMemoryBudget int64
+	// ResultCompactThreshold is the default segment count at which a
+	// one-step runner's durable result stores compact during
+	// Checkpoint; jobs that set ResultOpts.CompactThreshold themselves
+	// win. 0 uses the store default; negative disables compaction.
+	ResultCompactThreshold int
 }
 
 // System is a ready-to-use i2MapReduce deployment.
@@ -130,6 +141,7 @@ type System struct {
 	storeShards      int
 	storeParallelism int
 	shuffleBudget    int64
+	resultCompact    int
 }
 
 // New builds a System under opts.WorkDir.
@@ -164,6 +176,7 @@ func New(opts Options) (*System, error) {
 		storeShards:      opts.StoreShards,
 		storeParallelism: opts.StoreParallelism,
 		shuffleBudget:    opts.ShuffleMemoryBudget,
+		resultCompact:    opts.ResultCompactThreshold,
 	}, nil
 }
 
@@ -203,11 +216,33 @@ func (s *System) MapReduce(job Job) (*Report, error) {
 	return s.eng.Run(job)
 }
 
+// applyOneStepDefaults fills unset one-step knobs from the System's
+// defaults.
+func (s *System) applyOneStepDefaults(job *OneStepJob) {
+	s.applyStoreDefaults(&job.StoreOpts)
+	if job.ResultOpts.CompactThreshold == 0 {
+		job.ResultOpts.CompactThreshold = s.resultCompact
+	}
+	if job.ShuffleMemoryBudget == 0 {
+		job.ShuffleMemoryBudget = s.shuffleBudget
+	}
+}
+
 // NewOneStep prepares a fine-grain incremental one-step runner:
 // RunInitial once, then RunDelta per refresh.
 func (s *System) NewOneStep(job OneStepJob) (*OneStepRunner, error) {
-	s.applyStoreDefaults(&job.StoreOpts)
+	s.applyOneStepDefaults(&job)
 	return incr.NewRunner(s.eng, job)
+}
+
+// OpenOneStep reattaches a one-step runner to the durable state a
+// previous process preserved under the same WorkDir (MRBG-Stores and
+// result stores), so RunDelta keeps refreshing a computation across
+// process restarts without re-running the initial job. The job must use
+// the same Name, NumReducers, and cluster size it originally ran with.
+func (s *System) OpenOneStep(job OneStepJob) (*OneStepRunner, error) {
+	s.applyOneStepDefaults(&job)
+	return incr.Open(s.eng, job)
 }
 
 // NewIterative prepares an iterMR (re-computation) runner.

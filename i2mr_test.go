@@ -70,8 +70,12 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if _, err := oneStep.RunDelta("docs-delta", "wc-v2"); err != nil {
 		t.Fatal(err)
 	}
+	oneStepOuts, err := oneStep.Outputs()
+	if err != nil {
+		t.Fatal(err)
+	}
 	refreshed := map[string]string{}
-	for _, p := range oneStep.Outputs() {
+	for _, p := range oneStepOuts {
 		refreshed[p.Key] = p.Value
 	}
 	if refreshed["c"] != "3" {
@@ -132,5 +136,86 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 func TestNewValidatesOptions(t *testing.T) {
 	if _, err := New(Options{}); err == nil {
 		t.Fatal("New without WorkDir succeeded")
+	}
+}
+
+// TestOneStepSurvivesRestart proves the public resume path: a one-step
+// computation preserved by one System instance is reattached by a
+// second System over the same WorkDir, with identical results and a
+// working RunDelta.
+func TestOneStepSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	job := apps.FineGrainWordCountJob("wc-restart")
+	job.NumReducers = 2
+
+	sys, err := New(Options{WorkDir: dir, Nodes: 2, ShuffleMemoryBudget: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WritePairs("docs", []Pair{
+		{Key: "d1", Value: "alpha beta alpha"},
+		{Key: "d2", Value: "beta gamma"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	runner, err := sys.NewOneStep(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.RunInitial("docs", "wc-v1"); err != nil {
+		t.Fatal(err)
+	}
+	before, err := runner.Outputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a second System over the same WorkDir.
+	sys2, err := New(Options{WorkDir: dir, Nodes: 2, ShuffleMemoryBudget: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := sys2.OpenOneStep(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	after, err := resumed.Outputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("resumed outputs = %v, want %v", after, before)
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("resumed outputs differ at %d: %v vs %v", i, after[i], before[i])
+		}
+	}
+	// Refresh after restart: delete d2, check counts.
+	if err := sys2.WriteDeltas("docs-delta", []Delta{
+		{Key: "d2", Value: "beta gamma", Op: OpDelete},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.RunDelta("docs-delta", "wc-v2"); err != nil {
+		t.Fatal(err)
+	}
+	final, err := resumed.Outputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]string{}
+	for _, p := range final {
+		counts[p.Key] = p.Value
+	}
+	if counts["alpha"] != "2" || counts["beta"] != "1" {
+		t.Fatalf("post-restart refresh = %v, want alpha:2 beta:1", counts)
+	}
+	if _, ok := counts["gamma"]; ok {
+		t.Fatal("gamma survived deletion of its only document")
 	}
 }

@@ -536,7 +536,7 @@ func TestAPrioriInitialAndIncremental(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantPairs := OfflinePairCounts(tweets, frequent)
-	checkPairCounts(t, "initial", runner.Outputs(), wantPairs)
+	checkPairCounts(t, "initial", runnerOutputs(t, runner), wantPairs)
 
 	// Incremental refresh: the paper's last-week 7.9% insert-only delta.
 	deltas := datagen.AppendTweets(910, tweets, 0.079, 50, 6)
@@ -551,7 +551,7 @@ func TestAPrioriInitialAndIncremental(t *testing.T) {
 		merged = append(merged, kv.Pair{Key: d.Key, Value: d.Value})
 	}
 	wantMerged := OfflinePairCounts(merged, frequent)
-	checkPairCounts(t, "incremental", runner.Outputs(), wantMerged)
+	checkPairCounts(t, "incremental", runnerOutputs(t, runner), wantMerged)
 }
 
 func checkPairCounts(t *testing.T, label string, got []kv.Pair, want map[string]int) {
@@ -606,7 +606,7 @@ func TestWordCountAccumulatorVsFineGrain(t *testing.T) {
 	for _, r := range []struct {
 		label string
 		outs  []kv.Pair
-	}{{"accumulator", acc.Outputs()}, {"fine-grain", fg.Outputs()}} {
+	}{{"accumulator", runnerOutputs(t, acc)}, {"fine-grain", runnerOutputs(t, fg)}} {
 		gm := map[string]int{}
 		for _, p := range r.outs {
 			gm[p.Key], _ = strconv.Atoi(p.Value)
@@ -617,6 +617,15 @@ func TestWordCountAccumulatorVsFineGrain(t *testing.T) {
 			}
 		}
 	}
+}
+
+func runnerOutputs(t *testing.T, r *incr.Runner) []kv.Pair {
+	t.Helper()
+	ps, err := r.Outputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
 }
 
 func newAPrioriRunner(eng *mr.Engine, name string, frequent map[string]bool) (*incr.Runner, error) {

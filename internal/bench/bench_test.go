@@ -243,3 +243,41 @@ func TestFig8RunsWithShardedStores(t *testing.T) {
 		}
 	}
 }
+
+func TestOneStepSweepShapeHolds(t *testing.T) {
+	env := newTestEnv(t)
+	sc := tinyScale()
+	sc.ShuffleMemoryBudget = 16 << 10
+	rows, err := OneStepSweep(env, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.DeltaRecords <= 0 {
+			t.Fatalf("row %d: no delta records", i)
+		}
+		if r.Incremental <= 0 || r.Recompute <= 0 {
+			t.Fatalf("row %d: missing timings %+v", i, r)
+		}
+		if r.Segments <= 0 {
+			t.Fatalf("row %d: no result segments reported", i)
+		}
+		if r.DirtyParts <= 0 || r.Rewritten <= 0 {
+			t.Fatalf("row %d: refresh reported no dirty partitions/bytes", i)
+		}
+		if i > 0 && r.DeltaRecords <= rows[i-1].DeltaRecords {
+			t.Fatalf("delta sizes not increasing: %d then %d", rows[i-1].DeltaRecords, r.DeltaRecords)
+		}
+	}
+	// The smallest delta must beat recomputation decisively.
+	if rows[0].Speedup <= 1 {
+		t.Fatalf("1%% delta speedup %.2fx <= 1", rows[0].Speedup)
+	}
+	out := FormatOneStep(rows)
+	if !strings.Contains(out, "speedup") {
+		t.Fatalf("format output missing header: %q", out)
+	}
+}

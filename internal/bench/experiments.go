@@ -655,7 +655,13 @@ func APriori(env *Env, sc Scale) (*APrioriResult, error) {
 		return nil, err
 	}
 
-	runner, err := incr.NewRunner(env.Eng, apps.APrioriJob("apriori-count", frequent))
+	mkJob := func(name string) incr.Job {
+		job := apps.APrioriJob(name, frequent)
+		job.StoreOpts = sc.storeOpts()
+		job.ShuffleMemoryBudget = sc.ShuffleMemoryBudget
+		return job
+	}
+	runner, err := incr.NewRunner(env.Eng, mkJob("apriori-count"))
 	if err != nil {
 		return nil, err
 	}
@@ -680,7 +686,7 @@ func APriori(env *Env, sc Scale) (*APrioriResult, error) {
 	// Re-computation: full counting job (with startup) on the merged
 	// corpus.
 	recompStart := time.Now()
-	recomp, err := incr.NewRunner(env.Eng, apps.APrioriJob("apriori-recomp", frequent))
+	recomp, err := incr.NewRunner(env.Eng, mkJob("apriori-recomp"))
 	if err != nil {
 		return nil, err
 	}
@@ -697,10 +703,14 @@ func APriori(env *Env, sc Scale) (*APrioriResult, error) {
 	}
 	incrTime := time.Since(incrStart)
 
+	finalOuts, err := runner.Outputs()
+	if err != nil {
+		return nil, err
+	}
 	res := &APrioriResult{
 		Recompute:   recompTime,
 		Incremental: incrTime,
-		Pairs:       len(runner.Outputs()),
+		Pairs:       len(finalOuts),
 	}
 	if incrTime > 0 {
 		res.Speedup = float64(recompTime) / float64(incrTime)

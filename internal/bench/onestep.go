@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"i2mapreduce/internal/apps"
+	"i2mapreduce/internal/datagen"
+	"i2mapreduce/internal/incr"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+)
+
+// ---------------------------------------------------------------------
+// One-step sweep: fine-grain incremental refresh vs full re-computation
+// across delta sizes. Not a single paper figure — it generalizes the
+// Sec. 8.2 one-step comparison into a sweep, and additionally reports
+// the delta shuffle's spill counters and the durable result store's
+// maintenance counters (segments, compactions, dirty partitions,
+// rewritten bytes), the quantities the PR 3 engine is built around.
+// ---------------------------------------------------------------------
+
+// OneStepRow is one delta size's profile.
+type OneStepRow struct {
+	DeltaFraction float64
+	DeltaRecords  int64
+	Recompute     time.Duration
+	Incremental   time.Duration
+	Speedup       float64
+	SpillRuns     int64
+	SpillBytes    int64
+	DirtyParts    int64
+	TotalParts    int
+	Rewritten     int64
+	Segments      int64
+	Compactions   int64
+}
+
+// OneStepSweep refreshes a fine-grain WordCount (deletions included, so
+// the full MRBGraph path is exercised) over a tweet corpus with deltas
+// of growing size, comparing each refresh against a from-scratch
+// re-computation of the merged corpus.
+func OneStepSweep(env *Env, sc Scale) ([]OneStepRow, error) {
+	fractions := []float64{0.01, 0.05, 0.10, 0.25}
+	corpus := datagen.Tweets(sc.Seed+110, sc.Tweets, sc.Vocab, sc.WordsPerTweet)
+	if err := env.Eng.FS().WriteAllPairs("onestep/t0", corpus); err != nil {
+		return nil, err
+	}
+
+	mkJob := func(name string) incr.Job {
+		job := apps.FineGrainWordCountJob(name)
+		job.NumReducers = sc.Partitions
+		job.StoreOpts = sc.storeOpts()
+		job.ShuffleMemoryBudget = sc.ShuffleMemoryBudget
+		return job
+	}
+
+	rows := make([]OneStepRow, 0, len(fractions))
+	for i, frac := range fractions {
+		// Delta: rewrite frac of the corpus (delete + reinsert with new
+		// text) and append frac more documents.
+		rewrites, _ := datagen.Mutate(sc.Seed+int64(120+i), corpus, datagen.MutateOptions{
+			ModifyFraction: frac,
+			Rewrite: func(rng *rand.Rand, key, value string) string {
+				words := strings.Fields(value)
+				if len(words) > 1 {
+					words = words[:len(words)-1]
+				}
+				return strings.Join(words, " ") + fmt.Sprintf(" w%04d", rng.Intn(sc.Vocab))
+			},
+		})
+		appends := datagen.AppendTweets(sc.Seed+int64(130+i), corpus, frac, sc.Vocab, sc.WordsPerTweet)
+		deltas := append(append([]kv.Delta(nil), rewrites...), appends...)
+		dPath := fmt.Sprintf("onestep/delta-%d", i)
+		if err := env.Eng.FS().WriteAllDeltas(dPath, deltas); err != nil {
+			return nil, err
+		}
+		merged := applyDeltas(corpus, deltas)
+		mPath := fmt.Sprintf("onestep/t1-%d", i)
+		if err := env.Eng.FS().WriteAllPairs(mPath, merged); err != nil {
+			return nil, err
+		}
+
+		// Incremental refresh: prepare on the original corpus (untimed),
+		// time only RunDelta.
+		runner, err := incr.NewRunner(env.Eng, mkJob(fmt.Sprintf("onestep-incr-%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := runner.RunInitial("onestep/t0", fmt.Sprintf("onestep/out0-%d", i)); err != nil {
+			runner.Close()
+			return nil, err
+		}
+		incrStart := time.Now()
+		rep, err := runner.RunDelta(dPath, fmt.Sprintf("onestep/out1-%d", i))
+		if err != nil {
+			runner.Close()
+			return nil, err
+		}
+		incrTime := time.Since(incrStart)
+
+		// Re-computation: a fresh initial job (with startup accounting)
+		// over the merged corpus.
+		recompStart := time.Now()
+		recomp, err := incr.NewRunner(env.Eng, mkJob(fmt.Sprintf("onestep-recomp-%d", i)))
+		if err != nil {
+			runner.Close()
+			return nil, err
+		}
+		recompRep, err := recomp.RunInitial(mPath, fmt.Sprintf("onestep/out-recomp-%d", i))
+		if err != nil {
+			recomp.Close()
+			runner.Close()
+			return nil, err
+		}
+		recompTime := effective(time.Since(recompStart), recompRep) + apps.StartupCost
+		recomp.Close()
+
+		row := OneStepRow{
+			DeltaFraction: frac,
+			DeltaRecords:  rep.Counter("map.records.in"),
+			Recompute:     recompTime,
+			Incremental:   incrTime,
+			SpillRuns:     rep.Counter(metrics.CounterSpillRuns),
+			SpillBytes:    rep.Counter(metrics.CounterSpillBytes),
+			DirtyParts:    rep.Counter(metrics.CounterResultDirtyPartitions),
+			TotalParts:    sc.Partitions,
+			Rewritten:     rep.Counter(metrics.CounterResultBytesRewritten),
+			Segments:      rep.Counter(metrics.CounterResultSegments),
+			Compactions:   rep.Counter(metrics.CounterResultCompactions),
+		}
+		if incrTime > 0 {
+			row.Speedup = float64(recompTime) / float64(incrTime)
+		}
+		rows = append(rows, row)
+		if err := runner.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// applyDeltas folds a delta sequence into a pair dataset.
+func applyDeltas(data []kv.Pair, deltas []kv.Delta) []kv.Pair {
+	cur := make(map[string]string, len(data))
+	for _, p := range data {
+		cur[p.Key] = p.Value
+	}
+	for _, d := range deltas {
+		if d.Op == kv.OpDelete {
+			delete(cur, d.Key)
+		} else {
+			cur[d.Key] = d.Value
+		}
+	}
+	out := make([]kv.Pair, 0, len(cur))
+	for k, v := range cur {
+		out = append(out, kv.Pair{Key: k, Value: v})
+	}
+	kv.SortPairs(out)
+	return out
+}
+
+// FormatOneStep renders the sweep.
+func FormatOneStep(rows []OneStepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "One-step sweep — recompute vs incremental refresh across delta sizes\n")
+	fmt.Fprintf(&b, "%-7s %8s %11s %11s %8s %7s %10s %7s %10s %5s %6s\n",
+		"delta", "records", "recompute", "incr", "speedup", "spills", "spill-B", "dirty", "rewrit-B", "segs", "compac")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-7s %8d %11s %11s %7.1fx %7d %10d %4d/%-2d %10d %5d %6d\n",
+			fmt.Sprintf("%.0f%%", r.DeltaFraction*100), r.DeltaRecords,
+			r.Recompute.Round(time.Millisecond), r.Incremental.Round(time.Millisecond),
+			r.Speedup, r.SpillRuns, r.SpillBytes,
+			r.DirtyParts, r.TotalParts, r.Rewritten, r.Segments, r.Compactions)
+	}
+	return b.String()
+}

@@ -245,6 +245,21 @@ func (w *Writer) WriteDelta(d kv.Delta) error {
 	return nil
 }
 
+// Abort discards an uncommitted writer: the temp block files are
+// removed, nothing is committed, and readers keep seeing the previous
+// file at this path (if any). A no-op after Close or Abort.
+func (w *Writer) Abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	if w.cur != nil {
+		w.cur.Close()
+		w.cur, w.enc = nil, nil
+	}
+	os.RemoveAll(w.fs.encodePath(w.path) + ".tmp")
+}
+
 // Close seals the final block and atomically commits the file. A file
 // written with zero records commits as an empty file with no blocks.
 func (w *Writer) Close() error {
@@ -266,6 +281,73 @@ func (w *Writer) Close() error {
 	w.fs.files[w.path] = &w.info
 	w.fs.mu.Unlock()
 	return nil
+}
+
+// Clone copies src to dst at block level, without decoding or
+// re-encoding records. The one-step engine's output materializer uses
+// it to publish an unchanged (clean) result partition under a new
+// output path for the cost of a byte copy instead of a re-sort and
+// re-serialization. The clone is atomic like Create/Close: readers see
+// the old dst (if any) until the copy commits. Cloned blocks receive a
+// fresh placement.
+func (fs *FS) Clone(src, dst string) error {
+	if dst == "" {
+		return errors.New("dfs: empty path")
+	}
+	fi, err := fs.Stat(src)
+	if err != nil {
+		return err
+	}
+	tmp := fs.encodePath(dst) + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("dfs: clearing temp dir: %w", err)
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return fmt.Errorf("dfs: creating temp dir: %w", err)
+	}
+	info := FileInfo{Path: dst, Bytes: fi.Bytes, Records: fi.Records}
+	for _, b := range fi.Blocks {
+		if err := copyBlockFile(
+			filepath.Join(tmp, fmt.Sprintf("block-%05d", b.Index)),
+			fs.blockPath(src, b.Index),
+		); err != nil {
+			return err
+		}
+		fs.mu.Lock()
+		nodes := fs.placement()
+		fs.mu.Unlock()
+		info.Blocks = append(info.Blocks, BlockInfo{
+			Index: b.Index, Bytes: b.Bytes, Records: b.Records, Nodes: nodes,
+		})
+	}
+	final := fs.encodePath(dst)
+	if err := os.RemoveAll(final); err != nil {
+		return fmt.Errorf("dfs: removing old file: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("dfs: committing clone: %w", err)
+	}
+	fs.mu.Lock()
+	fs.files[dst] = &info
+	fs.mu.Unlock()
+	return nil
+}
+
+func copyBlockFile(dst, src string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return fmt.Errorf("dfs: opening block for clone: %w", err)
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // Stat returns metadata for path.

@@ -297,3 +297,87 @@ func TestPathEncodingKeepsSlashesFlat(t *testing.T) {
 		t.Fatalf("nested path read = %v", got)
 	}
 }
+
+func TestCloneCopiesBlocksWithoutReencoding(t *testing.T) {
+	fs := newFS(t, Config{BlockSize: 64, Nodes: 3})
+	var ps []kv.Pair
+	for i := 0; i < 50; i++ {
+		ps = append(ps, kv.Pair{Key: fmt.Sprintf("k%03d", i), Value: "value"})
+	}
+	if err := fs.WriteAllPairs("src", ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Clone("src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAllPairs("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ps) {
+		t.Fatalf("cloned content differs: %v", got)
+	}
+	sfi, _ := fs.Stat("src")
+	dfi, err := fs.Stat("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfi.Bytes != sfi.Bytes || dfi.Records != sfi.Records || len(dfi.Blocks) != len(sfi.Blocks) {
+		t.Fatalf("clone metadata %+v differs from source %+v", dfi, sfi)
+	}
+	// Cloning over an existing file replaces it atomically.
+	if err := fs.WriteAllPairs("dst2", []kv.Pair{{Key: "old"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Clone("src", "dst2"); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := fs.ReadAllPairs("dst2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, ps) {
+		t.Fatalf("re-clone content differs: %v", got2)
+	}
+	// Cloning a missing file reports ErrNotExist.
+	if err := fs.Clone("nope", "x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Clone of missing file: %v", err)
+	}
+}
+
+func TestWriterAbortLeavesPreviousFile(t *testing.T) {
+	fs := newFS(t, Config{})
+	if err := fs.WriteAllPairs("f", []kv.Pair{{Key: "old", Value: "1"}}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePair(kv.Pair{Key: "new", Value: "2"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	got, err := fs.ReadAllPairs("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key != "old" {
+		t.Fatalf("aborted write changed the file: %v", got)
+	}
+	// Abort after Close is a no-op and does not disturb the commit.
+	w2, err := fs.Create("f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.WritePair(kv.Pair{Key: "k", Value: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2.Abort()
+	if got, err := fs.ReadAllPairs("f2"); err != nil || len(got) != 1 {
+		t.Fatalf("Abort after Close disturbed the file: %v %v", got, err)
+	}
+}

@@ -6,9 +6,20 @@
 // the MRBGraph — each reduce task transfers the globally unique Map key
 // MK through the shuffle and saves its (K2, MK, V2) edges into a
 // per-task MRBG-Store. RunDelta then refreshes the results from a delta
-// input: it invokes Map only on inserted/deleted records, turns the
-// outputs into a delta MRBGraph, merges it with the preserved states,
-// and re-invokes Reduce only for affected K2s.
+// input: it invokes Map only on inserted/deleted records, shuffles the
+// emitted delta MRBGraph edges through the streaming shuffle runtime
+// (internal/shuffle: lock-striped partition buffers, sorted spill runs
+// under Job.ShuffleMemoryBudget, reduce-side k-way merge), merges them
+// with the preserved states, and re-invokes Reduce only for affected
+// K2s.
+//
+// The materialized result set is itself durable state: each partition's
+// Reduce outputs live in a results.Store (internal/results — sorted
+// segments plus tombstones, checkpointed alongside the MRBG-Store), so
+// a refresh patches only the affected result groups, writeOutputs
+// re-serializes only dirty partitions, and Open reattaches a Runner to
+// the preserved stores after a process restart without re-running the
+// initial job.
 //
 // The accumulator-Reduce optimization (Sec. 3.5) is supported: when the
 // job declares an Accumulate function and deltas contain only
@@ -20,18 +31,22 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"i2mapreduce/internal/cluster"
+	"i2mapreduce/internal/fsutil"
 	"i2mapreduce/internal/kv"
 	"i2mapreduce/internal/metrics"
 	"i2mapreduce/internal/mr"
 	"i2mapreduce/internal/mrbg"
+	"i2mapreduce/internal/results"
+	"i2mapreduce/internal/shuffle"
 )
 
 // Job describes an incrementally refreshable one-step computation.
@@ -52,6 +67,18 @@ type Job struct {
 	// StoreOpts templates the per-partition MRBG-Store options
 	// (Dir is filled in per partition).
 	StoreOpts mrbg.Options
+	// ResultOpts templates the per-partition durable result store
+	// (Dir is filled in per partition; CompactThreshold is the knob).
+	ResultOpts results.Options
+	// ShuffleMemoryBudget bounds the bytes of delta MRBGraph edges a
+	// RunDelta holds in memory: map-side, per-partition buffers spill
+	// sorted runs to node-local scratch beyond their budget share
+	// ("shuffle.spill.runs"/"shuffle.spill.bytes"); reduce-side, each
+	// partition drains the streaming merge into MRBG-Store Merge calls
+	// in batches bounded by the same share. <= 0 keeps the delta
+	// shuffle fully in memory and merges each partition's delta in one
+	// batch. Refresh results are byte-identical at any budget.
+	ShuffleMemoryBudget int64
 }
 
 // Runner executes and refreshes one Job.
@@ -59,19 +86,143 @@ type Runner struct {
 	eng    *mr.Engine
 	job    Job
 	stores []*mrbg.ShardedStore
-	// outputs[r] maps a reduce input key K2 to the output pairs its
-	// Reduce call emitted; replacing a K2's group replaces exactly
-	// those outputs. For accumulator jobs outputs[r] maps K3 to a
-	// single accumulated pair.
-	outputs []map[string][]kv.Pair
+	// res[p] is partition p's durable result store: reduce input key K2
+	// (or K3 for accumulator jobs) -> the output pairs its Reduce call
+	// emitted. Replacing a group replaces exactly those outputs.
+	res     []*results.Store
 	initial bool
-	mu      sync.Mutex
+	// deltaSeq hands out unique scratch directories to concurrent /
+	// successive RunDelta shuffles.
+	deltaSeq atomic.Int64
 }
 
-// NewRunner prepares a runner; per-partition MRBG-Stores are created
-// under the node scratch dir of the node that will host each reduce
-// task (co-location, as the paper preserves states at the reduce side).
+// NewRunner prepares a runner for a fresh computation; per-partition
+// MRBG-Stores and result stores are created under the node scratch dir
+// of the node that will host each reduce task (co-location, as the
+// paper preserves states at the reduce side). To reattach to the
+// preserved state of an earlier process instead, use Open.
 func NewRunner(eng *mr.Engine, job Job) (*Runner, error) {
+	return newRunner(eng, job)
+}
+
+// Open reattaches a Runner to the durable state a previous process
+// preserved under the same cluster scratch root: the per-partition
+// MRBG-Stores recover from their checkpoints and the result stores from
+// their manifests, so RunDelta works immediately without re-running the
+// initial job. The job must be opened with the same Name, NumReducers,
+// and cluster topology it originally ran with; Open fails if any
+// partition's preserved results are missing or if the preserved
+// partition count differs.
+func Open(eng *mr.Engine, job Job) (*Runner, error) {
+	r, err := newRunner(eng, job)
+	if err != nil {
+		return nil, err
+	}
+	// The job meta (written when RunInitial completed) records the
+	// partition count the state was preserved with; partition 0 always
+	// lives under node 0's scratch dir, so the meta is findable under
+	// any cluster size. Resuming with a different count would silently
+	// drop (or re-route) preserved result groups.
+	preserved, mode, ok, err := readJobMeta(r.jobMetaPath())
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	if !ok {
+		r.Close()
+		return nil, fmt.Errorf("incr: job %q has no preserved state here (RunInitial never completed under this scratch root)", job.Name)
+	}
+	if preserved != r.job.NumReducers {
+		r.Close()
+		return nil, fmt.Errorf("incr: job %q was preserved with %d partitions, cannot resume with %d", job.Name, preserved, r.job.NumReducers)
+	}
+	if mode != r.jobMode() {
+		r.Close()
+		return nil, fmt.Errorf("incr: job %q was preserved in %s mode, cannot resume in %s mode", job.Name, mode, r.jobMode())
+	}
+	for p, res := range r.res {
+		if !res.Initialized() {
+			r.Close()
+			return nil, fmt.Errorf("incr: job %q is missing preserved results for partition %d (was the job run under a different cluster topology?)", job.Name, p)
+		}
+		switch _, err := os.Stat(r.refreshIntentPath(p)); {
+		case err == nil:
+			r.Close()
+			return nil, fmt.Errorf("incr: job %q partition %d has a half-applied refresh; this state cannot be resumed safely — re-run the computation in a fresh work dir", job.Name, p)
+		case !errors.Is(err, os.ErrNotExist):
+			r.Close()
+			return nil, fmt.Errorf("incr: probing refresh marker for partition %d: %w", p, err)
+		}
+	}
+	r.initial = true
+	return r, nil
+}
+
+// jobMode names the preservation mode for the job meta.
+func (r *Runner) jobMode() string {
+	if r.job.Accumulate != nil {
+		return "accumulator"
+	}
+	return "finegrain"
+}
+
+// refreshIntentPath names partition p's in-progress refresh marker (see
+// runDeltaFineGrain's checkpoint bracket).
+func (r *Runner) refreshIntentPath(p int) string {
+	return filepath.Join(r.resultDir(p), "refresh.intent")
+}
+
+// jobMetaPath names the runner-level meta file recording the preserved
+// partition count. It lives in partition 0's result directory, which is
+// always under node 0's scratch dir regardless of cluster size.
+func (r *Runner) jobMetaPath() string {
+	return filepath.Join(r.resultDir(0), "job.meta")
+}
+
+// writeJobMeta durably persists the partition count and preservation
+// mode after the initial job completes; its presence is the completion
+// marker Open requires.
+func (r *Runner) writeJobMeta() error {
+	return fsutil.WriteFileAtomic(r.jobMetaPath(),
+		[]byte(fmt.Sprintf("partitions=%d\nmode=%s\n", r.job.NumReducers, r.jobMode())))
+}
+
+// readJobMeta loads the preserved partition count and mode; ok=false
+// when no meta exists.
+func readJobMeta(path string) (parts int, mode string, ok bool, err error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, "", false, nil
+	}
+	if err != nil {
+		return 0, "", false, err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, found := strings.Cut(line, "=")
+		if !found {
+			return 0, "", false, fmt.Errorf("incr: corrupt job meta line %q", line)
+		}
+		switch k {
+		case "partitions":
+			if _, err := fmt.Sscanf(v, "%d", &parts); err != nil {
+				return 0, "", false, fmt.Errorf("incr: corrupt job meta partitions %q", v)
+			}
+		case "mode":
+			mode = v
+		default:
+			return 0, "", false, fmt.Errorf("incr: unknown job meta key %q", k)
+		}
+	}
+	if parts <= 0 || (mode != "finegrain" && mode != "accumulator") {
+		return 0, "", false, fmt.Errorf("incr: corrupt job meta %q", string(b))
+	}
+	return parts, mode, true, nil
+}
+
+func newRunner(eng *mr.Engine, job Job) (*Runner, error) {
 	if job.Name == "" {
 		return nil, errors.New("incr: job requires a Name")
 	}
@@ -81,27 +232,46 @@ func NewRunner(eng *mr.Engine, job Job) (*Runner, error) {
 	if job.NumReducers <= 0 {
 		job.NumReducers = eng.Cluster().NumNodes()
 	}
-	r := &Runner{
-		eng:     eng,
-		job:     job,
-		outputs: make([]map[string][]kv.Pair, job.NumReducers),
-	}
-	for i := range r.outputs {
-		r.outputs[i] = make(map[string][]kv.Pair)
+	r := &Runner{eng: eng, job: job}
+	for p := 0; p < job.NumReducers; p++ {
+		ropts := job.ResultOpts
+		ropts.Dir = r.resultDir(p)
+		rs, err := results.Open(ropts)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("incr: opening result store %d: %w", p, err)
+		}
+		r.res = append(r.res, rs)
 	}
 	if job.Accumulate == nil {
 		for p := 0; p < job.NumReducers; p++ {
-			node := eng.Cluster().NodeByID(p % eng.Cluster().NumNodes())
-			opts := job.StoreOpts
-			opts.Dir = filepath.Join(node.ScratchDir, "mrbg", sanitize(job.Name), fmt.Sprintf("part-%04d", p))
-			st, err := mrbg.Open(opts)
+			st, err := mrbg.Open(r.storeOpts(p))
 			if err != nil {
+				r.Close()
 				return nil, fmt.Errorf("incr: opening store %d: %w", p, err)
 			}
 			r.stores = append(r.stores, st)
 		}
 	}
 	return r, nil
+}
+
+// storeOpts returns partition p's MRBG-Store options.
+func (r *Runner) storeOpts(p int) mrbg.Options {
+	opts := r.job.StoreOpts
+	opts.Dir = filepath.Join(r.nodeDir(p), "mrbg", sanitize(r.job.Name), fmt.Sprintf("part-%04d", p))
+	return opts
+}
+
+// nodeDir returns the scratch dir of the node hosting partition p.
+func (r *Runner) nodeDir(p int) string {
+	cl := r.eng.Cluster()
+	return cl.NodeByID(p % cl.NumNodes()).ScratchDir
+}
+
+// resultDir names partition p's result store directory.
+func (r *Runner) resultDir(p int) string {
+	return filepath.Join(r.nodeDir(p), "results", sanitize(r.job.Name), fmt.Sprintf("part-%04d", p))
 }
 
 func sanitize(s string) string {
@@ -122,12 +292,21 @@ func (r *Runner) Close() error {
 			first = err
 		}
 	}
+	for _, rs := range r.res {
+		if err := rs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	return first
 }
 
 // Stores exposes the per-partition MRBG-Stores (nil for accumulator
 // jobs); the Table 4 harness reads their statistics.
 func (r *Runner) Stores() []*mrbg.ShardedStore { return r.stores }
+
+// Results exposes the per-partition durable result stores; the one-step
+// bench harness reads their statistics.
+func (r *Runner) Results() []*results.Store { return r.res }
 
 // mkFor derives the globally unique Map key for the occ-th value a Map
 // instance emits to one K2. The paper treats (K2, MK) as a unique edge
@@ -170,11 +349,100 @@ func decodeMKV(s string) (uint64, string, error) {
 	return mk, s[17:], nil
 }
 
+// encodeDeltaEdge packs a delta MRBGraph edge into a shuffle value:
+// fixed-width hex MK, fixed-width hex delta-file sequence number, one
+// op byte, and (for insertions) the value V2. The encoding is chosen so
+// the shuffle's (key, value) total order yields exactly the apply order
+// mrbg.Merge needs: edges of one K2 sort by MK, and records touching
+// the same (K2, MK) sort by their position in the delta input — so a
+// delete followed by a reinsert nets to the insertion and an insert
+// followed by a delete nets to the deletion, exactly as the delta file
+// says, at any memory budget and any spill interleaving.
+func encodeDeltaEdge(mk, seq uint64, del bool, v2 string) string {
+	b := make([]byte, 0, 33+len(v2))
+	b = appendHex16(b, mk)
+	b = appendHex16(b, seq)
+	if del {
+		return string(append(b, '0'))
+	}
+	return string(append(append(b, '1'), v2...))
+}
+
+// appendHex16 appends v as exactly 16 lower-case hex digits. This is
+// the per-emission hot path of RunDelta's map phase; fmt.Sprintf's
+// format parsing and boxing would dominate it.
+func appendHex16(b []byte, v uint64) []byte {
+	const digits = "0123456789abcdef"
+	var tmp [16]byte
+	for i := 15; i >= 0; i-- {
+		tmp[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return append(b, tmp[:]...)
+}
+
+// decodeDeltaEdge unpacks a shuffle value produced by encodeDeltaEdge.
+// The sequence number has done its work in the sort order and is
+// dropped; mrbg.Merge applies same-(key, MK) records in slice order.
+func decodeDeltaEdge(key, s string) (mrbg.DeltaEdge, error) {
+	if len(s) < 33 || (s[32] != '0' && s[32] != '1') {
+		return mrbg.DeltaEdge{}, fmt.Errorf("incr: malformed delta edge value %q", s)
+	}
+	mk, err := strconv.ParseUint(s[:16], 16, 64)
+	if err != nil {
+		return mrbg.DeltaEdge{}, fmt.Errorf("incr: malformed MK in %q: %v", s, err)
+	}
+	de := mrbg.DeltaEdge{Key: key, MK: mk}
+	if s[32] == '0' {
+		de.Delete = true
+	} else {
+		de.V2 = s[33:]
+	}
+	return de, nil
+}
+
 // RunInitial executes the full computation on input (a DFS pair file),
 // preserves state, and writes outputs under the output path prefix.
 func (r *Runner) RunInitial(input, output string) (*metrics.Report, error) {
 	if r.initial {
 		return nil, errors.New("incr: RunInitial called twice; use RunDelta for refreshes")
+	}
+	// The job meta is written only after a fully successful initial run,
+	// so its presence is the authoritative completion marker. State
+	// checkpointed WITHOUT it is the partial work of an initial run that
+	// died mid-way; discard it so this run starts clean rather than
+	// overlaying stale results or phantom MRBGraph chunks.
+	if _, _, ok, err := readJobMeta(r.jobMetaPath()); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, fmt.Errorf("incr: job %q already has preserved results; use Open to resume or point the system at a fresh work dir", r.job.Name)
+	}
+	for p, rs := range r.res {
+		if rs.Initialized() {
+			if err := rs.Reset(); err != nil {
+				return nil, err
+			}
+		}
+		if err := os.Remove(r.refreshIntentPath(p)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	for p, st := range r.stores {
+		if st.Len() == 0 {
+			continue
+		}
+		if err := st.Close(); err != nil {
+			return nil, err
+		}
+		opts := r.storeOpts(p)
+		if err := os.RemoveAll(opts.Dir); err != nil {
+			return nil, err
+		}
+		nst, err := mrbg.Open(opts)
+		if err != nil {
+			return nil, fmt.Errorf("incr: resetting stale store %d: %w", p, err)
+		}
+		r.stores[p] = nst
 	}
 
 	var rep *metrics.Report
@@ -187,8 +455,27 @@ func (r *Runner) RunInitial(input, output string) (*metrics.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Stamp the preserved partition count last: its presence tells Open
+	// that a complete initial run exists here.
+	if err := r.writeJobMeta(); err != nil {
+		return nil, err
+	}
 	r.initial = true
 	return rep, nil
+}
+
+// commitResults checkpoints every result store and records the part
+// file each partition was just materialized to.
+func (r *Runner) commitResults(output string) error {
+	for p, rs := range r.res {
+		if err := rs.Checkpoint(); err != nil {
+			return err
+		}
+		if err := rs.Materialized(mr.PartPath(output, p)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runInitialFineGrain runs a normal MapReduce job with MK-tagged
@@ -236,9 +523,7 @@ func (r *Runner) runInitialFineGrain(input, output string) (*metrics.Report, err
 				if err != nil {
 					return err
 				}
-				r.mu.Lock()
-				r.outputs[p][k2] = outs
-				r.mu.Unlock()
+				r.res[p].Set(k2, outs)
 				return nil
 			})
 		},
@@ -254,6 +539,12 @@ func (r *Runner) runInitialFineGrain(input, output string) (*metrics.Report, err
 		if err := s.Checkpoint(); err != nil {
 			return nil, err
 		}
+	}
+	// The engine's reduce tasks already wrote the part files; commit the
+	// result stores as materialized there so the next refresh rewrites
+	// only what it dirties.
+	if err := r.commitResults(output); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }
@@ -276,21 +567,28 @@ func (r *Runner) runInitialAccumulator(input, output string) (*metrics.Report, e
 				if err != nil {
 					return err
 				}
-				r.mu.Lock()
 				for _, o := range outs {
-					r.outputs[p][o.Key] = []kv.Pair{o}
+					r.res[p].Set(o.Key, []kv.Pair{o})
 				}
-				r.mu.Unlock()
 				return nil
 			})
 		},
 	}
-	return r.eng.Run(job)
+	rep, err := r.eng.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.commitResults(output); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // RunDelta refreshes the computation from a delta input (a DFS delta
 // file with '+'/'-' records) and writes the full refreshed outputs
-// under the output path prefix.
+// under the output path prefix. Only partitions whose results actually
+// changed are re-serialized; unchanged partitions are republished with
+// a block-level clone of their previous part file.
 func (r *Runner) RunDelta(deltaInput, output string) (*metrics.Report, error) {
 	if !r.initial {
 		return nil, errors.New("incr: RunDelta before RunInitial")
@@ -301,18 +599,42 @@ func (r *Runner) RunDelta(deltaInput, output string) (*metrics.Report, error) {
 	return r.runDeltaFineGrain(deltaInput, output)
 }
 
+// newDeltaBuffer builds the streaming shuffle buffer for one RunDelta:
+// lock-striped per-partition buffers whose memory footprint is bounded
+// by Job.ShuffleMemoryBudget, spilling sorted runs into the scratch dir
+// of the node that will run each partition's incremental reduce task.
+func (r *Runner) newDeltaBuffer(rep *metrics.Report) (*shuffle.Buffer, error) {
+	seq := r.deltaSeq.Add(1)
+	return shuffle.New(shuffle.Config{
+		Partitions:   r.job.NumReducers,
+		MemoryBudget: r.job.ShuffleMemoryBudget,
+		// The refresh sequence number lives in the leaf (which
+		// Buffer.Close removes), not in a per-refresh parent that would
+		// accumulate one empty directory per refresh on a long-lived
+		// runner.
+		ScratchDir: func(p int) string {
+			return filepath.Join(r.nodeDir(p), "shuffle", sanitize(r.job.Name)+"-delta",
+				fmt.Sprintf("seq%06d-part-%04d", seq, p))
+		},
+		Report: rep,
+	})
+}
+
 // mapDelta runs the incremental Map computation: Map is invoked for
-// every delta record, and the emitted edges are partitioned by K2 into
-// per-partition delta MRBGraphs (paper Sec. 3.3, "Incremental Map
-// Computation to Obtain the Delta MRBGraph").
-func (r *Runner) mapDelta(deltaInput string, rep *metrics.Report) ([][]mrbg.DeltaEdge, error) {
+// every delta record and the emitted records stream into buf, one task
+// per delta input block (paper Sec. 3.3, "Incremental Map Computation
+// to Obtain the Delta MRBGraph"). emit adapts one delta record's Map
+// emissions to shuffle pairs (the fine-grain path tags them as delta
+// MRBGraph edges; the accumulator path passes them through); seq is the
+// record's position in the delta file (block index in the high bits,
+// record index within the block in the low), so emitters can preserve
+// delta-file apply order through the shuffle's value sort.
+func (r *Runner) mapDelta(deltaInput string, buf *shuffle.Buffer, rep *metrics.Report,
+	emit func(d kv.Delta, seq uint64, em *shuffle.Emitter) error) error {
 	fi, err := r.eng.FS().Stat(deltaInput)
 	if err != nil {
-		return nil, fmt.Errorf("incr: delta input: %w", err)
+		return fmt.Errorf("incr: delta input: %w", err)
 	}
-	parts := make([][]mrbg.DeltaEdge, r.job.NumReducers)
-	var mu sync.Mutex
-
 	tasks := make([]cluster.Task, 0, len(fi.Blocks))
 	for b := range fi.Blocks {
 		b := b
@@ -330,37 +652,28 @@ func (r *Runner) mapDelta(deltaInput string, rep *metrics.Report) ([][]mrbg.Delt
 					return err
 				}
 				defer br.Close()
-				local := make([][]mrbg.DeltaEdge, r.job.NumReducers)
+				// Stage through a per-attempt Emitter: a failed attempt
+				// publishes nothing, so the cluster's retry cannot
+				// duplicate delta edges.
+				em := buf.NewEmitter()
 				var recs int64
 				for {
 					d, err := br.ReadDelta()
 					if err == io.EOF {
 						break
 					}
-					if err != nil {
-						return err
+					if err == nil {
+						recs++
+						err = emit(d, uint64(b)<<32|uint64(recs-1), em)
 					}
-					recs++
-					base := kv.Fingerprint(d.Key, d.Value)
-					occ := occTracker{}
-					del := d.Op == kv.OpDelete
-					err = r.job.Mapper.Map(d.Key, d.Value, func(k2, v2 string) {
-						p := kv.Partition(k2, r.job.NumReducers)
-						de := mrbg.DeltaEdge{Key: k2, MK: mkFor(base, occ.next(k2)), Delete: del}
-						if !del {
-							de.V2 = v2
-						}
-						local[p] = append(local[p], de)
-					})
 					if err != nil {
+						em.Discard()
 						return err
 					}
 				}
-				mu.Lock()
-				for p := range local {
-					parts[p] = append(parts[p], local[p]...)
+				if err := em.Publish(); err != nil {
+					return err
 				}
-				mu.Unlock()
 				rep.Add("map.records.in", recs)
 				rep.AddStage(metrics.StageMap, time.Since(start))
 				return nil
@@ -368,42 +681,47 @@ func (r *Runner) mapDelta(deltaInput string, rep *metrics.Report) ([][]mrbg.Delt
 		})
 	}
 	if _, err := r.eng.Cluster().Run(tasks); err != nil {
-		return nil, fmt.Errorf("incr: delta map phase: %w", err)
+		return fmt.Errorf("incr: delta map phase: %w", err)
 	}
-	var edges int64
-	for _, p := range parts {
-		edges += int64(len(p))
+	if err := buf.FinishMap(); err != nil {
+		return fmt.Errorf("incr: delta map spill: %w", err)
 	}
-	rep.Add("delta.edges", edges)
-	return parts, nil
+	// Spill sorting happened inside the timed map windows but is
+	// reported as StageSort; rebalance so Total() counts it once.
+	rep.AddStage(metrics.StageMap, -buf.SortDuration())
+	rep.Add("delta.edges", buf.Records())
+	rep.Add("shuffle.bytes", buf.Bytes())
+	return nil
 }
 
 // runDeltaFineGrain performs incremental Reduce computation through the
-// MRBG-Stores and rewrites only affected outputs.
+// MRBG-Stores and patches only affected result groups.
 func (r *Runner) runDeltaFineGrain(deltaInput, output string) (*metrics.Report, error) {
 	rep := &metrics.Report{}
-	parts, err := r.mapDelta(deltaInput, rep)
+	buf, err := r.newDeltaBuffer(rep)
 	if err != nil {
 		return nil, err
 	}
-
-	// Shuffle/sort stage: the delta edges were partitioned by K2 above;
-	// sorting per partition is what the MapReduce shuffle would do.
-	sortStart := time.Now()
-	for p := range parts {
-		sort.SliceStable(parts[p], func(i, j int) bool { return parts[p][i].Key < parts[p][j].Key })
+	defer buf.Close()
+	err = r.mapDelta(deltaInput, buf, rep, func(d kv.Delta, seq uint64, em *shuffle.Emitter) error {
+		base := kv.Fingerprint(d.Key, d.Value)
+		occ := occTracker{}
+		del := d.Op == kv.OpDelete
+		return r.job.Mapper.Map(d.Key, d.Value, func(k2, v2 string) {
+			em.Emit(k2, encodeDeltaEdge(mkFor(base, occ.next(k2)), seq, del, v2))
+		})
+	})
+	if err != nil {
+		return nil, err
 	}
-	rep.AddStage(metrics.StageSort, time.Since(sortStart))
-	var shuffleBytes int64
-	for _, part := range parts {
-		for _, d := range part {
-			shuffleBytes += int64(len(d.Key) + len(d.V2) + 9)
-		}
-	}
-	rep.Add("shuffle.bytes", shuffleBytes)
+	mapSort := buf.SortDuration()
+	compBefore := r.resultCompactions()
 
 	// Incremental Reduce: one task per partition, co-located with its
-	// store; merge the delta MRBGraph and re-reduce affected K2s.
+	// stores; drain the partition's delta MRBGraph off the streaming
+	// merge, join it against the MRBG-Store, and re-reduce affected K2s
+	// into the result store. No lock is shared across partitions, so
+	// user Reduce calls run fully in parallel.
 	tasks := make([]cluster.Task, 0, r.job.NumReducers)
 	for p := 0; p < r.job.NumReducers; p++ {
 		p := p
@@ -412,29 +730,96 @@ func (r *Runner) runDeltaFineGrain(deltaInput, output string) (*metrics.Report, 
 			Preferred: p % r.eng.Cluster().NumNodes(),
 			Run: func(tc cluster.TaskContext) error {
 				start := time.Now()
+				res := r.res[p]
 				var reduced int64
-				err := r.stores[p].Merge(parts[p], func(mr2 mrbg.MergeResult) error {
-					r.mu.Lock()
-					defer r.mu.Unlock()
-					if mr2.Removed {
-						delete(r.outputs[p], mr2.Key)
+				onMerge := func(m mrbg.MergeResult) error {
+					if m.Removed {
+						res.Delete(m.Key)
 						return nil
 					}
 					var outs []kv.Pair
-					err := r.job.Reducer.Reduce(mr2.Key, mr2.Chunk.Values(), func(k3, v3 string) {
+					err := r.job.Reducer.Reduce(m.Key, m.Chunk.Values(), func(k3, v3 string) {
 						outs = append(outs, kv.Pair{Key: k3, Value: v3})
 					})
 					if err != nil {
 						return err
 					}
 					reduced++
-					r.outputs[p][mr2.Key] = outs
+					res.Set(m.Key, outs)
+					return nil
+				}
+				// Drain the streaming merge into Merge calls in batches
+				// bounded by this partition's share of the shuffle
+				// budget, so the reduce side never buffers more of the
+				// delta MRBGraph than the map side was allowed to. Groups
+				// never split across batches (buf.Reduce yields whole
+				// keys), so each affected K2 merges and re-reduces
+				// exactly once; later batches see earlier batches'
+				// committed chunks, making the split semantically
+				// invisible.
+				var batchBound int64
+				if r.job.ShuffleMemoryBudget > 0 {
+					batchBound = r.job.ShuffleMemoryBudget / int64(r.job.NumReducers)
+					if batchBound < 1 {
+						batchBound = 1
+					}
+				}
+				var delta []mrbg.DeltaEdge
+				var deltaBytes int64
+				flush := func() error {
+					if len(delta) == 0 {
+						return nil
+					}
+					if err := r.stores[p].Merge(delta, onMerge); err != nil {
+						return err
+					}
+					delta, deltaBytes = delta[:0], 0
+					return nil
+				}
+				err := buf.Reduce(p, func(g kv.Group) error {
+					for _, v := range g.Values {
+						de, err := decodeDeltaEdge(g.Key, v)
+						if err != nil {
+							return err
+						}
+						delta = append(delta, de)
+						deltaBytes += int64(len(de.Key) + len(de.V2) + 16)
+					}
+					if batchBound > 0 && deltaBytes >= batchBound {
+						return flush()
+					}
 					return nil
 				})
 				if err != nil {
 					return err
 				}
+				if err := flush(); err != nil {
+					return err
+				}
+				// The two checkpoints are separate fsync points, so a
+				// crash between them would leave the partition's
+				// MRBGraph ahead of its result store. An intent marker
+				// brackets them: it is durably written before the first
+				// checkpoint and removed after the second, and Open
+				// refuses a partition whose marker survived. (A crash
+				// before the first checkpoint rolls both stores back to
+				// the previous refresh — consistent — and replaying a
+				// fine-grain delta against consistent state is
+				// idempotent per (K2, MK).)
+				intent := r.refreshIntentPath(p)
+				if err := fsutil.WriteFileAtomic(intent, []byte("refresh\n")); err != nil {
+					return err
+				}
 				if err := r.stores[p].Checkpoint(); err != nil {
+					return err
+				}
+				if err := res.Checkpoint(); err != nil {
+					return err
+				}
+				if err := os.Remove(intent); err != nil {
+					return err
+				}
+				if err := fsutil.SyncDir(filepath.Dir(intent)); err != nil {
 					return err
 				}
 				rep.Add("reduce.instances", reduced)
@@ -446,72 +831,51 @@ func (r *Runner) runDeltaFineGrain(deltaInput, output string) (*metrics.Report, 
 	if _, err := r.eng.Cluster().Run(tasks); err != nil {
 		return nil, fmt.Errorf("incr: incremental reduce phase: %w", err)
 	}
+	// Residue sorts ran inside the timed reduce windows; rebalance them
+	// into StageSort (where the Buffer already reported them).
+	rep.AddStage(metrics.StageReduce, -(buf.SortDuration() - mapSort))
 
-	if err := r.writeOutputs(output); err != nil {
+	if err := r.writeOutputs(output, rep); err != nil {
 		return nil, err
 	}
+	r.reportResultStats(rep, compBefore)
 	return rep, nil
 }
 
-// runDeltaAccumulator refreshes an accumulator-Reduce job: group the
-// delta's intermediate values, reduce them into partial results, and
-// fold each partial result into the preserved output with ⊕.
+// runDeltaAccumulator refreshes an accumulator-Reduce job: stream the
+// delta's intermediate values through the shuffle, reduce each group
+// into a partial result, and fold it into the preserved output with ⊕.
 func (r *Runner) runDeltaAccumulator(deltaInput, output string) (*metrics.Report, error) {
 	rep := &metrics.Report{}
-	fi, err := r.eng.FS().Stat(deltaInput)
+	buf, err := r.newDeltaBuffer(rep)
 	if err != nil {
-		return nil, fmt.Errorf("incr: delta input: %w", err)
+		return nil, err
 	}
-	parts := make([][]kv.Pair, r.job.NumReducers)
-	var mu sync.Mutex
-	tasks := make([]cluster.Task, 0, len(fi.Blocks))
-	for b := range fi.Blocks {
-		b := b
-		tasks = append(tasks, cluster.Task{
-			Name:      fmt.Sprintf("%s-delta/map-%04d", sanitize(r.job.Name), b),
-			Preferred: -1,
-			Run: func(tc cluster.TaskContext) error {
-				start := time.Now()
-				br, err := r.eng.FS().OpenBlock(deltaInput, b)
-				if err != nil {
-					return err
-				}
-				defer br.Close()
-				local := make([][]kv.Pair, r.job.NumReducers)
-				var recs int64
-				for {
-					d, err := br.ReadDelta()
-					if err == io.EOF {
-						break
-					}
-					if err != nil {
-						return err
-					}
-					if d.Op == kv.OpDelete {
-						return fmt.Errorf("incr: accumulator job %q received a deletion for key %q; accumulator deltas must be insert-only (Sec. 3.5)", r.job.Name, d.Key)
-					}
-					recs++
-					err = r.job.Mapper.Map(d.Key, d.Value, func(k2, v2 string) {
-						p := kv.Partition(k2, r.job.NumReducers)
-						local[p] = append(local[p], kv.Pair{Key: k2, Value: v2})
-					})
-					if err != nil {
-						return err
-					}
-				}
-				mu.Lock()
-				for p := range local {
-					parts[p] = append(parts[p], local[p]...)
-				}
-				mu.Unlock()
-				rep.Add("map.records.in", recs)
-				rep.AddStage(metrics.StageMap, time.Since(start))
-				return nil
-			},
+	defer buf.Close()
+	err = r.mapDelta(deltaInput, buf, rep, func(d kv.Delta, _ uint64, em *shuffle.Emitter) error {
+		if d.Op == kv.OpDelete {
+			return fmt.Errorf("incr: accumulator job %q received a deletion for key %q; accumulator deltas must be insert-only (Sec. 3.5)", r.job.Name, d.Key)
+		}
+		return r.job.Mapper.Map(d.Key, d.Value, func(k2, v2 string) {
+			em.Emit(k2, v2)
 		})
+	})
+	if err != nil {
+		return nil, err
 	}
-	if _, err := r.eng.Cluster().Run(tasks); err != nil {
-		return nil, fmt.Errorf("incr: delta map phase: %w", err)
+	mapSort := buf.SortDuration()
+	compBefore := r.resultCompactions()
+
+	// Accumulator folds are not idempotent (⊕ reapplied double-counts),
+	// so the refresh is bracketed by one intent marker covering ALL
+	// partitions: a crash while some partitions have durably folded and
+	// others have not leaves the marker behind, and Open refuses the
+	// half-applied state. Within one process, a retried task attempt is
+	// handled separately: it discards the failed attempt's pending folds
+	// (DiscardPending) and re-folds from the partition's durable state.
+	intent := r.refreshIntentPath(0)
+	if err := fsutil.WriteFileAtomic(intent, []byte("refresh\n")); err != nil {
+		return nil, err
 	}
 
 	rtasks := make([]cluster.Task, 0, r.job.NumReducers)
@@ -522,10 +886,10 @@ func (r *Runner) runDeltaAccumulator(deltaInput, output string) (*metrics.Report
 			Preferred: p % r.eng.Cluster().NumNodes(),
 			Run: func(tc cluster.TaskContext) error {
 				start := time.Now()
-				run := parts[p]
-				kv.SortPairs(run)
+				res := r.res[p]
+				res.DiscardPending()
 				var reduced int64
-				err := kv.GroupSorted(run, func(g kv.Group) error {
+				err := buf.Reduce(p, func(g kv.Group) error {
 					var outs []kv.Pair
 					err := r.job.Reducer.Reduce(g.Key, g.Values, func(k3, v3 string) {
 						outs = append(outs, kv.Pair{Key: k3, Value: v3})
@@ -534,19 +898,22 @@ func (r *Runner) runDeltaAccumulator(deltaInput, output string) (*metrics.Report
 						return err
 					}
 					reduced++
-					r.mu.Lock()
-					defer r.mu.Unlock()
 					for _, o := range outs {
-						if old, ok := r.outputs[p][o.Key]; ok {
-							merged := r.job.Accumulate(old[0].Value, o.Value)
-							r.outputs[p][o.Key] = []kv.Pair{{Key: o.Key, Value: merged}}
-						} else {
-							r.outputs[p][o.Key] = []kv.Pair{o}
+						old, ok, err := res.Get(o.Key)
+						if err != nil {
+							return err
 						}
+						if ok {
+							o = kv.Pair{Key: o.Key, Value: r.job.Accumulate(old[0].Value, o.Value)}
+						}
+						res.Set(o.Key, []kv.Pair{o})
 					}
 					return nil
 				})
 				if err != nil {
+					return err
+				}
+				if err := res.Checkpoint(); err != nil {
 					return err
 				}
 				rep.Add("reduce.instances", reduced)
@@ -558,44 +925,123 @@ func (r *Runner) runDeltaAccumulator(deltaInput, output string) (*metrics.Report
 	if _, err := r.eng.Cluster().Run(rtasks); err != nil {
 		return nil, fmt.Errorf("incr: accumulate phase: %w", err)
 	}
-	if err := r.writeOutputs(output); err != nil {
+	if err := os.Remove(intent); err != nil {
 		return nil, err
 	}
+	if err := fsutil.SyncDir(filepath.Dir(intent)); err != nil {
+		return nil, err
+	}
+	rep.AddStage(metrics.StageReduce, -(buf.SortDuration() - mapSort))
+	if err := r.writeOutputs(output, rep); err != nil {
+		return nil, err
+	}
+	r.reportResultStats(rep, compBefore)
 	return rep, nil
 }
 
-// writeOutputs materializes the current output maps as DFS part files.
-func (r *Runner) writeOutputs(output string) error {
-	for p := 0; p < r.job.NumReducers; p++ {
-		r.mu.Lock()
-		keys := make([]string, 0, len(r.outputs[p]))
-		for k := range r.outputs[p] {
-			keys = append(keys, k)
+// writeOutputs materializes the current result set as DFS part files,
+// re-serializing only partitions whose result stores are dirty. A clean
+// partition republishes under the new output path with a block-level
+// clone of its previous part file (no re-sort, no re-encode); if that
+// file is gone — a fresh DFS namespace after a restart — it falls back
+// to a full write.
+func (r *Runner) writeOutputs(output string, rep *metrics.Report) error {
+	var dirtyParts, rewrittenBytes int64
+	for p, res := range r.res {
+		part := mr.PartPath(output, p)
+		if !res.Dirty() {
+			// The recorded materialization is only reusable if the file
+			// actually exists in THIS process's DFS namespace — after a
+			// restart it will not, and skipping or cloning would publish
+			// an output with missing partitions.
+			last := res.LastOutput()
+			if last == part {
+				if _, err := r.eng.FS().Stat(part); err == nil {
+					continue
+				}
+			} else if last != "" {
+				if err := r.eng.FS().Clone(last, part); err == nil {
+					if err := res.Materialized(part); err != nil {
+						return err
+					}
+					continue
+				}
+			}
 		}
-		sort.Strings(keys)
-		var ps []kv.Pair
-		for _, k := range keys {
-			ps = append(ps, r.outputs[p][k]...)
-		}
-		r.mu.Unlock()
-		if err := r.eng.FS().WriteAllPairs(mr.PartPath(output, p), ps); err != nil {
+		// Everything below re-serializes the partition from its store —
+		// because it is dirty, or because a clean partition's previous
+		// part file is gone (fresh DFS namespace after a restart). Both
+		// count as rewritten: the counters mean "partitions/bytes this
+		// refresh actually re-serialized".
+		dirtyParts++
+		w, err := r.eng.FS().Create(part)
+		if err != nil {
 			return err
 		}
+		err = res.AllGroups(func(_ string, outs []kv.Pair) error {
+			for _, o := range outs {
+				if err := w.WritePair(o); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			w.Abort()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		fi, err := r.eng.FS().Stat(part)
+		if err != nil {
+			return err
+		}
+		rewrittenBytes += fi.Bytes
+		if err := res.Materialized(part); err != nil {
+			return err
+		}
+	}
+	if rep != nil {
+		rep.Add(metrics.CounterResultDirtyPartitions, dirtyParts)
+		rep.Add(metrics.CounterResultBytesRewritten, rewrittenBytes)
 	}
 	return nil
 }
 
+// resultCompactions sums the result stores' cumulative compaction
+// counters; RunDelta reports the per-refresh difference.
+func (r *Runner) resultCompactions() int64 {
+	var n int64
+	for _, res := range r.res {
+		n += res.Stats().Compactions
+	}
+	return n
+}
+
+// reportResultStats records the refresh's result-store shape counters.
+func (r *Runner) reportResultStats(rep *metrics.Report, compBefore int64) {
+	var segs int64
+	for _, res := range r.res {
+		segs += int64(res.Stats().Segments)
+	}
+	rep.Add(metrics.CounterResultSegments, segs)
+	rep.Add(metrics.CounterResultCompactions, r.resultCompactions()-compBefore)
+}
+
 // Outputs returns the current result set as a key-sorted slice,
 // concatenated across partitions.
-func (r *Runner) Outputs() []kv.Pair {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+func (r *Runner) Outputs() ([]kv.Pair, error) {
 	var out []kv.Pair
-	for p := range r.outputs {
-		for _, ps := range r.outputs[p] {
+	for _, res := range r.res {
+		err := res.AllGroups(func(_ string, ps []kv.Pair) error {
 			out = append(out, ps...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	kv.SortPairs(out)
-	return out
+	return out, nil
 }

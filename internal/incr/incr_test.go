@@ -80,6 +80,17 @@ func recompute(t *testing.T, eng *mr.Engine, input string, n int) map[string]str
 	return m
 }
 
+// outs reads the runner's current result set, failing the test on
+// store errors.
+func outs(t *testing.T, r *Runner) []kv.Pair {
+	t.Helper()
+	ps, err := r.Outputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
 func outputsAsMap(ps []kv.Pair) map[string]string {
 	m := map[string]string{}
 	for _, p := range ps {
@@ -110,7 +121,7 @@ func TestPaperFig3Scenario(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := recompute(t, eng, "graph-v1", 2)
-	if got := outputsAsMap(r.Outputs()); !reflect.DeepEqual(got, want) {
+	if got := outputsAsMap(outs(t, r)); !reflect.DeepEqual(got, want) {
 		t.Fatalf("initial outputs = %v, want %v", got, want)
 	}
 
@@ -138,12 +149,12 @@ func TestPaperFig3Scenario(t *testing.T) {
 		t.Fatal(err)
 	}
 	want2 := recompute(t, eng, "graph-v2", 2)
-	if got := outputsAsMap(r.Outputs()); !reflect.DeepEqual(got, want2) {
+	if got := outputsAsMap(outs(t, r)); !reflect.DeepEqual(got, want2) {
 		t.Fatalf("incremental outputs = %v, want %v", got, want2)
 	}
 	// Vertex 1 lost its only in-edge (from nobody) — actually vertex 1
 	// as a reduce key must disappear: only record "0" pointed at 1.
-	if _, ok := outputsAsMap(r.Outputs())["1"]; ok {
+	if _, ok := outputsAsMap(outs(t, r))["1"]; ok {
 		t.Fatal("vertex 1 still has an in-edge sum after its last in-edge was deleted")
 	}
 	// The DFS output matches the in-memory view.
@@ -237,7 +248,7 @@ func TestIncrementalMatchesRecomputeRandomized(t *testing.T) {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		want := recompute(t, eng, gPath, 3)
-		got := outputsAsMap(r.Outputs())
+		got := outputsAsMap(outs(t, r))
 		if len(got) != len(want) {
 			t.Fatalf("round %d: %d keys, want %d", round, len(got), len(want))
 		}
@@ -293,7 +304,7 @@ func TestOnlyAffectedInstancesReReduced(t *testing.T) {
 	if n := rep.Counter("reduce.instances"); n > 2 {
 		t.Fatalf("re-reduced %d instances, want <= 2 (vertices 6 and 7)", n)
 	}
-	want := outputsAsMap(r.Outputs())
+	want := outputsAsMap(outs(t, r))
 	if want["7"] != "3" && !strings.HasPrefix(want["7"], "3") {
 		t.Fatalf("vertex 7 sum = %q, want 3 (1.0 existing + 2.0 new)", want["7"])
 	}
@@ -327,7 +338,7 @@ func TestFineGrainWordCountWithDuplicateEmissions(t *testing.T) {
 	if _, err := r.RunInitial("docs", "o0"); err != nil {
 		t.Fatal(err)
 	}
-	got := outputsAsMap(r.Outputs())
+	got := outputsAsMap(outs(t, r))
 	if got["go"] != "4" || got["stop"] != "2" {
 		t.Fatalf("initial counts = %v", got)
 	}
@@ -342,7 +353,7 @@ func TestFineGrainWordCountWithDuplicateEmissions(t *testing.T) {
 	if _, err := r.RunDelta("d", "o1"); err != nil {
 		t.Fatal(err)
 	}
-	got = outputsAsMap(r.Outputs())
+	got = outputsAsMap(outs(t, r))
 	if got["go"] != "2" || got["stop"] != "1" {
 		t.Fatalf("refreshed counts = %v, want go:2 stop:1", got)
 	}
@@ -392,7 +403,7 @@ func TestAccumulatorMode(t *testing.T) {
 	if _, err := r.RunDelta("d", "o1"); err != nil {
 		t.Fatal(err)
 	}
-	got := outputsAsMap(r.Outputs())
+	got := outputsAsMap(outs(t, r))
 	want := map[string]string{"alpha": "3", "beta": "1", "gamma": "1"}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("accumulated = %v, want %v", got, want)

@@ -64,6 +64,19 @@ const (
 	// vs. re-decoding the node-local structure file.
 	CounterStructCacheHits   = "structcache.hits"
 	CounterStructCacheMisses = "structcache.misses"
+	// CounterResultSegments is the total on-disk segment count across
+	// the one-step engine's per-partition result stores after a refresh.
+	CounterResultSegments = "results.segments"
+	// CounterResultCompactions counts result-store segment compactions
+	// performed during a refresh.
+	CounterResultCompactions = "results.compactions"
+	// CounterResultDirtyPartitions counts the output partitions a
+	// refresh actually re-serialized; clean partitions are cloned or
+	// skipped.
+	CounterResultDirtyPartitions = "results.dirty.partitions"
+	// CounterResultBytesRewritten counts the DFS bytes written while
+	// materializing those dirty partitions.
+	CounterResultBytesRewritten = "results.bytes.rewritten"
 )
 
 // Report accumulates stage durations and named counters for one job (or

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"i2mapreduce/internal/fsutil"
 )
 
 // ShardedStore is one reduce task's MRBG-Store, partitioned across
@@ -59,33 +61,8 @@ func readMeta(dir string) (int, bool, error) {
 // writeMeta persists the shard count atomically and durably: losing
 // the meta file after a crash would reroute every key on reopen.
 func writeMeta(dir string, n int) error {
-	tmp := filepath.Join(dir, metaName+".tmp")
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(f, "shards=%d\n", n); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, metaName)); err != nil {
-		return err
-	}
-	// Sync the directory so the rename survives alongside the fsynced
-	// shard files.
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fsutil.WriteFileAtomic(filepath.Join(dir, metaName),
+		[]byte(fmt.Sprintf("shards=%d\n", n)))
 }
 
 // Open creates a store in opts.Dir or recovers the one checkpointed

@@ -1,0 +1,841 @@
+// Package results implements the durable per-partition result store of
+// the one-step incremental engine (internal/incr). A Store holds the
+// materialized Reduce outputs of one reduce partition as a map from a
+// group key (the Reduce input key K2, or K3 for accumulator jobs) to
+// the output pairs that group's Reduce call emitted.
+//
+// Incremental view-maintenance systems treat the materialized result as
+// a first-class store that is *patched*, not rebuilt: a delta refresh
+// replaces or deletes only the affected groups, and the store remembers
+// everything else. The on-disk layout follows the small-LSM shape used
+// throughout this codebase (cf. the MRBG-Store):
+//
+//	results.meta — the manifest: segment list (oldest first), the
+//	               segment sequence counter, and the DFS path the
+//	               store was last materialized to. Written atomically
+//	               (temp file + rename + dir sync); its presence marks
+//	               the store as initialized, which incr.Open relies on
+//	               to resume a runner after process death.
+//	seg-*.seg    — immutable segments: group records sorted by group
+//	               key. A record is either a live group (its output
+//	               pairs) or a tombstone (the group was deleted).
+//
+// Mutations accumulate in an in-memory memtable; Checkpoint flushes it
+// as a new segment and persists the manifest. Reads overlay the
+// memtable over the segments newest-first. When the segment count
+// reaches Options.CompactThreshold, Checkpoint folds all segments into
+// one, dropping tombstones and obsolete group versions — the
+// "reconstructed when idle" treatment the paper gives the MRBGraph
+// file, applied to the result set.
+package results
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"i2mapreduce/internal/fsutil"
+	"i2mapreduce/internal/kv"
+)
+
+// DefaultCompactThreshold is the segment count at which Checkpoint
+// compacts, when Options.CompactThreshold is zero.
+const DefaultCompactThreshold = 4
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the directory holding the manifest and segments. Required.
+	Dir string
+	// CompactThreshold is the number of on-disk segments that triggers a
+	// compaction during Checkpoint. 0 means DefaultCompactThreshold; a
+	// negative value disables compaction entirely.
+	CompactThreshold int
+}
+
+// Stats reports the store's shape and maintenance work.
+type Stats struct {
+	// Segments is the current on-disk segment count.
+	Segments int
+	// SegmentBytes is the total encoded size of those segments.
+	SegmentBytes int64
+	// Compactions counts compactions since Open.
+	Compactions int64
+	// CompactedBytes counts the obsolete segment bytes dropped by those
+	// compactions (pre-compaction size minus post-compaction size).
+	CompactedBytes int64
+	// Flushes counts memtable flushes (checkpointed segments written).
+	Flushes int64
+}
+
+// entry is one memtable slot: a group's pending output pairs, or a
+// tombstone marking the group deleted.
+type entry struct {
+	pairs []kv.Pair
+	tomb  bool
+}
+
+// segLoc locates one group record inside a segment file.
+type segLoc struct {
+	off int64
+	len int64
+}
+
+// segment is one immutable sorted run of group records.
+type segment struct {
+	path  string
+	f     *os.File
+	index map[string]segLoc
+	bytes int64
+}
+
+// Store is one partition's durable result store. All methods are safe
+// for concurrent use; the one-step engine additionally guarantees that
+// at most one reduce task mutates a partition's store at a time, so the
+// internal mutex is contended only by concurrent readers (Outputs).
+type Store struct {
+	mu   sync.Mutex
+	opts Options
+	seq  int64 // next segment sequence number
+	segs []*segment
+	// initialized reports whether a manifest existed when the store was
+	// opened — i.e. a previous process checkpointed results here.
+	initialized bool
+	mem         map[string]entry
+	dirty       bool
+	lastOutput  string
+	stats       Stats
+}
+
+const manifestName = "results.meta"
+
+// Open creates a store in opts.Dir or recovers the one checkpointed
+// there. Segments written but never referenced by the manifest (a crash
+// between segment write and manifest commit) are deleted.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("results: Options.Dir is required")
+	}
+	if opts.CompactThreshold == 0 {
+		opts.CompactThreshold = DefaultCompactThreshold
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: creating dir: %w", err)
+	}
+	s := &Store{opts: opts, mem: make(map[string]entry)}
+	names, last, seq, ok, err := readManifest(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s.initialized = ok
+	s.seq = seq
+	s.lastOutput = last
+	referenced := make(map[string]bool, len(names))
+	for _, name := range names {
+		referenced[name] = true
+		seg, err := openSegment(filepath.Join(opts.Dir, name))
+		if err != nil {
+			s.closeSegments()
+			return nil, err
+		}
+		s.segs = append(s.segs, seg)
+	}
+	// Drop orphaned segment files from a crash mid-checkpoint.
+	dirEnts, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		s.closeSegments()
+		return nil, err
+	}
+	for _, de := range dirEnts {
+		name := de.Name()
+		if strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg") && !referenced[name] {
+			os.Remove(filepath.Join(opts.Dir, name))
+		}
+	}
+	return s, nil
+}
+
+// Initialized reports whether the store was recovered from a manifest a
+// previous process wrote — the signal incr.Open uses to decide that a
+// preserved computation exists.
+func (s *Store) Initialized() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.initialized
+}
+
+func (s *Store) closeSegments() {
+	for _, seg := range s.segs {
+		seg.f.Close()
+	}
+}
+
+// Reset discards the store's entire contents — memtable, segments, and
+// manifest — returning it to the freshly-created state. The one-step
+// engine uses it to clear the partial results of an initial run that
+// died before committing its completion marker. The manifest is removed
+// first, so a crash mid-Reset leaves an uninitialized store plus orphan
+// segments (cleaned by the next Open), never a manifest referencing
+// deleted files.
+func (s *Store) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(filepath.Join(s.opts.Dir, manifestName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	// The unlink must be durable before any referenced segment goes, or
+	// a crash could resurrect a manifest pointing at deleted files.
+	if err := fsutil.SyncDir(s.opts.Dir); err != nil {
+		return err
+	}
+	for _, seg := range s.segs {
+		seg.f.Close()
+		os.Remove(seg.path)
+	}
+	s.segs = nil
+	s.mem = make(map[string]entry)
+	s.initialized = false
+	s.dirty = false
+	s.lastOutput = ""
+	return nil
+}
+
+// Close releases the segment files without checkpointing. Pending
+// memtable mutations are lost (they were never promised durable).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.segs = nil
+	return first
+}
+
+// Set replaces group key's output pairs. The slice is retained; callers
+// must not mutate it afterwards.
+func (s *Store) Set(key string, pairs []kv.Pair) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem[key] = entry{pairs: pairs}
+	s.dirty = true
+}
+
+// DiscardPending drops every uncheckpointed mutation (the memtable),
+// restoring the in-memory view to the last durable state. The one-step
+// engine calls it at the start of an accumulator reduce task attempt so
+// a retried attempt re-folds its groups from clean state instead of
+// double-accumulating on top of the failed attempt's partial folds. The
+// dirty flag is left as-is (conservatively: an unnecessary rewrite is
+// safe, a skipped one is not).
+func (s *Store) DiscardPending() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem = make(map[string]entry)
+}
+
+// Delete removes group key (a tombstone is durably recorded so the
+// deletion survives restarts even while older segments still hold the
+// group).
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem[key] = entry{tomb: true}
+	s.dirty = true
+}
+
+// Get returns group key's current output pairs (memtable first, then
+// segments newest to oldest). ok is false when the group is absent or
+// tombstoned.
+func (s *Store) Get(key string) ([]kv.Pair, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.mem[key]; ok {
+		if e.tomb {
+			return nil, false, nil
+		}
+		return e.pairs, true, nil
+	}
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		l, ok := s.segs[i].index[key]
+		if !ok {
+			continue
+		}
+		rec, err := s.segs[i].readRecord(l)
+		if err != nil {
+			return nil, false, err
+		}
+		if rec.tomb {
+			return nil, false, nil
+		}
+		return rec.pairs, true, nil
+	}
+	return nil, false, nil
+}
+
+// Dirty reports whether the store changed since it was last
+// materialized to a DFS output file.
+func (s *Store) Dirty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dirty
+}
+
+// LastOutput returns the DFS path this store was last materialized to
+// ("" if never).
+func (s *Store) LastOutput() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastOutput
+}
+
+// Materialized records that the store's current contents were written
+// to the DFS path, clearing the dirty flag and persisting the path so a
+// resumed runner knows where its last output lives.
+func (s *Store) Materialized(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dirty = false
+	s.lastOutput = path
+	return s.writeManifestLocked()
+}
+
+// Stats returns a snapshot of the store's shape counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Segments = len(s.segs)
+	st.SegmentBytes = 0
+	for _, seg := range s.segs {
+		st.SegmentBytes += seg.bytes
+	}
+	return st
+}
+
+// record is one decoded group record.
+type record struct {
+	key   string
+	pairs []kv.Pair
+	tomb  bool
+}
+
+// Checkpoint makes the store durable: the memtable (if non-empty)
+// flushes as a new sorted segment, the manifest commits, and — when the
+// segment count reaches the compaction threshold — the segments fold
+// into one. Always writes the manifest, so a fresh store becomes
+// Initialized after its first Checkpoint even with no groups.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.mem) > 0 {
+		recs := make([]record, 0, len(s.mem))
+		for k, e := range s.mem {
+			recs = append(recs, record{key: k, pairs: e.pairs, tomb: e.tomb})
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+		seg, err := s.writeSegmentLocked(recs)
+		if err != nil {
+			return err
+		}
+		s.segs = append(s.segs, seg)
+		s.mem = make(map[string]entry)
+		s.stats.Flushes++
+	}
+	var obsolete []string
+	if s.opts.CompactThreshold > 0 && len(s.segs) >= s.opts.CompactThreshold {
+		var err error
+		obsolete, err = s.compactLocked()
+		if err != nil {
+			return err
+		}
+	}
+	if err := s.writeManifestLocked(); err != nil {
+		return err
+	}
+	// Only after the manifest stopped referencing them may the old
+	// segment files go; a crash before this point leaves them on disk
+	// (still referenced or orphaned — either way recoverable), never a
+	// manifest pointing at deleted files.
+	removePaths(obsolete)
+	s.initialized = true
+	return nil
+}
+
+// Compact folds every segment into one, dropping tombstones and
+// obsolete group versions. Intended for idle periods; Checkpoint calls
+// it automatically at the threshold.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.segs) <= 1 {
+		return nil
+	}
+	obsolete, err := s.compactLocked()
+	if err != nil {
+		return err
+	}
+	if err := s.writeManifestLocked(); err != nil {
+		return err
+	}
+	removePaths(obsolete)
+	return nil
+}
+
+// compactLocked merges the current segments into a single segment via a
+// streaming newest-wins merge, returning the now-obsolete segment file
+// paths. The caller must commit the manifest BEFORE deleting them — a
+// manifest still referencing the old files plus an unreferenced new
+// segment is recoverable after a crash (the orphan is dropped on Open);
+// a manifest referencing deleted files is not. The memtable is not
+// touched (compaction runs right after a flush, when it is empty, but
+// correctness does not depend on that: the memtable overlays whatever
+// the segments hold).
+func (s *Store) compactLocked() ([]string, error) {
+	if len(s.segs) <= 1 {
+		return nil, nil
+	}
+	var before int64
+	for _, seg := range s.segs {
+		before += seg.bytes
+	}
+	// Stream the newest-wins merge straight into the new segment; only
+	// one record is in memory at a time.
+	sw, err := s.newSegmentWriterLocked()
+	if err != nil {
+		return nil, err
+	}
+	err = s.mergeSegmentsLocked(func(r record) error {
+		if r.tomb {
+			return nil // fully merged: tombstones have done their work
+		}
+		return sw.add(r)
+	})
+	if err != nil {
+		sw.abort()
+		return nil, err
+	}
+	seg, err := sw.finish()
+	if err != nil {
+		return nil, err
+	}
+	old := s.segs
+	s.segs = []*segment{seg}
+	obsolete := make([]string, 0, len(old))
+	for _, o := range old {
+		o.f.Close()
+		obsolete = append(obsolete, o.path)
+	}
+	s.stats.Compactions++
+	s.stats.CompactedBytes += before - seg.bytes
+	return obsolete, nil
+}
+
+// removePaths best-effort deletes files whose references are gone.
+func removePaths(paths []string) {
+	for _, p := range paths {
+		os.Remove(p)
+	}
+}
+
+// AllGroups streams every live group in ascending group-key order,
+// overlaying the memtable on the segments (newest wins per key,
+// tombstones skipped). The pairs slice is owned by the callback only
+// until it returns.
+func (s *Store) AllGroups(fn func(key string, pairs []kv.Pair) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Snapshot the memtable as a sorted pseudo-segment with the highest
+	// priority.
+	memRecs := make([]record, 0, len(s.mem))
+	for k, e := range s.mem {
+		memRecs = append(memRecs, record{key: k, pairs: e.pairs, tomb: e.tomb})
+	}
+	sort.Slice(memRecs, func(i, j int) bool { return memRecs[i].key < memRecs[j].key })
+	return s.mergeLocked(memRecs, func(r record) error {
+		if r.tomb {
+			return nil
+		}
+		return fn(r.key, r.pairs)
+	})
+}
+
+// mergeSegmentsLocked merges only the on-disk segments.
+func (s *Store) mergeSegmentsLocked(fn func(r record) error) error {
+	return s.mergeLocked(nil, fn)
+}
+
+// recordSource streams records of one run in key order.
+type recordSource interface {
+	next() (record, error) // io.EOF at end
+}
+
+// sliceRecordSource streams an in-memory sorted record slice.
+type sliceRecordSource struct {
+	recs []record
+	i    int
+}
+
+func (r *sliceRecordSource) next() (record, error) {
+	if r.i >= len(r.recs) {
+		return record{}, io.EOF
+	}
+	rec := r.recs[r.i]
+	r.i++
+	return rec, nil
+}
+
+// fileRecordSource streams a segment file sequentially.
+type fileRecordSource struct {
+	r *bufio.Reader
+}
+
+func (f *fileRecordSource) next() (record, error) {
+	rec, _, err := readRecordFrom(f.r)
+	return rec, err
+}
+
+// mergeLocked k-way merges the overlay (highest priority, may be nil)
+// and the segments (newer = higher priority) into one newest-wins
+// stream of records in ascending key order. Records for a key that lost
+// to a newer version are consumed and dropped.
+func (s *Store) mergeLocked(overlay []record, fn func(r record) error) error {
+	// sources[0] is the overlay; sources[1..] are segments newest first,
+	// so the lowest source index holding a key wins.
+	sources := make([]recordSource, 0, len(s.segs)+1)
+	sources = append(sources, &sliceRecordSource{recs: overlay})
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		if _, err := s.segs[i].f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		sources = append(sources, &fileRecordSource{r: bufio.NewReaderSize(s.segs[i].f, 64<<10)})
+	}
+	heads := make([]*record, len(sources))
+	advance := func(i int) error {
+		rec, err := sources[i].next()
+		if err == io.EOF {
+			heads[i] = nil
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		heads[i] = &rec
+		return nil
+	}
+	for i := range sources {
+		if err := advance(i); err != nil {
+			return err
+		}
+	}
+	for {
+		// Find the smallest key; the lowest source index wins ties.
+		win := -1
+		for i, h := range heads {
+			if h == nil {
+				continue
+			}
+			if win < 0 || h.key < heads[win].key {
+				win = i
+			}
+		}
+		if win < 0 {
+			return nil
+		}
+		key := heads[win].key
+		if err := fn(*heads[win]); err != nil {
+			return err
+		}
+		// Consume this key from every source.
+		for i := range heads {
+			for heads[i] != nil && heads[i].key == key {
+				if err := advance(i); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Segment codec. A record frames as:
+//
+//	uvarint(len(key)) key byte(kind) [uvarint(n) {uvarint(len k) k uvarint(len v) v}*]
+//
+// kind 0 = tombstone (no pairs follow), 1 = live group.
+// ---------------------------------------------------------------------
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
+}
+
+func encodeRecord(buf []byte, r record) []byte {
+	buf = appendUvarint(buf, uint64(len(r.key)))
+	buf = append(buf, r.key...)
+	if r.tomb {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = appendUvarint(buf, uint64(len(r.pairs)))
+	for _, p := range r.pairs {
+		buf = appendUvarint(buf, uint64(len(p.Key)))
+		buf = append(buf, p.Key...)
+		buf = appendUvarint(buf, uint64(len(p.Value)))
+		buf = append(buf, p.Value...)
+	}
+	return buf
+}
+
+// maxFieldLen bounds any single decoded field, turning a corrupted
+// length prefix into an error instead of a huge allocation.
+const maxFieldLen = 64 << 20
+
+func uvarintLen(v uint64) int64 {
+	n := int64(1)
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func readString(r *bufio.Reader) (string, int64, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", 0, err
+	}
+	if n > maxFieldLen {
+		return "", 0, fmt.Errorf("results: corrupt field length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", 0, fmt.Errorf("results: truncated field: %w", err)
+	}
+	return string(b), uvarintLen(n) + int64(n), nil
+}
+
+// readRecordFrom decodes the next record, also returning its encoded
+// length (so segment scans can index offsets from the single decode
+// pass); io.EOF signals a clean end.
+func readRecordFrom(r *bufio.Reader) (record, int64, error) {
+	key, sz, err := readString(r)
+	if err != nil {
+		if err == io.EOF {
+			return record{}, 0, io.EOF
+		}
+		return record{}, 0, fmt.Errorf("results: corrupt record key: %w", err)
+	}
+	kind, err := r.ReadByte()
+	if err != nil {
+		return record{}, 0, fmt.Errorf("results: truncated record kind: %w", err)
+	}
+	sz++
+	switch kind {
+	case 0:
+		return record{key: key, tomb: true}, sz, nil
+	case 1:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return record{}, 0, fmt.Errorf("results: corrupt pair count: %w", err)
+		}
+		if n > maxFieldLen {
+			return record{}, 0, fmt.Errorf("results: corrupt pair count %d", n)
+		}
+		sz += uvarintLen(n)
+		pairs := make([]kv.Pair, 0, n)
+		for i := uint64(0); i < n; i++ {
+			k, kn, err := readString(r)
+			if err != nil {
+				return record{}, 0, fmt.Errorf("results: corrupt pair key: %w", err)
+			}
+			v, vn, err := readString(r)
+			if err != nil {
+				return record{}, 0, fmt.Errorf("results: corrupt pair value: %w", err)
+			}
+			sz += kn + vn
+			pairs = append(pairs, kv.Pair{Key: k, Value: v})
+		}
+		return record{key: key, pairs: pairs}, sz, nil
+	default:
+		return record{}, 0, fmt.Errorf("results: invalid record kind %d", kind)
+	}
+}
+
+// segmentWriter streams records (sorted by key) into a new segment
+// file, building its index as it goes.
+type segmentWriter struct {
+	path  string
+	f     *os.File
+	w     *bufio.Writer
+	index map[string]segLoc
+	off   int64
+	buf   []byte
+}
+
+// newSegmentWriterLocked opens the next-sequence segment file for
+// writing. The manifest is NOT updated — callers commit it after every
+// structural change.
+func (s *Store) newSegmentWriterLocked() (*segmentWriter, error) {
+	s.seq++
+	path := filepath.Join(s.opts.Dir, fmt.Sprintf("seg-%06d.seg", s.seq))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &segmentWriter{
+		path:  path,
+		f:     f,
+		w:     bufio.NewWriterSize(f, 64<<10),
+		index: make(map[string]segLoc),
+	}, nil
+}
+
+// add appends one record.
+func (sw *segmentWriter) add(r record) error {
+	sw.buf = encodeRecord(sw.buf[:0], r)
+	if _, err := sw.w.Write(sw.buf); err != nil {
+		return err
+	}
+	sw.index[r.key] = segLoc{off: sw.off, len: int64(len(sw.buf))}
+	sw.off += int64(len(sw.buf))
+	return nil
+}
+
+// finish flushes and fsyncs the file and returns the segment ready for
+// reads. On error the file is removed.
+func (sw *segmentWriter) finish() (*segment, error) {
+	if err := sw.w.Flush(); err != nil {
+		sw.abort()
+		return nil, err
+	}
+	if err := sw.f.Sync(); err != nil {
+		sw.abort()
+		return nil, err
+	}
+	return &segment{path: sw.path, f: sw.f, index: sw.index, bytes: sw.off}, nil
+}
+
+// abort discards the partially written file.
+func (sw *segmentWriter) abort() {
+	sw.f.Close()
+	os.Remove(sw.path)
+}
+
+// writeSegmentLocked writes recs (sorted by key) as a new fsynced
+// segment file and returns it ready for reads.
+func (s *Store) writeSegmentLocked(recs []record) (*segment, error) {
+	sw, err := s.newSegmentWriterLocked()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		if err := sw.add(r); err != nil {
+			sw.abort()
+			return nil, err
+		}
+	}
+	return sw.finish()
+}
+
+// openSegment opens an existing segment, rebuilding its in-memory index
+// with one sequential scan.
+func openSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("results: opening segment: %w", err)
+	}
+	index := make(map[string]segLoc)
+	r := bufio.NewReaderSize(f, 64<<10)
+	var off int64
+	for {
+		rec, n, err := readRecordFrom(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("results: %s: %w", path, err)
+		}
+		index[rec.key] = segLoc{off: off, len: n}
+		off += n
+	}
+	return &segment{path: path, f: f, index: index, bytes: off}, nil
+}
+
+// readRecord decodes the record at l.
+func (seg *segment) readRecord(l segLoc) (record, error) {
+	buf := make([]byte, l.len)
+	if _, err := seg.f.ReadAt(buf, l.off); err != nil {
+		return record{}, fmt.Errorf("results: segment read: %w", err)
+	}
+	rec, _, err := readRecordFrom(bufio.NewReader(bytes.NewReader(buf)))
+	return rec, err
+}
+
+// ---------------------------------------------------------------------
+// Manifest.
+// ---------------------------------------------------------------------
+
+// writeManifestLocked persists the segment list, sequence counter, and
+// last materialized output path atomically and durably.
+func (s *Store) writeManifestLocked() error {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "results v1\nseq=%d\nlast=%s\n", s.seq, s.lastOutput)
+	for _, seg := range s.segs {
+		fmt.Fprintf(&b, "seg=%s\n", filepath.Base(seg.path))
+	}
+	return fsutil.WriteFileAtomic(filepath.Join(s.opts.Dir, manifestName), b.Bytes())
+}
+
+// readManifest loads the manifest; ok=false when none exists (a fresh
+// store).
+func readManifest(dir string) (segs []string, last string, seq int64, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, "", 0, false, nil
+	}
+	if err != nil {
+		return nil, "", 0, false, err
+	}
+	lines := strings.Split(string(b), "\n")
+	if len(lines) == 0 || lines[0] != "results v1" {
+		return nil, "", 0, false, fmt.Errorf("results: corrupt manifest header %q", string(b))
+	}
+	for _, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		k, v, found := strings.Cut(line, "=")
+		if !found {
+			return nil, "", 0, false, fmt.Errorf("results: corrupt manifest line %q", line)
+		}
+		switch k {
+		case "seq":
+			if _, err := fmt.Sscanf(v, "%d", &seq); err != nil {
+				return nil, "", 0, false, fmt.Errorf("results: corrupt manifest seq %q", v)
+			}
+		case "last":
+			last = v
+		case "seg":
+			if v == "" || strings.ContainsAny(v, "/\\") {
+				return nil, "", 0, false, fmt.Errorf("results: corrupt manifest segment %q", v)
+			}
+			segs = append(segs, v)
+		default:
+			return nil, "", 0, false, fmt.Errorf("results: unknown manifest key %q", k)
+		}
+	}
+	return segs, last, seq, true, nil
+}

@@ -1,0 +1,203 @@
+package results
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"i2mapreduce/internal/kv"
+)
+
+func mustOpen(t *testing.T, dir string, compact int) *Store {
+	t.Helper()
+	s, err := Open(Options{Dir: dir, CompactThreshold: compact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func collect(t *testing.T, s *Store) map[string][]kv.Pair {
+	t.Helper()
+	out := make(map[string][]kv.Pair)
+	err := s.AllGroups(func(key string, pairs []kv.Pair) error {
+		out[key] = append([]kv.Pair(nil), pairs...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSetGetDeleteInMemory(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	defer s.Close()
+	if s.Initialized() {
+		t.Fatal("fresh store reports Initialized")
+	}
+	s.Set("a", []kv.Pair{{Key: "a", Value: "1"}})
+	s.Set("b", []kv.Pair{{Key: "b", Value: "2"}, {Key: "b2", Value: "3"}})
+	if ps, ok, _ := s.Get("b"); !ok || len(ps) != 2 {
+		t.Fatalf("Get(b) = %v %v", ps, ok)
+	}
+	s.Delete("a")
+	if _, ok, _ := s.Get("a"); ok {
+		t.Fatal("deleted group still live")
+	}
+	got := collect(t, s)
+	if len(got) != 1 || got["b"] == nil {
+		t.Fatalf("AllGroups = %v", got)
+	}
+	if !s.Dirty() {
+		t.Fatal("mutated store not dirty")
+	}
+}
+
+func TestCheckpointReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, -1)
+	s.Set("x", []kv.Pair{{Key: "x", Value: "10"}})
+	s.Set("y", []kv.Pair{{Key: "y", Value: "20"}})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// A second generation overwrites x, deletes y, adds z.
+	s.Set("x", []kv.Pair{{Key: "x", Value: "11"}})
+	s.Delete("y")
+	s.Set("z", []kv.Pair{{Key: "z", Value: "30"}})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Materialized("out/part-0"); err != nil {
+		t.Fatal(err)
+	}
+	want := collect(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, -1)
+	defer r.Close()
+	if !r.Initialized() {
+		t.Fatal("checkpointed store not Initialized on reopen")
+	}
+	if r.Dirty() {
+		t.Fatal("reopened store dirty")
+	}
+	if lp := r.LastOutput(); lp != "out/part-0" {
+		t.Fatalf("LastOutput = %q", lp)
+	}
+	got := collect(t, r)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened groups = %v, want %v", got, want)
+	}
+	if _, ok, _ := r.Get("y"); ok {
+		t.Fatal("tombstoned group resurrected on reopen")
+	}
+	if ps, ok, _ := r.Get("x"); !ok || ps[0].Value != "11" {
+		t.Fatalf("Get(x) = %v %v, want newest version", ps, ok)
+	}
+	if r.Stats().Segments != 2 {
+		t.Fatalf("segments = %d, want 2", r.Stats().Segments)
+	}
+}
+
+func TestThresholdCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 3)
+	defer s.Close()
+	for gen := 0; gen < 3; gen++ {
+		s.Set("k", []kv.Pair{{Key: "k", Value: string(rune('a' + gen))}})
+		s.Set("dead", []kv.Pair{{Key: "dead", Value: "x"}})
+		s.Delete("dead")
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", st.Compactions)
+	}
+	if st.Segments != 1 {
+		t.Fatalf("segments after compaction = %d, want 1", st.Segments)
+	}
+	got := collect(t, s)
+	if len(got) != 1 || got["k"][0].Value != "c" {
+		t.Fatalf("post-compaction groups = %v", got)
+	}
+	// The compacted segment must not contain the tombstone.
+	if _, ok, _ := s.Get("dead"); ok {
+		t.Fatal("tombstoned group survived compaction")
+	}
+}
+
+func TestOrphanSegmentCleanup(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, -1)
+	s.Set("a", []kv.Pair{{Key: "a", Value: "1"}})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a crash between segment write and manifest commit.
+	orphan := filepath.Join(dir, "seg-999999.seg")
+	if err := os.WriteFile(orphan, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir, -1)
+	defer r.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan segment not cleaned up on open")
+	}
+	got := collect(t, r)
+	if len(got) != 1 {
+		t.Fatalf("groups after cleanup = %v", got)
+	}
+}
+
+func TestAllGroupsSortedAndDeterministic(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), -1)
+	defer s.Close()
+	keys := []string{"m", "b", "zz", "a", "q"}
+	for _, k := range keys {
+		s.Set(k, []kv.Pair{{Key: k, Value: "v"}})
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Set("c", []kv.Pair{{Key: "c", Value: "v"}}) // memtable overlay
+	var order []string
+	err := s.AllGroups(func(key string, _ []kv.Pair) error {
+		order = append(order, key)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "m", "q", "zz"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("group order = %v, want %v", order, want)
+	}
+}
+
+func TestCheckpointEmptyMarksInitialized(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	r := mustOpen(t, dir, 0)
+	defer r.Close()
+	if !r.Initialized() {
+		t.Fatal("empty checkpointed store not Initialized")
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open without Dir succeeded")
+	}
+}

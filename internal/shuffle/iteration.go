@@ -97,7 +97,7 @@ func (it Iteration) Run() error {
 	}
 	// Spill sorting happened inside the timed map windows but is
 	// reported as StageSort; rebalance so Total() counts it once.
-	mapSort := buf.sortDuration()
+	mapSort := buf.SortDuration()
 	if it.Report != nil {
 		it.Report.AddStage(metrics.StageMap, -mapSort)
 	}
@@ -138,7 +138,7 @@ func (it Iteration) Run() error {
 	}
 	// Same rebalance for the residue sorts inside reduce windows.
 	if it.Report != nil {
-		it.Report.AddStage(metrics.StageReduce, -(buf.sortDuration() - mapSort))
+		it.Report.AddStage(metrics.StageReduce, -(buf.SortDuration() - mapSort))
 	}
 	return nil
 }

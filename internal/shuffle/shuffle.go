@@ -282,9 +282,12 @@ func (b *Buffer) Bytes() int64 {
 	return n
 }
 
-// sortDuration returns the cumulative time attributed to StageSort so
-// far (see Buffer.sortNanos).
-func (b *Buffer) sortDuration() time.Duration {
+// SortDuration returns the cumulative time attributed to StageSort so
+// far (spill sort+write, residue sort; see Buffer.sortNanos). Drivers
+// that time map/reduce task windows around Emit/Reduce calls subtract
+// it so Report.Total() counts the sort work exactly once — see
+// Iteration.Run and the one-step engine's delta refresh.
+func (b *Buffer) SortDuration() time.Duration {
 	return time.Duration(b.sortNanos.Load())
 }
 
