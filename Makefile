@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke ci
+.PHONY: all build test race lint bench-smoke bench-json ci
 
 all: build
 
@@ -30,10 +30,15 @@ lint:
 	fi
 
 # One iteration of every benchmark so the bench harness cannot rot,
-# plus the formatted one-step sweep table.
-bench-smoke:
+# plus (via bench-json) the sweep tables and the BENCH_core.json
+# artifact exactly as CI's bench-smoke job produces them.
+bench-smoke: bench-json
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
-	$(GO) run ./cmd/i2mr-bench -scale small -shuffle-mem 65536 onestep
+
+# Machine-readable benchmark records at CI's artifact path, so the
+# perf trajectory is reproducible locally.
+bench-json:
+	$(GO) run ./cmd/i2mr-bench -scale small -shuffle-mem 65536 -json BENCH_core.json onestep core
 
 # Everything CI runs, in the same order.
 ci: build lint test race bench-smoke

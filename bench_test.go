@@ -325,3 +325,20 @@ func BenchmarkOneStepSweep(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCoreSweep regenerates the durable-core sweep: incremental
+// iterative refresh wall time across partition counts and shuffle
+// budgets, with per-iteration dirty-group checkpointing on.
+func BenchmarkCoreSweep(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.CoreSweep(b.TempDir(), sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(float64(r.Refresh.Microseconds()),
+				fmt.Sprintf("p%d-b%d-refresh-us", r.Partitions, r.Budget))
+		}
+	}
+}

@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	i2mr-bench [-scale small|default] [-workdir DIR] [experiment ...]
+//	i2mr-bench [-scale small|default] [-workdir DIR] [-json PATH] [experiment ...]
 //
 // Experiments: fig8 fig9 table4 fig10 fig11 fig12 fig13 apriori shards
-// onestep all
+// onestep core all
+//
+// With -json PATH, the experiments that produce machine-readable
+// records (onestep, core, shards) additionally append them to a JSON
+// array written at PATH — the BENCH_core.json artifact CI uploads from
+// its bench-smoke job.
 package main
 
 import (
@@ -24,6 +29,7 @@ func main() {
 	workdir := flag.String("workdir", "", "working directory (default: a temp dir, removed on exit)")
 	shards := flag.Int("shards", 0, "MRBG-Store shard count for i2MR runs (0 = store default)")
 	shuffleMem := flag.Int64("shuffle-mem", 0, "shuffle memory budget in bytes per iteration for iterMR/i2MR runs (0 = unbounded)")
+	jsonPath := flag.String("json", "", "write machine-readable benchmark records (JSON array) to this path")
 	flag.Parse()
 
 	sc := bench.DefaultScale()
@@ -45,87 +51,114 @@ func main() {
 
 	experiments := flag.Args()
 	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
-		experiments = []string{"apriori", "onestep", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
+		experiments = []string{"apriori", "onestep", "core", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
 	}
 
+	var recs []bench.JSONRecord
 	for _, name := range experiments {
 		// A fresh environment per experiment keeps DFS paths and
-		// scratch state independent.
+		// scratch state independent. A named -workdir persists across
+		// invocations, so clear the experiment's subtree first: the
+		// durable engines refuse stale preserved state rather than
+		// overwriting it.
+		if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
+			log.Fatal(err)
+		}
 		env, err := bench.NewEnv(filepath.Join(dir, name), sc.Nodes)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := runExperiment(env, sc, dir, name); err != nil {
+		r, err := runExperiment(env, sc, dir, name, *scaleFlag)
+		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
+		recs = append(recs, r...)
 		fmt.Println()
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteJSON(*jsonPath, recs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d benchmark records to %s\n", len(recs), *jsonPath)
 	}
 }
 
-func runExperiment(env *bench.Env, sc bench.Scale, dir, name string) error {
+// runExperiment runs one named experiment, printing its table and
+// returning its machine-readable records (nil for experiments without a
+// JSON converter).
+func runExperiment(env *bench.Env, sc bench.Scale, dir, name, scaleName string) ([]bench.JSONRecord, error) {
 	switch name {
 	case "fig8":
 		rows, err := bench.Fig8(env, sc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(bench.FormatFig8(rows))
 	case "fig9":
 		rows, err := bench.Fig9(env, sc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(bench.FormatFig9(rows))
 	case "table4":
 		rows, err := bench.Table4(env, sc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(bench.FormatTable4(rows))
 	case "fig10":
 		rows, err := bench.Fig10(env, sc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(bench.FormatFig10(rows))
 	case "fig11":
 		series, err := bench.Fig11(env, sc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(bench.FormatFig11(series))
 	case "fig12":
-		rows, err := bench.Fig12(env, sc, filepath.Join(dir, "spill"))
+		rows, err := bench.Fig12(env, sc, filepath.Join(dir, name, "spill"))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(bench.FormatFig12(rows))
 	case "fig13":
 		res, err := bench.Fig13(env, sc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(bench.FormatFig13(res))
 	case "apriori":
 		res, err := bench.APriori(env, sc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(bench.FormatAPriori(res))
 	case "onestep":
 		rows, err := bench.OneStepSweep(env, sc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Print(bench.FormatOneStep(rows))
-	case "shards":
-		rows, err := bench.ShardSweep(filepath.Join(dir, "shard-sweep"), sc, nil)
+		return bench.OneStepJSON(scaleName, rows), nil
+	case "core":
+		rows, err := bench.CoreSweep(filepath.Join(dir, name, "sweep"), sc)
 		if err != nil {
-			return err
+			return nil, err
+		}
+		fmt.Print(bench.FormatCoreSweep(rows))
+		return bench.CoreSweepJSON(scaleName, rows), nil
+	case "shards":
+		rows, err := bench.ShardSweep(filepath.Join(dir, name, "sweep"), sc, nil)
+		if err != nil {
+			return nil, err
 		}
 		fmt.Print(bench.FormatShardSweep(rows))
+		return bench.ShardSweepJSON(scaleName, rows), nil
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return nil, fmt.Errorf("unknown experiment %q", name)
 	}
-	return nil
+	return nil, nil
 }

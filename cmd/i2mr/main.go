@@ -3,10 +3,13 @@
 // apply a delta, refresh incrementally, and print run statistics.
 //
 // The iterative apps (pagerank, sssp, kmeans, gimv) drive the
-// incremental iterative engine; wordcount drives the one-step engine
-// (fine-grain MRBGraph preservation plus the durable result store),
-// including a RunDelta after a simulated process restart via
-// System.OpenOneStep.
+// incremental iterative engine; pagerank additionally refreshes a
+// second delta after a simulated process restart via
+// System.OpenIncremental, proving the durable state stores and
+// preserved MRBGraph carry the computation across process death.
+// wordcount drives the one-step engine (fine-grain MRBGraph
+// preservation plus the durable result store), including a RunDelta
+// after a simulated restart via System.OpenOneStep.
 //
 // Usage:
 //
@@ -68,6 +71,7 @@ func main() {
 	var spec core.Spec
 	var data []kv.Pair
 	var deltas []kv.Delta
+	var mutated []kv.Pair // post-delta dataset (pagerank restart flow)
 	cfg := i2mr.Config{
 		NumPartitions: *nodes, MaxIterations: 100, Epsilon: 1e-6,
 		CPC: *cpc, FilterThreshold: *ft,
@@ -76,7 +80,7 @@ func main() {
 	switch *app {
 	case "pagerank":
 		data = datagen.Graph(1, *n, 4)
-		deltas, _ = datagen.Mutate(2, data, datagen.MutateOptions{
+		deltas, mutated = datagen.Mutate(2, data, datagen.MutateOptions{
 			ModifyFraction: *deltaFrac, Rewrite: datagen.RewireGraphValue(*n),
 		})
 		spec = apps.PageRankSpec("pagerank", apps.DefaultDamping)
@@ -129,7 +133,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer runner.Close()
 
 	start := time.Now()
 	res, err := runner.RunInitial("input")
@@ -156,6 +159,52 @@ func main() {
 		*app, inc.Report.Counter("delta.records"), inc.Iterations,
 		time.Since(start).Round(time.Millisecond), inc.Converged, inc.MRBGDisabledAt)
 	fmt.Printf("stages: %s\n", inc.Report.Snapshot())
+
+	// Simulated process death: release the runner before a second System
+	// reattaches to the preserved state it leaves behind.
+	if err := runner.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if *app == "pagerank" {
+		resumePageRank(sysOpts, spec, cfg, mutated, *n, *deltaFrac)
+	}
+}
+
+// resumePageRank simulates a process restart of the incremental
+// iterative engine: drop the System, open a second one over the same
+// WorkDir, reattach to the preserved computation with OpenIncremental,
+// and refresh a further delta — the durable state stores, CPC
+// baselines, and MRBG-Stores carry the computation across process
+// death, and the per-iteration checkpoints flush only dirty partitions.
+func resumePageRank(sysOpts i2mr.Options, spec core.Spec, cfg i2mr.Config, current []kv.Pair, n int, deltaFrac float64) {
+	sys2, err := i2mr.New(sysOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumed, err := sys2.OpenIncremental(spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resumed.Close()
+	deltas2, _ := datagen.Mutate(3, current, datagen.MutateOptions{
+		ModifyFraction: deltaFrac, Rewrite: datagen.RewireGraphValue(n),
+	})
+	if err := sys2.WriteDeltas("delta-2", deltas2); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	inc, err := resumed.RunIncremental("delta-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pagerank incremental after restart (%d delta records): %d iterations in %s (converged=%v)\n",
+		inc.Report.Counter("delta.records"), inc.Iterations,
+		time.Since(start).Round(time.Millisecond), inc.Converged)
+	fmt.Printf("  state checkpoints: dirty partitions %d, groups flushed %d, segments %d, compactions %d\n",
+		inc.Report.Counter(metrics.CounterStateDirtyPartitions),
+		inc.Report.Counter(metrics.CounterStateGroupsFlushed),
+		inc.Report.Counter(metrics.CounterStateSegments),
+		inc.Report.Counter(metrics.CounterStateCompactions))
 }
 
 // runOneStep drives the one-step engine end to end: initial job, a

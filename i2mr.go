@@ -17,7 +17,10 @@
 //     engine;
 //   - System.NewIncremental — i2MapReduce itself: incremental iterative
 //     processing with change propagation control, P_delta detection,
-//     and per-iteration checkpointing (Sec. 5-6).
+//     and per-iteration checkpointing (Sec. 5-6), backed by durable
+//     per-partition state stores; System.OpenIncremental resumes a
+//     preserved incremental iterative computation after a process
+//     restart.
 //
 // See examples/ for runnable end-to-end programs and DESIGN.md for the
 // architecture.
@@ -128,10 +131,12 @@ type Options struct {
 	// of spilling. 0 here (the default) keeps all intermediate data in
 	// memory.
 	ShuffleMemoryBudget int64
-	// ResultCompactThreshold is the default segment count at which a
-	// one-step runner's durable result stores compact during
-	// Checkpoint; jobs that set ResultOpts.CompactThreshold themselves
-	// win. 0 uses the store default; negative disables compaction.
+	// ResultCompactThreshold is the default segment count at which the
+	// durable per-partition stores compact during Checkpoint — the
+	// one-step engine's result stores and the incremental iterative
+	// engine's state stores alike; jobs/configs that set their own
+	// threshold win. 0 uses the store default; negative disables
+	// compaction.
 	ResultCompactThreshold int
 }
 
@@ -253,14 +258,36 @@ func (s *System) NewIterative(spec Spec, cfg IterConfig) (*IterRunner, error) {
 	return iter.NewRunner(s.eng, spec, cfg)
 }
 
-// NewIncremental prepares the i2MapReduce incremental iterative runner:
-// RunInitial once, then RunIncremental per delta.
-func (s *System) NewIncremental(spec Spec, cfg Config) (*Runner, error) {
+// applyIncrementalDefaults fills unset incremental-engine knobs from
+// the System's defaults.
+func (s *System) applyIncrementalDefaults(cfg *Config) {
 	s.applyStoreDefaults(&cfg.StoreOpts)
 	if cfg.ShuffleMemoryBudget == 0 {
 		cfg.ShuffleMemoryBudget = s.shuffleBudget
 	}
+	if cfg.StateCompactThreshold == 0 {
+		cfg.StateCompactThreshold = s.resultCompact
+	}
+}
+
+// NewIncremental prepares the i2MapReduce incremental iterative runner:
+// RunInitial once, then RunIncremental per delta.
+func (s *System) NewIncremental(spec Spec, cfg Config) (*Runner, error) {
+	s.applyIncrementalDefaults(&cfg)
 	return core.NewRunner(s.eng, spec, cfg)
+}
+
+// OpenIncremental reattaches an incremental iterative runner to the
+// durable state a previous process preserved under the same WorkDir
+// (per-partition MRBG-Stores, state stores, CPC baselines, and cached
+// structure partitions), so RunIncremental keeps refreshing a
+// computation across process restarts without re-running the initial
+// job. The computation must use the same spec Name, partition count,
+// and cluster size it originally ran with; a refresh the previous
+// process left half-applied is refused.
+func (s *System) OpenIncremental(spec Spec, cfg Config) (*Runner, error) {
+	s.applyIncrementalDefaults(&cfg)
+	return core.Open(s.eng, spec, cfg)
 }
 
 // Engine exposes the underlying MapReduce engine for advanced use

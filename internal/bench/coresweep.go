@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"i2mapreduce/internal/apps"
+	"i2mapreduce/internal/core"
+	"i2mapreduce/internal/datagen"
+	"i2mapreduce/internal/metrics"
+)
+
+// ---------------------------------------------------------------------
+// Core sweep: the durable incremental iterative engine across partition
+// counts and shuffle budgets. Not a paper figure — it profiles this
+// reproduction's serving-grade core (the ROADMAP's durability axis):
+// refresh wall-clock, delta traffic, and the dirty-group checkpoint
+// shape (how many partition snapshots and state entries the
+// per-iteration checkpoints actually flushed, vs the full state rewrite
+// the pre-durable engine performed).
+// ---------------------------------------------------------------------
+
+// CoreRow is one configuration's profile.
+type CoreRow struct {
+	Partitions     int
+	Budget         int64
+	Initial        time.Duration
+	Refresh        time.Duration
+	Iterations     int
+	DeltaRecords   int64
+	ShuffleBytes   int64
+	DirtyCkptParts int64 // partition snapshots flushed across the refresh's checkpoints
+	GroupsFlushed  int64 // state/baseline entries those flushes wrote
+	StateSegments  int64
+	Compactions    int64
+}
+
+// CoreSweep runs an incremental PageRank refresh (per-iteration
+// checkpointing on) at each (partitions, budget) configuration under
+// dir, timing the initial convergence and the refresh and collecting
+// the state-store counters.
+func CoreSweep(dir string, sc Scale) ([]CoreRow, error) {
+	graph := datagen.Graph(sc.Seed+200, sc.GraphVertices, sc.GraphDegree)
+	deltas, _ := datagen.Mutate(sc.Seed+201, graph, datagen.MutateOptions{
+		ModifyFraction: sc.DeltaFraction,
+		Rewrite:        datagen.RewireGraphValue(sc.GraphVertices),
+	})
+
+	partCounts := []int{2, sc.Partitions}
+	if sc.Partitions == 2 {
+		partCounts = []int{2, 4}
+	}
+	budgets := []int64{0, 64 << 10}
+
+	var rows []CoreRow
+	for _, parts := range partCounts {
+		for _, budget := range budgets {
+			env, err := NewEnv(filepath.Join(dir, fmt.Sprintf("p%d-b%d", parts, budget)), sc.Nodes)
+			if err != nil {
+				return nil, err
+			}
+			if err := env.Eng.FS().WriteAllPairs("core/g0", graph); err != nil {
+				return nil, err
+			}
+			if err := env.Eng.FS().WriteAllDeltas("core/delta", deltas); err != nil {
+				return nil, err
+			}
+			spec := apps.PageRankSpec(fmt.Sprintf("coresweep-p%d-b%d", parts, budget), apps.DefaultDamping)
+			r, err := core.NewRunner(env.Eng, spec, core.Config{
+				NumPartitions: parts, MaxIterations: sc.MaxIterations, Epsilon: sc.Epsilon,
+				Checkpoint: true, ShuffleMemoryBudget: budget, StoreOpts: sc.storeOpts(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			initStart := time.Now()
+			if _, err := r.RunInitial("core/g0"); err != nil {
+				r.Close()
+				return nil, err
+			}
+			initTime := time.Since(initStart)
+			refreshStart := time.Now()
+			res, err := r.RunIncremental("core/delta")
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			// Shuffle traffic is reported per iteration; fold it up.
+			var shuffleBytes int64
+			for _, s := range res.PerIter {
+				shuffleBytes += s.Stages.Counters["shuffle.bytes"]
+			}
+			rows = append(rows, CoreRow{
+				Partitions:     parts,
+				Budget:         budget,
+				Initial:        initTime,
+				Refresh:        time.Since(refreshStart),
+				Iterations:     res.Iterations,
+				DeltaRecords:   res.Report.Counter("delta.records"),
+				ShuffleBytes:   shuffleBytes,
+				DirtyCkptParts: res.Report.Counter(metrics.CounterStateDirtyPartitions),
+				GroupsFlushed:  res.Report.Counter(metrics.CounterStateGroupsFlushed),
+				StateSegments:  res.Report.Counter(metrics.CounterStateSegments),
+				Compactions:    res.Report.Counter(metrics.CounterStateCompactions),
+			})
+			if err := r.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatCoreSweep renders the sweep.
+func FormatCoreSweep(rows []CoreRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Core sweep — durable incremental iterative refresh (checkpoint every iteration)\n")
+	fmt.Fprintf(&b, "%-6s %8s %10s %10s %6s %8s %10s %6s %8s %5s %6s\n",
+		"parts", "budget", "initial", "refresh", "iters", "records", "shuffle-B", "dirty", "flushed", "segs", "compac")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %8d %10s %10s %6d %8d %10d %6d %8d %5d %6d\n",
+			r.Partitions, r.Budget,
+			r.Initial.Round(time.Millisecond), r.Refresh.Round(time.Millisecond),
+			r.Iterations, r.DeltaRecords, r.ShuffleBytes,
+			r.DirtyCkptParts, r.GroupsFlushed, r.StateSegments, r.Compactions)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// JSONRecord is one machine-readable benchmark measurement, the unit of
+// the BENCH_core.json artifact CI uploads from the bench-smoke job so
+// the perf trajectory can be tracked across commits. One experiment row
+// maps to one record: the experiment name, the workload scale it ran
+// at, the sweep parameters identifying the row, the headline latency in
+// ns/op, the bytes the operation moved, and any secondary counters.
+type JSONRecord struct {
+	Experiment string            `json:"experiment"`
+	Scale      string            `json:"scale"`
+	Params     map[string]string `json:"params,omitempty"`
+	NsPerOp    int64             `json:"ns_per_op"`
+	BytesMoved int64             `json:"bytes_moved"`
+	Counters   map[string]int64  `json:"counters,omitempty"`
+}
+
+// WriteJSON writes records as an indented JSON array at path.
+func WriteJSON(path string, recs []JSONRecord) error {
+	if recs == nil {
+		recs = []JSONRecord{} // an empty run still yields a valid array, not `null`
+	}
+	b, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// OneStepJSON converts a one-step sweep into benchmark records; the
+// headline op is the incremental refresh.
+func OneStepJSON(scale string, rows []OneStepRow) []JSONRecord {
+	recs := make([]JSONRecord, 0, len(rows))
+	for _, r := range rows {
+		recs = append(recs, JSONRecord{
+			Experiment: "onestep",
+			Scale:      scale,
+			Params: map[string]string{
+				"delta_fraction": fmt.Sprintf("%g", r.DeltaFraction),
+			},
+			NsPerOp:    r.Incremental.Nanoseconds(),
+			BytesMoved: r.Rewritten + r.SpillBytes,
+			Counters: map[string]int64{
+				"delta_records":     r.DeltaRecords,
+				"recompute_ns":      r.Recompute.Nanoseconds(),
+				"spill_runs":        r.SpillRuns,
+				"spill_bytes":       r.SpillBytes,
+				"dirty_partitions":  r.DirtyParts,
+				"total_partitions":  int64(r.TotalParts),
+				"rewritten_bytes":   r.Rewritten,
+				"result_segments":   r.Segments,
+				"result_compaction": r.Compactions,
+			},
+		})
+	}
+	return recs
+}
+
+// CoreSweepJSON converts the durable-core sweep into benchmark records;
+// the headline op is the incremental refresh.
+func CoreSweepJSON(scale string, rows []CoreRow) []JSONRecord {
+	recs := make([]JSONRecord, 0, len(rows))
+	for _, r := range rows {
+		recs = append(recs, JSONRecord{
+			Experiment: "core",
+			Scale:      scale,
+			Params: map[string]string{
+				"partitions":     fmt.Sprintf("%d", r.Partitions),
+				"shuffle_budget": fmt.Sprintf("%d", r.Budget),
+			},
+			NsPerOp:    r.Refresh.Nanoseconds(),
+			BytesMoved: r.ShuffleBytes,
+			Counters: map[string]int64{
+				"initial_ns":        r.Initial.Nanoseconds(),
+				"iterations":        int64(r.Iterations),
+				"delta_records":     r.DeltaRecords,
+				"ckpt_dirty_parts":  r.DirtyCkptParts,
+				"ckpt_groups":       r.GroupsFlushed,
+				"state_segments":    r.StateSegments,
+				"state_compactions": r.Compactions,
+			},
+		})
+	}
+	return recs
+}
+
+// ShardSweepJSON converts the shard sweep into benchmark records; the
+// headline op is the delta merge.
+func ShardSweepJSON(scale string, rows []ShardSweepRow) []JSONRecord {
+	recs := make([]JSONRecord, 0, len(rows))
+	for _, r := range rows {
+		recs = append(recs, JSONRecord{
+			Experiment: "shards",
+			Scale:      scale,
+			Params: map[string]string{
+				"shards": fmt.Sprintf("%d", r.Shards),
+			},
+			NsPerOp: r.MergeTime.Nanoseconds(),
+			Counters: map[string]int64{
+				"query_ns":    r.QueryTime.Nanoseconds(),
+				"reads":       r.Reads,
+				"live_chunks": int64(r.LiveChunks),
+			},
+		})
+	}
+	return recs
+}

@@ -2,136 +2,110 @@ package core
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 
-	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/results"
 )
 
 // Checkpointing (paper Sec. 6.1): "i2MapReduce checkpoints the prime
 // Reduce task's output state data and MRBGraph file on HDFS in every
-// iteration." Here state files are written next to each partition's
-// MRBG-Store, and the store's own Checkpoint persists its index and
-// data file. A failed task attempt is retried by the cluster scheduler
-// (same node for task failures, a healthy node for worker failures);
+// iteration." State and the CPC baseline live in durable per-partition
+// KV stores (internal/results, see state.go), so a checkpoint commits
+// each dirty partition's memtable — only the entries mutated since the
+// previous checkpoint — through the store's manifest, and the
+// MRBG-Store persists its own index. Partitions with no pending
+// mutations are skipped entirely; nothing ever rewrites a full state
+// file. A failed task attempt is retried by the cluster scheduler (same
+// node for task failures, a healthy node for worker failures);
 // RestoreCheckpoint rolls the runner back to the last durable state,
 // which tests use to prove recoverability end to end.
 
-// ckptStatePath names partition p's state checkpoint file.
-func (r *Runner) ckptStatePath(p int) string {
-	node := r.eng.Cluster().NodeByID(p % r.eng.Cluster().NumNodes())
-	return filepath.Join(node.ScratchDir, "core-ckpt", sanitize(r.spec.Name), fmt.Sprintf("part-%04d.state", p))
-}
-
-func (r *Runner) ckptLastPath(p int) string {
-	return r.ckptStatePath(p) + ".last"
-}
-
-// checkpoint persists the current state data and MRBGraph files.
-func (r *Runner) checkpoint() error {
+// checkpoint persists the dirty slice of the durable state stores plus
+// the MRBGraph files, reporting the flush shape to rep (which may be
+// nil): CounterStateDirtyPartitions counts the partitions that actually
+// flushed and CounterStateGroupsFlushed the entries they wrote.
+func (r *Runner) checkpoint(rep *metrics.Report) error {
+	var dirty, flushed int64
 	if r.spec.ReplicateState {
-		r.mu.Lock()
-		g := mapToPairs(r.global)
-		r.mu.Unlock()
-		return writePairsFile(r.ckptStatePath(0), g)
+		if pend := r.globalKV.Pending(); pend > 0 || !r.globalKV.Initialized() {
+			dirty, flushed = 1, int64(pend)
+			if err := r.globalKV.Checkpoint(); err != nil {
+				return err
+			}
+		}
+	} else {
+		for p := 0; p < r.n; p++ {
+			// Each store is gated on its own pending set: CPC filtering
+			// routinely dirties state but not the baseline, and a clean
+			// store's Checkpoint would still rewrite its manifest.
+			partDirty := false
+			for _, kvs := range []*results.KV{r.stateKV[p], r.lastKV[p]} {
+				pend := kvs.Pending()
+				if pend == 0 && kvs.Initialized() {
+					continue
+				}
+				flushed += int64(pend)
+				if err := kvs.Checkpoint(); err != nil {
+					return err
+				}
+				partDirty = true
+			}
+			if partDirty {
+				dirty++
+			}
+		}
 	}
-	for p := 0; p < r.n; p++ {
-		r.mu.Lock()
-		st := mapToPairs(r.state[p])
-		le := mapToPairs(r.last[p])
-		r.mu.Unlock()
-		if err := writePairsFile(r.ckptStatePath(p), st); err != nil {
-			return err
-		}
-		if err := writePairsFile(r.ckptLastPath(p), le); err != nil {
-			return err
-		}
-		if r.mrbgOn {
+	if r.mrbgOn {
+		for p := 0; p < r.n; p++ {
 			if err := r.stores[p].Checkpoint(); err != nil {
 				return err
 			}
 		}
 	}
+	if rep != nil {
+		rep.Add(metrics.CounterStateDirtyPartitions, dirty)
+		rep.Add(metrics.CounterStateGroupsFlushed, flushed)
+	}
 	return nil
 }
 
 // RestoreCheckpoint reloads state (and the CPC baseline) from the most
-// recent checkpoint files, discarding any in-memory progress since.
-// MRBG-Stores recover independently through their own persisted
-// indexes when reopened.
+// recent durable checkpoint, discarding any in-memory progress since.
+// MRBG-Stores recover independently through their own persisted indexes
+// when reopened.
 func (r *Runner) RestoreCheckpoint() error {
 	if !r.cfg.Checkpoint {
 		return fmt.Errorf("core: checkpointing disabled for %q", r.spec.Name)
 	}
+	if !r.initialDone {
+		return fmt.Errorf("core: no checkpoint to restore for %q before RunInitial", r.spec.Name)
+	}
 	if r.spec.ReplicateState {
-		ps, err := readPairsFile(r.ckptStatePath(0))
+		r.globalKV.DiscardPending()
+		g, err := loadKV(r.globalKV)
 		if err != nil {
 			return err
 		}
 		r.mu.Lock()
-		r.global = pairsToMap(ps)
+		r.global = g
 		r.mu.Unlock()
 		return nil
 	}
 	for p := 0; p < r.n; p++ {
-		st, err := readPairsFile(r.ckptStatePath(p))
+		r.stateKV[p].DiscardPending()
+		r.lastKV[p].DiscardPending()
+		st, err := loadKV(r.stateKV[p])
 		if err != nil {
 			return err
 		}
-		le, err := readPairsFile(r.ckptLastPath(p))
+		le, err := loadKV(r.lastKV[p])
 		if err != nil {
 			return err
 		}
 		r.mu.Lock()
-		r.state[p] = pairsToMap(st)
-		r.last[p] = pairsToMap(le)
+		r.state[p] = st
+		r.last[p] = le
 		r.mu.Unlock()
 	}
 	return nil
-}
-
-func mapToPairs(m map[string]string) []kv.Pair {
-	ps := make([]kv.Pair, 0, len(m))
-	for k, v := range m {
-		ps = append(ps, kv.Pair{Key: k, Value: v})
-	}
-	kv.SortPairs(ps)
-	return ps
-}
-
-func pairsToMap(ps []kv.Pair) map[string]string {
-	m := make(map[string]string, len(ps))
-	for _, p := range ps {
-		m[p.Key] = p.Value
-	}
-	return m
-}
-
-// writePairsFile writes pairs atomically (temp file + rename).
-func writePairsFile(path string, ps []kv.Pair) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if _, err := kv.EncodePairs(f, ps); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-func readPairsFile(path string) ([]kv.Pair, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return kv.DecodePairs(f)
 }

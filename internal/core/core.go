@@ -36,6 +36,7 @@ import (
 	"i2mapreduce/internal/metrics"
 	"i2mapreduce/internal/mr"
 	"i2mapreduce/internal/mrbg"
+	"i2mapreduce/internal/results"
 	"i2mapreduce/internal/shuffle"
 )
 
@@ -87,8 +88,14 @@ type Config struct {
 	InitialState map[string]string
 	// Checkpoint persists state and MRBGraph files after every
 	// incremental iteration (Sec. 6.1). On by default for incremental
-	// runs when true.
+	// runs when true. Independent of this knob, every job flushes its
+	// durable state stores and stamps the job meta when it completes,
+	// so Open can always resume at the last job boundary.
 	Checkpoint bool
+	// StateCompactThreshold is the segment count at which the durable
+	// per-partition state stores compact during a checkpoint. 0 uses
+	// the store default; negative disables compaction.
+	StateCompactThreshold int
 }
 
 // IterStats reports one iteration of an initial or incremental run.
@@ -132,18 +139,28 @@ type Runner struct {
 	n    int
 
 	parts  []*structPart
-	state  []map[string]string
+	state  []map[string]string // write-through cache over stateKV
 	last   []map[string]string // last propagated value per DK (CPC baseline)
 	global map[string]string   // replicated state (ReplicateState specs)
 	stores []*mrbg.ShardedStore
 
+	// Durable backing of the in-memory state above (see state.go).
+	stateKV  []*results.KV
+	lastKV   []*results.KV
+	globalKV *results.KV
+
 	mrbgOn      bool
 	initialDone bool
-	jobSeq      int
+	// refreshFailed latches after a RunIncremental error past its first
+	// durable mutation: the preserved state is half-applied and an
+	// in-place retry would corrupt it (see RunIncremental).
+	refreshFailed bool
+	jobSeq        int
 
-	jobStart time.Time
-	events   []cluster.Event
-	mu       sync.Mutex
+	jobStart    time.Time
+	compactBase int64 // cumulative state-store compactions at job start
+	events      []cluster.Event
+	mu          sync.Mutex
 }
 
 // NewRunner validates the spec and prepares stores and scratch space.
@@ -174,15 +191,17 @@ func NewRunner(eng *mr.Engine, spec Spec, cfg Config) (*Runner, error) {
 	}
 	if r.mrbgOn {
 		for p := 0; p < r.n; p++ {
-			node := eng.Cluster().NodeByID(p % eng.Cluster().NumNodes())
-			opts := cfg.StoreOpts
-			opts.Dir = filepath.Join(node.ScratchDir, "core-mrbg", sanitize(spec.Name), fmt.Sprintf("part-%04d", p))
-			st, err := mrbg.Open(opts)
+			st, err := mrbg.Open(r.storeOpts(p))
 			if err != nil {
+				r.Close()
 				return nil, fmt.Errorf("core: opening store %d: %w", p, err)
 			}
 			r.stores = append(r.stores, st)
 		}
+	}
+	if err := r.openStateStores(); err != nil {
+		r.Close()
+		return nil, err
 	}
 	return r, nil
 }
@@ -197,11 +216,26 @@ func sanitize(s string) string {
 	}, s)
 }
 
-// Close releases the MRBG-Stores.
+// Close releases the MRBG-Stores and the durable state stores.
 func (r *Runner) Close() error {
 	var first error
 	for _, s := range r.stores {
 		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, kvs := range r.stateKV {
+		if err := kvs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, kvs := range r.lastKV {
+		if err := kvs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if r.globalKV != nil {
+		if err := r.globalKV.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -335,10 +369,11 @@ func (r *Runner) loadStructure(input string) error {
 	}
 	r.parts = make([]*structPart, r.n)
 	if r.spec.ReplicateState {
-		r.global = make(map[string]string, len(r.cfg.InitialState))
+		init := make(map[string]string, len(r.cfg.InitialState))
 		for k, v := range r.cfg.InitialState {
-			r.global[k] = v
+			init[k] = v
 		}
+		r.setGlobal(init)
 	} else {
 		r.state = make([]map[string]string, r.n)
 		r.last = make([]map[string]string, r.n)
@@ -350,12 +385,11 @@ func (r *Runner) loadStructure(input string) error {
 		}
 		r.parts[p] = sp
 		if !r.spec.ReplicateState {
-			st := make(map[string]string)
-			for dk := range sp.spans {
-				st[dk] = r.spec.InitState(dk)
-			}
-			r.state[p] = st
+			r.state[p] = make(map[string]string)
 			r.last[p] = make(map[string]string)
+			for dk := range sp.spans {
+				r.setStateLocked(p, dk, r.spec.InitState(dk))
+			}
 		}
 	}
 	return nil
@@ -368,9 +402,22 @@ func (r *Runner) RunInitial(input string) (*Result, error) {
 	if r.initialDone {
 		return nil, errors.New("core: RunInitial called twice")
 	}
+	// The job meta is written only after a fully successful initial run,
+	// so its presence is the authoritative completion marker. Durable
+	// state WITHOUT it is the partial work of an initial run that died
+	// mid-way; discard it so this run starts clean.
+	if _, _, _, _, ok, err := readJobMeta(r.jobMetaPath()); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, fmt.Errorf("core: computation %q already has preserved state; use Open to resume or point the system at a fresh work dir", r.spec.Name)
+	}
+	if err := r.resetStaleState(); err != nil {
+		return nil, err
+	}
 	r.jobStart = time.Now()
 	r.events = nil
 	r.jobSeq++
+	_, r.compactBase = r.stateStoreStats()
 	if err := r.loadStructure(input); err != nil {
 		return nil, err
 	}
@@ -394,10 +441,14 @@ func (r *Runner) RunInitial(input string) (*Result, error) {
 		}
 	}
 	r.resetLastEmitted()
-	if r.cfg.Checkpoint {
-		if err := r.checkpoint(); err != nil {
-			return nil, err
-		}
+	// The completion flush runs regardless of Config.Checkpoint: the
+	// converged state, the CPC baseline, and the preserved MRBGraph must
+	// all be durable before the job meta stamps the run complete.
+	if err := r.checkpoint(res.Report); err != nil {
+		return nil, err
+	}
+	if err := r.writeJobMeta(); err != nil {
+		return nil, err
 	}
 	r.finishResult(res)
 	r.initialDone = true
@@ -411,6 +462,9 @@ func (r *Runner) finishResult(res *Result) {
 		}
 	}
 	res.Report.Add("iterations", int64(res.Iterations))
+	segs, comp := r.stateStoreStats()
+	res.Report.Add(metrics.CounterStateSegments, segs)
+	res.Report.Add(metrics.CounterStateCompactions, comp-r.compactBase)
 	r.mu.Lock()
 	res.Events = append([]cluster.Event(nil), r.events...)
 	r.mu.Unlock()
@@ -423,9 +477,19 @@ func (r *Runner) resetLastEmitted() {
 	if r.spec.ReplicateState {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for p := 0; p < r.n; p++ {
+		for k := range r.last[p] {
+			if _, ok := r.state[p][k]; !ok {
+				r.lastKV[p].Delete(k)
+			}
+		}
 		l := make(map[string]string, len(r.state[p]))
 		for k, v := range r.state[p] {
+			if cur, ok := r.last[p][k]; !ok || cur != v {
+				r.lastKV[p].Put(k, v)
+			}
 			l[k] = v
 		}
 		r.last[p] = l
@@ -515,7 +579,7 @@ func (r *Runner) runFullIteration(it int) (IterStats, error) {
 				} else {
 					nFilt++
 				}
-				r.state[p][u.dk] = u.dv
+				r.setStateLocked(p, u.dk, u.dv)
 			}
 			r.mu.Unlock()
 			statMu.Lock()
@@ -538,9 +602,7 @@ func (r *Runner) runFullIteration(it int) (IterStats, error) {
 				propagated++
 			}
 		}
-		r.mu.Lock()
-		r.global = next
-		r.mu.Unlock()
+		r.setGlobal(next)
 	}
 
 	return IterStats{

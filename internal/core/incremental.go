@@ -29,9 +29,13 @@ func (r *Runner) RunIncremental(deltaInput string) (*Result, error) {
 	if !r.initialDone {
 		return nil, errors.New("core: RunIncremental before RunInitial")
 	}
+	if r.refreshFailed {
+		return nil, fmt.Errorf("core: a previous refresh of %q failed mid-way, leaving this runner's state half-applied; it cannot be retried in place — recover in a fresh process (Open refuses the surviving refresh marker)", r.spec.Name)
+	}
 	r.jobStart = time.Now()
 	r.events = nil
 	r.jobSeq++
+	_, r.compactBase = r.stateStoreStats()
 
 	deltas, err := r.eng.FS().ReadAllDeltas(deltaInput)
 	if err != nil {
@@ -41,19 +45,54 @@ func (r *Runner) RunIncremental(deltaInput string) (*Result, error) {
 	res := &Result{Report: &metrics.Report{}}
 	res.Report.Add("delta.records", int64(len(deltas)))
 
+	// The refresh-intent bracket: the marker is durably written before
+	// the first mutation of the preserved state (structure files, state
+	// stores, MRBG-Stores) and removed only after the completion flush
+	// below. A crash anywhere in between leaves stores at inconsistent
+	// iterations, and Open refuses to resume while the marker survives.
+	if err := r.markRefreshIntent(0); err != nil {
+		return nil, err
+	}
+	// Any failure past the marker leaves the preserved state half-
+	// mutated (the structure delta is not re-appliable, merged MRBG
+	// edges are not re-mergeable), so the runner is latched: further
+	// refreshes on it are refused, exactly as Open refuses the
+	// surviving marker after a process death.
+	if err := r.runRefreshBracketed(deltas, res); err != nil {
+		r.refreshFailed = true
+		return nil, err
+	}
+	r.finishResult(res)
+	return res, nil
+}
+
+// runRefreshBracketed is everything between writing and clearing the
+// refresh-intent marker.
+func (r *Runner) runRefreshBracketed(deltas []kv.Delta, res *Result) error {
+	if err := r.runIncrementalBody(deltas, res); err != nil {
+		return err
+	}
+	if err := r.checkpoint(res.Report); err != nil {
+		return err
+	}
+	if err := r.writeJobMeta(); err != nil {
+		return err
+	}
+	return r.clearRefreshIntent()
+}
+
+// runIncrementalBody executes the refresh's iterations inside the
+// intent bracket RunIncremental maintains.
+func (r *Runner) runIncrementalBody(deltas []kv.Delta, res *Result) error {
 	// Replicated-state or MRBG-off computations process the delta by
 	// re-running full iterations from the converged state (the paper's
 	// Kmeans path: "it is better to only use iterative processing
 	// engine without using MRBGraph").
 	if !r.mrbgOn {
 		if err := r.applyStructureDelta(deltas); err != nil {
-			return nil, err
+			return err
 		}
-		if err := r.runFullLoop(res, 1); err != nil {
-			return nil, err
-		}
-		r.finishResult(res)
-		return res, nil
+		return r.runFullLoop(res, 1)
 	}
 
 	// Iteration 1: incremental Map over the delta structure data
@@ -61,24 +100,34 @@ func (r *Runner) RunIncremental(deltaInput string) (*Result, error) {
 	// for '-'), exactly Fig. 3's flow.
 	deltaEdges, err := r.mapStructureDelta(deltas, res.Report)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := r.applyStructureDelta(deltas); err != nil {
-		return nil, err
+		return err
 	}
 
 	for it := 1; it <= r.cfg.MaxIterations; it++ {
+		// With per-iteration checkpointing on, refresh the marker so a
+		// refusal after a crash can say which iteration died; without
+		// it the single bracket write at RunIncremental start already
+		// provides the crash-safety and the rewrite would be a pure
+		// extra fsync in the hot loop.
+		if r.cfg.Checkpoint {
+			if err := r.markRefreshIntent(it); err != nil {
+				return err
+			}
+		}
 		stats, props, err := r.runIncrementalIteration(it, deltaEdges)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		stats.MRBGOn = true
 		res.PerIter = append(res.PerIter, stats)
 		res.Iterations = it
 
 		if r.cfg.Checkpoint {
-			if err := r.checkpoint(); err != nil {
-				return nil, err
+			if err := r.checkpoint(res.Report); err != nil {
+				return err
 			}
 		}
 
@@ -90,13 +139,13 @@ func (r *Runner) RunIncremental(deltaInput string) (*Result, error) {
 			res.MRBGDisabledAt = it
 			res.Report.Add("mrbg.disabled", 1)
 			if err := r.runFullLoop(res, it+1); err != nil {
-				return nil, err
+				return err
 			}
 			// Re-sync the preserved MRBGraph with the new fixed point
 			// so the next incremental job can use it again.
 			r.mrbgOn = true
 			if err := r.preservePass(); err != nil {
-				return nil, err
+				return err
 			}
 			r.resetLastEmitted()
 			break
@@ -109,14 +158,13 @@ func (r *Runner) RunIncremental(deltaInput string) (*Result, error) {
 		// Iterations >= 2: the delta input is the delta state data.
 		deltaEdges, err = r.mapStateDelta(props, res.Report)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if len(res.PerIter) > 0 && res.PerIter[len(res.PerIter)-1].Propagated == 0 {
 		res.Converged = true
 	}
-	r.finishResult(res)
-	return res, nil
+	return nil
 }
 
 // runFullLoop iterates full passes until convergence, appending stats.
@@ -130,7 +178,7 @@ func (r *Runner) runFullLoop(res *Result, firstIt int) error {
 		res.PerIter = append(res.PerIter, stats)
 		res.Iterations = it
 		if r.cfg.Checkpoint {
-			if err := r.checkpoint(); err != nil {
+			if err := r.checkpoint(res.Report); err != nil {
 				return err
 			}
 		}
@@ -169,7 +217,7 @@ func (r *Runner) applyStructureDelta(deltas []kv.Delta) error {
 		r.mu.Lock()
 		for dk := range sp.spans {
 			if _, ok := r.state[p][dk]; !ok {
-				r.state[p][dk] = r.spec.InitState(dk)
+				r.setStateLocked(p, dk, r.spec.InitState(dk))
 			}
 		}
 		r.mu.Unlock()
@@ -326,8 +374,8 @@ func (r *Runner) runIncrementalIteration(it int, deltaEdges [][]mrbg.DeltaEdge) 
 				err := r.stores[p].Merge(deltaEdges[p], func(res mrbg.MergeResult) error {
 					if res.Removed {
 						r.mu.Lock()
-						delete(r.state[p], res.Key)
-						delete(r.last[p], res.Key)
+						r.deleteStateLocked(p, res.Key)
+						r.deleteLastLocked(p, res.Key)
 						r.mu.Unlock()
 						nRem++
 						return nil
@@ -356,14 +404,14 @@ func (r *Runner) runIncrementalIteration(it int, deltaEdges [][]mrbg.DeltaEdge) 
 						return nil // reduce chose not to update (e.g. SSSP no improvement)
 					}
 					r.mu.Lock()
-					r.state[p][res.Key] = newDV
+					r.setStateLocked(p, res.Key, newDV)
 					base, had := r.last[p][res.Key]
 					var diff float64
 					if had {
 						diff = r.spec.Difference(base, newDV)
 					}
 					if !had || diff > thr {
-						r.last[p][res.Key] = newDV
+						r.setLastLocked(p, res.Key, newDV)
 						props.byPart[p][res.Key] = newDV
 						nProp++
 					} else {

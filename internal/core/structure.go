@@ -47,6 +47,28 @@ func buildStructPart(path string, ps []kv.Pair, project func(string) string) (*s
 	if err := iter.WriteStructFile(path, ps); err != nil {
 		return nil, err
 	}
+	return indexStructPart(path, ps, project)
+}
+
+// openStructPart reattaches to the node-local partition file a previous
+// process wrote (and which survives it under the cluster scratch root):
+// the records are streamed back in file order — already sorted — and
+// the span index is rebuilt from the deterministic encoding. core.Open
+// uses it to resume a computation without re-partitioning the input.
+func openStructPart(path string, project func(string) string) (*structPart, error) {
+	var ps []kv.Pair
+	if err := iter.ReadStructFile(path, func(p kv.Pair) error {
+		ps = append(ps, p)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return indexStructPart(path, ps, project)
+}
+
+// indexStructPart builds the structPart metadata for records already in
+// file order at path.
+func indexStructPart(path string, ps []kv.Pair, project func(string) string) (*structPart, error) {
 	sp := &structPart{path: path, recs: int64(len(ps))}
 	if project == nil {
 		fi, err := os.Stat(path)
@@ -58,7 +80,7 @@ func buildStructPart(path string, ps []kv.Pair, project func(string) string) (*s
 	}
 
 	// Re-encode record by record to learn exact offsets. Encoding is
-	// deterministic, so these offsets match the file just written.
+	// deterministic, so these offsets match the file contents.
 	sp.spans = make(map[string]span)
 	var off int64
 	var buf []byte

@@ -77,6 +77,22 @@ const (
 	// CounterResultBytesRewritten counts the DFS bytes written while
 	// materializing those dirty partitions.
 	CounterResultBytesRewritten = "results.bytes.rewritten"
+	// CounterStateDirtyPartitions counts the partitions whose durable
+	// state stores actually flushed during the core engine's
+	// checkpoints; clean partitions are skipped entirely (no segment,
+	// no manifest rewrite).
+	CounterStateDirtyPartitions = "state.dirty.partitions"
+	// CounterStateGroupsFlushed counts the state / CPC-baseline entries
+	// those flushes wrote — the dirty groups, as opposed to the full
+	// per-partition state files the pre-durable engine rewrote every
+	// iteration.
+	CounterStateGroupsFlushed = "state.groups.flushed"
+	// CounterStateSegments is the total on-disk segment count across
+	// the core engine's per-partition state stores after a job.
+	CounterStateSegments = "state.segments"
+	// CounterStateCompactions counts state-store segment compactions
+	// performed during a job.
+	CounterStateCompactions = "state.compactions"
 )
 
 // Report accumulates stage durations and named counters for one job (or

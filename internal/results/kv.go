@@ -1,0 +1,92 @@
+package results
+
+import "i2mapreduce/internal/kv"
+
+// KV views a Store as a durable string-to-string map — the
+// generalization that lets the incremental iterative engine
+// (internal/core) back its per-partition state data and CPC baselines
+// with the same memtable + sorted-segment + tombstone + atomic-manifest
+// machinery the one-step engine uses for materialized results.
+//
+// Each entry is stored as a group record holding a single pair whose
+// pair key is empty (the group key already carries the entry key), so
+// the on-disk format stays the Store's segment codec and all of the
+// Store's durability properties — crash-safe manifest commits, orphan
+// cleanup, threshold compaction — apply unchanged. Checkpoint flushes
+// only the entries mutated since the previous checkpoint: the dirty
+// groups, never a full rewrite of the map.
+type KV struct {
+	s *Store
+}
+
+// OpenKV creates a key-value store in opts.Dir or recovers the one
+// checkpointed there.
+func OpenKV(opts Options) (*KV, error) {
+	s, err := Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &KV{s: s}, nil
+}
+
+// Put sets key's value. The mutation is buffered in the memtable until
+// the next Checkpoint.
+func (k *KV) Put(key, value string) {
+	k.s.Set(key, []kv.Pair{{Value: value}})
+}
+
+// Delete removes key (a tombstone is durably recorded so the deletion
+// survives restarts while older segments still hold the entry).
+func (k *KV) Delete(key string) {
+	k.s.Delete(key)
+}
+
+// Get returns key's current value (memtable first, then segments
+// newest to oldest); ok is false when the key is absent or tombstoned.
+func (k *KV) Get(key string) (string, bool, error) {
+	ps, ok, err := k.s.Get(key)
+	if err != nil || !ok {
+		return "", ok, err
+	}
+	if len(ps) == 0 {
+		return "", true, nil
+	}
+	return ps[0].Value, true, nil
+}
+
+// All streams every live entry in ascending key order.
+func (k *KV) All(fn func(key, value string) error) error {
+	return k.s.AllGroups(func(key string, ps []kv.Pair) error {
+		v := ""
+		if len(ps) > 0 {
+			v = ps[0].Value
+		}
+		return fn(key, v)
+	})
+}
+
+// Pending reports the number of uncheckpointed mutations — the dirty
+// entries the next Checkpoint will flush as one new segment.
+func (k *KV) Pending() int { return k.s.Pending() }
+
+// Checkpoint flushes pending mutations as a new sorted segment and
+// commits the manifest, compacting at the segment threshold.
+func (k *KV) Checkpoint() error { return k.s.Checkpoint() }
+
+// DiscardPending drops every uncheckpointed mutation, restoring the
+// view to the last durable state.
+func (k *KV) DiscardPending() { k.s.DiscardPending() }
+
+// Initialized reports whether the store was recovered from a manifest
+// a previous process wrote.
+func (k *KV) Initialized() bool { return k.s.Initialized() }
+
+// Reset discards the store's entire contents, returning it to the
+// freshly-created state.
+func (k *KV) Reset() error { return k.s.Reset() }
+
+// Stats returns the underlying store's shape counters.
+func (k *KV) Stats() Stats { return k.s.Stats() }
+
+// Close releases the segment files without checkpointing.
+func (k *KV) Close() error { return k.s.Close() }

@@ -1,0 +1,93 @@
+package results
+
+import "testing"
+
+func TestKVRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	k, err := OpenKV(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Initialized() {
+		t.Fatal("fresh KV claims to be initialized")
+	}
+	k.Put("a", "1")
+	k.Put("b", "2")
+	k.Put("gone", "x")
+	if k.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", k.Pending())
+	}
+	if err := k.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending after checkpoint = %d, want 0", k.Pending())
+	}
+	k.Put("a", "10")
+	k.Delete("gone")
+	if err := k.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Uncheckpointed mutations must not survive the reopen.
+	k.Put("lost", "nope")
+	if err := k.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	k2, err := OpenKV(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k2.Close()
+	if !k2.Initialized() {
+		t.Fatal("reopened KV not initialized")
+	}
+	got := map[string]string{}
+	if err := k2.All(func(key, value string) error {
+		got[key] = value
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"a": "10", "b": "2"}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %v, want %v", got, want)
+	}
+	for key, v := range want {
+		if got[key] != v {
+			t.Fatalf("recovered %v, want %v", got, want)
+		}
+	}
+	if v, ok, err := k2.Get("a"); err != nil || !ok || v != "10" {
+		t.Fatalf("Get(a) = %q/%v/%v, want 10", v, ok, err)
+	}
+	if _, ok, err := k2.Get("gone"); err != nil || ok {
+		t.Fatalf("deleted key resurfaced (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestKVDiscardPendingAndReset(t *testing.T) {
+	k, err := OpenKV(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	k.Put("a", "1")
+	if err := k.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	k.Put("a", "2")
+	k.DiscardPending()
+	if v, ok, err := k.Get("a"); err != nil || !ok || v != "1" {
+		t.Fatalf("Get after DiscardPending = %q/%v/%v, want 1", v, ok, err)
+	}
+	if err := k.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Initialized() {
+		t.Fatal("KV still initialized after Reset")
+	}
+	if _, ok, _ := k.Get("a"); ok {
+		t.Fatal("entry survived Reset")
+	}
+}

@@ -283,6 +283,14 @@ func (s *Store) Get(key string) ([]kv.Pair, bool, error) {
 	return nil, false, nil
 }
 
+// Pending reports the number of uncheckpointed mutations in the
+// memtable — the dirty groups the next Checkpoint will flush.
+func (s *Store) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
 // Dirty reports whether the store changed since it was last
 // materialized to a DFS output file.
 func (s *Store) Dirty() bool {
