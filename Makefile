@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke bench-json ci
+.PHONY: all build test race lint bench-smoke bench-json serve-demo ci
 
 all: build
 
@@ -11,7 +11,8 @@ test:
 	$(GO) test ./...
 
 # Race-check the full module: every engine runs concurrent tasks over
-# shared buffers and stores, so nothing is exempt.
+# shared buffers and stores — and internal/serve adds concurrent
+# readers against in-flight refreshes — so nothing is exempt.
 race:
 	$(GO) test -race ./...
 
@@ -35,10 +36,20 @@ lint:
 bench-smoke: bench-json
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Machine-readable benchmark records at CI's artifact path, so the
-# perf trajectory is reproducible locally.
+# Machine-readable benchmark records at CI's artifact paths, so the
+# perf trajectory is reproducible locally: the engine sweeps in
+# BENCH_core.json and the serving-layer QPS/p99 sweep in
+# BENCH_serve.json.
 bench-json:
 	$(GO) run ./cmd/i2mr-bench -scale small -shuffle-mem 65536 -json BENCH_core.json onestep core
+	$(GO) run ./cmd/i2mr-bench -scale small -json BENCH_serve.json serve
+
+# Run the online serving demo: wordcount over a generated corpus,
+# HTTP on :8080, a background delta refresh every 5s. Try
+#   curl 'http://localhost:8080/get?key=w0042'
+# while it runs; /stats shows epoch flips and cache counters.
+serve-demo:
+	$(GO) run ./cmd/i2mr-serve -addr :8080 -n 4000 -refresh-every 5s
 
 # Everything CI runs, in the same order.
 ci: build lint test race bench-smoke

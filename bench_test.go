@@ -326,6 +326,23 @@ func BenchmarkOneStepSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkServeSweep regenerates the serving sweep: concurrent-reader
+// QPS and tail latency against snapshot epochs while a delta refresh is
+// live.
+func BenchmarkServeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(b)
+		rows, err := bench.ServeSweep(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.QPS, fmt.Sprintf("readers%d-qps", r.Readers))
+			b.ReportMetric(float64(r.P99.Microseconds()), fmt.Sprintf("readers%d-p99-us", r.Readers))
+		}
+	}
+}
+
 // BenchmarkCoreSweep regenerates the durable-core sweep: incremental
 // iterative refresh wall time across partition counts and shuffle
 // budgets, with per-iteration dirty-group checkpointing on.

@@ -6,12 +6,12 @@
 //	i2mr-bench [-scale small|default] [-workdir DIR] [-json PATH] [experiment ...]
 //
 // Experiments: fig8 fig9 table4 fig10 fig11 fig12 fig13 apriori shards
-// onestep core all
+// onestep core serve all
 //
 // With -json PATH, the experiments that produce machine-readable
-// records (onestep, core, shards) additionally append them to a JSON
-// array written at PATH — the BENCH_core.json artifact CI uploads from
-// its bench-smoke job.
+// records (onestep, core, shards, serve) additionally append them to a
+// JSON array written at PATH — the BENCH_core.json / BENCH_serve.json
+// artifacts CI uploads from its bench-smoke job.
 package main
 
 import (
@@ -51,7 +51,7 @@ func main() {
 
 	experiments := flag.Args()
 	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
-		experiments = []string{"apriori", "onestep", "core", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
+		experiments = []string{"apriori", "onestep", "core", "serve", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
 	}
 
 	var recs []bench.JSONRecord
@@ -150,6 +150,13 @@ func runExperiment(env *bench.Env, sc bench.Scale, dir, name, scaleName string) 
 		}
 		fmt.Print(bench.FormatCoreSweep(rows))
 		return bench.CoreSweepJSON(scaleName, rows), nil
+	case "serve":
+		rows, err := bench.ServeSweep(env, sc)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(bench.FormatServe(rows))
+		return bench.ServeJSON(scaleName, rows), nil
 	case "shards":
 		rows, err := bench.ShardSweep(filepath.Join(dir, name, "sweep"), sc, nil)
 		if err != nil {

@@ -1,0 +1,168 @@
+// Command i2mr-serve runs a complete online serving deployment: it
+// computes a fine-grain incremental WordCount over a generated tweet
+// corpus, serves the materialized result set over HTTP, and keeps the
+// result fresh by applying delta refreshes in the background — readers
+// keep being answered from the pre-refresh snapshot epoch for the whole
+// duration of each refresh and flip atomically when it commits.
+//
+// Usage:
+//
+//	i2mr-serve [-addr :8080] [-n 4000] [-nodes 4] [-delta 0.05]
+//	           [-refresh-every 5s] [-refreshes 0] [-cache 4096]
+//
+// Try it:
+//
+//	curl 'http://localhost:8080/get?key=w0042'
+//	curl 'http://localhost:8080/mget?key=w0001&key=w0002&key=w0003'
+//	curl -X POST http://localhost:8080/mget -d '{"keys":["w0001","w0002"]}'
+//	curl http://localhost:8080/stats
+//	curl http://localhost:8080/healthz
+//
+// -refreshes 0 refreshes forever; a positive count exits after that
+// many background refreshes (handy for demos and smoke tests). Ctrl-C
+// shuts down cleanly (the scratch directory is removed).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	i2mr "i2mapreduce"
+	"i2mapreduce/internal/apps"
+	"i2mapreduce/internal/datagen"
+	"i2mapreduce/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run carries the whole deployment so deferred cleanups survive every
+// exit path (log.Fatal would skip them).
+func run() error {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	n := flag.Int("n", 4000, "documents in the generated corpus")
+	nodes := flag.Int("nodes", 4, "simulated cluster nodes")
+	deltaFrac := flag.Float64("delta", 0.05, "fraction of the corpus each background refresh rewrites")
+	refreshEvery := flag.Duration("refresh-every", 5*time.Second, "interval between background delta refreshes")
+	refreshes := flag.Int("refreshes", 0, "stop refreshing after this many refreshes (0 = refresh forever)")
+	cacheSize := flag.Int("cache", 0, "per-epoch read cache entries (0 = default, negative disables)")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "i2mr-serve-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := i2mr.New(i2mr.Options{WorkDir: dir, Nodes: *nodes})
+	if err != nil {
+		return err
+	}
+
+	const vocab, wordsPerTweet = 200, 8
+	corpus := datagen.Tweets(1, *n, vocab, wordsPerTweet)
+	if err := sys.WritePairs("tweets", corpus); err != nil {
+		return err
+	}
+	runner, err := sys.NewOneStep(apps.FineGrainWordCountJob("wordcount"))
+	if err != nil {
+		return err
+	}
+	defer runner.Close()
+
+	start := time.Now()
+	if _, err := runner.RunInitial("tweets", "wc-v1"); err != nil {
+		return err
+	}
+	outs, err := runner.Outputs()
+	if err != nil {
+		return err
+	}
+	log.Printf("initial wordcount: %d documents -> %d words in %s",
+		*n, len(outs), time.Since(start).Round(time.Millisecond))
+
+	srv, err := serve.NewOneStep(runner, serve.Options{CacheSize: *cacheSize})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Background refresher: evolve the corpus, write a delta file, and
+	// publish it through srv.Refresh — readers flip to the new epoch
+	// only when the refresh commits. A refresh error stops refreshing
+	// but leaves the server answering from the last good epoch.
+	go func() {
+		current := corpus
+		for i := 1; *refreshes <= 0 || i <= *refreshes; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(*refreshEvery):
+			}
+			deltas, mutated := datagen.Mutate(int64(i+1), current, datagen.MutateOptions{
+				ModifyFraction: *deltaFrac,
+				Rewrite: func(rng *rand.Rand, key, value string) string {
+					return value + fmt.Sprintf(" w%04d", rng.Intn(vocab))
+				},
+			})
+			current = mutated
+			deltaPath := fmt.Sprintf("delta-%d", i)
+			outPath := fmt.Sprintf("wc-v%d", i+1)
+			if err := sys.WriteDeltas(deltaPath, deltas); err != nil {
+				log.Printf("refresh %d: %v (refreshes stopped)", i, err)
+				return
+			}
+			t := time.Now()
+			err := srv.Refresh(func() error {
+				_, err := runner.RunDelta(deltaPath, outPath)
+				return err
+			})
+			if err != nil {
+				log.Printf("refresh %d: %v (refreshes stopped)", i, err)
+				return
+			}
+			st := srv.Stats()
+			log.Printf("refresh %d: %d delta records in %s -> epoch %d (cache %d hits / %d misses)",
+				i, len(deltas), time.Since(t).Round(time.Millisecond), st.Epoch, st.CacheHits, st.CacheMisses)
+		}
+		log.Printf("completed %d refreshes; still serving epoch %d", *refreshes, srv.Epoch())
+	}()
+
+	sample := ""
+	if len(outs) > 0 {
+		sample = outs[len(outs)/2].Key
+	}
+	display := *addr
+	if strings.HasPrefix(display, ":") {
+		display = "localhost" + display
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx) //nolint:errcheck // best-effort drain before exit
+	}()
+	log.Printf("serving on %s — try: curl 'http://%s/get?key=%s'", *addr, display, sample)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("shutting down (epoch %d served)", srv.Epoch())
+	return nil
+}

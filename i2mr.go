@@ -22,6 +22,11 @@
 //     preserved incremental iterative computation after a process
 //     restart.
 //
+// The runners' durable stores are snapshot-isolated, so the online
+// serving layer (internal/serve, cmd/i2mr-serve) can answer point
+// lookups and batched MultiGets over HTTP while refreshes are in
+// flight, flipping atomically to each refresh's results as it commits.
+//
 // See examples/ for runnable end-to-end programs and DESIGN.md for the
 // architecture.
 package i2mr

@@ -90,6 +90,34 @@ func CoreSweepJSON(scale string, rows []CoreRow) []JSONRecord {
 	return recs
 }
 
+// ServeJSON converts the serving sweep into benchmark records; the
+// headline op is one point lookup (mean service latency), with QPS and
+// tail latencies as counters.
+func ServeJSON(scale string, rows []ServeRow) []JSONRecord {
+	recs := make([]JSONRecord, 0, len(rows))
+	for _, r := range rows {
+		recs = append(recs, JSONRecord{
+			Experiment: "serve",
+			Scale:      scale,
+			Params: map[string]string{
+				"readers": fmt.Sprintf("%d", r.Readers),
+			},
+			NsPerOp: r.MeanLatency.Nanoseconds(),
+			Counters: map[string]int64{
+				"qps":          int64(r.QPS),
+				"ops":          r.Ops,
+				"p50_ns":       r.P50.Nanoseconds(),
+				"p99_ns":       r.P99.Nanoseconds(),
+				"refresh_ns":   r.RefreshTime.Nanoseconds(),
+				"epoch_flips":  r.Flips,
+				"cache_hits":   r.CacheHits,
+				"cache_misses": r.CacheMisses,
+			},
+		})
+	}
+	return recs
+}
+
 // ShardSweepJSON converts the shard sweep into benchmark records; the
 // headline op is the delta merge.
 func ShardSweepJSON(scale string, rows []ShardSweepRow) []JSONRecord {

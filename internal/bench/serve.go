@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"i2mapreduce/internal/apps"
+	"i2mapreduce/internal/datagen"
+	"i2mapreduce/internal/incr"
+	"i2mapreduce/internal/serve"
+)
+
+// ---------------------------------------------------------------------
+// Serve sweep: concurrent-reader throughput and tail latency of the
+// online serving layer (internal/serve) while a delta refresh is live.
+// Not a paper figure — the paper stops at producing the refreshed
+// result set; this measures the DSPE-style continuous-serving usage the
+// ROADMAP targets: N readers hammering point lookups against the
+// pre-refresh snapshot epoch for the whole duration of an in-flight
+// RunDelta, flipping atomically when it commits.
+// ---------------------------------------------------------------------
+
+// ServeRow is one reader-count's profile.
+type ServeRow struct {
+	Readers     int
+	Ops         int64
+	Elapsed     time.Duration
+	QPS         float64
+	MeanLatency time.Duration
+	P50         time.Duration
+	P99         time.Duration
+	RefreshTime time.Duration
+	Flips       int64
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// serveOpsPerRow is the total lookups issued per row (split across the
+// row's readers) — enough to span a small-scale refresh while keeping
+// the smoke run fast.
+const serveOpsPerRow = 6000
+
+// ServeSweep prepares a fine-grain WordCount, wraps it in a
+// serve.Server, and for each reader count issues point lookups from
+// that many concurrent readers while one delta refresh runs through
+// Server.Refresh. Reads are answered from snapshot epochs: the refresh
+// never blocks a reader, and the flip is atomic.
+func ServeSweep(env *Env, sc Scale) ([]ServeRow, error) {
+	corpus := datagen.Tweets(sc.Seed+210, sc.Tweets, sc.Vocab, sc.WordsPerTweet)
+	if err := env.Eng.FS().WriteAllPairs("serve/t0", corpus); err != nil {
+		return nil, err
+	}
+	job := apps.FineGrainWordCountJob("serve-wc")
+	job.NumReducers = sc.Partitions
+	job.StoreOpts = sc.storeOpts()
+	job.ShuffleMemoryBudget = sc.ShuffleMemoryBudget
+	runner, err := incr.NewRunner(env.Eng, job)
+	if err != nil {
+		return nil, err
+	}
+	defer runner.Close()
+	if _, err := runner.RunInitial("serve/t0", "serve/out0"); err != nil {
+		return nil, err
+	}
+	// The key universe readers sample from: every word in the result.
+	outs, err := runner.Outputs()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(outs))
+	for _, o := range outs {
+		keys = append(keys, o.Key)
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("serve sweep: empty result set")
+	}
+
+	srv, err := serve.NewOneStep(runner, serve.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	current := corpus
+	rows := make([]ServeRow, 0, 3)
+	for i, readers := range []int{1, 4, 16} {
+		deltas, mutated := datagen.Mutate(sc.Seed+int64(220+i), current, datagen.MutateOptions{
+			ModifyFraction: sc.DeltaFraction,
+			Rewrite: func(rng *rand.Rand, key, value string) string {
+				return value + fmt.Sprintf(" w%04d", rng.Intn(sc.Vocab))
+			},
+		})
+		current = mutated
+		deltaPath := fmt.Sprintf("serve/delta-%d", i)
+		if err := env.Eng.FS().WriteAllDeltas(deltaPath, deltas); err != nil {
+			return nil, err
+		}
+
+		statsBefore := srv.Stats()
+		opsPerReader := serveOpsPerRow / readers
+
+		start := time.Now()
+		var refreshDone atomic.Bool
+		refreshErr := make(chan error, 1)
+		refreshDur := make(chan time.Duration, 1)
+		go func() {
+			t := time.Now()
+			err := srv.Refresh(func() error {
+				_, err := runner.RunDelta(deltaPath, fmt.Sprintf("serve/out%d", i+1))
+				return err
+			})
+			refreshDur <- time.Since(t)
+			refreshDone.Store(true)
+			refreshErr <- err
+		}()
+
+		// Each reader issues at least its share of lookups and keeps
+		// reading until the refresh has committed, so the measured
+		// stream genuinely spans the whole in-flight refresh (capped in
+		// case the refresh stalls).
+		lats := make([][]time.Duration, readers)
+		var readErr error
+		var errMu sync.Mutex
+		var wg sync.WaitGroup
+		for rd := 0; rd < readers; rd++ {
+			wg.Add(1)
+			go func(rd int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(sc.Seed + int64(rd)*7919))
+				ls := make([]time.Duration, 0, opsPerReader)
+				for op := 0; (op < opsPerReader || !refreshDone.Load()) && op < opsPerReader*100; op++ {
+					key := keys[rng.Intn(len(keys))]
+					t := time.Now()
+					_, _, _, err := srv.Get(key)
+					if err != nil {
+						errMu.Lock()
+						readErr = err
+						errMu.Unlock()
+						return
+					}
+					ls = append(ls, time.Since(t))
+				}
+				lats[rd] = ls
+			}(rd)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if readErr != nil {
+			return nil, readErr
+		}
+		if err := <-refreshErr; err != nil {
+			return nil, err
+		}
+		statsAfter := srv.Stats()
+
+		var all []time.Duration
+		var total time.Duration
+		for _, ls := range lats {
+			all = append(all, ls...)
+			for _, l := range ls {
+				total += l
+			}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		row := ServeRow{
+			Readers:     readers,
+			Ops:         int64(len(all)),
+			Elapsed:     elapsed,
+			RefreshTime: <-refreshDur,
+			Flips:       statsAfter.EpochFlips - statsBefore.EpochFlips,
+			CacheHits:   statsAfter.CacheHits - statsBefore.CacheHits,
+			CacheMisses: statsAfter.CacheMisses - statsBefore.CacheMisses,
+		}
+		if len(all) > 0 {
+			row.QPS = float64(len(all)) / elapsed.Seconds()
+			row.MeanLatency = total / time.Duration(len(all))
+			row.P50 = all[len(all)/2]
+			row.P99 = all[len(all)*99/100]
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatServe renders the sweep.
+func FormatServe(rows []ServeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serve sweep — concurrent readers vs live delta refreshes (snapshot epochs)\n")
+	fmt.Fprintf(&b, "%-8s %8s %10s %10s %10s %10s %11s %6s %9s %9s\n",
+		"readers", "ops", "qps", "mean", "p50", "p99", "refresh", "flips", "hits", "misses")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %8d %10.0f %10s %10s %10s %11s %6d %9d %9d\n",
+			r.Readers, r.Ops, r.QPS,
+			r.MeanLatency.Round(time.Microsecond), r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+			r.RefreshTime.Round(time.Millisecond), r.Flips, r.CacheHits, r.CacheMisses)
+	}
+	return b.String()
+}

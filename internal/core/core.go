@@ -245,6 +245,19 @@ func (r *Runner) Close() error {
 // Stores exposes the per-partition MRBG-Stores for the Table 4 harness.
 func (r *Runner) Stores() []*mrbg.ShardedStore { return r.stores }
 
+// StateStores exposes the durable per-partition state stores — what the
+// serving layer (internal/serve) snapshots to answer point lookups
+// while refreshes are in flight. State keys are routed to partitions by
+// kv.Partition, matching the engine's own placement. For ReplicateState
+// specs it returns the single global store (every key routes to the one
+// partition).
+func (r *Runner) StateStores() []*results.KV {
+	if r.spec.ReplicateState {
+		return []*results.KV{r.globalKV}
+	}
+	return append([]*results.KV(nil), r.stateKV...)
+}
+
 // MRBGEnabled reports whether MRBGraph maintenance is currently active.
 func (r *Runner) MRBGEnabled() bool { return r.mrbgOn }
 

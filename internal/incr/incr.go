@@ -903,7 +903,10 @@ func (r *Runner) runDeltaAccumulator(deltaInput, output string) (*metrics.Report
 						if err != nil {
 							return err
 						}
-						if ok {
+						// A group can be materialized with zero pairs (a
+						// reduce that emitted nothing); treat it as absent
+						// rather than indexing old[0].
+						if ok && len(old) > 0 {
 							o = kv.Pair{Key: o.Key, Value: r.job.Accumulate(old[0].Value, o.Value)}
 						}
 						res.Set(o.Key, []kv.Pair{o})
@@ -1020,13 +1023,18 @@ func (r *Runner) resultCompactions() int64 {
 }
 
 // reportResultStats records the refresh's result-store shape counters.
+// Orphaned is a gauge (cumulative since Open): non-zero means segment
+// deletions failed and durable space is leaking.
 func (r *Runner) reportResultStats(rep *metrics.Report, compBefore int64) {
-	var segs int64
+	var segs, orphaned int64
 	for _, res := range r.res {
-		segs += int64(res.Stats().Segments)
+		st := res.Stats()
+		segs += int64(st.Segments)
+		orphaned += st.Orphaned
 	}
 	rep.Add(metrics.CounterResultSegments, segs)
 	rep.Add(metrics.CounterResultCompactions, r.resultCompactions()-compBefore)
+	rep.Add(metrics.CounterResultSegmentsOrphaned, orphaned)
 }
 
 // Outputs returns the current result set as a key-sorted slice,

@@ -410,6 +410,67 @@ func TestAccumulatorMode(t *testing.T) {
 	}
 }
 
+// TestAccumulatorEmptyGroupTreatedAsAbsent is the regression for the
+// old[0] panic: Store.Get reports ok for a group materialized with
+// zero pairs (a reduce that emitted nothing), and the accumulate path
+// indexed old[0] unconditionally. An empty preserved group must fold
+// like an absent one.
+func TestAccumulatorEmptyGroupTreatedAsAbsent(t *testing.T) {
+	eng := newEngine(t, 2)
+	wcMap := mr.MapperFunc(func(k, v string, emit mr.Emit) error {
+		for _, w := range strings.Fields(v) {
+			emit(w, "1")
+		}
+		return nil
+	})
+	wcReduce := mr.ReducerFunc(func(k string, vs []string, emit mr.Emit) error {
+		emit(k, strconv.Itoa(len(vs)))
+		return nil
+	})
+	sumAcc := func(old, new string) string {
+		a, _ := strconv.Atoi(old)
+		b, _ := strconv.Atoi(new)
+		return strconv.Itoa(a + b)
+	}
+	if err := eng.FS().WriteAllPairs("docs", []kv.Pair{{Key: "d1", Value: "alpha beta"}}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(eng, Job{
+		Name: "wc-acc-empty", Mapper: wcMap, Reducer: wcReduce, NumReducers: 2, Accumulate: sumAcc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.RunInitial("docs", "o0"); err != nil {
+		t.Fatal(err)
+	}
+	// Materialize "gamma" as an EMPTY group in its owning partition's
+	// result store, durably.
+	p := kv.Partition("gamma", 2)
+	res := r.Results()[p]
+	res.Set("gamma", nil)
+	if err := res.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if old, ok, err := res.Get("gamma"); err != nil || !ok || len(old) != 0 {
+		t.Fatalf("precondition: Get(gamma) = %v %v %v, want ok with zero pairs", old, ok, err)
+	}
+	// The refresh accumulates into "gamma": before the fix this panicked
+	// on old[0]; now the empty group folds like an absent one.
+	delta := []kv.Delta{{Key: "d2", Value: "gamma gamma", Op: kv.OpInsert}}
+	if err := eng.FS().WriteAllDeltas("d", delta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunDelta("d", "o1"); err != nil {
+		t.Fatal(err)
+	}
+	got := outputsAsMap(outs(t, r))
+	if got["gamma"] != "2" {
+		t.Fatalf("gamma = %q, want 2 (empty group folded as absent)", got["gamma"])
+	}
+}
+
 func TestAccumulatorRejectsDeletions(t *testing.T) {
 	eng := newEngine(t, 1)
 	r, err := NewRunner(eng, Job{

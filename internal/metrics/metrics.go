@@ -93,6 +93,22 @@ const (
 	// CounterStateCompactions counts state-store segment compactions
 	// performed during a job.
 	CounterStateCompactions = "state.compactions"
+	// CounterResultSegmentsOrphaned is the cumulative count of result /
+	// state segment files whose deferred deletion failed, leaving them
+	// on disk unreferenced by any manifest (re-swept at the next Open).
+	// Reported as a gauge: non-zero means durable space is leaking.
+	CounterResultSegmentsOrphaned = "results.segments.orphaned"
+	// CounterServeSnapshotsOpen is the number of store snapshots the
+	// serving layer currently holds open (partitions × live epochs).
+	CounterServeSnapshotsOpen = "serve.snapshots.open"
+	// CounterServeEpochFlips counts the serving layer's atomic epoch
+	// flips: one per completed refresh made visible to readers.
+	CounterServeEpochFlips = "serve.epoch.flips"
+	// CounterServeCacheHits / Misses count point lookups served from /
+	// filled into the per-epoch read-through cache (invalidated as a
+	// whole at each epoch flip, so a hit can never be stale).
+	CounterServeCacheHits   = "serve.cache.hits"
+	CounterServeCacheMisses = "serve.cache.misses"
 )
 
 // Report accumulates stage durations and named counters for one job (or

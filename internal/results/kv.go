@@ -43,6 +43,9 @@ func (k *KV) Delete(key string) {
 
 // Get returns key's current value (memtable first, then segments
 // newest to oldest); ok is false when the key is absent or tombstoned.
+// The value is an immutable string (and the underlying Store.Get hands
+// out defensive pair copies), so callers can never corrupt pending
+// durable state through the return value.
 func (k *KV) Get(key string) (string, bool, error) {
 	ps, ok, err := k.s.Get(key)
 	if err != nil || !ok {
@@ -53,6 +56,12 @@ func (k *KV) Get(key string) (string, bool, error) {
 	}
 	return ps[0].Value, true, nil
 }
+
+// Snapshot captures an immutable point-in-time view of the store; the
+// serving layer reads it without blocking writers. Entry values are the
+// single-pair group records described above (pairs[0].Value, or "" for
+// an empty group).
+func (k *KV) Snapshot() *Snapshot { return k.s.Snapshot() }
 
 // All streams every live entry in ascending key order.
 func (k *KV) All(fn func(key, value string) error) error {

@@ -27,6 +27,22 @@
 // one, dropping tombstones and obsolete group versions — the
 // "reconstructed when idle" treatment the paper gives the MRBGraph
 // file, applied to the result set.
+//
+// # Snapshot isolation
+//
+// Reads are snapshot-isolated so a serving layer can query the store
+// while a refresh mutates it. Store.Snapshot captures the current
+// segment set plus a frozen view of the memtable; Get, MultiGet, and
+// AllGroups run against such a snapshot without blocking writers (the
+// store mutex is held only for the capture itself and for memtable
+// mutations — never across segment I/O). Segments are refcounted:
+// compaction and Reset detach obsolete segments but defer closing and
+// deleting their files until the last snapshot referencing them is
+// released, so a snapshot keeps reading the exact bytes it was captured
+// over no matter how many refreshes and compactions run meanwhile. A
+// segment file whose deferred deletion fails is left behind as an
+// orphan, counted in Stats.Orphaned; the next Open re-sweeps orphans
+// (any seg-*.seg file the manifest does not reference).
 package results
 
 import (
@@ -73,7 +89,15 @@ type Stats struct {
 	CompactedBytes int64
 	// Flushes counts memtable flushes (checkpointed segments written).
 	Flushes int64
+	// Orphaned counts segment files whose deletion failed and were left
+	// on disk unreferenced by the manifest — a durable-space leak signal
+	// (the next Open re-sweeps them). Includes sweep failures at Open.
+	Orphaned int64
 }
+
+// removeFile deletes a segment file; a package variable so tests can
+// exercise the deletion-failure (orphan) accounting.
+var removeFile = os.Remove
 
 // entry is one memtable slot: a group's pending output pairs, or a
 // tombstone marking the group deleted.
@@ -88,37 +112,61 @@ type segLoc struct {
 	len int64
 }
 
-// segment is one immutable sorted run of group records.
+// segment is one immutable sorted run of group records. The file and
+// index never change after creation; the lifecycle fields below are
+// guarded by the owning Store's mu.
 type segment struct {
 	path  string
 	f     *os.File
 	index map[string]segLoc
 	bytes int64
+
+	// refs counts snapshots (and transient point-read pins) holding the
+	// segment open.
+	refs int
+	// detached marks a segment the store no longer lists (dropped by
+	// compaction, Reset, or Close); it is destroyed when refs reaches
+	// zero.
+	detached bool
+	// remove requests file deletion at destruction (compaction and
+	// Reset set it; Close does not — the files are still live state).
+	remove bool
 }
 
 // Store is one partition's durable result store. All methods are safe
-// for concurrent use; the one-step engine additionally guarantees that
-// at most one reduce task mutates a partition's store at a time, so the
-// internal mutex is contended only by concurrent readers (Outputs).
+// for concurrent use. mu guards the memtable and the segment list and
+// is held only for short critical sections; maintMu serializes the
+// maintenance operations (Checkpoint, Compact, Reset, Close) whose
+// heavy I/O runs off-lock, so readers never stall behind a segment
+// flush or a compaction merge.
 type Store struct {
-	mu   sync.Mutex
-	opts Options
-	seq  int64 // next segment sequence number
-	segs []*segment
+	mu      sync.Mutex
+	maintMu sync.Mutex
+	opts    Options
+	seq     int64 // next segment sequence number; guarded by mu
+	segs    []*segment
 	// initialized reports whether a manifest existed when the store was
 	// opened — i.e. a previous process checkpointed results here.
 	initialized bool
 	mem         map[string]entry
-	dirty       bool
-	lastOutput  string
-	stats       Stats
+	// imm is the frozen memtable a Checkpoint is currently flushing
+	// (nil otherwise). Reads overlay mem over imm over the segments.
+	imm map[string]entry
+	// discards counts DiscardPending calls; a failed flush folds its
+	// frozen entries back only if no discard happened since the freeze
+	// (unfreeze must not resurrect discarded mutations).
+	discards   int64
+	dirty      bool
+	lastOutput string
+	stats      Stats
 }
 
 const manifestName = "results.meta"
 
 // Open creates a store in opts.Dir or recovers the one checkpointed
 // there. Segments written but never referenced by the manifest (a crash
-// between segment write and manifest commit) are deleted.
+// between segment write and manifest commit, or a deferred deletion
+// that failed) are swept; sweep failures count into Stats.Orphaned.
 func Open(opts Options) (*Store, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("results: Options.Dir is required")
@@ -147,7 +195,8 @@ func Open(opts Options) (*Store, error) {
 		}
 		s.segs = append(s.segs, seg)
 	}
-	// Drop orphaned segment files from a crash mid-checkpoint.
+	// Re-sweep orphaned segment files: leftovers of a crash
+	// mid-checkpoint or of an earlier deletion failure.
 	dirEnts, err := os.ReadDir(opts.Dir)
 	if err != nil {
 		s.closeSegments()
@@ -156,7 +205,9 @@ func Open(opts Options) (*Store, error) {
 	for _, de := range dirEnts {
 		name := de.Name()
 		if strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg") && !referenced[name] {
-			os.Remove(filepath.Join(opts.Dir, name))
+			if err := removeFile(filepath.Join(opts.Dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				s.stats.Orphaned++
+			}
 		}
 	}
 	return s, nil
@@ -177,16 +228,54 @@ func (s *Store) closeSegments() {
 	}
 }
 
+// releaseLocked drops one reference to seg, destroying it if it was the
+// last and the store has detached the segment. Callers hold s.mu.
+func (s *Store) releaseLocked(seg *segment) error {
+	seg.refs--
+	if seg.refs == 0 && seg.detached {
+		return s.destroyLocked(seg)
+	}
+	return nil
+}
+
+// dropLocked detaches seg from the store; the file is deleted at
+// destruction when remove is set. Destruction happens immediately when
+// no snapshot pins the segment, otherwise at the last release. Callers
+// hold s.mu and must have removed seg from s.segs (or be about to).
+func (s *Store) dropLocked(seg *segment, remove bool) error {
+	seg.detached, seg.remove = true, remove
+	if seg.refs == 0 {
+		return s.destroyLocked(seg)
+	}
+	return nil
+}
+
+// destroyLocked closes the segment file and, if requested, deletes it,
+// reporting the close error (a write-back fault at shutdown must not
+// pass silently). A failed deletion leaves an orphan: surfaced in
+// Stats.Orphaned and re-swept by the next Open (the manifest no longer
+// references it).
+func (s *Store) destroyLocked(seg *segment) error {
+	cerr := seg.f.Close()
+	if seg.remove {
+		if err := removeFile(seg.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			s.stats.Orphaned++
+		}
+	}
+	return cerr
+}
+
 // Reset discards the store's entire contents — memtable, segments, and
 // manifest — returning it to the freshly-created state. The one-step
 // engine uses it to clear the partial results of an initial run that
 // died before committing its completion marker. The manifest is removed
 // first, so a crash mid-Reset leaves an uninitialized store plus orphan
 // segments (cleaned by the next Open), never a manifest referencing
-// deleted files.
+// deleted files. Snapshots captured before the Reset keep reading the
+// pre-Reset data until released.
 func (s *Store) Reset() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
 	if err := os.Remove(filepath.Join(s.opts.Dir, manifestName)); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
@@ -195,9 +284,10 @@ func (s *Store) Reset() error {
 	if err := fsutil.SyncDir(s.opts.Dir); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, seg := range s.segs {
-		seg.f.Close()
-		os.Remove(seg.path)
+		s.dropLocked(seg, true)
 	}
 	s.segs = nil
 	s.mem = make(map[string]entry)
@@ -207,14 +297,18 @@ func (s *Store) Reset() error {
 	return nil
 }
 
-// Close releases the segment files without checkpointing. Pending
-// memtable mutations are lost (they were never promised durable).
+// Close detaches the segment files without checkpointing. Pending
+// memtable mutations are lost (they were never promised durable); a
+// segment still pinned by an open snapshot stays readable until the
+// snapshot is released.
 func (s *Store) Close() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
 	for _, seg := range s.segs {
-		if err := seg.f.Close(); err != nil && first == nil {
+		if err := s.dropLocked(seg, false); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -237,11 +331,15 @@ func (s *Store) Set(key string, pairs []kv.Pair) {
 // a retried attempt re-folds its groups from clean state instead of
 // double-accumulating on top of the failed attempt's partial folds. The
 // dirty flag is left as-is (conservatively: an unnecessary rewrite is
-// safe, a skipped one is not).
+// safe, a skipped one is not). Mutations a concurrent Checkpoint has
+// already frozen for flushing are past discarding — they commit with
+// that checkpoint, exactly as if it had completed before this call —
+// but a discard does bar a *failed* flush from resurrecting them.
 func (s *Store) DiscardPending() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mem = make(map[string]entry)
+	s.discards++
 }
 
 // Delete removes group key (a tombstone is durably recorded so the
@@ -254,24 +352,51 @@ func (s *Store) Delete(key string) {
 	s.dirty = true
 }
 
+// copyPairs returns a defensive copy of a memtable-backed pair slice:
+// Set retains the caller's slice, so handing the same backing array
+// back out of Get would let a reader mutation silently corrupt pending
+// durable state.
+func copyPairs(ps []kv.Pair) []kv.Pair {
+	if ps == nil {
+		return nil
+	}
+	return append([]kv.Pair(nil), ps...)
+}
+
 // Get returns group key's current output pairs (memtable first, then
 // segments newest to oldest). ok is false when the group is absent or
-// tombstoned.
+// tombstoned. The returned slice is the caller's to keep. The store
+// mutex is held only to locate the record; the segment read itself runs
+// off-lock against a pinned segment, so point lookups never stall
+// behind a checkpoint or compaction.
 func (s *Store) Get(key string) ([]kv.Pair, bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if e, ok := s.mem[key]; ok {
+		s.mu.Unlock()
 		if e.tomb {
 			return nil, false, nil
 		}
-		return e.pairs, true, nil
+		return copyPairs(e.pairs), true, nil
+	}
+	if e, ok := s.imm[key]; ok {
+		s.mu.Unlock()
+		if e.tomb {
+			return nil, false, nil
+		}
+		return copyPairs(e.pairs), true, nil
 	}
 	for i := len(s.segs) - 1; i >= 0; i-- {
 		l, ok := s.segs[i].index[key]
 		if !ok {
 			continue
 		}
-		rec, err := s.segs[i].readRecord(l)
+		seg := s.segs[i]
+		seg.refs++
+		s.mu.Unlock()
+		rec, err := seg.readRecord(l)
+		s.mu.Lock()
+		s.releaseLocked(seg)
+		s.mu.Unlock()
 		if err != nil {
 			return nil, false, err
 		}
@@ -280,15 +405,25 @@ func (s *Store) Get(key string) ([]kv.Pair, bool, error) {
 		}
 		return rec.pairs, true, nil
 	}
+	s.mu.Unlock()
 	return nil, false, nil
 }
 
+// MultiGet answers a batch of point lookups against one consistent
+// snapshot: pairs[i], found[i] correspond to keys[i].
+func (s *Store) MultiGet(keys []string) (pairs [][]kv.Pair, found []bool, err error) {
+	sn := s.Snapshot()
+	defer sn.Close()
+	return sn.MultiGet(keys)
+}
+
 // Pending reports the number of uncheckpointed mutations in the
-// memtable — the dirty groups the next Checkpoint will flush.
+// memtable — the dirty groups the next Checkpoint will flush (including
+// a freeze a concurrent Checkpoint has in flight).
 func (s *Store) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.mem)
+	return len(s.mem) + len(s.imm)
 }
 
 // Dirty reports whether the store changed since it was last
@@ -309,13 +444,17 @@ func (s *Store) LastOutput() string {
 
 // Materialized records that the store's current contents were written
 // to the DFS path, clearing the dirty flag and persisting the path so a
-// resumed runner knows where its last output lives.
+// resumed runner knows where its last output lives. The manifest fsync
+// runs off the read lock (under the maintenance mutex, like every
+// manifest commit).
 func (s *Store) Materialized(path string) error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.dirty = false
 	s.lastOutput = path
-	return s.writeManifestLocked()
+	s.mu.Unlock()
+	return s.commitManifest()
 }
 
 // Stats returns a snapshot of the store's shape counters.
@@ -338,139 +477,134 @@ type record struct {
 	tomb  bool
 }
 
-// Checkpoint makes the store durable: the memtable (if non-empty)
-// flushes as a new sorted segment, the manifest commits, and — when the
-// segment count reaches the compaction threshold — the segments fold
-// into one. Always writes the manifest, so a fresh store becomes
-// Initialized after its first Checkpoint even with no groups.
-func (s *Store) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.mem) > 0 {
-		recs := make([]record, 0, len(s.mem))
-		for k, e := range s.mem {
-			recs = append(recs, record{key: k, pairs: e.pairs, tomb: e.tomb})
+// sortedRecords flattens a memtable view into key-sorted records;
+// defensive requests copies of the pair slices (for views handed to
+// callers, which must not alias pending durable state).
+func sortedRecords(m map[string]entry, defensive bool) []record {
+	recs := make([]record, 0, len(m))
+	for k, e := range m {
+		ps := e.pairs
+		if defensive {
+			ps = copyPairs(ps)
 		}
-		sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
-		seg, err := s.writeSegmentLocked(recs)
-		if err != nil {
-			return err
-		}
-		s.segs = append(s.segs, seg)
-		s.mem = make(map[string]entry)
-		s.stats.Flushes++
+		recs = append(recs, record{key: k, pairs: ps, tomb: e.tomb})
 	}
-	var obsolete []string
-	if s.opts.CompactThreshold > 0 && len(s.segs) >= s.opts.CompactThreshold {
-		var err error
-		obsolete, err = s.compactLocked()
-		if err != nil {
-			return err
-		}
-	}
-	if err := s.writeManifestLocked(); err != nil {
-		return err
-	}
-	// Only after the manifest stopped referencing them may the old
-	// segment files go; a crash before this point leaves them on disk
-	// (still referenced or orphaned — either way recoverable), never a
-	// manifest pointing at deleted files.
-	removePaths(obsolete)
-	s.initialized = true
-	return nil
+	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+	return recs
 }
 
-// Compact folds every segment into one, dropping tombstones and
-// obsolete group versions. Intended for idle periods; Checkpoint calls
-// it automatically at the threshold.
-func (s *Store) Compact() error {
+// ---------------------------------------------------------------------
+// Snapshots.
+// ---------------------------------------------------------------------
+
+// Snapshot is an immutable point-in-time view of a Store: the segment
+// set at capture plus a frozen view of the memtable. Reads against a
+// snapshot take no store lock and are unaffected by later Sets,
+// Checkpoints, Compacts, or Resets — compaction defers deleting the
+// segment files a snapshot references until the snapshot is released.
+// A Snapshot is safe for concurrent use by many readers; Close releases
+// it (idempotent) and must be called exactly when no reads are in
+// flight anymore. Reading a closed snapshot is a bug (the pinned
+// segment files may have been closed and deleted).
+type Snapshot struct {
+	s    *Store
+	segs []*segment // oldest first, pinned via refs
+	// overlay is the frozen memtable view (live memtable over any
+	// mid-flush frozen memtable); nil when both were empty.
+	overlay map[string]entry
+	closed  bool
+}
+
+// Snapshot captures the store's current contents. The store mutex is
+// held only for the capture (reference bumps and a memtable map copy),
+// never across I/O.
+func (s *Store) Snapshot() *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.segs) <= 1 {
+	segs := append([]*segment(nil), s.segs...)
+	for _, seg := range segs {
+		seg.refs++
+	}
+	var overlay map[string]entry
+	if len(s.mem)+len(s.imm) > 0 {
+		overlay = make(map[string]entry, len(s.mem)+len(s.imm))
+		for k, e := range s.imm {
+			overlay[k] = e
+		}
+		for k, e := range s.mem {
+			overlay[k] = e
+		}
+	}
+	return &Snapshot{s: s, segs: segs, overlay: overlay}
+}
+
+// Close releases the snapshot's segment pins; segments made obsolete by
+// a compaction or Reset since the capture are destroyed (file closed
+// and deleted) when their last pin drops. Idempotent.
+func (sn *Snapshot) Close() error {
+	sn.s.mu.Lock()
+	defer sn.s.mu.Unlock()
+	if sn.closed {
 		return nil
 	}
-	obsolete, err := s.compactLocked()
-	if err != nil {
-		return err
-	}
-	if err := s.writeManifestLocked(); err != nil {
-		return err
-	}
-	removePaths(obsolete)
-	return nil
-}
-
-// compactLocked merges the current segments into a single segment via a
-// streaming newest-wins merge, returning the now-obsolete segment file
-// paths. The caller must commit the manifest BEFORE deleting them — a
-// manifest still referencing the old files plus an unreferenced new
-// segment is recoverable after a crash (the orphan is dropped on Open);
-// a manifest referencing deleted files is not. The memtable is not
-// touched (compaction runs right after a flush, when it is empty, but
-// correctness does not depend on that: the memtable overlays whatever
-// the segments hold).
-func (s *Store) compactLocked() ([]string, error) {
-	if len(s.segs) <= 1 {
-		return nil, nil
-	}
-	var before int64
-	for _, seg := range s.segs {
-		before += seg.bytes
-	}
-	// Stream the newest-wins merge straight into the new segment; only
-	// one record is in memory at a time.
-	sw, err := s.newSegmentWriterLocked()
-	if err != nil {
-		return nil, err
-	}
-	err = s.mergeSegmentsLocked(func(r record) error {
-		if r.tomb {
-			return nil // fully merged: tombstones have done their work
+	sn.closed = true
+	var first error
+	for _, seg := range sn.segs {
+		if err := sn.s.releaseLocked(seg); err != nil && first == nil {
+			first = err
 		}
-		return sw.add(r)
-	})
-	if err != nil {
-		sw.abort()
-		return nil, err
 	}
-	seg, err := sw.finish()
-	if err != nil {
-		return nil, err
-	}
-	old := s.segs
-	s.segs = []*segment{seg}
-	obsolete := make([]string, 0, len(old))
-	for _, o := range old {
-		o.f.Close()
-		obsolete = append(obsolete, o.path)
-	}
-	s.stats.Compactions++
-	s.stats.CompactedBytes += before - seg.bytes
-	return obsolete, nil
+	sn.segs = nil
+	return first
 }
 
-// removePaths best-effort deletes files whose references are gone.
-func removePaths(paths []string) {
-	for _, p := range paths {
-		os.Remove(p)
+// Get returns group key's pairs as of the snapshot; ok is false when
+// the group is absent or tombstoned. Lock-free and safe for concurrent
+// use.
+func (sn *Snapshot) Get(key string) ([]kv.Pair, bool, error) {
+	if e, ok := sn.overlay[key]; ok {
+		if e.tomb {
+			return nil, false, nil
+		}
+		return copyPairs(e.pairs), true, nil
 	}
+	for i := len(sn.segs) - 1; i >= 0; i-- {
+		l, ok := sn.segs[i].index[key]
+		if !ok {
+			continue
+		}
+		rec, err := sn.segs[i].readRecord(l)
+		if err != nil {
+			return nil, false, err
+		}
+		if rec.tomb {
+			return nil, false, nil
+		}
+		return rec.pairs, true, nil
+	}
+	return nil, false, nil
 }
 
-// AllGroups streams every live group in ascending group-key order,
-// overlaying the memtable on the segments (newest wins per key,
-// tombstones skipped). The pairs slice is owned by the callback only
-// until it returns.
-func (s *Store) AllGroups(fn func(key string, pairs []kv.Pair) error) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Snapshot the memtable as a sorted pseudo-segment with the highest
-	// priority.
-	memRecs := make([]record, 0, len(s.mem))
-	for k, e := range s.mem {
-		memRecs = append(memRecs, record{key: k, pairs: e.pairs, tomb: e.tomb})
+// MultiGet answers a batch of point lookups: pairs[i], found[i]
+// correspond to keys[i].
+func (sn *Snapshot) MultiGet(keys []string) (pairs [][]kv.Pair, found []bool, err error) {
+	pairs = make([][]kv.Pair, len(keys))
+	found = make([]bool, len(keys))
+	for i, k := range keys {
+		ps, ok, err := sn.Get(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		pairs[i], found[i] = ps, ok
 	}
-	sort.Slice(memRecs, func(i, j int) bool { return memRecs[i].key < memRecs[j].key })
-	return s.mergeLocked(memRecs, func(r record) error {
+	return pairs, found, nil
+}
+
+// AllGroups streams every live group as of the snapshot in ascending
+// group-key order (newest version wins per key, tombstones skipped).
+// The pairs slice is owned by the callback only until it returns.
+func (sn *Snapshot) AllGroups(fn func(key string, pairs []kv.Pair) error) error {
+	return mergeRecords(sn.segs, sortedRecords(sn.overlay, true), func(r record) error {
 		if r.tomb {
 			return nil
 		}
@@ -478,9 +612,215 @@ func (s *Store) AllGroups(fn func(key string, pairs []kv.Pair) error) error {
 	})
 }
 
-// mergeSegmentsLocked merges only the on-disk segments.
-func (s *Store) mergeSegmentsLocked(fn func(r record) error) error {
-	return s.mergeLocked(nil, fn)
+// AllGroups streams every live group in ascending group-key order,
+// overlaying the memtable on the segments (newest wins per key,
+// tombstones skipped). It runs against an internally captured snapshot,
+// so concurrent writers are never blocked for the duration of the
+// stream. The pairs slice is owned by the callback only until it
+// returns.
+func (s *Store) AllGroups(fn func(key string, pairs []kv.Pair) error) error {
+	sn := s.Snapshot()
+	defer sn.Close()
+	return sn.AllGroups(fn)
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / compaction.
+// ---------------------------------------------------------------------
+
+// Checkpoint makes the store durable: the memtable (if non-empty)
+// flushes as a new sorted segment, the manifest commits, and — when the
+// segment count reaches the compaction threshold — the segments fold
+// into one. Always writes the manifest, so a fresh store becomes
+// Initialized after its first Checkpoint even with no groups. The
+// segment write and any compaction merge run off the read lock;
+// concurrent readers and snapshots are never blocked behind them.
+func (s *Store) Checkpoint() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	if err := s.flush(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	n := len(s.segs)
+	s.mu.Unlock()
+	committed := false
+	if s.opts.CompactThreshold > 0 && n >= s.opts.CompactThreshold {
+		var err error
+		if committed, err = s.compact(); err != nil {
+			return err
+		}
+	}
+	// A compaction already committed the manifest (it must, before
+	// deleting the folded segments); don't pay a second identical fsync.
+	if !committed {
+		if err := s.commitManifest(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.initialized = true
+	return nil
+}
+
+// Compact folds every segment into one, dropping tombstones and
+// obsolete group versions. Intended for idle periods; Checkpoint calls
+// it automatically at the threshold. The merge runs off the read lock;
+// open snapshots keep the pre-compaction segment files alive until
+// released.
+func (s *Store) Compact() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	_, err := s.compact()
+	return err
+}
+
+// flush freezes the memtable and writes it as a new fsynced segment.
+// Runs with maintMu held; mu is taken only for the freeze and the
+// commit, so readers see either the pre-flush or post-flush state and
+// never wait on the segment write. On error the frozen entries fold
+// back under the live memtable (entries written meanwhile win).
+func (s *Store) flush() error {
+	s.mu.Lock()
+	if len(s.mem) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.imm = s.mem
+	s.mem = make(map[string]entry)
+	frozen := s.imm
+	gen := s.discards
+	seq := s.nextSeqLocked()
+	s.mu.Unlock()
+	sw, err := s.newSegmentWriter(seq)
+	if err != nil {
+		s.unfreeze(gen)
+		return err
+	}
+	for _, r := range sortedRecords(frozen, false) {
+		if err := sw.add(r); err != nil {
+			sw.abort()
+			s.unfreeze(gen)
+			return err
+		}
+	}
+	seg, err := sw.finish()
+	if err != nil {
+		s.unfreeze(gen)
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segs = append(s.segs, seg)
+	s.imm = nil
+	s.stats.Flushes++
+	return nil
+}
+
+// unfreeze folds the frozen memtable back under the live one after a
+// failed flush; entries written during the flush are newer and win,
+// and if a DiscardPending ran since the freeze (gen moved on) the
+// frozen entries are dropped instead of resurrected.
+func (s *Store) unfreeze(gen int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.discards == gen {
+		for k, e := range s.imm {
+			if _, ok := s.mem[k]; !ok {
+				s.mem[k] = e
+			}
+		}
+	}
+	s.imm = nil
+}
+
+// compact merges the current segments into one via a streaming
+// newest-wins merge, reporting whether it committed the manifest. Runs
+// with maintMu held (no concurrent flush can change the segment list);
+// the merge itself runs against pinned segments with mu released, so
+// reads proceed throughout. The manifest commits BEFORE the old
+// segment files are deleted — a manifest still referencing the old
+// files plus an unreferenced new segment is recoverable after a crash
+// (the orphan is swept on Open); a manifest referencing deleted files
+// is not. Deletion of a segment still pinned by a snapshot is deferred
+// to the snapshot's release. The memtable is not touched (the live
+// overlay wins over whatever the segments hold).
+func (s *Store) compact() (committed bool, err error) {
+	s.mu.Lock()
+	if len(s.segs) <= 1 {
+		s.mu.Unlock()
+		return false, nil
+	}
+	old := append([]*segment(nil), s.segs...)
+	var before int64
+	for _, seg := range old {
+		seg.refs++ // pin the merge inputs
+		before += seg.bytes
+	}
+	seq := s.nextSeqLocked()
+	s.mu.Unlock()
+	sw, err := s.newSegmentWriter(seq)
+	if err != nil {
+		s.unpin(old)
+		return false, err
+	}
+	err = mergeRecords(old, nil, func(r record) error {
+		if r.tomb {
+			return nil // fully merged: tombstones have done their work
+		}
+		return sw.add(r)
+	})
+	if err != nil {
+		sw.abort()
+		s.unpin(old)
+		return false, err
+	}
+	seg, err := sw.finish()
+	if err != nil {
+		s.unpin(old)
+		return false, err
+	}
+	s.mu.Lock()
+	for _, o := range old {
+		s.releaseLocked(o)
+	}
+	// maintMu excludes concurrent flushes, so the segment list is still
+	// exactly the compacted prefix; keep any tail defensively.
+	tail := s.segs[len(old):]
+	s.segs = append([]*segment{seg}, tail...)
+	s.stats.Compactions++
+	s.stats.CompactedBytes += before - seg.bytes
+	s.mu.Unlock()
+	merr := s.commitManifest()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if merr != nil {
+		// The durable manifest still references the old files, so they
+		// must stay on disk for recovery — but in-memory the store has
+		// already moved on, and once a later commit succeeds nothing in
+		// this process will ever delete them. Count them as orphans
+		// (the next Open re-sweeps anything the manifest stops
+		// referencing) rather than leaking silently.
+		for _, o := range old {
+			s.dropLocked(o, false)
+		}
+		s.stats.Orphaned += int64(len(old))
+		return false, merr
+	}
+	for _, o := range old {
+		s.dropLocked(o, true)
+	}
+	return true, nil
+}
+
+// unpin releases the transient compaction pins after a failed merge.
+func (s *Store) unpin(segs []*segment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, seg := range segs {
+		s.releaseLocked(seg)
+	}
 }
 
 // recordSource streams records of one run in key order.
@@ -513,20 +853,21 @@ func (f *fileRecordSource) next() (record, error) {
 	return rec, err
 }
 
-// mergeLocked k-way merges the overlay (highest priority, may be nil)
+// mergeRecords k-way merges the overlay (highest priority, may be nil)
 // and the segments (newer = higher priority) into one newest-wins
 // stream of records in ascending key order. Records for a key that lost
-// to a newer version are consumed and dropped.
-func (s *Store) mergeLocked(overlay []record, fn func(r record) error) error {
+// to a newer version are consumed and dropped. Each segment is read
+// through its own section reader (never the shared file offset), so any
+// number of merges and point reads run concurrently over the same
+// segment files.
+func mergeRecords(segs []*segment, overlay []record, fn func(r record) error) error {
 	// sources[0] is the overlay; sources[1..] are segments newest first,
 	// so the lowest source index holding a key wins.
-	sources := make([]recordSource, 0, len(s.segs)+1)
+	sources := make([]recordSource, 0, len(segs)+1)
 	sources = append(sources, &sliceRecordSource{recs: overlay})
-	for i := len(s.segs) - 1; i >= 0; i-- {
-		if _, err := s.segs[i].f.Seek(0, io.SeekStart); err != nil {
-			return err
-		}
-		sources = append(sources, &fileRecordSource{r: bufio.NewReaderSize(s.segs[i].f, 64<<10)})
+	for i := len(segs) - 1; i >= 0; i-- {
+		sr := io.NewSectionReader(segs[i].f, 0, segs[i].bytes)
+		sources = append(sources, &fileRecordSource{r: bufio.NewReaderSize(sr, 64<<10)})
 	}
 	heads := make([]*record, len(sources))
 	advance := func(i int) error {
@@ -692,12 +1033,18 @@ type segmentWriter struct {
 	buf   []byte
 }
 
-// newSegmentWriterLocked opens the next-sequence segment file for
-// writing. The manifest is NOT updated — callers commit it after every
-// structural change.
-func (s *Store) newSegmentWriterLocked() (*segmentWriter, error) {
+// nextSeqLocked reserves the next segment sequence number. Callers
+// hold s.mu; the file itself is created off-lock by newSegmentWriter.
+func (s *Store) nextSeqLocked() int64 {
 	s.seq++
-	path := filepath.Join(s.opts.Dir, fmt.Sprintf("seg-%06d.seg", s.seq))
+	return s.seq
+}
+
+// newSegmentWriter opens the segment file for the reserved sequence
+// number. The manifest is NOT updated — callers commit it after every
+// structural change. Runs without s.mu (file creation is I/O).
+func (s *Store) newSegmentWriter(seq int64) (*segmentWriter, error) {
+	path := filepath.Join(s.opts.Dir, fmt.Sprintf("seg-%06d.seg", seq))
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
@@ -741,22 +1088,6 @@ func (sw *segmentWriter) abort() {
 	os.Remove(sw.path)
 }
 
-// writeSegmentLocked writes recs (sorted by key) as a new fsynced
-// segment file and returns it ready for reads.
-func (s *Store) writeSegmentLocked(recs []record) (*segment, error) {
-	sw, err := s.newSegmentWriterLocked()
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range recs {
-		if err := sw.add(r); err != nil {
-			sw.abort()
-			return nil, err
-		}
-	}
-	return sw.finish()
-}
-
 // openSegment opens an existing segment, rebuilding its in-memory index
 // with one sequential scan.
 func openSegment(path string) (*segment, error) {
@@ -782,7 +1113,8 @@ func openSegment(path string) (*segment, error) {
 	return &segment{path: path, f: f, index: index, bytes: off}, nil
 }
 
-// readRecord decodes the record at l.
+// readRecord decodes the record at l. Uses ReadAt, so any number of
+// concurrent readers share the segment file safely.
 func (seg *segment) readRecord(l segLoc) (record, error) {
 	buf := make([]byte, l.len)
 	if _, err := seg.f.ReadAt(buf, l.off); err != nil {
@@ -796,14 +1128,19 @@ func (seg *segment) readRecord(l segLoc) (record, error) {
 // Manifest.
 // ---------------------------------------------------------------------
 
-// writeManifestLocked persists the segment list, sequence counter, and
-// last materialized output path atomically and durably.
-func (s *Store) writeManifestLocked() error {
+// commitManifest persists the segment list, sequence counter, and last
+// materialized output path atomically and durably. Callers hold
+// maintMu (which serializes every manifest writer) but NOT mu: the
+// bytes are assembled under the read lock, the fsync + rename runs off
+// it, so readers never stall behind a manifest commit.
+func (s *Store) commitManifest() error {
+	s.mu.Lock()
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "results v1\nseq=%d\nlast=%s\n", s.seq, s.lastOutput)
 	for _, seg := range s.segs {
 		fmt.Fprintf(&b, "seg=%s\n", filepath.Base(seg.path))
 	}
+	s.mu.Unlock()
 	return fsutil.WriteFileAtomic(filepath.Join(s.opts.Dir, manifestName), b.Bytes())
 }
 

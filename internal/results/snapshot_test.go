@@ -1,0 +1,347 @@
+package results
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"i2mapreduce/internal/kv"
+)
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestSnapshotIsolationAcrossMutations(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), -1)
+	defer s.Close()
+	s.Set("a", []kv.Pair{{Key: "a", Value: "1"}})
+	s.Set("b", []kv.Pair{{Key: "b", Value: "2"}})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Set("c", []kv.Pair{{Key: "c", Value: "pending"}}) // memtable-only at capture
+
+	sn := s.Snapshot()
+	defer sn.Close()
+
+	// Mutate, checkpoint, and compact behind the snapshot's back.
+	s.Set("a", []kv.Pair{{Key: "a", Value: "new"}})
+	s.Delete("b")
+	s.Set("d", []kv.Pair{{Key: "d", Value: "late"}})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	for key, want := range map[string]string{"a": "1", "b": "2", "c": "pending"} {
+		ps, ok, err := sn.Get(key)
+		if err != nil || !ok || len(ps) != 1 || ps[0].Value != want {
+			t.Fatalf("snapshot Get(%q) = %v %v %v, want value %q", key, ps, ok, err, want)
+		}
+	}
+	if _, ok, _ := sn.Get("d"); ok {
+		t.Fatal("snapshot sees a group created after capture")
+	}
+	got := map[string]string{}
+	if err := sn.AllGroups(func(k string, ps []kv.Pair) error {
+		got[k] = ps[0].Value
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := map[string]string{"a": "1", "b": "2", "c": "pending"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot AllGroups = %v, want %v", got, want)
+	}
+
+	// The live store sees the post-mutation state.
+	if ps, ok, _ := s.Get("a"); !ok || ps[0].Value != "new" {
+		t.Fatalf("store Get(a) = %v %v", ps, ok)
+	}
+	if _, ok, _ := s.Get("b"); ok {
+		t.Fatal("store still sees deleted group")
+	}
+}
+
+func TestSnapshotPinsSegmentFilesUntilRelease(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, -1)
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		s.Set(fmt.Sprintf("k%d", i), []kv.Pair{{Key: "x", Value: fmt.Sprintf("%d", i)}})
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := segFiles(t, dir)
+	if len(before) != 3 {
+		t.Fatalf("segments before compaction = %v", before)
+	}
+
+	sn := s.Snapshot()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-compaction files must survive while the snapshot pins
+	// them (plus the new compacted segment).
+	after := segFiles(t, dir)
+	if len(after) != 4 {
+		t.Fatalf("segment files during pinned compaction = %v, want the 3 old + 1 new", after)
+	}
+	// The snapshot still reads the old bytes.
+	if ps, ok, err := sn.Get("k0"); err != nil || !ok || ps[0].Value != "0" {
+		t.Fatalf("pinned snapshot Get(k0) = %v %v %v", ps, ok, err)
+	}
+	if err := sn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	released := segFiles(t, dir)
+	if len(released) != 1 {
+		t.Fatalf("segment files after snapshot release = %v, want only the compacted one", released)
+	}
+	if sn.Close() != nil {
+		t.Fatal("second Close not idempotent")
+	}
+}
+
+func TestGetReturnsDefensiveCopies(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), -1)
+	defer s.Close()
+	s.Set("g", []kv.Pair{{Key: "g", Value: "orig"}})
+
+	ps, ok, err := s.Get("g")
+	if err != nil || !ok {
+		t.Fatal(ps, ok, err)
+	}
+	ps[0].Value = "mutated"
+	if again, _, _ := s.Get("g"); again[0].Value != "orig" {
+		t.Fatalf("caller mutation corrupted the memtable: %v", again)
+	}
+	// Same through AllGroups (memtable-backed records).
+	if err := s.AllGroups(func(k string, aps []kv.Pair) error {
+		aps[0].Value = "mutated-again"
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if again, _, _ := s.Get("g"); again[0].Value != "orig" {
+		t.Fatalf("AllGroups callback mutation corrupted the memtable: %v", again)
+	}
+	// And the durable state: checkpoint after the mutations must
+	// persist the original value.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if again, _, _ := s.Get("g"); again[0].Value != "orig" {
+		t.Fatalf("checkpointed value corrupted: %v", again)
+	}
+}
+
+func TestMultiGetConsistentBatch(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), -1)
+	defer s.Close()
+	s.Set("a", []kv.Pair{{Key: "a", Value: "1"}})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Set("b", []kv.Pair{{Key: "b", Value: "2"}})
+	pairs, found, err := s.MultiGet([]string{"a", "b", "missing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found[0] || !found[1] || found[2] {
+		t.Fatalf("found = %v", found)
+	}
+	if pairs[0][0].Value != "1" || pairs[1][0].Value != "2" {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+// TestOrphanAccountingAndResweep forces segment deletions to fail and
+// checks that the failure is surfaced in Stats.Orphaned instead of
+// silently swallowed, that the orphan file stays on disk, and that the
+// next Open re-sweeps it.
+func TestOrphanAccountingAndResweep(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, -1)
+	for i := 0; i < 2; i++ {
+		s.Set(fmt.Sprintf("k%d", i), []kv.Pair{{Key: "x", Value: "v"}})
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removeFile = func(string) error { return errors.New("injected deletion failure") }
+	defer func() { removeFile = os.Remove }()
+
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Orphaned; got != 2 {
+		t.Fatalf("Stats.Orphaned after failed deletions = %d, want 2", got)
+	}
+	if files := segFiles(t, dir); len(files) != 3 {
+		t.Fatalf("orphan files not left on disk: %v", files)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-open with deletions still failing: the sweep tries and counts.
+	s2 := mustOpen(t, dir, -1)
+	if got := s2.Stats().Orphaned; got != 2 {
+		t.Fatalf("Stats.Orphaned after failed re-sweep = %d, want 2", got)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-open with deletions working again: the orphans are swept.
+	removeFile = os.Remove
+	s3 := mustOpen(t, dir, -1)
+	defer s3.Close()
+	if got := s3.Stats().Orphaned; got != 0 {
+		t.Fatalf("Stats.Orphaned after successful re-sweep = %d", got)
+	}
+	if files := segFiles(t, dir); len(files) != 1 {
+		t.Fatalf("orphans not swept on Open: %v", files)
+	}
+	if ps, ok, err := s3.Get("k0"); err != nil || !ok || ps[0].Value != "v" {
+		t.Fatalf("data lost across orphan sweep: %v %v %v", ps, ok, err)
+	}
+}
+
+// TestConcurrentReadersDuringMaintenance hammers Get / MultiGet /
+// AllGroups / snapshots from many goroutines while a writer mutates,
+// checkpoints, and compacts. Run under -race this is the store-level
+// half of the serving guarantee: readers never block on (or crash
+// into) maintenance, and every observed value is one the writer
+// actually wrote.
+func TestConcurrentReadersDuringMaintenance(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 3)
+	defer s.Close()
+	const keys = 16
+	key := func(i int) string { return fmt.Sprintf("k%02d", i) }
+	for i := 0; i < keys; i++ {
+		s.Set(key(i), []kv.Pair{{Key: key(i), Value: "v0"}})
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					ps, ok, err := s.Get(key(i % keys))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if ok && (len(ps) != 1 || !strings.HasPrefix(ps[0].Value, "v")) {
+						errCh <- fmt.Errorf("torn read: %v", ps)
+						return
+					}
+				case 1:
+					sn := s.Snapshot()
+					if err := sn.AllGroups(func(string, []kv.Pair) error { return nil }); err != nil {
+						errCh <- err
+						sn.Close()
+						return
+					}
+					sn.Close()
+				case 2:
+					if _, _, err := s.MultiGet([]string{key(i % keys), key((i + 7) % keys)}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Writer: rounds of mutations + checkpoints (threshold 3 triggers
+	// compactions), plus explicit compactions and deletes.
+	for round := 1; round <= 20; round++ {
+		for i := 0; i < keys; i++ {
+			if (i+round)%5 == 0 {
+				s.Delete(key(i))
+			} else {
+				s.Set(key(i), []kv.Pair{{Key: key(i), Value: fmt.Sprintf("v%d", round)}})
+			}
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if round%4 == 0 {
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if st := s.Stats(); st.Compactions == 0 {
+		t.Fatal("writer never compacted; the test lost its point")
+	}
+}
+
+// TestSnapshotSurvivesReset: a snapshot captured before Reset keeps
+// reading the pre-Reset data; the files go when it is released.
+func TestSnapshotSurvivesReset(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, -1)
+	defer s.Close()
+	s.Set("a", []kv.Pair{{Key: "a", Value: "1"}})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Snapshot()
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if ps, ok, err := sn.Get("a"); err != nil || !ok || ps[0].Value != "1" {
+		t.Fatalf("snapshot lost pre-Reset data: %v %v %v", ps, ok, err)
+	}
+	if _, ok, _ := s.Get("a"); ok {
+		t.Fatal("store still sees reset data")
+	}
+	if err := sn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if files := segFiles(t, dir); len(files) != 0 {
+		t.Fatalf("reset segment files survived snapshot release: %v", files)
+	}
+}

@@ -1,0 +1,156 @@
+package serve
+
+// HTTP/JSON front of the serving layer. The handler is plain net/http
+// over the Server's Get/MultiGet/Stats, suitable for mounting on any
+// mux or serving standalone (cmd/i2mr-serve).
+//
+//	GET  /get?key=K            one point lookup
+//	GET  /mget?key=A&key=B     batched lookup (repeat key=)
+//	POST /mget                 batched lookup, body {"keys":["a","b"]}
+//	GET  /stats                server counters (epoch, flips, cache)
+//	GET  /healthz              200 "ok" while serving, 503 after Close
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"i2mapreduce/internal/kv"
+)
+
+// HTTPPair is one output pair in a JSON response.
+type HTTPPair struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// HTTPValue is one group lookup result.
+type HTTPValue struct {
+	Key   string     `json:"key"`
+	Found bool       `json:"found"`
+	Pairs []HTTPPair `json:"pairs,omitempty"`
+}
+
+// HTTPGetResponse frames /get.
+type HTTPGetResponse struct {
+	Epoch int64 `json:"epoch"`
+	HTTPValue
+}
+
+// HTTPMGetResponse frames /mget.
+type HTTPMGetResponse struct {
+	Epoch  int64       `json:"epoch"`
+	Values []HTTPValue `json:"values"`
+}
+
+func httpPairs(ps []kv.Pair) []HTTPPair {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]HTTPPair, len(ps))
+	for i, p := range ps {
+		out[i] = HTTPPair{Key: p.Key, Value: p.Value}
+	}
+	return out
+}
+
+// Handler returns the HTTP front of the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/get", s.handleGet)
+	mux.HandleFunc("/mget", s.handleMGet)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response already committed
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, "missing ?key=")
+		return
+	}
+	pairs, found, epochID, err := s.Get(key)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, HTTPGetResponse{
+		Epoch:     epochID,
+		HTTPValue: HTTPValue{Key: key, Found: found, Pairs: httpPairs(pairs)},
+	})
+}
+
+// mgetMaxKeys bounds one /mget batch: a runaway client gets an error,
+// not an unbounded allocation.
+const mgetMaxKeys = 10000
+
+func (s *Server) handleMGet(w http.ResponseWriter, r *http.Request) {
+	var keys []string
+	switch r.Method {
+	case http.MethodGet:
+		keys = r.URL.Query()["key"]
+	case http.MethodPost:
+		var body struct {
+			Keys []string `json:"keys"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON body: "+err.Error())
+			return
+		}
+		keys = body.Keys
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+		return
+	}
+	if len(keys) == 0 {
+		httpError(w, http.StatusBadRequest, "no keys")
+		return
+	}
+	if len(keys) > mgetMaxKeys {
+		httpError(w, http.StatusBadRequest, "too many keys")
+		return
+	}
+	pairs, found, epochID, err := s.MultiGet(keys)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	resp := HTTPMGetResponse{Epoch: epochID, Values: make([]HTTPValue, len(keys))}
+	for i, k := range keys {
+		resp.Values[i] = HTTPValue{Key: k, Found: found[i], Pairs: httpPairs(pairs[i])}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.cur.Load() == nil {
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n")) //nolint:errcheck
+}
