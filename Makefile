@@ -38,11 +38,12 @@ bench-smoke: bench-json
 
 # Machine-readable benchmark records at CI's artifact paths, so the
 # perf trajectory is reproducible locally: the engine sweeps in
-# BENCH_core.json and the serving-layer QPS/p99 sweep in
-# BENCH_serve.json.
+# BENCH_core.json, the serving-layer QPS/p99 sweep in BENCH_serve.json,
+# and the refresh-planner no-regret sweep in BENCH_plan.json.
 bench-json:
 	$(GO) run ./cmd/i2mr-bench -scale small -shuffle-mem 65536 -json BENCH_core.json onestep core
 	$(GO) run ./cmd/i2mr-bench -scale small -json BENCH_serve.json serve
+	$(GO) run ./cmd/i2mr-bench -scale small -shuffle-mem 65536 -json BENCH_plan.json plan
 
 # Run the online serving demo: wordcount over a generated corpus,
 # HTTP on :8080, a background delta refresh every 5s. Try

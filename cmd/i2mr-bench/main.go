@@ -6,12 +6,13 @@
 //	i2mr-bench [-scale small|default] [-workdir DIR] [-json PATH] [experiment ...]
 //
 // Experiments: fig8 fig9 table4 fig10 fig11 fig12 fig13 apriori shards
-// onestep core serve all
+// onestep core serve plan all
 //
 // With -json PATH, the experiments that produce machine-readable
-// records (onestep, core, shards, serve) additionally append them to a
-// JSON array written at PATH — the BENCH_core.json / BENCH_serve.json
-// artifacts CI uploads from its bench-smoke job.
+// records (onestep, core, shards, serve, plan) additionally append them
+// to a JSON array written at PATH — the BENCH_core.json /
+// BENCH_serve.json / BENCH_plan.json artifacts CI uploads from its
+// bench-smoke job.
 package main
 
 import (
@@ -51,7 +52,7 @@ func main() {
 
 	experiments := flag.Args()
 	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
-		experiments = []string{"apriori", "onestep", "core", "serve", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
+		experiments = []string{"apriori", "onestep", "core", "serve", "plan", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
 	}
 
 	var recs []bench.JSONRecord
@@ -157,6 +158,13 @@ func runExperiment(env *bench.Env, sc bench.Scale, dir, name, scaleName string) 
 		}
 		fmt.Print(bench.FormatServe(rows))
 		return bench.ServeJSON(scaleName, rows), nil
+	case "plan":
+		rows, err := bench.PlanSweep(env, sc, filepath.Join(dir, name, "ledgers"))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(bench.FormatPlan(rows))
+		return bench.PlanJSON(scaleName, rows), nil
 	case "shards":
 		rows, err := bench.ShardSweep(filepath.Join(dir, name, "sweep"), sc, nil)
 		if err != nil {

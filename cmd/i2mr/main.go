@@ -1,6 +1,6 @@
 // Command i2mr runs one application end to end on the simulated
 // cluster: generate (or load) a dataset, compute the initial result,
-// apply a delta, refresh incrementally, and print run statistics.
+// apply a delta, refresh, and print run statistics.
 //
 // The iterative apps (pagerank, sssp, kmeans, gimv) drive the
 // incremental iterative engine; pagerank additionally refreshes a
@@ -11,9 +11,17 @@
 // preservation plus the durable result store), including a RunDelta
 // after a simulated restart via System.OpenOneStep.
 //
+// Refreshes dispatch through the unified Refresher API. With the
+// default -plan auto the cost-aware planner chooses the refresh mode
+// per delta (falling back to a calibration refresh in the engine's
+// native mode while its cost model is cold) and the decision is
+// printed with predicted vs actual cost; -plan recompute|onestep|
+// incremental forces a mode.
+//
 // Usage:
 //
 //	i2mr -app pagerank|sssp|kmeans|gimv|wordcount [-n N] [-delta F] [-nodes K]
+//	     [-plan auto|recompute|onestep|incremental]
 //	     [-shards S] [-shuffle-mem B] [-result-compact T]
 package main
 
@@ -23,6 +31,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	i2mr "i2mapreduce"
@@ -40,11 +49,18 @@ func main() {
 	nodes := flag.Int("nodes", 4, "simulated cluster nodes")
 	cpc := flag.Bool("cpc", true, "enable change propagation control")
 	ft := flag.Float64("ft", 0.001, "CPC filter threshold")
+	planMode := flag.String("plan", "auto", "refresh mode: auto (cost-aware planner decides) or forced recompute|onestep|incremental")
 	shards := flag.Int("shards", 1, "MRBG-Store shard files per partition")
 	storePar := flag.Int("store-par", 0, "MRBG-Store shard fan-out (0 = GOMAXPROCS)")
 	shuffleMem := flag.Int64("shuffle-mem", 0, "shuffle memory budget in bytes per iteration / per delta refresh; beyond it map output spills sorted runs to scratch (0 = unbounded)")
 	resultCompact := flag.Int("result-compact", 0, "one-step result store segment count that triggers compaction (0 = default, negative disables)")
 	flag.Parse()
+
+	switch *planMode {
+	case "auto", i2mr.ModeRecompute, i2mr.ModeOneStep, i2mr.ModeIncremental:
+	default:
+		log.Fatalf("unknown -plan mode %q (want auto, recompute, onestep, or incremental)", *planMode)
+	}
 
 	dir, err := os.MkdirTemp("", "i2mr-run-*")
 	if err != nil {
@@ -64,15 +80,18 @@ func main() {
 	}
 
 	if *app == "wordcount" {
-		runOneStep(sys, sysOpts, *n, *deltaFrac, *shuffleMem)
+		runOneStep(sys, sysOpts, *n, *deltaFrac, *shuffleMem, *planMode)
 		return
+	}
+	if *planMode == i2mr.ModeOneStep {
+		log.Fatalf("-plan onestep applies to -app wordcount; %s refreshes are recompute or incremental", *app)
 	}
 
 	var spec core.Spec
 	var data []kv.Pair
 	var deltas []kv.Delta
 	var mutated []kv.Pair // post-delta dataset (pagerank restart flow)
-	cfg := i2mr.Config{
+	cfg := i2mr.IncrementalConfig{
 		NumPartitions: *nodes, MaxIterations: 100, Epsilon: 1e-6,
 		CPC: *cpc, FilterThreshold: *ft,
 	}
@@ -139,8 +158,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	initialWall := time.Since(start)
 	fmt.Printf("%s initial: %d iterations in %s (converged=%v, %d state keys)\n",
-		*app, res.Iterations, time.Since(start).Round(time.Millisecond), res.Converged, runner.StateKeyCount())
+		*app, res.Iterations, initialWall.Round(time.Millisecond), res.Converged, runner.StateKeyCount())
 	if *shuffleMem > 0 {
 		var runs, bytes int64
 		for _, s := range res.PerIter {
@@ -150,15 +170,21 @@ func main() {
 		fmt.Printf("shuffle: budget %d B, spilled %d runs / %d bytes during the initial job\n", *shuffleMem, runs, bytes)
 	}
 
-	start = time.Now()
-	inc, err := runner.RunIncremental("delta")
-	if err != nil {
+	planner := newPlanner(sys, *app, *ft)
+	// The initial job is recompute-cost evidence at delta size zero.
+	if err := planner.Observe(i2mr.Observation{Mode: i2mr.ModeRecompute, Wall: initialWall}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s incremental (%d delta records): %d iterations in %s (converged=%v, MRBG disabled at %d)\n",
-		*app, inc.Report.Counter("delta.records"), inc.Iterations,
-		time.Since(start).Round(time.Millisecond), inc.Converged, inc.MRBGDisabledAt)
-	fmt.Printf("stages: %s\n", inc.Report.Snapshot())
+
+	engines := map[string]i2mr.Refresher{
+		i2mr.ModeRecompute:   runner.FullRefresher(),
+		i2mr.ModeIncremental: runner,
+	}
+	ref := plannedRefresh(planner, engines, *planMode, "delta", "", int64(len(deltas)), int64(len(data)), *ft)
+	fmt.Printf("%s %s refresh (%d delta records): %d iterations in %s (converged=%v)\n",
+		*app, ref.Mode, ref.DeltaRecords, ref.Iterations,
+		ref.Wall.Round(time.Millisecond), ref.Converged)
+	fmt.Printf("stages: %s\n", ref.Report.Snapshot())
 
 	// Simulated process death: release the runner before a second System
 	// reattaches to the preserved state it leaves behind.
@@ -166,8 +192,92 @@ func main() {
 		log.Fatal(err)
 	}
 	if *app == "pagerank" {
-		resumePageRank(sysOpts, spec, cfg, mutated, *n, *deltaFrac)
+		resumePageRank(sysOpts, spec, cfg, mutated, *n, *deltaFrac, *planMode, *ft)
 	}
+}
+
+// newPlanner opens the app's cost ledger under the System's WorkDir.
+func newPlanner(sys *i2mr.System, name string, ft float64) *i2mr.Planner {
+	p, err := sys.NewPlanner(name, i2mr.PlannerConfig{
+		CPCThresholds:       []float64{ft},
+		DefaultCPCThreshold: ft,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// plannedRefresh runs one refresh through the Refresher API. A forced
+// mode dispatches straight to that engine; "auto" asks the planner,
+// with a calibration refresh in the engine's native (non-recompute)
+// mode while its cost model is cold. Either way the observed cost feeds
+// the ledger, and the decision is printed with predicted vs actual
+// cost.
+func plannedRefresh(planner *i2mr.Planner, engines map[string]i2mr.Refresher, mode, deltaInput, output string, deltaRecords, totalRecords int64, ft float64) *i2mr.RefreshResult {
+	if mode != "auto" {
+		eng, ok := engines[mode]
+		if !ok {
+			log.Fatalf("plan: mode %q is not available for this app", mode)
+		}
+		res, err := eng.Refresh(deltaInput, output)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := planner.ObserveResult(res, ft); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("plan: forced %s, actual cost %s\n", mode, res.Wall.Round(time.Millisecond))
+		return res
+	}
+
+	// Native (non-recompute) modes, deterministically ordered.
+	native := make([]string, 0, len(engines))
+	for m := range engines {
+		if m != i2mr.ModeRecompute {
+			native = append(native, m)
+		}
+	}
+	sort.Strings(native)
+	for _, m := range native {
+		if planner.Warm(m) {
+			continue
+		}
+		// Cold model: run this engine's own mode once so the planner has
+		// cost evidence for it (the initial job already covers recompute).
+		eng := engines[m]
+		res, err := eng.Refresh(deltaInput, output)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := planner.ObserveResult(res, ft); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("plan: cost model cold for %s — calibration refresh in %s mode, actual cost %s\n",
+			m, m, res.Wall.Round(time.Millisecond))
+		return res
+	}
+
+	auto := &i2mr.AutoRefresher{
+		Planner:      planner,
+		Engines:      engines,
+		TotalRecords: func() int64 { return totalRecords },
+	}
+	res, d, err := auto.Refresh(deltaInput, output, deltaRecords)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: chose %s — %s\n", d.Mode, d.Reason)
+	modes := make([]string, 0, len(d.Predicted))
+	for m := range d.Predicted {
+		modes = append(modes, m)
+	}
+	sort.Strings(modes)
+	for _, m := range modes {
+		fmt.Printf("  predicted %-12s %s\n", m+":", d.Predicted[m].Round(time.Millisecond))
+	}
+	fmt.Printf("  actual    %-12s %s\n", d.Mode+":", res.Wall.Round(time.Millisecond))
+	return res
 }
 
 // resumePageRank simulates a process restart of the incremental
@@ -176,7 +286,9 @@ func main() {
 // and refresh a further delta — the durable state stores, CPC
 // baselines, and MRBG-Stores carry the computation across process
 // death, and the per-iteration checkpoints flush only dirty partitions.
-func resumePageRank(sysOpts i2mr.Options, spec core.Spec, cfg i2mr.Config, current []kv.Pair, n int, deltaFrac float64) {
+// The planner's ledger also survives under the WorkDir, so this second
+// refresh plans against the cost model the first process warmed.
+func resumePageRank(sysOpts i2mr.Options, spec core.Spec, cfg i2mr.IncrementalConfig, current []kv.Pair, n int, deltaFrac float64, planMode string, ft float64) {
 	sys2, err := i2mr.New(sysOpts)
 	if err != nil {
 		log.Fatal(err)
@@ -192,27 +304,31 @@ func resumePageRank(sysOpts i2mr.Options, spec core.Spec, cfg i2mr.Config, curre
 	if err := sys2.WriteDeltas("delta-2", deltas2); err != nil {
 		log.Fatal(err)
 	}
-	start := time.Now()
-	inc, err := resumed.RunIncremental("delta-2")
-	if err != nil {
-		log.Fatal(err)
+	planner := newPlanner(sys2, "pagerank", ft)
+	engines := map[string]i2mr.Refresher{
+		i2mr.ModeRecompute:   resumed.FullRefresher(),
+		i2mr.ModeIncremental: resumed,
 	}
-	fmt.Printf("pagerank incremental after restart (%d delta records): %d iterations in %s (converged=%v)\n",
-		inc.Report.Counter("delta.records"), inc.Iterations,
-		time.Since(start).Round(time.Millisecond), inc.Converged)
+	ref := plannedRefresh(planner, engines, planMode, "delta-2", "", int64(len(deltas2)), int64(len(current)), ft)
+	fmt.Printf("pagerank %s refresh after restart (%d delta records): %d iterations in %s (converged=%v)\n",
+		ref.Mode, ref.DeltaRecords, ref.Iterations, ref.Wall.Round(time.Millisecond), ref.Converged)
 	fmt.Printf("  state checkpoints: dirty partitions %d, groups flushed %d, segments %d, compactions %d\n",
-		inc.Report.Counter(metrics.CounterStateDirtyPartitions),
-		inc.Report.Counter(metrics.CounterStateGroupsFlushed),
-		inc.Report.Counter(metrics.CounterStateSegments),
-		inc.Report.Counter(metrics.CounterStateCompactions))
+		ref.Report.Counter(metrics.CounterStateDirtyPartitions),
+		ref.Report.Counter(metrics.CounterStateGroupsFlushed),
+		ref.Report.Counter(metrics.CounterStateSegments),
+		ref.Report.Counter(metrics.CounterStateCompactions))
 }
 
 // runOneStep drives the one-step engine end to end: initial job, a
-// timed incremental refresh, then a simulated process restart
+// planner-dispatched refresh, then a simulated process restart
 // (OpenOneStep over the same WorkDir) followed by another refresh —
 // proving the preserved MRBG and result stores carry the computation
-// across process death.
-func runOneStep(sys *i2mr.System, sysOpts i2mr.Options, n int, deltaFrac float64, shuffleMem int64) {
+// across process death. The planner's recompute arm is a fresh initial
+// job over the merged corpus, bound as a RefresherFunc.
+func runOneStep(sys *i2mr.System, sysOpts i2mr.Options, n int, deltaFrac float64, shuffleMem int64, planMode string) {
+	if planMode == i2mr.ModeIncremental {
+		log.Fatal("-plan incremental applies to the iterative apps; wordcount refreshes are recompute or onestep")
+	}
 	const vocab, wordsPerTweet = 200, 8
 	corpus := datagen.Tweets(1, n, vocab, wordsPerTweet)
 	if err := sys.WritePairs("tweets", corpus); err != nil {
@@ -228,31 +344,65 @@ func runOneStep(sys *i2mr.System, sysOpts i2mr.Options, n int, deltaFrac float64
 	if _, err := runner.RunInitial("tweets", "wc-v1"); err != nil {
 		log.Fatal(err)
 	}
+	initialWall := time.Since(start)
 	outs, err := runner.Outputs()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wordcount initial: %d documents -> %d words in %s\n",
-		n, len(outs), time.Since(start).Round(time.Millisecond))
+		n, len(outs), initialWall.Round(time.Millisecond))
 
-	deltas, _ := datagen.Mutate(2, corpus, datagen.MutateOptions{
+	planner := newPlanner(sys, "wordcount", 0)
+	if err := planner.Observe(i2mr.Observation{Mode: i2mr.ModeRecompute, Wall: initialWall}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The recompute arm recomputes from scratch over the current merged
+	// corpus (cur tracks deltas as they are applied below).
+	cur := corpus
+	recomputes := 0
+	recompute := &i2mr.RefresherFunc{
+		Mode: i2mr.ModeRecompute,
+		Fn: func(deltaInput, output string) (*i2mr.Report, int64, error) {
+			recomputes++
+			name := fmt.Sprintf("wordcount-recomp-%d", recomputes)
+			path := fmt.Sprintf("tweets-merged-%d", recomputes)
+			if err := sys.WritePairs(path, cur); err != nil {
+				return nil, 0, err
+			}
+			fresh, err := sys.NewOneStep(apps.FineGrainWordCountJob(name))
+			if err != nil {
+				return nil, 0, err
+			}
+			defer fresh.Close()
+			rep, err := fresh.RunInitial(path, output)
+			if err != nil {
+				return nil, 0, err
+			}
+			return rep, int64(len(cur)), nil
+		},
+	}
+
+	deltas, mutated := datagen.Mutate(2, corpus, datagen.MutateOptions{
 		ModifyFraction: deltaFrac,
 		Rewrite: func(rng *rand.Rand, key, value string) string {
 			return value + fmt.Sprintf(" w%04d", rng.Intn(vocab))
 		},
 	})
+	cur = mutated
 	if err := sys.WriteDeltas("delta-1", deltas); err != nil {
 		log.Fatal(err)
 	}
-	start = time.Now()
-	rep, err := runner.RunDelta("delta-1", "wc-v2")
-	if err != nil {
-		log.Fatal(err)
+	engines := map[string]i2mr.Refresher{
+		i2mr.ModeRecompute: recompute,
+		i2mr.ModeOneStep:   runner,
 	}
-	printOneStepRefresh("refresh", len(deltas), time.Since(start), rep, shuffleMem)
+	ref := plannedRefresh(planner, engines, planMode, "delta-1", "wc-v2", int64(len(deltas)), int64(len(cur)), 0)
+	printOneStepRefresh("refresh", ref, shuffleMem)
 
 	// Simulated restart: drop the runner, open a second System over the
-	// same WorkDir, and reattach to the preserved state.
+	// same WorkDir, and reattach to the preserved state. The planner's
+	// ledger survives under the WorkDir too.
 	if err := runner.Close(); err != nil {
 		log.Fatal(err)
 	}
@@ -266,19 +416,25 @@ func runOneStep(sys *i2mr.System, sysOpts i2mr.Options, n int, deltaFrac float64
 	}
 	defer resumed.Close()
 	more := datagen.AppendTweets(3, corpus, deltaFrac, vocab, wordsPerTweet)
+	for _, d := range more { // AppendTweets is insert-only
+		cur = append(cur, i2mr.Pair{Key: d.Key, Value: d.Value})
+	}
 	if err := sys2.WriteDeltas("delta-2", more); err != nil {
 		log.Fatal(err)
 	}
-	start = time.Now()
-	rep, err = resumed.RunDelta("delta-2", "wc-v3")
-	if err != nil {
-		log.Fatal(err)
+	planner2 := newPlanner(sys2, "wordcount", 0)
+	engines2 := map[string]i2mr.Refresher{
+		i2mr.ModeRecompute: recompute,
+		i2mr.ModeOneStep:   resumed,
 	}
-	printOneStepRefresh("refresh after restart", len(more), time.Since(start), rep, shuffleMem)
+	ref = plannedRefresh(planner2, engines2, planMode, "delta-2", "wc-v3", int64(len(more)), int64(len(cur)), 0)
+	printOneStepRefresh("refresh after restart", ref, shuffleMem)
 }
 
-func printOneStepRefresh(label string, deltaRecords int, wall time.Duration, rep *i2mr.Report, shuffleMem int64) {
-	fmt.Printf("wordcount %s (%d delta records): %s\n", label, deltaRecords, wall.Round(time.Millisecond))
+func printOneStepRefresh(label string, res *i2mr.RefreshResult, shuffleMem int64) {
+	fmt.Printf("wordcount %s [%s] (%d delta records): %s\n",
+		label, res.Mode, res.DeltaRecords, res.Wall.Round(time.Millisecond))
+	rep := res.Report
 	fmt.Printf("  result store: dirty partitions %d, rewritten %d B, segments %d, compactions %d\n",
 		rep.Counter(metrics.CounterResultDirtyPartitions),
 		rep.Counter(metrics.CounterResultBytesRewritten),

@@ -33,7 +33,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	runner, err := sys.NewIncremental(apps.KmeansSpec("kmeans"), i2mr.Config{
+	runner, err := sys.NewIncremental(apps.KmeansSpec("kmeans"), i2mr.IncrementalConfig{
 		NumPartitions: 4,
 		MaxIterations: 50,
 		Epsilon:       1e-9,

@@ -34,7 +34,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	runner, err := sys.NewIncremental(apps.PageRankSpec("pagerank", apps.DefaultDamping), i2mr.Config{
+	runner, err := sys.NewIncremental(apps.PageRankSpec("pagerank", apps.DefaultDamping), i2mr.IncrementalConfig{
 		NumPartitions:   4,
 		MaxIterations:   60,
 		Epsilon:         1e-6,

@@ -22,6 +22,12 @@
 //     preserved incremental iterative computation after a process
 //     restart.
 //
+// Both refreshable engines implement the unified Refresher interface:
+// one Refresh call consumes a delta input and returns a RefreshResult
+// carrying the mode, wall time, and delta size. System.NewPlanner
+// builds the cost-aware refresh planner that arbitrates between them
+// per refresh (PlannerConfig, Decision, AutoRefresher).
+//
 // The runners' durable stores are snapshot-isolated, so the online
 // serving layer (internal/serve, cmd/i2mr-serve) can answer point
 // lookups and batched MultiGets over HTTP while refreshes are in
@@ -32,19 +38,21 @@
 package i2mr
 
 import (
-	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 
 	"i2mapreduce/internal/cluster"
 	"i2mapreduce/internal/core"
 	"i2mapreduce/internal/dfs"
+	"i2mapreduce/internal/engine"
 	"i2mapreduce/internal/incr"
 	"i2mapreduce/internal/iter"
 	"i2mapreduce/internal/kv"
 	"i2mapreduce/internal/metrics"
 	"i2mapreduce/internal/mr"
 	"i2mapreduce/internal/mrbg"
+	"i2mapreduce/internal/plan"
 	"i2mapreduce/internal/results"
 )
 
@@ -95,19 +103,73 @@ type (
 	// IterRunner is the iterMR re-computation engine.
 	IterRunner = iter.Runner
 
-	// Config tunes the incremental iterative engine (CPC thresholds,
-	// P_delta fallback, checkpointing; Sec. 5-6).
-	Config = core.Config
-	// Runner is i2MapReduce's incremental iterative engine.
-	Runner = core.Runner
+	// IncrementalConfig tunes the incremental iterative engine (CPC
+	// thresholds, P_delta fallback, checkpointing; Sec. 5-6).
+	IncrementalConfig = core.Config
+	// IncrementalRunner is i2MapReduce's incremental iterative engine.
+	IncrementalRunner = core.Runner
 	// Result reports one initial or incremental job.
 	Result = core.Result
+
+	// Config is the former name of IncrementalConfig.
+	//
+	// Deprecated: use IncrementalConfig.
+	Config = core.Config
+	// Runner is the former name of IncrementalRunner.
+	//
+	// Deprecated: use IncrementalRunner.
+	Runner = core.Runner
 
 	// StoreOptions tunes the MRBG-Store (read strategy, window sizes).
 	StoreOptions = mrbg.Options
 	// ResultStoreOptions tunes the one-step engine's durable result
 	// store (segment compaction threshold).
 	ResultStoreOptions = results.Options
+)
+
+// Unified refresh surface. Both refreshable engines — OneStepRunner
+// (one-step delta) and IncrementalRunner (incremental iterative, plus
+// its FullRefresher recompute arm) — implement Refresher, so callers
+// and the planner can dispatch refreshes without caring which engine
+// is behind them.
+type (
+	// Refresher runs one refresh of a preserved computation from a
+	// delta input.
+	Refresher = engine.Refresher
+	// RefreshResult is the unified outcome of one Refresh call.
+	RefreshResult = engine.RefreshResult
+	// RefreshStats aggregates a Refresher's observed refresh history.
+	RefreshStats = engine.Stats
+	// RefresherFunc adapts a closure into a Refresher: Mode names what
+	// the closure runs, Fn returns the refresh's report and consumed
+	// delta size. Useful for binding an ad-hoc recompute arm to the
+	// planner.
+	RefresherFunc = engine.Func
+)
+
+// Refresh modes, as reported in RefreshResult.Mode and arbitrated by
+// the planner.
+const (
+	ModeRecompute   = engine.ModeRecompute
+	ModeOneStep     = engine.ModeOneStep
+	ModeIncremental = engine.ModeIncremental
+)
+
+// Cost-aware refresh planning (internal/plan).
+type (
+	// Planner owns a durable per-job cost ledger and chooses the
+	// refresh mode (and CPC threshold) before each refresh.
+	Planner = plan.Planner
+	// PlannerConfig parameterizes a Planner.
+	PlannerConfig = plan.Config
+	// Decision is the planner's choice for one upcoming refresh.
+	Decision = plan.Decision
+	// Observation is the cost evidence of one completed refresh.
+	Observation = plan.Observation
+	// AutoRefresher dispatches refreshes through a Planner across a set
+	// of mode-bound Refreshers, feeding observed costs back into the
+	// ledger.
+	AutoRefresher = plan.Auto
 )
 
 // Options configures a System.
@@ -143,21 +205,125 @@ type Options struct {
 	// threshold win. 0 uses the store default; negative disables
 	// compaction.
 	ResultCompactThreshold int
+	// SkewRatio enables hot-key detection in the refreshable engines'
+	// shuffles: a reduce key whose record share exceeds this fraction
+	// of its partition's stream is split across sub-keys and re-merged
+	// reduce-side ("shuffle.hotkeys.*" counters). 0 (the default)
+	// disables detection; jobs/configs that set their own ratio win.
+	SkewRatio float64
+	// SkewFanOut is the number of sub-keys a detected hot key is split
+	// across (default 8 when SkewRatio is set). Meaningful only with
+	// SkewRatio > 0.
+	SkewFanOut int
 }
 
-// System is a ready-to-use i2MapReduce deployment.
-type System struct {
-	eng              *mr.Engine
+// Validate rejects contradictory or out-of-range Options. New calls it;
+// it is exported so callers can check configuration up front.
+func (o Options) Validate() error {
+	if o.WorkDir == "" {
+		return fmt.Errorf("i2mr: Options.WorkDir is required")
+	}
+	if o.Nodes < 0 {
+		return fmt.Errorf("i2mr: Options.Nodes = %d, want >= 0 (0 means the default)", o.Nodes)
+	}
+	if o.SlotsPerNode < 0 {
+		return fmt.Errorf("i2mr: Options.SlotsPerNode = %d, want >= 0 (0 means the default)", o.SlotsPerNode)
+	}
+	if o.BlockSize < 0 {
+		return fmt.Errorf("i2mr: Options.BlockSize = %d, want >= 0 (0 means the default)", o.BlockSize)
+	}
+	if o.StoreShards < 0 {
+		return fmt.Errorf("i2mr: Options.StoreShards = %d, want >= 0 (0 means the default)", o.StoreShards)
+	}
+	if o.StoreParallelism < 0 {
+		return fmt.Errorf("i2mr: Options.StoreParallelism = %d, want >= 0 (0 means the default)", o.StoreParallelism)
+	}
+	if o.ResultCompactThreshold == 1 {
+		return fmt.Errorf("i2mr: Options.ResultCompactThreshold = 1 would compact after every segment; use 0 for the default or a negative value to disable compaction")
+	}
+	if o.SkewRatio < 0 || o.SkewRatio >= 1 {
+		return fmt.Errorf("i2mr: Options.SkewRatio = %g, want 0 (off) or (0, 1)", o.SkewRatio)
+	}
+	if o.SkewFanOut < 0 || o.SkewFanOut == 1 {
+		return fmt.Errorf("i2mr: Options.SkewFanOut = %d, want 0 (default) or >= 2", o.SkewFanOut)
+	}
+	if o.SkewFanOut >= 2 && o.SkewRatio == 0 {
+		return fmt.Errorf("i2mr: Options.SkewFanOut = %d is contradictory with SkewRatio = 0 (detection disabled); set SkewRatio to enable hot-key splitting", o.SkewFanOut)
+	}
+	return nil
+}
+
+// defaults captures the System-wide knobs New resolved from Options,
+// and fills them into jobs/configs that left the corresponding field
+// unset. One resolver replaces the former per-engine filler trio.
+type defaults struct {
 	storeShards      int
 	storeParallelism int
 	shuffleBudget    int64
 	resultCompact    int
+	skewRatio        float64
+	skewFanOut       int
+}
+
+func (d defaults) store(opts *mrbg.Options) {
+	if opts.Shards == 0 {
+		opts.Shards = d.storeShards
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = d.storeParallelism
+	}
+}
+
+func (d defaults) shuffle(budget *int64) {
+	if *budget == 0 {
+		*budget = d.shuffleBudget
+	}
+}
+
+func (d defaults) compact(threshold *int) {
+	if *threshold == 0 {
+		*threshold = d.resultCompact
+	}
+}
+
+func (d defaults) skew(ratio *float64, fanOut *int) {
+	if *ratio == 0 {
+		*ratio = d.skewRatio
+	}
+	if *fanOut == 0 {
+		*fanOut = d.skewFanOut
+	}
+}
+
+func (d defaults) oneStep(job *OneStepJob) {
+	d.store(&job.StoreOpts)
+	d.compact(&job.ResultOpts.CompactThreshold)
+	d.shuffle(&job.ShuffleMemoryBudget)
+	d.skew(&job.SkewRatio, &job.SkewFanOut)
+}
+
+func (d defaults) iterative(cfg *IterConfig) {
+	d.shuffle(&cfg.ShuffleMemoryBudget)
+}
+
+func (d defaults) incremental(cfg *IncrementalConfig) {
+	d.store(&cfg.StoreOpts)
+	d.shuffle(&cfg.ShuffleMemoryBudget)
+	d.compact(&cfg.StateCompactThreshold)
+	d.skew(&cfg.SkewRatio, &cfg.SkewFanOut)
+}
+
+// System is a ready-to-use i2MapReduce deployment.
+type System struct {
+	eng     *mr.Engine
+	workDir string
+	def     defaults
 }
 
 // New builds a System under opts.WorkDir.
 func New(opts Options) (*System, error) {
-	if opts.WorkDir == "" {
-		return nil, errors.New("i2mr: Options.WorkDir is required")
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	if opts.Nodes <= 0 {
 		opts.Nodes = 4
@@ -182,23 +348,17 @@ func New(opts Options) (*System, error) {
 		return nil, err
 	}
 	return &System{
-		eng:              mr.NewEngine(fs, cl),
-		storeShards:      opts.StoreShards,
-		storeParallelism: opts.StoreParallelism,
-		shuffleBudget:    opts.ShuffleMemoryBudget,
-		resultCompact:    opts.ResultCompactThreshold,
+		eng:     mr.NewEngine(fs, cl),
+		workDir: opts.WorkDir,
+		def: defaults{
+			storeShards:      opts.StoreShards,
+			storeParallelism: opts.StoreParallelism,
+			shuffleBudget:    opts.ShuffleMemoryBudget,
+			resultCompact:    opts.ResultCompactThreshold,
+			skewRatio:        opts.SkewRatio,
+			skewFanOut:       opts.SkewFanOut,
+		},
 	}, nil
-}
-
-// applyStoreDefaults fills unset store knobs from the System's
-// defaults.
-func (s *System) applyStoreDefaults(opts *mrbg.Options) {
-	if opts.Shards == 0 {
-		opts.Shards = s.storeShards
-	}
-	if opts.Parallelism == 0 {
-		opts.Parallelism = s.storeParallelism
-	}
 }
 
 // WritePairs stores records as a DFS file.
@@ -226,22 +386,10 @@ func (s *System) MapReduce(job Job) (*Report, error) {
 	return s.eng.Run(job)
 }
 
-// applyOneStepDefaults fills unset one-step knobs from the System's
-// defaults.
-func (s *System) applyOneStepDefaults(job *OneStepJob) {
-	s.applyStoreDefaults(&job.StoreOpts)
-	if job.ResultOpts.CompactThreshold == 0 {
-		job.ResultOpts.CompactThreshold = s.resultCompact
-	}
-	if job.ShuffleMemoryBudget == 0 {
-		job.ShuffleMemoryBudget = s.shuffleBudget
-	}
-}
-
 // NewOneStep prepares a fine-grain incremental one-step runner:
-// RunInitial once, then RunDelta per refresh.
+// RunInitial once, then RunDelta (or Refresh) per refresh.
 func (s *System) NewOneStep(job OneStepJob) (*OneStepRunner, error) {
-	s.applyOneStepDefaults(&job)
+	s.def.oneStep(&job)
 	return incr.NewRunner(s.eng, job)
 }
 
@@ -251,34 +399,20 @@ func (s *System) NewOneStep(job OneStepJob) (*OneStepRunner, error) {
 // process restarts without re-running the initial job. The job must use
 // the same Name, NumReducers, and cluster size it originally ran with.
 func (s *System) OpenOneStep(job OneStepJob) (*OneStepRunner, error) {
-	s.applyOneStepDefaults(&job)
+	s.def.oneStep(&job)
 	return incr.Open(s.eng, job)
 }
 
 // NewIterative prepares an iterMR (re-computation) runner.
 func (s *System) NewIterative(spec Spec, cfg IterConfig) (*IterRunner, error) {
-	if cfg.ShuffleMemoryBudget == 0 {
-		cfg.ShuffleMemoryBudget = s.shuffleBudget
-	}
+	s.def.iterative(&cfg)
 	return iter.NewRunner(s.eng, spec, cfg)
 }
 
-// applyIncrementalDefaults fills unset incremental-engine knobs from
-// the System's defaults.
-func (s *System) applyIncrementalDefaults(cfg *Config) {
-	s.applyStoreDefaults(&cfg.StoreOpts)
-	if cfg.ShuffleMemoryBudget == 0 {
-		cfg.ShuffleMemoryBudget = s.shuffleBudget
-	}
-	if cfg.StateCompactThreshold == 0 {
-		cfg.StateCompactThreshold = s.resultCompact
-	}
-}
-
 // NewIncremental prepares the i2MapReduce incremental iterative runner:
-// RunInitial once, then RunIncremental per delta.
-func (s *System) NewIncremental(spec Spec, cfg Config) (*Runner, error) {
-	s.applyIncrementalDefaults(&cfg)
+// RunInitial once, then RunIncremental (or Refresh) per delta.
+func (s *System) NewIncremental(spec Spec, cfg IncrementalConfig) (*IncrementalRunner, error) {
+	s.def.incremental(&cfg)
 	return core.NewRunner(s.eng, spec, cfg)
 }
 
@@ -290,9 +424,27 @@ func (s *System) NewIncremental(spec Spec, cfg Config) (*Runner, error) {
 // job. The computation must use the same spec Name, partition count,
 // and cluster size it originally ran with; a refresh the previous
 // process left half-applied is refused.
-func (s *System) OpenIncremental(spec Spec, cfg Config) (*Runner, error) {
-	s.applyIncrementalDefaults(&cfg)
+func (s *System) OpenIncremental(spec Spec, cfg IncrementalConfig) (*IncrementalRunner, error) {
+	s.def.incremental(&cfg)
 	return core.Open(s.eng, spec, cfg)
+}
+
+// NewPlanner opens (or initializes) the cost-aware refresh planner for
+// the named job. When cfg.Path is empty, the ledger lives at
+// <WorkDir>/plan/<name>.json so the cost model survives restarts
+// alongside the engines' durable stores.
+func (s *System) NewPlanner(name string, cfg PlannerConfig) (*Planner, error) {
+	if cfg.Path == "" {
+		if name == "" {
+			return nil, fmt.Errorf("i2mr: NewPlanner needs a job name (or an explicit PlannerConfig.Path)")
+		}
+		dir := filepath.Join(s.workDir, "plan")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		cfg.Path = filepath.Join(dir, name+".json")
+	}
+	return plan.New(cfg)
 }
 
 // Engine exposes the underlying MapReduce engine for advanced use

@@ -118,6 +118,51 @@ func ServeJSON(scale string, rows []ServeRow) []JSONRecord {
 	return recs
 }
 
+// PlanJSON converts the planner no-regret sweep into benchmark
+// records; the headline op is the mode the planner chose (its observed
+// cost), with the per-mode costs, the regret, and the no-regret verdict
+// (regret within 15%) as counters.
+func PlanJSON(scale string, rows []PlanRow) []JSONRecord {
+	recs := make([]JSONRecord, 0, len(rows))
+	for _, r := range rows {
+		chosen := r.OneStep
+		if r.Chosen == "recompute" {
+			chosen = r.Recompute
+		}
+		noRegret := int64(0)
+		if r.RegretPct <= 15 {
+			noRegret = 1
+		}
+		cold := int64(0)
+		if r.Cold {
+			cold = 1
+		}
+		recs = append(recs, JSONRecord{
+			Experiment: "plan",
+			Scale:      scale,
+			Params: map[string]string{
+				"delta_fraction": fmt.Sprintf("%g", r.DeltaFraction),
+				"vocab":          fmt.Sprintf("%d", r.Vocab),
+				"chosen":         r.Chosen,
+				"best":           r.Best,
+				"regret_pct":     fmt.Sprintf("%.2f", r.RegretPct),
+			},
+			NsPerOp: chosen.Nanoseconds(),
+			Counters: map[string]int64{
+				"delta_records":       r.DeltaRecords,
+				"recompute_ns":        r.Recompute.Nanoseconds(),
+				"onestep_ns":          r.OneStep.Nanoseconds(),
+				"no_regret":           noRegret,
+				"cold":                cold,
+				"hotkeys_detected":    r.HotDetected,
+				"hotkeys_split_recs":  r.HotSplitRecs,
+				"hotkeys_merged_grps": r.HotMerged,
+			},
+		})
+	}
+	return recs
+}
+
 // ShardSweepJSON converts the shard sweep into benchmark records; the
 // headline op is the delta merge.
 func ShardSweepJSON(scale string, rows []ShardSweepRow) []JSONRecord {

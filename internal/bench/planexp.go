@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"i2mapreduce/internal/apps"
+	"i2mapreduce/internal/datagen"
+	"i2mapreduce/internal/engine"
+	"i2mapreduce/internal/incr"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/plan"
+)
+
+// ---------------------------------------------------------------------
+// Plan sweep: no-regret check of the cost-aware refresh planner across
+// delta size × key skew. Each point refreshes a fine-grain WordCount
+// both ways — one-step delta and full recompute — observes both costs
+// into the planner's ledger, then asks the planner to choose. The row
+// records the choice against the best observed mode and the regret (how
+// much slower the chosen mode's observed cost is than the best one's);
+// the acceptance bar is regret within 15% at every point. The skewed
+// (small-vocab) series additionally exercises the hot-key split path
+// and reports the shuffle.hotkeys.* counters.
+// ---------------------------------------------------------------------
+
+// PlanRow is one (delta fraction, vocabulary) point of the sweep.
+type PlanRow struct {
+	Vocab         int
+	DeltaFraction float64
+	DeltaRecords  int64
+	Recompute     time.Duration
+	OneStep       time.Duration
+	Chosen        string
+	Best          string
+	RegretPct     float64
+	Cold          bool
+	HotDetected   int64
+	HotSplitRecs  int64
+	HotMerged     int64
+}
+
+// PlanSweep runs the planner no-regret sweep. dir hosts the per-series
+// cost ledgers (one per vocabulary, since corpus shape changes the cost
+// regime).
+func PlanSweep(env *Env, sc Scale, dir string) ([]PlanRow, error) {
+	fractions := []float64{0.01, 0.05, 0.10, 0.25}
+	vocabs := []int{sc.Vocab, sc.Vocab / 10}
+	if vocabs[1] < 10 {
+		vocabs[1] = 10
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	rows := make([]PlanRow, 0, len(fractions)*len(vocabs))
+	for vi, vocab := range vocabs {
+		// Rewrite-heavy deltas reach 75% of the corpus at the top
+		// fraction, so the crossover guard is disabled (CrossoverFraction
+		// 1): this sweep measures the cost model itself.
+		planner, err := plan.New(plan.Config{
+			Path:              filepath.Join(dir, fmt.Sprintf("ledger-v%d.json", vocab)),
+			Modes:             []string{engine.ModeOneStep},
+			CrossoverFraction: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		corpus := datagen.Tweets(sc.Seed+int64(310+vi), sc.Tweets, vocab, sc.WordsPerTweet)
+		basePath := fmt.Sprintf("plan/t0-v%d", vocab)
+		if err := env.Eng.FS().WriteAllPairs(basePath, corpus); err != nil {
+			return nil, err
+		}
+
+		mkJob := func(name string) incr.Job {
+			job := apps.FineGrainWordCountJob(name)
+			job.NumReducers = sc.Partitions
+			job.StoreOpts = sc.storeOpts()
+			job.ShuffleMemoryBudget = sc.ShuffleMemoryBudget
+			// Hot-key mitigation on: the small-vocab series' Zipf head
+			// word crosses this share and gets split across sub-keys.
+			job.SkewRatio = 0.2
+			job.SkewFanOut = 4
+			return job
+		}
+
+		for i, frac := range fractions {
+			rewrites, _ := datagen.Mutate(sc.Seed+int64(320+10*vi+i), corpus, datagen.MutateOptions{
+				ModifyFraction: frac,
+				Rewrite: func(rng *rand.Rand, key, value string) string {
+					words := strings.Fields(value)
+					if len(words) > 1 {
+						words = words[:len(words)-1]
+					}
+					return strings.Join(words, " ") + fmt.Sprintf(" w%05d", rng.Intn(vocab))
+				},
+			})
+			appends := datagen.AppendTweets(sc.Seed+int64(360+10*vi+i), corpus, frac, vocab, sc.WordsPerTweet)
+			deltas := append(append([]kv.Delta(nil), rewrites...), appends...)
+			dPath := fmt.Sprintf("plan/delta-v%d-%d", vocab, i)
+			if err := env.Eng.FS().WriteAllDeltas(dPath, deltas); err != nil {
+				return nil, err
+			}
+			merged := applyDeltas(corpus, deltas)
+			mPath := fmt.Sprintf("plan/t1-v%d-%d", vocab, i)
+			if err := env.Eng.FS().WriteAllPairs(mPath, merged); err != nil {
+				return nil, err
+			}
+
+			// One-step arm: prepare untimed, time only the refresh.
+			runner, err := incr.NewRunner(env.Eng, mkJob(fmt.Sprintf("plan-incr-v%d-%d", vocab, i)))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := runner.RunInitial(basePath, fmt.Sprintf("plan/out0-v%d-%d", vocab, i)); err != nil {
+				runner.Close()
+				return nil, err
+			}
+			oneStart := time.Now()
+			rep, err := runner.RunDelta(dPath, fmt.Sprintf("plan/out1-v%d-%d", vocab, i))
+			if err != nil {
+				runner.Close()
+				return nil, err
+			}
+			oneTime := time.Since(oneStart)
+			if err := runner.Close(); err != nil {
+				return nil, err
+			}
+
+			// Recompute arm: a fresh initial job over the merged corpus,
+			// with the simulated startup cost the paper charges per job.
+			recompStart := time.Now()
+			recomp, err := incr.NewRunner(env.Eng, mkJob(fmt.Sprintf("plan-recomp-v%d-%d", vocab, i)))
+			if err != nil {
+				return nil, err
+			}
+			recompRep, err := recomp.RunInitial(mPath, fmt.Sprintf("plan/out-recomp-v%d-%d", vocab, i))
+			if err != nil {
+				recomp.Close()
+				return nil, err
+			}
+			recompTime := effective(time.Since(recompStart), recompRep) + apps.StartupCost
+			if err := recomp.Close(); err != nil {
+				return nil, err
+			}
+
+			deltaRecords := rep.Counter("map.records.in")
+			if err := planner.Observe(plan.Observation{
+				Mode: engine.ModeOneStep, DeltaRecords: deltaRecords, Wall: oneTime,
+			}); err != nil {
+				return nil, err
+			}
+			if err := planner.Observe(plan.Observation{
+				Mode: engine.ModeRecompute, DeltaRecords: deltaRecords, Wall: recompTime,
+			}); err != nil {
+				return nil, err
+			}
+
+			d := planner.Plan(deltaRecords, int64(len(merged)))
+			observed := map[string]time.Duration{
+				engine.ModeRecompute: recompTime,
+				engine.ModeOneStep:   oneTime,
+			}
+			best, bestCost := engine.ModeRecompute, recompTime
+			if oneTime < bestCost {
+				best, bestCost = engine.ModeOneStep, oneTime
+			}
+			regret := 0.0
+			if chosenCost, ok := observed[d.Mode]; ok && bestCost > 0 {
+				regret = float64(chosenCost-bestCost) / float64(bestCost) * 100
+			}
+			rows = append(rows, PlanRow{
+				Vocab:         vocab,
+				DeltaFraction: frac,
+				DeltaRecords:  deltaRecords,
+				Recompute:     recompTime,
+				OneStep:       oneTime,
+				Chosen:        d.Mode,
+				Best:          best,
+				RegretPct:     regret,
+				Cold:          d.Cold,
+				HotDetected:   rep.Counter(metrics.CounterHotKeysDetected),
+				HotSplitRecs:  rep.Counter(metrics.CounterHotKeySplitRecords),
+				HotMerged:     rep.Counter(metrics.CounterHotKeyMergedGroups),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatPlan renders the sweep.
+func FormatPlan(rows []PlanRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Plan sweep — planner choice vs best observed mode across delta size × skew\n")
+	fmt.Fprintf(&b, "%-6s %-7s %8s %11s %11s %-10s %-10s %7s %6s %6s %8s\n",
+		"vocab", "delta", "records", "recompute", "onestep", "chosen", "best", "regret", "hot", "splits", "merged")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %-7s %8d %11s %11s %-10s %-10s %6.1f%% %6d %6d %8d\n",
+			r.Vocab, fmt.Sprintf("%.0f%%", r.DeltaFraction*100), r.DeltaRecords,
+			r.Recompute.Round(time.Millisecond), r.OneStep.Round(time.Millisecond),
+			r.Chosen, r.Best, r.RegretPct, r.HotDetected, r.HotSplitRecs, r.HotMerged)
+	}
+	return b.String()
+}

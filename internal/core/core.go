@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"i2mapreduce/internal/cluster"
+	"i2mapreduce/internal/engine"
 	"i2mapreduce/internal/iter"
 	"i2mapreduce/internal/kv"
 	"i2mapreduce/internal/metrics"
@@ -96,6 +97,14 @@ type Config struct {
 	// per-partition state stores compact during a checkpoint. 0 uses
 	// the store default; negative disables compaction.
 	StateCompactThreshold int
+	// SkewRatio / SkewFanOut configure hot-key skew mitigation in the
+	// full-pass shuffle (shuffle.Config): a K2 whose share of its
+	// partition's intermediate records exceeds SkewRatio is split
+	// across sub-keys and merged back byte-identically at reduce.
+	// 0 disables; when built through i2mr.System, 0 inherits the
+	// System-wide default.
+	SkewRatio  float64
+	SkewFanOut int
 }
 
 // IterStats reports one iteration of an initial or incremental run.
@@ -156,6 +165,8 @@ type Runner struct {
 	// in-place retry would corrupt it (see RunIncremental).
 	refreshFailed bool
 	jobSeq        int
+	// refreshStats backs the engine.Refresher Stats() view.
+	refreshStats engine.StatsTracker
 
 	jobStart    time.Time
 	compactBase int64 // cumulative state-store compactions at job start
@@ -532,6 +543,8 @@ func (r *Runner) runFullIteration(it int) (IterStats, error) {
 		RunTasks:     r.runTasks,
 		MemoryBudget: r.cfg.ShuffleMemoryBudget,
 		ScratchDir:   func(p int) string { return r.shuffleDir(it, p) },
+		SkewRatio:    r.cfg.SkewRatio,
+		SkewFanOut:   r.cfg.SkewFanOut,
 		Report:       rep,
 		MapPartition: func(p int, emit func(k2, v2 string)) (int64, error) {
 			var repDK, repDV string

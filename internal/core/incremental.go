@@ -26,6 +26,22 @@ import (
 // maintenance turns off and the job falls back to full iterative
 // passes from the current state (Sec. 5.2).
 func (r *Runner) RunIncremental(deltaInput string) (*Result, error) {
+	return r.runRefresh(deltaInput, r.runIncrementalBody)
+}
+
+// RunIncrementalFull is the planner's recompute arm: it applies the
+// structure delta and then recomputes the fixed point with full
+// iterative passes, ignoring the preserved MRBGraph while running but
+// re-syncing it afterwards (preserve pass + CPC baseline reset) so
+// later RunIncremental refreshes can use it again. Same crash bracket
+// and durability as RunIncremental.
+func (r *Runner) RunIncrementalFull(deltaInput string) (*Result, error) {
+	return r.runRefresh(deltaInput, r.runFullRefreshBody)
+}
+
+// runRefresh is the shared refresh prologue + intent bracket around one
+// of the two refresh bodies.
+func (r *Runner) runRefresh(deltaInput string, body func([]kv.Delta, *Result) error) (*Result, error) {
 	if !r.initialDone {
 		return nil, errors.New("core: RunIncremental before RunInitial")
 	}
@@ -58,7 +74,7 @@ func (r *Runner) RunIncremental(deltaInput string) (*Result, error) {
 	// edges are not re-mergeable), so the runner is latched: further
 	// refreshes on it are refused, exactly as Open refuses the
 	// surviving marker after a process death.
-	if err := r.runRefreshBracketed(deltas, res); err != nil {
+	if err := r.runRefreshBracketed(body, deltas, res); err != nil {
 		r.refreshFailed = true
 		return nil, err
 	}
@@ -68,8 +84,8 @@ func (r *Runner) RunIncremental(deltaInput string) (*Result, error) {
 
 // runRefreshBracketed is everything between writing and clearing the
 // refresh-intent marker.
-func (r *Runner) runRefreshBracketed(deltas []kv.Delta, res *Result) error {
-	if err := r.runIncrementalBody(deltas, res); err != nil {
+func (r *Runner) runRefreshBracketed(body func([]kv.Delta, *Result) error, deltas []kv.Delta, res *Result) error {
+	if err := body(deltas, res); err != nil {
 		return err
 	}
 	if err := r.checkpoint(res.Report); err != nil {
@@ -163,6 +179,76 @@ func (r *Runner) runIncrementalBody(deltas []kv.Delta, res *Result) error {
 	}
 	if len(res.PerIter) > 0 && res.PerIter[len(res.PerIter)-1].Propagated == 0 {
 		res.Converged = true
+	}
+	return nil
+}
+
+// runFullRefreshBody is RunIncrementalFull's body: delta-merge the
+// preserved MRBGraph for its deletion semantics (vanished K2s drop
+// their chunks and state) without re-reducing anything, then recompute
+// the fixed point with full passes and re-sync the graph.
+func (r *Runner) runFullRefreshBody(deltas []kv.Delta, res *Result) error {
+	if !r.mrbgOn {
+		// MRBG-off runners recompute exactly as their RunIncremental
+		// does; there is no preserved graph to maintain.
+		if err := r.applyStructureDelta(deltas); err != nil {
+			return err
+		}
+		return r.runFullLoop(res, 1)
+	}
+	deltaEdges, err := r.mapStructureDelta(deltas, res.Report)
+	if err != nil {
+		return err
+	}
+	if err := r.applyStructureDelta(deltas); err != nil {
+		return err
+	}
+	if err := r.mergeDeltaEdges(deltaEdges); err != nil {
+		return err
+	}
+	r.mrbgOn = false
+	err = r.runFullLoop(res, 1)
+	r.mrbgOn = true
+	if err != nil {
+		return err
+	}
+	if err := r.preservePass(); err != nil {
+		return err
+	}
+	r.resetLastEmitted()
+	return nil
+}
+
+// mergeDeltaEdges folds a delta MRBGraph into the stores for its
+// structural effects only: deleted edges cancel, and a K2 whose chunk
+// empties is removed along with its state and CPC baseline. No reduce
+// runs — the full passes that follow recompute every value anyway.
+func (r *Runner) mergeDeltaEdges(deltaEdges [][]mrbg.DeltaEdge) error {
+	tasks := make([]cluster.Task, 0, r.n)
+	for p := 0; p < r.n; p++ {
+		p := p
+		if len(deltaEdges[p]) == 0 {
+			continue
+		}
+		sort.SliceStable(deltaEdges[p], func(i, j int) bool { return deltaEdges[p][i].Key < deltaEdges[p][j].Key })
+		tasks = append(tasks, cluster.Task{
+			Name:      fmt.Sprintf("%s/j%d-fullmerge-%04d", sanitize(r.spec.Name), r.jobSeq, p),
+			Preferred: p % r.eng.Cluster().NumNodes(),
+			Run: func(tc cluster.TaskContext) error {
+				return r.stores[p].Merge(deltaEdges[p], func(res mrbg.MergeResult) error {
+					if res.Removed {
+						r.mu.Lock()
+						r.deleteStateLocked(p, res.Key)
+						r.deleteLastLocked(p, res.Key)
+						r.mu.Unlock()
+					}
+					return nil
+				})
+			},
+		})
+	}
+	if err := r.runTasks(tasks); err != nil {
+		return fmt.Errorf("core: full-refresh delta merge: %w", err)
 	}
 	return nil
 }

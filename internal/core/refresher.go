@@ -1,0 +1,70 @@
+package core
+
+import (
+	"time"
+
+	"i2mapreduce/internal/engine"
+)
+
+// The incremental-iterative engine as an engine.Refresher: Refresh is
+// RunIncremental in the unified shape the planner and serving layer
+// dispatch through, and FullRefresher exposes the recompute arm the
+// same way.
+
+var _ engine.Refresher = (*Runner)(nil)
+
+// Refresh implements engine.Refresher. The runner publishes refreshed
+// state through its durable state stores rather than a DFS output
+// directory, so output is recorded on the result but otherwise unused.
+func (r *Runner) Refresh(deltaInput, output string) (*engine.RefreshResult, error) {
+	return r.refreshAs(engine.ModeIncremental, r.RunIncremental, deltaInput, output, &r.refreshStats)
+}
+
+// SetFilterThreshold adjusts the CPC filter threshold used by
+// subsequent refreshes — the knob the planner tunes per refresh. Not
+// safe to call concurrently with a running refresh.
+func (r *Runner) SetFilterThreshold(ft float64) { r.cfg.FilterThreshold = ft }
+
+// FilterThreshold returns the current CPC filter threshold.
+func (r *Runner) FilterThreshold() float64 { return r.cfg.FilterThreshold }
+
+// FullRefresher returns a Refresher view of the runner whose Refresh
+// runs RunIncrementalFull — the planner's recompute arm, with its own
+// stats tracker so planned recomputes and incremental refreshes are
+// reported separately.
+func (r *Runner) FullRefresher() engine.Refresher { return &fullRefresher{r: r} }
+
+type fullRefresher struct {
+	r     *Runner
+	stats engine.StatsTracker
+}
+
+func (f *fullRefresher) Refresh(deltaInput, output string) (*engine.RefreshResult, error) {
+	return f.r.refreshAs(engine.ModeRecompute, f.r.RunIncrementalFull, deltaInput, output, &f.stats)
+}
+
+func (f *fullRefresher) Stats() engine.Stats { return f.stats.Snapshot() }
+
+// Stats implements engine.Refresher for the incremental arm.
+func (r *Runner) Stats() engine.Stats { return r.refreshStats.Snapshot() }
+
+// refreshAs runs one refresh entry point and shapes its Result into the
+// unified RefreshResult.
+func (r *Runner) refreshAs(mode string, run func(string) (*Result, error), deltaInput, output string, tracker *engine.StatsTracker) (*engine.RefreshResult, error) {
+	start := time.Now()
+	res, err := run(deltaInput)
+	if err != nil {
+		return nil, err
+	}
+	out := &engine.RefreshResult{
+		Mode:         mode,
+		Report:       res.Report,
+		Wall:         time.Since(start),
+		DeltaRecords: res.Report.Counter("delta.records"),
+		Iterations:   res.Iterations,
+		Converged:    res.Converged,
+		Output:       output,
+	}
+	tracker.Observe(out)
+	return out, nil
+}

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"i2mapreduce/internal/cluster"
+	"i2mapreduce/internal/engine"
 	"i2mapreduce/internal/fsutil"
 	"i2mapreduce/internal/kv"
 	"i2mapreduce/internal/metrics"
@@ -79,6 +80,14 @@ type Job struct {
 	// shuffle fully in memory and merges each partition's delta in one
 	// batch. Refresh results are byte-identical at any budget.
 	ShuffleMemoryBudget int64
+	// SkewRatio / SkewFanOut configure hot-K2 skew mitigation in the
+	// delta shuffle (shuffle.Config): a K2 whose share of its
+	// partition's delta records exceeds SkewRatio is split across
+	// sub-keys and merged back byte-identically before the reduce.
+	// 0 disables; when built through i2mr.System, 0 inherits the
+	// System-wide default.
+	SkewRatio  float64
+	SkewFanOut int
 }
 
 // Runner executes and refreshes one Job.
@@ -94,6 +103,8 @@ type Runner struct {
 	// deltaSeq hands out unique scratch directories to concurrent /
 	// successive RunDelta shuffles.
 	deltaSeq atomic.Int64
+	// refreshStats backs the engine.Refresher Stats() view.
+	refreshStats engine.StatsTracker
 }
 
 // NewRunner prepares a runner for a fresh computation; per-partition
@@ -616,7 +627,9 @@ func (r *Runner) newDeltaBuffer(rep *metrics.Report) (*shuffle.Buffer, error) {
 			return filepath.Join(r.nodeDir(p), "shuffle", sanitize(r.job.Name)+"-delta",
 				fmt.Sprintf("seq%06d-part-%04d", seq, p))
 		},
-		Report: rep,
+		SkewRatio:  r.job.SkewRatio,
+		SkewFanOut: r.job.SkewFanOut,
+		Report:     rep,
 	})
 }
 

@@ -1,0 +1,36 @@
+package incr
+
+import (
+	"time"
+
+	"i2mapreduce/internal/engine"
+)
+
+// The one-step engine as an engine.Refresher: Refresh wraps RunDelta in
+// the unified shape the planner and serving layer dispatch through.
+
+var _ engine.Refresher = (*Runner)(nil)
+
+// Refresh implements engine.Refresher: one RunDelta refresh of output
+// from deltaInput, with wall time and delta size captured for the cost
+// model.
+func (r *Runner) Refresh(deltaInput, output string) (*engine.RefreshResult, error) {
+	start := time.Now()
+	rep, err := r.RunDelta(deltaInput, output)
+	if err != nil {
+		return nil, err
+	}
+	res := &engine.RefreshResult{
+		Mode:   engine.ModeOneStep,
+		Report: rep,
+		Wall:   time.Since(start),
+		// RunDelta's map stage counts each consumed delta record.
+		DeltaRecords: rep.Counter("map.records.in"),
+		Output:       output,
+	}
+	r.refreshStats.Observe(res)
+	return res, nil
+}
+
+// Stats implements engine.Refresher.
+func (r *Runner) Stats() engine.Stats { return r.refreshStats.Snapshot() }

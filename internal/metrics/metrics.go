@@ -109,6 +109,18 @@ const (
 	// whole at each epoch flip, so a hit can never be stale).
 	CounterServeCacheHits   = "serve.cache.hits"
 	CounterServeCacheMisses = "serve.cache.misses"
+	// CounterHotKeysDetected counts the distinct intermediate keys the
+	// shuffle runtime's space-saving sketches flagged as hot (share of
+	// their partition's records above Config.SkewRatio) and split across
+	// sub-keys during the map phase.
+	CounterHotKeysDetected = "shuffle.hotkeys.detected"
+	// CounterHotKeySplitRecords counts the intermediate records that were
+	// rerouted to a hot key's sub-keys instead of the key itself.
+	CounterHotKeySplitRecords = "shuffle.hotkeys.split.records"
+	// CounterHotKeyMergedGroups counts the reduce groups reassembled from
+	// sub-key fan-out by the merge-back collator (one per split key per
+	// partition that saw it).
+	CounterHotKeyMergedGroups = "shuffle.hotkeys.merged.groups"
 )
 
 // Report accumulates stage durations and named counters for one job (or

@@ -1,0 +1,61 @@
+package plan
+
+import (
+	"fmt"
+
+	"i2mapreduce/internal/engine"
+)
+
+// CPCTuner is implemented by engines whose change-propagation filter
+// threshold the planner can adjust per refresh (core.Runner).
+type CPCTuner interface {
+	SetFilterThreshold(ft float64)
+}
+
+// Auto dispatches refreshes through the planner: Plan picks the mode,
+// the bound engine runs it, and the observed cost feeds straight back
+// into the ledger. It is the auto-planned counterpart of calling one
+// engine's Refresh directly.
+type Auto struct {
+	Planner *Planner
+	// Engines maps each candidate mode to its Refresher. A recompute
+	// entry is required (typically an engine.Func wrapping a fresh
+	// initial run, or core.Runner's RunIncrementalFull arm).
+	Engines map[string]engine.Refresher
+	// TotalRecords, when set, supplies the live dataset size for the
+	// crossover check.
+	TotalRecords func() int64
+}
+
+// Refresh plans and runs one refresh of deltaRecords delta records.
+// The returned Decision records why the mode was chosen; the
+// observation is folded into the ledger on success.
+func (a *Auto) Refresh(deltaInput, output string, deltaRecords int64) (*engine.RefreshResult, Decision, error) {
+	var total int64
+	if a.TotalRecords != nil {
+		total = a.TotalRecords()
+	}
+	d := a.Planner.Plan(deltaRecords, total)
+	eng, ok := a.Engines[d.Mode]
+	if !ok {
+		return nil, d, fmt.Errorf("plan: no engine bound for mode %q", d.Mode)
+	}
+	if d.Mode == engine.ModeIncremental && d.FilterThreshold > 0 {
+		if t, ok := eng.(CPCTuner); ok {
+			t.SetFilterThreshold(d.FilterThreshold)
+		}
+	}
+	res, err := eng.Refresh(deltaInput, output)
+	if err != nil {
+		return nil, d, err
+	}
+	if res.DeltaRecords == 0 {
+		res.DeltaRecords = deltaRecords
+	}
+	if obsErr := a.Planner.ObserveResult(res, d.FilterThreshold); obsErr != nil {
+		// The refresh itself succeeded; a ledger write failure must not
+		// look like a data failure. Surface it on the decision instead.
+		d.Reason += fmt.Sprintf(" (ledger write failed: %v)", obsErr)
+	}
+	return res, d, nil
+}

@@ -1,0 +1,250 @@
+package plan
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"i2mapreduce/internal/engine"
+	"i2mapreduce/internal/metrics"
+)
+
+func newTestPlanner(t *testing.T, cfg Config) *Planner {
+	t.Helper()
+	if cfg.Path == "" {
+		cfg.Path = filepath.Join(t.TempDir(), "ledger.json")
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// observeN feeds n observations of (mode, delta, wall) into p.
+func observeN(t *testing.T, p *Planner, n int, o Observation) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := p.Observe(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPlanColdStartFallsBackToRecompute(t *testing.T) {
+	p := newTestPlanner(t, Config{Modes: []string{engine.ModeOneStep}})
+	d := p.Plan(100, 10000)
+	if d.Mode != engine.ModeRecompute || !d.Cold {
+		t.Fatalf("cold plan = %+v, want cold recompute", d)
+	}
+}
+
+func TestPlanPartiallyColdStillFallsBack(t *testing.T) {
+	// onestep warm, recompute cold: picking onestep on a one-sided
+	// model would never be validated against the alternative, so the
+	// planner stays on the safe fallback until both are observed.
+	p := newTestPlanner(t, Config{Modes: []string{engine.ModeOneStep}})
+	observeN(t, p, 3, Observation{Mode: engine.ModeOneStep, DeltaRecords: 100, Wall: 10 * time.Millisecond})
+	d := p.Plan(100, 10000)
+	if d.Mode != engine.ModeRecompute || !d.Cold {
+		t.Fatalf("plan = %+v, want cold recompute while recompute unobserved", d)
+	}
+}
+
+func TestPlanDecisionTable(t *testing.T) {
+	type obs struct {
+		n int
+		o Observation
+	}
+	cases := []struct {
+		name     string
+		modes    []string
+		history  []obs
+		delta    int64
+		total    int64
+		wantMode string
+		wantFT   float64
+	}{
+		{
+			name:  "small delta prefers cheap onestep",
+			modes: []string{engine.ModeOneStep},
+			history: []obs{
+				{3, Observation{Mode: engine.ModeRecompute, DeltaRecords: 100, Wall: 500 * time.Millisecond}},
+				{3, Observation{Mode: engine.ModeOneStep, DeltaRecords: 100, Wall: 20 * time.Millisecond}},
+			},
+			delta: 120, total: 100000,
+			wantMode: engine.ModeOneStep,
+		},
+		{
+			name:  "expensive onestep loses to recompute",
+			modes: []string{engine.ModeOneStep},
+			history: []obs{
+				{3, Observation{Mode: engine.ModeRecompute, DeltaRecords: 100, Wall: 50 * time.Millisecond}},
+				{3, Observation{Mode: engine.ModeOneStep, DeltaRecords: 100, Wall: 200 * time.Millisecond}},
+			},
+			delta: 100, total: 100000,
+			wantMode: engine.ModeRecompute,
+		},
+		{
+			name:  "crossover forces recompute regardless of model",
+			modes: []string{engine.ModeOneStep},
+			history: []obs{
+				{3, Observation{Mode: engine.ModeRecompute, DeltaRecords: 100, Wall: 500 * time.Millisecond}},
+				{3, Observation{Mode: engine.ModeOneStep, DeltaRecords: 100, Wall: 1 * time.Millisecond}},
+			},
+			delta: 50000, total: 100000,
+			wantMode: engine.ModeRecompute,
+		},
+		{
+			name:  "incremental wins and CPC threshold picks cheapest variant",
+			modes: []string{engine.ModeIncremental},
+			history: []obs{
+				{3, Observation{Mode: engine.ModeRecompute, DeltaRecords: 100, Wall: 800 * time.Millisecond}},
+				{3, Observation{Mode: engine.ModeIncremental, FilterThreshold: 0.001, DeltaRecords: 100, Wall: 90 * time.Millisecond}},
+				{3, Observation{Mode: engine.ModeIncremental, FilterThreshold: 0.01, DeltaRecords: 100, Wall: 30 * time.Millisecond}},
+			},
+			delta: 100, total: 100000,
+			wantMode: engine.ModeIncremental,
+			wantFT:   0.01,
+		},
+		{
+			name:  "three-way argmin",
+			modes: []string{engine.ModeOneStep, engine.ModeIncremental},
+			history: []obs{
+				{2, Observation{Mode: engine.ModeRecompute, DeltaRecords: 50, Wall: 900 * time.Millisecond}},
+				{2, Observation{Mode: engine.ModeOneStep, DeltaRecords: 50, Wall: 40 * time.Millisecond}},
+				{2, Observation{Mode: engine.ModeIncremental, FilterThreshold: 0.001, DeltaRecords: 50, Wall: 70 * time.Millisecond}},
+			},
+			delta: 60, total: 100000,
+			wantMode: engine.ModeOneStep,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := newTestPlanner(t, Config{Modes: c.modes, DefaultCPCThreshold: 0.0001})
+			for _, h := range c.history {
+				observeN(t, p, h.n, h.o)
+			}
+			d := p.Plan(c.delta, c.total)
+			if d.Mode != c.wantMode {
+				t.Fatalf("Plan(%d, %d) chose %q (%s), want %q", c.delta, c.total, d.Mode, d.Reason, c.wantMode)
+			}
+			if c.wantFT != 0 && d.FilterThreshold != c.wantFT {
+				t.Fatalf("FilterThreshold = %g, want %g", d.FilterThreshold, c.wantFT)
+			}
+		})
+	}
+}
+
+func TestPlanDecayPrefersRecentEvidence(t *testing.T) {
+	p := newTestPlanner(t, Config{Modes: []string{engine.ModeOneStep}, Decay: 0.5})
+	observeN(t, p, 2, Observation{Mode: engine.ModeRecompute, DeltaRecords: 100, Wall: 100 * time.Millisecond})
+	// One-step used to be fast...
+	observeN(t, p, 5, Observation{Mode: engine.ModeOneStep, DeltaRecords: 100, Wall: 10 * time.Millisecond})
+	if d := p.Plan(100, 0); d.Mode != engine.ModeOneStep {
+		t.Fatalf("plan before regression = %q, want onestep", d.Mode)
+	}
+	// ...then regressed (store debt, growth). Decay must let the recent
+	// slow refreshes overturn the old cheap history.
+	observeN(t, p, 5, Observation{Mode: engine.ModeOneStep, DeltaRecords: 100, Wall: 400 * time.Millisecond})
+	if d := p.Plan(100, 0); d.Mode != engine.ModeRecompute {
+		t.Fatalf("plan after regression = %q (%s), want recompute", d.Mode, d.Reason)
+	}
+}
+
+func TestPlanScalesWithDeltaSize(t *testing.T) {
+	// Recompute flat at ~100ms; onestep linear in delta: cheap at small
+	// deltas, expensive at large ones (still below the crossover).
+	p := newTestPlanner(t, Config{Modes: []string{engine.ModeOneStep}, CrossoverFraction: 0.9})
+	observeN(t, p, 2, Observation{Mode: engine.ModeRecompute, DeltaRecords: 100, Wall: 100 * time.Millisecond})
+	observeN(t, p, 2, Observation{Mode: engine.ModeRecompute, DeltaRecords: 4000, Wall: 105 * time.Millisecond})
+	observeN(t, p, 2, Observation{Mode: engine.ModeOneStep, DeltaRecords: 100, Wall: 5 * time.Millisecond})
+	observeN(t, p, 2, Observation{Mode: engine.ModeOneStep, DeltaRecords: 4000, Wall: 200 * time.Millisecond})
+	if d := p.Plan(200, 100000); d.Mode != engine.ModeOneStep {
+		t.Fatalf("small delta chose %q (%s)", d.Mode, d.Reason)
+	}
+	if d := p.Plan(3500, 100000); d.Mode != engine.ModeRecompute {
+		t.Fatalf("large delta chose %q (%s)", d.Mode, d.Reason)
+	}
+}
+
+func TestLedgerPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	cfg := Config{Path: path, Modes: []string{engine.ModeOneStep}}
+	p := newTestPlanner(t, cfg)
+	observeN(t, p, 3, Observation{Mode: engine.ModeRecompute, DeltaRecords: 100, Wall: 500 * time.Millisecond})
+	observeN(t, p, 3, Observation{Mode: engine.ModeOneStep, DeltaRecords: 100, Wall: 5 * time.Millisecond})
+	want := p.Plan(100, 10000)
+
+	re, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := re.Plan(100, 10000)
+	if got.Mode != want.Mode || got.Cold {
+		t.Fatalf("reopened planner chose %+v, want %+v", got, want)
+	}
+	if ms := re.Models(); len(ms) != 2 {
+		t.Fatalf("reopened ledger has models %v, want 2", ms)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := Config{Path: "x", Modes: []string{engine.ModeOneStep}}
+	if err := valid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},
+		{Path: "x", Decay: 1.5},
+		{Path: "x", CrossoverFraction: 2},
+		{Path: "x", Modes: []string{"turbo"}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestAutoRefreshDispatchesAndObserves(t *testing.T) {
+	p := newTestPlanner(t, Config{Modes: []string{engine.ModeOneStep}})
+	calls := map[string]int{}
+	mk := func(mode string, wall time.Duration) engine.Refresher {
+		return &engine.Func{Mode: mode, Fn: func(deltaInput, output string) (*metrics.Report, int64, error) {
+			calls[mode]++
+			time.Sleep(wall)
+			return &metrics.Report{}, 10, nil
+		}}
+	}
+	a := &Auto{
+		Planner: p,
+		Engines: map[string]engine.Refresher{
+			engine.ModeRecompute: mk(engine.ModeRecompute, 20*time.Millisecond),
+			engine.ModeOneStep:   mk(engine.ModeOneStep, 1*time.Millisecond),
+		},
+		TotalRecords: func() int64 { return 10000 },
+	}
+	// Cold: first refresh recomputes.
+	res, d, err := a.Refresh("d1", "out", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mode != engine.ModeRecompute || res.Mode != engine.ModeRecompute {
+		t.Fatalf("first auto refresh ran %q, want recompute", d.Mode)
+	}
+	// Warm the one-step arm, then the planner should switch to it.
+	if err := p.Observe(Observation{Mode: engine.ModeOneStep, DeltaRecords: 10, Wall: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	_, d, err = a.Refresh("d2", "out", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mode != engine.ModeOneStep {
+		t.Fatalf("warm auto refresh chose %q (%s), want onestep", d.Mode, d.Reason)
+	}
+	if calls[engine.ModeRecompute] != 1 || calls[engine.ModeOneStep] != 1 {
+		t.Fatalf("engine calls = %v", calls)
+	}
+}

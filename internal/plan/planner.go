@@ -1,0 +1,374 @@
+// Package plan is the cost-aware refresh planner: the "on-line cost
+// analysis" layer the i2MapReduce authors left as future work. Every
+// refresh the system runs — full recompute, one-step delta, or
+// incremental-iterative — is observed into a small durable ledger
+// (delta record count, wall time, dirty-partition and spill evidence),
+// and before the next refresh the planner predicts each mode's cost for
+// the incoming delta size and picks the cheapest, tuning the iterative
+// engine's CPC filter threshold the same way. When the model is cold
+// (too few observations) or the delta exceeds a crossover fraction of
+// the dataset, the planner falls back to full recompute — the one mode
+// whose correctness and cost never depend on preserved state.
+//
+// The cost model is deliberately simple: per mode, an exponentially
+// decayed least-squares fit of wall time against delta records
+// (wall ≈ a + b·Δ). Decay makes the model track regime changes (data
+// growth, store compaction debt) instead of averaging over history;
+// the linear shape matches how both incremental engines behave below
+// the crossover point, and recompute appears as a near-flat line whose
+// intercept is the full-run cost.
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"i2mapreduce/internal/engine"
+	"i2mapreduce/internal/fsutil"
+)
+
+// Config parameterizes a Planner.
+type Config struct {
+	// Path is the JSON ledger file (conventionally
+	// <WorkDir>/plan/<job>.json). Required.
+	Path string
+	// Modes are the candidate refresh modes to arbitrate between
+	// (engine.ModeOneStep and/or engine.ModeIncremental).
+	// engine.ModeRecompute is always a candidate and the fallback.
+	Modes []string
+	// Decay in (0, 1] is the per-observation exponential decay applied
+	// to a mode's accumulated statistics; 1 never forgets. Default 0.8.
+	Decay float64
+	// MinObservations is the decayed observation mass below which a
+	// mode's model counts as cold. Default 1.
+	MinObservations float64
+	// CrossoverFraction is the delta/total record fraction above which
+	// the planner always chooses recompute. Default 0.35.
+	CrossoverFraction float64
+	// CPCThresholds are the candidate filter thresholds the planner
+	// tunes the incremental engine's change-propagation control over.
+	// Each threshold gets its own cost model ("incremental@0.001").
+	CPCThresholds []float64
+	// DefaultCPCThreshold is used while no threshold variant is warm.
+	DefaultCPCThreshold float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Decay == 0 {
+		c.Decay = 0.8
+	}
+	if c.MinObservations == 0 {
+		c.MinObservations = 1
+	}
+	if c.CrossoverFraction == 0 {
+		c.CrossoverFraction = 0.35
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Path == "" {
+		return fmt.Errorf("plan: Config.Path required")
+	}
+	if c.Decay < 0 || c.Decay > 1 {
+		return fmt.Errorf("plan: Config.Decay = %g, want (0, 1]", c.Decay)
+	}
+	if c.CrossoverFraction < 0 || c.CrossoverFraction > 1 {
+		return fmt.Errorf("plan: Config.CrossoverFraction = %g, want [0, 1]", c.CrossoverFraction)
+	}
+	for _, m := range c.Modes {
+		if m == engine.ModeRecompute {
+			continue
+		}
+		if m != engine.ModeOneStep && m != engine.ModeIncremental {
+			return fmt.Errorf("plan: unknown mode %q", m)
+		}
+	}
+	return nil
+}
+
+// model is one mode's decayed least-squares state. The sums are decayed
+// by cfg.Decay before each new observation folds in, so the effective
+// sample mass N converges to 1/(1-decay).
+type model struct {
+	N     float64 `json:"n"`
+	SumX  float64 `json:"sum_x"`
+	SumY  float64 `json:"sum_y"`
+	SumXX float64 `json:"sum_xx"`
+	SumXY float64 `json:"sum_xy"`
+	// LastNs is the most recent raw wall time, kept for reporting.
+	LastNs int64 `json:"last_ns"`
+	// Count is the raw (undecayed) observation count.
+	Count int64 `json:"count"`
+}
+
+func (m *model) observe(decay, x, y float64) {
+	m.N = m.N*decay + 1
+	m.SumX = m.SumX*decay + x
+	m.SumY = m.SumY*decay + y
+	m.SumXX = m.SumXX*decay + x*x
+	m.SumXY = m.SumXY*decay + x*y
+	m.LastNs = int64(y)
+	m.Count++
+}
+
+// predict returns the fitted wall time at x delta records. A degenerate
+// fit (all observations at one delta size, or a negative extrapolation)
+// falls back to the decayed mean — pessimistic but never absurd.
+func (m *model) predict(x float64) time.Duration {
+	mean := m.SumY / m.N
+	denom := m.N*m.SumXX - m.SumX*m.SumX
+	if denom <= 0 || m.N < 2 {
+		return time.Duration(mean)
+	}
+	b := (m.N*m.SumXY - m.SumX*m.SumY) / denom
+	a := (m.SumY - b*m.SumX) / m.N
+	pred := a + b*x
+	if pred <= 0 {
+		return time.Duration(mean)
+	}
+	return time.Duration(pred)
+}
+
+// ledger is the JSON document persisted at Config.Path.
+type ledger struct {
+	Version int               `json:"version"`
+	Models  map[string]*model `json:"models"`
+}
+
+// Planner owns the ledger and makes per-refresh decisions. Safe for
+// concurrent use.
+type Planner struct {
+	mu  sync.Mutex
+	cfg Config
+	led ledger
+}
+
+// New loads (or initializes) the ledger at cfg.Path.
+func New(cfg Config) (*Planner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	p := &Planner{cfg: cfg, led: ledger{Version: 1, Models: map[string]*model{}}}
+	data, err := os.ReadFile(cfg.Path)
+	if os.IsNotExist(err) {
+		return p, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("plan: read ledger: %w", err)
+	}
+	if err := json.Unmarshal(data, &p.led); err != nil {
+		return nil, fmt.Errorf("plan: ledger %s corrupt: %w", cfg.Path, err)
+	}
+	if p.led.Models == nil {
+		p.led.Models = map[string]*model{}
+	}
+	return p, nil
+}
+
+// Observation is the cost evidence of one completed refresh.
+type Observation struct {
+	// Mode that ran (engine.Mode* constant).
+	Mode string
+	// FilterThreshold is the CPC threshold an incremental refresh ran
+	// with (ignored for other modes).
+	FilterThreshold float64
+	// DeltaRecords is the delta size the refresh consumed; Wall its
+	// end-to-end wall time.
+	DeltaRecords int64
+	Wall         time.Duration
+}
+
+// modelKey names the ledger entry an observation belongs to: the mode,
+// with the CPC threshold appended for incremental refreshes so each
+// threshold variant is costed separately.
+func modelKey(mode string, ft float64) string {
+	if mode == engine.ModeIncremental && ft > 0 {
+		return mode + "@" + strconv.FormatFloat(ft, 'g', -1, 64)
+	}
+	return mode
+}
+
+// Observe folds one refresh into the ledger and persists it.
+func (p *Planner) Observe(o Observation) error {
+	if o.Mode == "" || o.Wall <= 0 {
+		return fmt.Errorf("plan: observation needs a mode and positive wall time")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := modelKey(o.Mode, o.FilterThreshold)
+	m := p.led.Models[key]
+	if m == nil {
+		m = &model{}
+		p.led.Models[key] = m
+	}
+	m.observe(p.cfg.Decay, float64(o.DeltaRecords), float64(o.Wall))
+	return p.persistLocked()
+}
+
+// ObserveResult is Observe for an engine.RefreshResult.
+func (p *Planner) ObserveResult(res *engine.RefreshResult, filterThreshold float64) error {
+	if res == nil {
+		return nil
+	}
+	return p.Observe(Observation{
+		Mode:            res.Mode,
+		FilterThreshold: filterThreshold,
+		DeltaRecords:    res.DeltaRecords,
+		Wall:            res.Wall,
+	})
+}
+
+func (p *Planner) persistLocked() error {
+	data, err := json.MarshalIndent(&p.led, "", "  ")
+	if err != nil {
+		return err
+	}
+	return fsutil.WriteFileAtomic(p.cfg.Path, data)
+}
+
+// Decision is the planner's choice for one upcoming refresh.
+type Decision struct {
+	// Mode to run (always set; ModeRecompute when falling back).
+	Mode string
+	// FilterThreshold is the CPC threshold to use when Mode is
+	// incremental (Config.DefaultCPCThreshold when no variant is warm).
+	FilterThreshold float64
+	// Predicted maps each considered mode to its predicted wall time
+	// (only warm modes appear).
+	Predicted map[string]time.Duration
+	// Cold is true when the decision is the cold-model fallback rather
+	// than a cost comparison.
+	Cold bool
+	// Reason is a one-line human-readable justification.
+	Reason string
+}
+
+// warmVariants returns mode's warm ledger entries: for incremental,
+// every threshold variant; otherwise the mode itself.
+func (p *Planner) warmVariantsLocked(mode string) map[string]*model {
+	out := map[string]*model{}
+	if mode == engine.ModeIncremental {
+		for key, m := range p.led.Models {
+			if (key == mode || strings.HasPrefix(key, mode+"@")) && m.N >= p.cfg.MinObservations {
+				out[key] = m
+			}
+		}
+		return out
+	}
+	if m := p.led.Models[mode]; m != nil && m.N >= p.cfg.MinObservations {
+		out[mode] = m
+	}
+	return out
+}
+
+// Plan chooses the mode (and CPC threshold) for a refresh of
+// deltaRecords against a dataset of totalRecords (0 when unknown,
+// which disables the crossover check).
+func (p *Planner) Plan(deltaRecords, totalRecords int64) Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if totalRecords > 0 && float64(deltaRecords) > p.cfg.CrossoverFraction*float64(totalRecords) {
+		return Decision{
+			Mode:            engine.ModeRecompute,
+			FilterThreshold: p.cfg.DefaultCPCThreshold,
+			Reason: fmt.Sprintf("delta %d of %d records exceeds crossover fraction %.2f",
+				deltaRecords, totalRecords, p.cfg.CrossoverFraction),
+		}
+	}
+
+	x := float64(deltaRecords)
+	predicted := map[string]time.Duration{}
+	ft := map[string]float64{}
+	cold := []string{}
+	candidates := []string{engine.ModeRecompute}
+	for _, m := range p.cfg.Modes {
+		if m != engine.ModeRecompute {
+			candidates = append(candidates, m)
+		}
+	}
+	for _, mode := range candidates {
+		variants := p.warmVariantsLocked(mode)
+		if len(variants) == 0 {
+			cold = append(cold, mode)
+			continue
+		}
+		// Cheapest warm variant speaks for the mode; for incremental
+		// this is where the CPC threshold gets tuned.
+		bestKey := ""
+		var best time.Duration
+		keys := make([]string, 0, len(variants))
+		for k := range variants {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic tie-break
+		for _, k := range keys {
+			if pred := variants[k].predict(x); bestKey == "" || pred < best {
+				bestKey, best = k, pred
+			}
+		}
+		predicted[mode] = best
+		ft[mode] = p.cfg.DefaultCPCThreshold
+		if i := strings.IndexByte(bestKey, '@'); i >= 0 {
+			if v, err := strconv.ParseFloat(bestKey[i+1:], 64); err == nil {
+				ft[mode] = v
+			}
+		}
+	}
+
+	if len(cold) > 0 {
+		return Decision{
+			Mode:            engine.ModeRecompute,
+			FilterThreshold: p.cfg.DefaultCPCThreshold,
+			Predicted:       predicted,
+			Cold:            true,
+			Reason:          fmt.Sprintf("cost model cold for %s; recompute is the safe fallback", strings.Join(cold, ", ")),
+		}
+	}
+
+	bestMode := ""
+	for _, mode := range candidates {
+		pred, ok := predicted[mode]
+		if !ok {
+			continue
+		}
+		if bestMode == "" || pred < predicted[bestMode] {
+			bestMode = mode
+		}
+	}
+	return Decision{
+		Mode:            bestMode,
+		FilterThreshold: ft[bestMode],
+		Predicted:       predicted,
+		Reason: fmt.Sprintf("%s predicted cheapest (%s) at %d delta records",
+			bestMode, predicted[bestMode].Round(time.Microsecond), deltaRecords),
+	}
+}
+
+// Warm reports whether mode has enough decayed observation mass to be
+// predicted (for incremental: any threshold variant).
+func (p *Planner) Warm(mode string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.warmVariantsLocked(mode)) > 0
+}
+
+// Models returns a snapshot of the ledger's model keys for diagnostics.
+func (p *Planner) Models() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]string, 0, len(p.led.Models))
+	for k := range p.led.Models {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,26 @@
+package serve
+
+import (
+	"i2mapreduce/internal/engine"
+	"i2mapreduce/internal/plan"
+)
+
+// RefreshPlanned runs one planner-dispatched refresh under the server's
+// epoch discipline: the planner picks the mode (and CPC threshold), the
+// bound engine runs it while readers keep being served from the
+// pre-refresh epoch, and on success the server flips atomically to a
+// fresh post-refresh epoch and the observed cost is folded back into
+// the planner's ledger. The returned Decision records why the mode was
+// chosen; on error the current epoch stays in place.
+func (s *Server) RefreshPlanned(a *plan.Auto, deltaInput, output string, deltaRecords int64) (*engine.RefreshResult, plan.Decision, error) {
+	var (
+		res *engine.RefreshResult
+		d   plan.Decision
+	)
+	err := s.Refresh(func() error {
+		var err error
+		res, d, err = a.Refresh(deltaInput, output, deltaRecords)
+		return err
+	})
+	return res, d, err
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"i2mapreduce/internal/engine"
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/plan"
+)
+
+// TestRefreshPlanned drives the serving layer through the planner: a
+// cold ledger falls back to the recompute arm, a warmed ledger picks
+// the cheaper one-step refresh, and every planned refresh publishes
+// under the same epoch-flip discipline as Server.Refresh.
+func TestRefreshPlanned(t *testing.T) {
+	eng := newEngine(t, t.TempDir(), 2)
+	r := startedRunner(t, eng, "wc-planned")
+	defer r.Close()
+	srv, err := NewOneStep(r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	p, err := plan.New(plan.Config{
+		Path:  filepath.Join(t.TempDir(), "ledger.json"),
+		Modes: []string{engine.ModeOneStep},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recompute arm also refreshes through RunDelta here — the test
+	// cares about dispatch and epoch discipline, not recompute cost.
+	recomputes := 0
+	auto := &plan.Auto{
+		Planner: p,
+		Engines: map[string]engine.Refresher{
+			engine.ModeRecompute: &engine.Func{
+				Mode: engine.ModeRecompute,
+				Fn: func(deltaInput, output string) (*metrics.Report, int64, error) {
+					recomputes++
+					rep, err := r.RunDelta(deltaInput, output)
+					if err != nil {
+						return nil, 0, err
+					}
+					return rep, rep.Counter("map.records.in"), nil
+				},
+			},
+			engine.ModeOneStep: r,
+		},
+	}
+
+	writeTargetDelta := func(path, prefix string, n int) {
+		t.Helper()
+		ds := make([]kv.Delta, 0, n)
+		for i := 0; i < n; i++ {
+			ds = append(ds, kv.Delta{
+				Key: fmt.Sprintf("%s%04d", prefix, i), Value: "target fresh", Op: kv.OpInsert,
+			})
+		}
+		if err := eng.FS().WriteAllDeltas(path, ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Cold ledger: the decision must be the recompute fallback, and the
+	// refresh must still flip the epoch and publish the new counts.
+	writeTargetDelta("delta1", "p", 10)
+	res, d, err := srv.RefreshPlanned(auto, "delta1", "out1", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Cold || d.Mode != engine.ModeRecompute || res.Mode != engine.ModeRecompute {
+		t.Fatalf("cold decision = %+v, result mode %q; want recompute fallback", d, res.Mode)
+	}
+	if v, epoch := getValue(t, srv, "target"); v != "50" || epoch != 2 {
+		t.Fatalf("after cold refresh target = %q at epoch %d, want 50 at 2", v, epoch)
+	}
+	if recomputes != 1 {
+		t.Fatalf("recompute arm ran %d times, want 1", recomputes)
+	}
+
+	// Warm both models so one-step is clearly cheaper, then refresh
+	// again: the planner must dispatch to the one-step runner.
+	for i := 0; i < 3; i++ {
+		if err := p.Observe(plan.Observation{Mode: engine.ModeOneStep, DeltaRecords: 10, Wall: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Observe(plan.Observation{Mode: engine.ModeRecompute, DeltaRecords: 10, Wall: time.Second}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeTargetDelta("delta2", "q", 10)
+	res2, d2, err := srv.RefreshPlanned(auto, "delta2", "out2", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Cold || d2.Mode != engine.ModeOneStep || res2.Mode != engine.ModeOneStep {
+		t.Fatalf("warm decision = %+v, result mode %q; want onestep", d2, res2.Mode)
+	}
+	if v, epoch := getValue(t, srv, "target"); v != "60" || epoch != 3 {
+		t.Fatalf("after warm refresh target = %q at epoch %d, want 60 at 3", v, epoch)
+	}
+	if recomputes != 1 {
+		t.Fatalf("recompute arm ran %d times after warm refresh, want still 1", recomputes)
+	}
+
+	// A failing refresh must leave the served epoch in place.
+	if _, _, err := srv.RefreshPlanned(auto, "no-such-delta", "out3", 10); err == nil {
+		t.Fatal("refresh from a missing delta input succeeded")
+	}
+	if v, epoch := getValue(t, srv, "target"); v != "60" || epoch != 3 {
+		t.Fatalf("after failed refresh target = %q at epoch %d, want 60 at 3", v, epoch)
+	}
+}

@@ -35,7 +35,20 @@ type Emitter struct {
 	spillRuns  int64
 	spillBytes int64
 	spillDur   time.Duration
+
+	// Batched hot-key observations (when the Buffer has skew detection
+	// on): per-key counts accumulate locally and flush into the stripe
+	// sketches every emitterSketchBatch records, so the staged fast
+	// path does not take a stripe lock per record. A discarded attempt
+	// may have flushed counts already — detection is a heuristic and
+	// tolerates that.
+	skewCnt map[string]int64
+	skewN   int64
 }
+
+// emitterSketchBatch is how many staged records accumulate before their
+// hot-key counts flush into the shared stripe sketches.
+const emitterSketchBatch = 128
 
 // NewEmitter returns an empty staging emitter for one task attempt.
 func (b *Buffer) NewEmitter() *Emitter {
@@ -57,8 +70,24 @@ func (e *Emitter) Emit(key, value string) {
 	if e.err != nil {
 		return
 	}
+	// As in Buffer.Emit, partitioning and byte accounting use the base
+	// key; only the stored pair carries a sub-key when the key is hot.
 	d := e.b.cfg.Partition(key, e.b.cfg.Partitions)
-	e.bufs[d] = append(e.bufs[d], kv.Pair{Key: key, Value: value})
+	storeKey := key
+	if e.b.skew != nil {
+		storeKey = e.b.skew.route(key)
+		if storeKey == key {
+			if e.skewCnt == nil {
+				e.skewCnt = make(map[string]int64)
+			}
+			e.skewCnt[key]++
+			e.skewN++
+			if e.skewN >= emitterSketchBatch {
+				e.flushSkew()
+			}
+		}
+	}
+	e.bufs[d] = append(e.bufs[d], kv.Pair{Key: storeKey, Value: value})
 	sz := int64(len(key) + len(value))
 	e.recs[d]++
 	e.net[d] += sz
@@ -93,6 +122,19 @@ func (e *Emitter) spillLargest() {
 	e.spillDur += dur
 }
 
+// flushSkew merges the local hot-key counts into the stripe sketches,
+// promoting keys that crossed the skew ratio.
+func (e *Emitter) flushSkew() {
+	for key, n := range e.skewCnt {
+		d := e.b.cfg.Partition(key, e.b.cfg.Partitions)
+		p := &e.b.parts[d]
+		p.mu.Lock()
+		e.b.observeLocked(p, key, n)
+		p.mu.Unlock()
+	}
+	e.skewCnt, e.skewN = nil, 0
+}
+
 // Err returns the first staging error, if any.
 func (e *Emitter) Err() error { return e.err }
 
@@ -104,6 +146,9 @@ func (e *Emitter) Publish() error {
 	if e.err != nil {
 		e.Discard()
 		return e.err
+	}
+	if e.b.skew != nil && e.skewN > 0 {
+		e.flushSkew()
 	}
 	for d := range e.bufs {
 		if len(e.bufs[d]) == 0 && len(e.runs[d]) == 0 {

@@ -1,0 +1,391 @@
+package shuffle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+)
+
+// Hot-key skew mitigation. One pathological key ("the" in a word count,
+// a celebrity vertex in PageRank) can hold most of a partition's
+// records, so its reduce group serializes the partition no matter how
+// many reduce slots exist — the load-balancing gap the i2MapReduce
+// authors deferred to SkewTune. The runtime closes it in three steps:
+//
+//  1. Detect: each partition stripe feeds emitted keys through a small
+//     space-saving sketch (Metwally et al., "Efficient computation of
+//     frequent and top-k elements in data streams") under the stripe
+//     lock it already holds. When a key's estimated share of the
+//     stripe's records exceeds Config.SkewRatio, it is promoted to the
+//     Buffer-wide split set.
+//  2. Split: emissions of a promoted key are rerouted round-robin to
+//     Config.SkewFanOut sub-keys — the key plus a 0x00 separator and a
+//     two-hex-digit shard index — still placed in the *base key's*
+//     destination partition. Because 0x00 is the smallest byte, the
+//     sub-keys sort as a contiguous block immediately after any residue
+//     of the base key, and the sorted-run/merge machinery needs no
+//     changes.
+//  3. Merge back: Reduce wraps its group stream in a collator that
+//     recognizes the block, k-way merges the sub-groups' value-sorted
+//     lists, and yields a single group for the base key whose value
+//     order equals kv.SortPairs order — byte-identical to an unsplit
+//     shuffle. When Config.Combine is set, the sub-groups are first
+//     pre-aggregated in parallel (the "split across tasks" payoff: the
+//     hot group's aggregation work fans out instead of serializing),
+//     and the combine contract makes the final output identical too.
+//
+// Keys containing 0x00 bytes must not be emitted while splitting is
+// enabled: a crafted key could collide with a sub-key encoding. The
+// engines' keys (words, vertex ids, cluster ids) are plain text.
+
+const (
+	// defaultSkewFanOut is how many sub-keys a hot key splits into when
+	// Config.SkewFanOut is 0.
+	defaultSkewFanOut = 8
+	// defaultSkewMinRecords is the per-stripe record count below which
+	// detection stays off (shares are noise on tiny prefixes).
+	defaultSkewMinRecords = 256
+	// defaultSketchSize is the space-saving sketch capacity per stripe.
+	defaultSketchSize = 64
+	// maxSkewFanOut bounds the two-hex-digit sub-key encoding.
+	maxSkewFanOut = 256
+	// subKeySep separates a base key from its shard index.
+	subKeySep = byte(0x00)
+)
+
+// topKSketch is a space-saving sketch: at most cap counters; an unseen
+// key evicts the minimum counter and inherits its count as error bound.
+// Estimates never undercount, and for genuinely heavy keys the
+// overcount is bounded by the evicted minimum — exactly the guarantee
+// hot-key detection needs (false positives cost a little splitting,
+// false negatives would leave the skew in place).
+type topKSketch struct {
+	cap      int
+	counters map[string]*sketchCounter
+}
+
+type sketchCounter struct {
+	count int64
+	err   int64 // count inherited at insertion; true count >= count-err
+}
+
+func newTopKSketch(capacity int) *topKSketch {
+	return &topKSketch{cap: capacity, counters: make(map[string]*sketchCounter, capacity)}
+}
+
+// observe adds n occurrences of key and returns the new estimate.
+func (s *topKSketch) observe(key string, n int64) int64 {
+	if c, ok := s.counters[key]; ok {
+		c.count += n
+		return c.count
+	}
+	if len(s.counters) < s.cap {
+		s.counters[key] = &sketchCounter{count: n}
+		return n
+	}
+	// Evict the minimum counter; the newcomer inherits its count as the
+	// error bound.
+	var minKey string
+	var minC *sketchCounter
+	for k, c := range s.counters {
+		if minC == nil || c.count < minC.count {
+			minKey, minC = k, c
+		}
+	}
+	delete(s.counters, minKey)
+	s.counters[key] = &sketchCounter{count: minC.count + n, err: minC.count}
+	return minC.count + n
+}
+
+// HotKey is one tracked heavy key: the estimate is an upper bound on
+// its true count, and Estimate-Err a lower bound.
+type HotKey struct {
+	Key       string
+	Partition int
+	Estimate  int64
+	Err       int64
+	Split     bool
+}
+
+// splitKey is one promoted hot key's routing state.
+type splitKey struct {
+	next atomic.Int64 // round-robin shard cursor
+}
+
+// skewState is the Buffer-wide split registry plus counters. It exists
+// only when Config.SkewRatio > 0.
+type skewState struct {
+	fanOut     int
+	minRecords int64
+	mu         sync.RWMutex
+	split      map[string]*splitKey
+	frozen     map[string]bool // immutable after FinishMap; read lock-free by reducers
+	splitRecs  atomic.Int64
+}
+
+func newSkewState(cfg Config) *skewState {
+	fan := cfg.SkewFanOut
+	if fan <= 0 {
+		fan = defaultSkewFanOut
+	}
+	if fan > maxSkewFanOut {
+		fan = maxSkewFanOut
+	}
+	min := cfg.SkewMinRecords
+	if min <= 0 {
+		min = defaultSkewMinRecords
+	}
+	return &skewState{fanOut: fan, minRecords: min, split: make(map[string]*splitKey)}
+}
+
+// lookup returns the split entry for key, or nil.
+func (s *skewState) lookup(key string) *splitKey {
+	s.mu.RLock()
+	sk := s.split[key]
+	s.mu.RUnlock()
+	return sk
+}
+
+// promote adds key to the split set (idempotent).
+func (s *skewState) promote(key string) {
+	s.mu.Lock()
+	if _, ok := s.split[key]; !ok {
+		s.split[key] = &splitKey{}
+	}
+	s.mu.Unlock()
+}
+
+// freeze snapshots the split set for lock-free reduce-side reads and
+// returns its size.
+func (s *skewState) freeze() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frozen = make(map[string]bool, len(s.split))
+	for k := range s.split {
+		s.frozen[k] = true
+	}
+	return len(s.frozen)
+}
+
+// subKey encodes shard i of base as base + 0x00 + two hex digits, so
+// shards sort contiguously right after the base key's own residue.
+func subKey(base string, i int64) string {
+	return fmt.Sprintf("%s%c%02x", base, subKeySep, i)
+}
+
+// splitBase recognizes a sub-key of a frozen split key and returns the
+// base. ok is false for ordinary keys.
+func (s *skewState) splitBase(key string) (string, bool) {
+	// The suffix is 3 bytes: the 0x00 separator plus two hex digits.
+	if len(key) < 3 || key[len(key)-3] != subKeySep {
+		return "", false
+	}
+	base := key[:len(key)-3]
+	if !s.frozen[base] {
+		return "", false
+	}
+	return base, true
+}
+
+// route returns the key to store for one emission of key: the next
+// sub-key when key is split, else key itself.
+func (s *skewState) route(key string) string {
+	sk := s.lookup(key)
+	if sk == nil {
+		return key
+	}
+	s.splitRecs.Add(1)
+	return subKey(key, sk.next.Add(1)%int64(s.fanOut))
+}
+
+// observeLocked feeds n occurrences of key into stripe p's sketch and
+// promotes it when its share of the stripe's seen records crosses the
+// ratio. Caller holds p.mu.
+func (b *Buffer) observeLocked(p *partition, key string, n int64) {
+	if p.sketch == nil {
+		p.sketch = newTopKSketch(defaultSketchSize)
+	}
+	p.seen += n
+	est := p.sketch.observe(key, n)
+	if p.seen >= b.skew.minRecords && float64(est) > b.cfg.SkewRatio*float64(p.seen) {
+		b.skew.promote(key)
+	}
+}
+
+// HotKeys returns the union of the stripes' tracked heavy keys, largest
+// estimate first. Diagnostic: call after FinishMap.
+func (b *Buffer) HotKeys() []HotKey {
+	if b.skew == nil {
+		return nil
+	}
+	var out []HotKey
+	b.skew.mu.RLock()
+	split := make(map[string]bool, len(b.skew.split))
+	for k := range b.skew.split {
+		split[k] = true
+	}
+	b.skew.mu.RUnlock()
+	for i := range b.parts {
+		p := &b.parts[i]
+		p.mu.Lock()
+		if p.sketch != nil {
+			for k, c := range p.sketch.counters {
+				out = append(out, HotKey{Key: k, Partition: i, Estimate: c.count, Err: c.err, Split: split[k]})
+			}
+		}
+		p.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// collator reassembles split reduce groups from the (key, value)-sorted
+// group stream. Sub-keys of one base key arrive as a contiguous block
+// (possibly preceded by the base key's own residue group); the collator
+// buffers the block's value lists and emits one merged group. Ordinary
+// groups pass through, through Combine when configured.
+type collator struct {
+	b       *Buffer
+	yield   func(kv.Group) error
+	pending bool
+	base    string
+	lists   [][]string
+}
+
+func (b *Buffer) newCollator(yield func(g kv.Group) error) *collator {
+	return &collator{b: b, yield: yield}
+}
+
+// add consumes one raw group from the merge stream.
+func (c *collator) add(g kv.Group) error {
+	if base, ok := c.b.splitBase(g.Key); ok {
+		if !c.pending || c.base != base {
+			if err := c.flush(); err != nil {
+				return err
+			}
+			c.pending, c.base = true, base
+		}
+		// The stream reuses g.Values after we return; copy to buffer.
+		c.lists = append(c.lists, append([]string(nil), g.Values...))
+		return nil
+	}
+	if err := c.flush(); err != nil {
+		return err
+	}
+	if c.b.isSplit(g.Key) {
+		// Residue group of a split key: records emitted before the key
+		// went hot. Its sub-groups follow immediately; buffer it.
+		c.pending, c.base = true, g.Key
+		c.lists = append(c.lists, append([]string(nil), g.Values...))
+		return nil
+	}
+	return c.emit(g.Key, [][]string{g.Values}, false)
+}
+
+// close flushes any buffered block; call after the stream ends.
+func (c *collator) close() error { return c.flush() }
+
+func (c *collator) flush() error {
+	if !c.pending {
+		return nil
+	}
+	base, lists := c.base, c.lists
+	c.pending, c.base, c.lists = false, "", nil
+	return c.emit(base, lists, true)
+}
+
+// emit yields one logical group assembled from lists (each value-sorted,
+// as kv.SortPairs left them). With a Combine, each list is
+// pre-aggregated in its own goroutine — the split hot group's reduce
+// work runs in parallel — then the partial outputs merge and combine
+// once more; without one, the lists merge directly, reproducing the
+// exact unsplit value order.
+func (c *collator) emit(key string, lists [][]string, merged bool) error {
+	if merged && c.b.cfg.Report != nil {
+		c.b.cfg.Report.Add(metrics.CounterHotKeyMergedGroups, 1)
+	}
+	combine := c.b.cfg.Combine
+	if combine != nil {
+		if len(lists) > 1 {
+			var wg sync.WaitGroup
+			for i := range lists {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					lists[i] = combine(key, lists[i])
+				}(i)
+			}
+			wg.Wait()
+			return c.yield(kv.Group{Key: key, Values: combine(key, mergeSortedLists(lists))})
+		}
+		return c.yield(kv.Group{Key: key, Values: combine(key, lists[0])})
+	}
+	if len(lists) == 1 {
+		return c.yield(kv.Group{Key: key, Values: lists[0]})
+	}
+	return c.yield(kv.Group{Key: key, Values: mergeSortedLists(lists)})
+}
+
+// mergeSortedLists k-way merges sorted string slices into one sorted
+// slice. Ties break by list order; tied elements are equal strings, so
+// the output bytes are deterministic regardless.
+func mergeSortedLists(lists [][]string) []string {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]string, 0, total)
+	idx := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for i, l := range lists {
+			if idx[i] >= len(l) {
+				continue
+			}
+			if best < 0 || l[idx[i]] < lists[best][idx[best]] {
+				best = i
+			}
+		}
+		out = append(out, lists[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// skewOn reports whether hot-key detection is enabled.
+func (b *Buffer) skewOn() bool { return b.skew != nil }
+
+// isSplit reports whether key was promoted, reading the frozen set when
+// available (reduce side) and the live set otherwise.
+func (b *Buffer) isSplit(key string) bool {
+	if b.skew == nil {
+		return false
+	}
+	if b.skew.frozen != nil {
+		return b.skew.frozen[key]
+	}
+	return b.skew.lookup(key) != nil
+}
+
+// splitBase delegates to the skew state (false when skew is off).
+func (b *Buffer) splitBase(key string) (string, bool) {
+	if b.skew == nil || b.skew.frozen == nil {
+		return "", false
+	}
+	return b.skew.splitBase(key)
+}

@@ -1,0 +1,282 @@
+package shuffle
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/metrics"
+)
+
+func TestTopKSketchNeverUndercounts(t *testing.T) {
+	s := newTopKSketch(8)
+	true_ := make(map[string]int64)
+	// 200 distinct keys with a heavy head: key i appears 1000/(i+1) times.
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		n := int64(1000 / (i + 1))
+		for j := int64(0); j < n; j++ {
+			s.observe(k, 1)
+			true_[k]++
+		}
+	}
+	for k, c := range s.counters {
+		if c.count < true_[k] {
+			t.Errorf("sketch undercounts %q: est %d < true %d", k, c.count, true_[k])
+		}
+		if c.count-c.err > true_[k] {
+			t.Errorf("sketch lower bound wrong for %q: %d-%d > true %d", k, c.count, c.err, true_[k])
+		}
+	}
+	// The overwhelmingly heaviest key must be tracked with a tight estimate.
+	c, ok := s.counters["key-000"]
+	if !ok {
+		t.Fatal("heaviest key evicted from sketch")
+	}
+	if c.count < 1000 || c.err > 200 {
+		t.Errorf("heaviest key estimate %d (err %d), want >= 1000 with small error", c.count, c.err)
+	}
+}
+
+func TestTopKSketchWeightedObserve(t *testing.T) {
+	s := newTopKSketch(4)
+	s.observe("a", 10)
+	if got := s.observe("a", 5); got != 15 {
+		t.Fatalf("weighted observe = %d, want 15", got)
+	}
+}
+
+// skewedPairs is a workload where one key holds ~60% of the records.
+func skewedPairs(n int) []kv.Pair {
+	ps := make([]kv.Pair, 0, n)
+	for i := 0; i < n; i++ {
+		key := "hotword"
+		if i%5 >= 3 {
+			key = fmt.Sprintf("cold-%03d", i%97)
+		}
+		ps = append(ps, kv.Pair{Key: key, Value: fmt.Sprintf("v%06d", (i*2654435761)%100000)})
+	}
+	return ps
+}
+
+// drainAll reduces every partition in order and returns the exact group
+// sequence (keys and value slices), which the byte-identity tests
+// compare across configurations.
+func drainAll(t *testing.T, b *Buffer, parts int) []kv.Group {
+	t.Helper()
+	var out []kv.Group
+	for p := 0; p < parts; p++ {
+		err := b.Reduce(p, func(g kv.Group) error {
+			out = append(out, kv.Group{Key: g.Key, Values: append([]string(nil), g.Values...)})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Reduce(%d): %v", p, err)
+		}
+	}
+	return out
+}
+
+func TestSplitGroupsByteIdenticalToUnsplit(t *testing.T) {
+	pairs := skewedPairs(4000)
+	for _, budget := range []int64{0, 1 << 12} { // in-memory and heavy-spill
+		budget := budget
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			build := func(ratio float64) *Buffer {
+				dir := t.TempDir()
+				b, err := New(Config{
+					Partitions:     4,
+					MemoryBudget:   budget,
+					ScratchDir:     func(p int) string { return fmt.Sprintf("%s/p%d", dir, p) },
+					SkewRatio:      ratio,
+					SkewFanOut:     4,
+					SkewMinRecords: 64,
+					Report:         &metrics.Report{},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, pr := range pairs {
+					b.Emit(pr.Key, pr.Value)
+				}
+				if err := b.FinishMap(); err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+			plain := build(0)
+			defer plain.Close()
+			split := build(0.3)
+			defer split.Close()
+
+			if split.cfg.Report.Counter(metrics.CounterHotKeysDetected) == 0 {
+				t.Fatal("skewed workload detected no hot keys")
+			}
+			if split.cfg.Report.Counter(metrics.CounterHotKeySplitRecords) == 0 {
+				t.Fatal("hot key detected but no records split")
+			}
+
+			got := drainAll(t, split, 4)
+			want := drainAll(t, plain, 4)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("split shuffle diverged from unsplit: %d vs %d groups", len(got), len(want))
+			}
+			if split.cfg.Report.Counter(metrics.CounterHotKeyMergedGroups) == 0 {
+				t.Error("no merged groups counted despite split records")
+			}
+		})
+	}
+}
+
+func TestSplitByteIdenticalWithConcurrentEmitters(t *testing.T) {
+	// Byte-identity must hold regardless of which emissions race past
+	// the detection threshold; run under -race this also exercises the
+	// sketch/registry locking.
+	pairs := skewedPairs(6000)
+	run := func(ratio float64) []kv.Group {
+		dir := t.TempDir()
+		b, err := New(Config{
+			Partitions:     4,
+			MemoryBudget:   1 << 13,
+			ScratchDir:     func(p int) string { return fmt.Sprintf("%s/p%d", dir, p) },
+			SkewRatio:      ratio,
+			SkewFanOut:     8,
+			SkewMinRecords: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				em := b.NewEmitter()
+				for i := w; i < len(pairs); i += 4 {
+					em.Emit(pairs[i].Key, pairs[i].Value)
+				}
+				if err := em.Publish(); err != nil {
+					t.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := b.FinishMap(); err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		return drainAll(t, b, 4)
+	}
+	if got, want := run(0.3), run(0); !reflect.DeepEqual(got, want) {
+		t.Fatal("concurrent split shuffle diverged from unsplit")
+	}
+}
+
+// sumCombine is an associative combine: values are decimal counts and
+// collapse to their sum. Partial sums re-combine to the same total, so
+// split and unsplit shuffles must agree.
+func sumCombine(_ string, values []string) []string {
+	var sum int64
+	for _, v := range values {
+		n, _ := strconv.ParseInt(v, 10, 64)
+		sum += n
+	}
+	return []string{strconv.FormatInt(sum, 10)}
+}
+
+func TestSplitWithCombineMatchesUnsplitCombine(t *testing.T) {
+	n := 3000
+	build := func(ratio float64) *Buffer {
+		b, err := New(Config{
+			Partitions:     2,
+			SkewRatio:      ratio,
+			SkewFanOut:     4,
+			SkewMinRecords: 32,
+			Combine:        sumCombine,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			key := "hot"
+			if i%4 == 3 {
+				key = fmt.Sprintf("cold-%02d", i%23)
+			}
+			b.Emit(key, "1")
+		}
+		if err := b.FinishMap(); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	plain := build(0)
+	defer plain.Close()
+	split := build(0.25)
+	defer split.Close()
+	got := drainAll(t, split, 2)
+	want := drainAll(t, plain, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("combined split output diverged: got %v want %v", got, want)
+	}
+	// The combine must actually have collapsed the hot group.
+	for _, g := range got {
+		if g.Key == "hot" {
+			if len(g.Values) != 1 || g.Values[0] != strconv.Itoa(3*n/4) {
+				t.Fatalf("hot group = %v, want single sum %d", g.Values, 3*n/4)
+			}
+		}
+	}
+}
+
+func TestHotKeysAccessor(t *testing.T) {
+	b, err := New(Config{Partitions: 2, SkewRatio: 0.4, SkewMinRecords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		b.Emit("dominant", "v")
+		if i%10 == 0 {
+			b.Emit(fmt.Sprintf("minor-%d", i), "v")
+		}
+	}
+	if err := b.FinishMap(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	hks := b.HotKeys()
+	if len(hks) == 0 {
+		t.Fatal("no hot keys tracked")
+	}
+	if hks[0].Key != "dominant" || !hks[0].Split {
+		t.Fatalf("top hot key = %+v, want dominant/split", hks[0])
+	}
+}
+
+func TestMergeSortedLists(t *testing.T) {
+	cases := []struct {
+		in   [][]string
+		want []string
+	}{
+		{nil, nil},
+		{[][]string{{"a", "c"}}, []string{"a", "c"}},
+		{[][]string{{"a", "c"}, {"b"}, {"a", "z"}}, []string{"a", "a", "b", "c", "z"}},
+		{[][]string{{}, {"x"}}, []string{"x"}},
+	}
+	for _, c := range cases {
+		if got := mergeSortedLists(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("mergeSortedLists(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSkewRatioValidation(t *testing.T) {
+	if _, err := New(Config{Partitions: 1, SkewRatio: 1.5}); err == nil {
+		t.Error("SkewRatio >= 1 accepted")
+	}
+	if _, err := New(Config{Partitions: 1, SkewRatio: -0.1}); err == nil {
+		t.Error("negative SkewRatio accepted")
+	}
+}

@@ -35,6 +35,11 @@ type Iteration struct {
 	// MemoryBudget and ScratchDir configure spilling (see Config).
 	MemoryBudget int64
 	ScratchDir   func(p int) string
+	// SkewRatio / SkewFanOut / Combine configure hot-key skew
+	// mitigation (see Config and hotkeys.go); zero values disable it.
+	SkewRatio  float64
+	SkewFanOut int
+	Combine    func(key string, values []string) []string
 	// Report receives the iteration's stage timings and counters.
 	Report *metrics.Report
 	// MapPartition feeds partition p's structure records through the
@@ -55,6 +60,9 @@ func (it Iteration) Run() error {
 		MemoryBudget: it.MemoryBudget,
 		ScratchDir:   it.ScratchDir,
 		Report:       it.Report,
+		SkewRatio:    it.SkewRatio,
+		SkewFanOut:   it.SkewFanOut,
+		Combine:      it.Combine,
 	})
 	if err != nil {
 		return err

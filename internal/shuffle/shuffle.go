@@ -63,6 +63,26 @@ type Config struct {
 	// (metrics.CounterSpillRuns / CounterSpillBytes) and sort-stage
 	// timings as they accrue.
 	Report *metrics.Report
+
+	// SkewRatio > 0 enables hot-key skew mitigation (see hotkeys.go):
+	// a key whose estimated share of its partition's records exceeds
+	// SkewRatio is split across SkewFanOut sub-keys during the map
+	// phase and reassembled by Reduce, byte-identically. Must be < 1.
+	SkewRatio float64
+	// SkewFanOut is the sub-key count hot keys split into (default 8,
+	// max 256).
+	SkewFanOut int
+	// SkewMinRecords is the per-partition record count below which
+	// detection stays off (default 256).
+	SkewMinRecords int64
+	// Combine, when set, pre-aggregates every reduce group's values
+	// before they reach the reduce callback; for split hot keys the
+	// sub-groups combine in parallel first. Combine must be a pure
+	// associative aggregation returning sorted values, such that
+	// combining partial combines equals combining the whole group —
+	// then split and unsplit shuffles stay byte-identical. Combine must
+	// not retain the slice it is given.
+	Combine func(key string, values []string) []string
 }
 
 // Buffer collects the intermediate pairs of one iteration. Emit is safe
@@ -80,6 +100,8 @@ type Buffer struct {
 	// task windows, so the Iteration driver subtracts them from those
 	// stages to keep Report.Total() equal to wall work.
 	sortNanos atomic.Int64
+	// skew is the hot-key split registry; nil unless cfg.SkewRatio > 0.
+	skew *skewState
 }
 
 // partition is one destination's stripe: its own mutex, in-memory
@@ -94,6 +116,10 @@ type partition struct {
 	netBytes int64    // key+value bytes (the simulated network transfer)
 	sealed   bool
 	sorted   bool // residue sorted (done lazily by the first Reduce)
+
+	// Hot-key detection state (nil / zero unless Config.SkewRatio > 0).
+	sketch *topKSketch
+	seen   int64 // records observed for detection (published + staged)
 }
 
 // New validates cfg and returns an empty Buffer.
@@ -107,7 +133,15 @@ func New(cfg Config) (*Buffer, error) {
 	if cfg.Partition == nil {
 		cfg.Partition = kv.Partition
 	}
+	if cfg.SkewRatio < 0 || cfg.SkewRatio >= 1 {
+		if cfg.SkewRatio != 0 {
+			return nil, fmt.Errorf("shuffle: Config.SkewRatio = %g, want 0 or (0, 1)", cfg.SkewRatio)
+		}
+	}
 	b := &Buffer{cfg: cfg, parts: make([]partition, cfg.Partitions)}
+	if cfg.SkewRatio > 0 {
+		b.skew = newSkewState(cfg)
+	}
 	if cfg.MemoryBudget > 0 {
 		// One share per stripe; an Emitter uses the same share as its
 		// *total* staging bound, so up to Partitions concurrent map
@@ -133,7 +167,14 @@ func New(cfg Config) (*Buffer, error) {
 // call Emit directly — use a per-task Emitter, which publishes only on
 // success, so a failed attempt contributes nothing.
 func (b *Buffer) Emit(key, value string) {
+	// Routing and byte accounting use the base key even when the record
+	// is rerouted to a sub-key: results must land in the base key's
+	// partition, and counters stay comparable to an unsplit shuffle.
 	d := b.cfg.Partition(key, b.cfg.Partitions)
+	storeKey := key
+	if b.skew != nil {
+		storeKey = b.skew.route(key)
+	}
 	p := &b.parts[d]
 	p.mu.Lock()
 	if p.sealed {
@@ -144,11 +185,14 @@ func (b *Buffer) Emit(key, value string) {
 		p.mu.Unlock()
 		return
 	}
-	p.pairs = append(p.pairs, kv.Pair{Key: key, Value: value})
+	p.pairs = append(p.pairs, kv.Pair{Key: storeKey, Value: value})
 	sz := int64(len(key) + len(value))
 	p.recs++
 	p.netBytes += sz
 	p.bytes += sz + pairOverhead
+	if b.skew != nil && storeKey == key {
+		b.observeLocked(p, key, 1)
+	}
 	b.maybeSpillLocked(d, p)
 }
 
@@ -243,6 +287,13 @@ func writeRun(path string, run []kv.Pair) (int64, error) {
 // FinishMap seals the buffers after the map phase. It returns the first
 // deferred spill error, if any. Emit panics after FinishMap.
 func (b *Buffer) FinishMap() error {
+	var detected int
+	if b.skew != nil {
+		// Freeze the split set before sealing: every reducer locks a
+		// stripe mutex sealed below before reading the frozen map, so
+		// the seal loop publishes it.
+		detected = b.skew.freeze()
+	}
 	var first error
 	for i := range b.parts {
 		p := &b.parts[i]
@@ -252,6 +303,10 @@ func (b *Buffer) FinishMap() error {
 			first = p.err
 		}
 		p.mu.Unlock()
+	}
+	if b.skew != nil && b.cfg.Report != nil {
+		b.cfg.Report.Add(metrics.CounterHotKeysDetected, int64(detected))
+		b.cfg.Report.Add(metrics.CounterHotKeySplitRecords, b.skew.splitRecs.Load())
 	}
 	return first
 }
@@ -322,7 +377,24 @@ const mergeFanIn = 64
 // tasks in parallel); concurrent Reduce calls for the *same* partition
 // are not supported — matching the engines, which run exactly one
 // reduce task per partition (retries are sequential).
+//
+// With hot-key splitting or a Combine configured, the raw stream first
+// passes through a collator (hotkeys.go) that reassembles split groups
+// and applies the combine, so callers always observe one group per
+// logical key.
 func (b *Buffer) Reduce(d int, yield func(g kv.Group) error) error {
+	if b.skew != nil || b.cfg.Combine != nil {
+		c := b.newCollator(yield)
+		if err := b.reduceRaw(d, c.add); err != nil {
+			return err
+		}
+		return c.close()
+	}
+	return b.reduceRaw(d, yield)
+}
+
+// reduceRaw streams the partition's merged groups with sub-keys intact.
+func (b *Buffer) reduceRaw(d int, yield func(g kv.Group) error) error {
 	if d < 0 || d >= len(b.parts) {
 		return fmt.Errorf("shuffle: Reduce(%d) with %d partitions", d, len(b.parts))
 	}

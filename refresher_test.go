@@ -1,0 +1,134 @@
+package i2mr
+
+import (
+	"testing"
+
+	"i2mapreduce/internal/apps"
+	"i2mapreduce/internal/datagen"
+)
+
+// checkRefresh exercises the Refresher contract once: Refresh must
+// report the expected mode with positive wall time, a metrics report,
+// and the consumed delta size, and Stats must reflect the refresh.
+func checkRefresh(t *testing.T, r Refresher, wantMode, deltaInput, output string) *RefreshResult {
+	t.Helper()
+	before := r.Stats()
+	res, err := r.Refresh(deltaInput, output)
+	if err != nil {
+		t.Fatalf("Refresh(%q): %v", deltaInput, err)
+	}
+	if res.Mode != wantMode {
+		t.Fatalf("Refresh mode = %q, want %q", res.Mode, wantMode)
+	}
+	if res.Wall <= 0 {
+		t.Fatalf("Refresh wall = %v, want > 0", res.Wall)
+	}
+	if res.Report == nil {
+		t.Fatal("Refresh returned a nil report")
+	}
+	if res.DeltaRecords <= 0 {
+		t.Fatalf("Refresh delta records = %d, want > 0", res.DeltaRecords)
+	}
+	after := r.Stats()
+	if after.Refreshes != before.Refreshes+1 {
+		t.Fatalf("Stats.Refreshes = %d after refresh, want %d", after.Refreshes, before.Refreshes+1)
+	}
+	if after.Mode != wantMode {
+		t.Fatalf("Stats.Mode = %q, want %q", after.Mode, wantMode)
+	}
+	if after.LastWall != res.Wall || after.LastDeltaRecords != res.DeltaRecords {
+		t.Fatalf("Stats last refresh = (%v, %d), want (%v, %d)",
+			after.LastWall, after.LastDeltaRecords, res.Wall, res.DeltaRecords)
+	}
+	if after.TotalWall < after.LastWall {
+		t.Fatalf("Stats.TotalWall = %v < LastWall %v", after.TotalWall, after.LastWall)
+	}
+	return res
+}
+
+// TestRefresherConformance proves both refreshable engines honor the
+// unified Refresher contract: the one-step runner, the incremental
+// iterative runner, and the latter's FullRefresher recompute arm.
+func TestRefresherConformance(t *testing.T) {
+	sys, err := New(Options{WorkDir: t.TempDir(), Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One-step engine.
+	oneStep, err := sys.NewOneStep(apps.WordCountJob("conf-wc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oneStep.Close()
+	if err := sys.WritePairs("conf-docs", []Pair{
+		{Key: "d1", Value: "a b a"},
+		{Key: "d2", Value: "b c"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oneStep.RunInitial("conf-docs", "conf-wc-v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WriteDeltas("conf-docs-d1", []Delta{
+		{Key: "d3", Value: "c c", Op: OpInsert},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkRefresh(t, oneStep, ModeOneStep, "conf-docs-d1", "conf-wc-v2")
+	outs, err := oneStep.Outputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]string{}
+	for _, p := range outs {
+		counts[p.Key] = p.Value
+	}
+	if counts["c"] != "3" {
+		t.Fatalf("one-step Refresh produced %v, want c:3", counts)
+	}
+
+	// Incremental iterative engine, then its recompute arm over a
+	// second delta.
+	graph := datagen.Graph(7, 60, 3)
+	if err := sys.WritePairs("conf-graph", graph); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := sys.NewIncremental(apps.PageRankSpec("conf-pr", apps.DefaultDamping), IncrementalConfig{
+		NumPartitions: 2, MaxIterations: 100, Epsilon: 1e-8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Close()
+	if _, err := inc.RunInitial("conf-graph"); err != nil {
+		t.Fatal(err)
+	}
+	deltas, next := datagen.Mutate(8, graph, datagen.MutateOptions{
+		ModifyFraction: 0.1, Rewrite: datagen.RewireGraphValue(60),
+	})
+	if err := sys.WriteDeltas("conf-graph-d1", deltas); err != nil {
+		t.Fatal(err)
+	}
+	res := checkRefresh(t, inc, ModeIncremental, "conf-graph-d1", "")
+	if res.Iterations <= 0 || !res.Converged {
+		t.Fatalf("incremental Refresh: iterations %d converged %v", res.Iterations, res.Converged)
+	}
+
+	full := inc.FullRefresher()
+	deltas2, _ := datagen.Mutate(9, next, datagen.MutateOptions{
+		ModifyFraction: 0.1, Rewrite: datagen.RewireGraphValue(60),
+	})
+	if err := sys.WriteDeltas("conf-graph-d2", deltas2); err != nil {
+		t.Fatal(err)
+	}
+	res2 := checkRefresh(t, full, ModeRecompute, "conf-graph-d2", "")
+	if !res2.Converged {
+		t.Fatal("recompute-arm Refresh did not converge")
+	}
+	// The recompute arm keeps its own history; the incremental arm's
+	// stats must not have moved.
+	if got := inc.Stats().Refreshes; got != 1 {
+		t.Fatalf("incremental arm Refreshes = %d after recompute-arm refresh, want 1", got)
+	}
+}
