@@ -6,13 +6,13 @@
 //	i2mr-bench [-scale small|default] [-workdir DIR] [-json PATH] [experiment ...]
 //
 // Experiments: fig8 fig9 table4 fig10 fig11 fig12 fig13 apriori shards
-// onestep core serve plan all
+// onestep core serve results plan all
 //
 // With -json PATH, the experiments that produce machine-readable
-// records (onestep, core, shards, serve, plan) additionally append them
-// to a JSON array written at PATH — the BENCH_core.json /
-// BENCH_serve.json / BENCH_plan.json artifacts CI uploads from its
-// bench-smoke job.
+// records (onestep, core, shards, serve, results, plan) additionally
+// append them to a JSON array written at PATH — the BENCH_core.json /
+// BENCH_serve.json / BENCH_results.json / BENCH_plan.json artifacts CI
+// uploads from its bench-smoke job.
 package main
 
 import (
@@ -52,7 +52,7 @@ func main() {
 
 	experiments := flag.Args()
 	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
-		experiments = []string{"apriori", "onestep", "core", "serve", "plan", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
+		experiments = []string{"apriori", "onestep", "core", "serve", "results", "plan", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
 	}
 
 	var recs []bench.JSONRecord
@@ -157,7 +157,19 @@ func runExperiment(env *bench.Env, sc bench.Scale, dir, name, scaleName string) 
 			return nil, err
 		}
 		fmt.Print(bench.FormatServe(rows))
-		return bench.ServeJSON(scaleName, rows), nil
+		cold, err := bench.ServeColdSweep(env, sc)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(bench.FormatServeCold(cold))
+		return append(bench.ServeJSON(scaleName, rows), bench.ServeColdJSON(scaleName, cold)...), nil
+	case "results":
+		rows, err := bench.ResultsSweep(filepath.Join(dir, name, "sweep"), sc)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(bench.FormatResultsSweep(rows))
+		return bench.ResultsSweepJSON(scaleName, rows), nil
 	case "plan":
 		rows, err := bench.PlanSweep(env, sc, filepath.Join(dir, name, "ledgers"))
 		if err != nil {

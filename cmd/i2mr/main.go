@@ -54,6 +54,9 @@ func main() {
 	storePar := flag.Int("store-par", 0, "MRBG-Store shard fan-out (0 = GOMAXPROCS)")
 	shuffleMem := flag.Int64("shuffle-mem", 0, "shuffle memory budget in bytes per iteration / per delta refresh; beyond it map output spills sorted runs to scratch (0 = unbounded)")
 	resultCompact := flag.Int("result-compact", 0, "one-step result store segment count that triggers compaction (0 = default, negative disables)")
+	segBlock := flag.Int("seg-block", 0, "result segment block size in bytes (0 = 32 KiB default)")
+	segCodec := flag.String("seg-codec", "", "result segment per-block codec: none or flate (default none)")
+	bloomBits := flag.Int("bloom-bits", 0, "bloom filter bits per key in result segments (0 = default 10, negative disables)")
 	flag.Parse()
 
 	switch *planMode {
@@ -73,6 +76,9 @@ func main() {
 		StoreShards: *shards, StoreParallelism: *storePar,
 		ShuffleMemoryBudget:    *shuffleMem,
 		ResultCompactThreshold: *resultCompact,
+		SegmentBlockBytes:      *segBlock,
+		SegmentCompression:     *segCodec,
+		BloomBitsPerKey:        *bloomBits,
 	}
 	sys, err := i2mr.New(sysOpts)
 	if err != nil {

@@ -42,6 +42,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"i2mapreduce/internal/blockio"
 	"i2mapreduce/internal/cluster"
 	"i2mapreduce/internal/core"
 	"i2mapreduce/internal/dfs"
@@ -215,6 +216,19 @@ type Options struct {
 	// across (default 8 when SkewRatio is set). Meaningful only with
 	// SkewRatio > 0.
 	SkewFanOut int
+	// SegmentBlockBytes is the default target decoded bytes per block
+	// in the durable stores' v2 segment files (one-step result stores
+	// and incremental state stores alike); jobs/configs that set their
+	// own value win. 0 uses the store default (32 KiB).
+	SegmentBlockBytes int
+	// SegmentCompression is the default per-block codec for newly
+	// written segments: "" or "none" (raw), or "flate". Reads
+	// auto-detect, so the knob can change between runs freely.
+	SegmentCompression string
+	// BloomBitsPerKey is the default per-segment bloom filter sizing
+	// (bits per key). 0 uses the store default (10, ~1% false
+	// positives); negative disables the filters.
+	BloomBitsPerKey int
 }
 
 // Validate rejects contradictory or out-of-range Options. New calls it;
@@ -250,6 +264,12 @@ func (o Options) Validate() error {
 	if o.SkewFanOut >= 2 && o.SkewRatio == 0 {
 		return fmt.Errorf("i2mr: Options.SkewFanOut = %d is contradictory with SkewRatio = 0 (detection disabled); set SkewRatio to enable hot-key splitting", o.SkewFanOut)
 	}
+	if o.SegmentBlockBytes < 0 {
+		return fmt.Errorf("i2mr: Options.SegmentBlockBytes = %d, want >= 0 (0 means the default)", o.SegmentBlockBytes)
+	}
+	if _, err := blockio.ParseCodec(o.SegmentCompression); err != nil {
+		return fmt.Errorf("i2mr: Options.SegmentCompression: %w", err)
+	}
 	return nil
 }
 
@@ -263,6 +283,9 @@ type defaults struct {
 	resultCompact    int
 	skewRatio        float64
 	skewFanOut       int
+	segBlockBytes    int
+	segCompression   string
+	segBloomBits     int
 }
 
 func (d defaults) store(opts *mrbg.Options) {
@@ -295,9 +318,22 @@ func (d defaults) skew(ratio *float64, fanOut *int) {
 	}
 }
 
+func (d defaults) segFormat(blockBytes *int, compression *string, bloomBits *int) {
+	if *blockBytes == 0 {
+		*blockBytes = d.segBlockBytes
+	}
+	if *compression == "" {
+		*compression = d.segCompression
+	}
+	if *bloomBits == 0 {
+		*bloomBits = d.segBloomBits
+	}
+}
+
 func (d defaults) oneStep(job *OneStepJob) {
 	d.store(&job.StoreOpts)
 	d.compact(&job.ResultOpts.CompactThreshold)
+	d.segFormat(&job.ResultOpts.BlockBytes, &job.ResultOpts.Compression, &job.ResultOpts.BloomBitsPerKey)
 	d.shuffle(&job.ShuffleMemoryBudget)
 	d.skew(&job.SkewRatio, &job.SkewFanOut)
 }
@@ -310,6 +346,7 @@ func (d defaults) incremental(cfg *IncrementalConfig) {
 	d.store(&cfg.StoreOpts)
 	d.shuffle(&cfg.ShuffleMemoryBudget)
 	d.compact(&cfg.StateCompactThreshold)
+	d.segFormat(&cfg.SegmentBlockBytes, &cfg.SegmentCompression, &cfg.BloomBitsPerKey)
 	d.skew(&cfg.SkewRatio, &cfg.SkewFanOut)
 }
 
@@ -357,6 +394,9 @@ func New(opts Options) (*System, error) {
 			resultCompact:    opts.ResultCompactThreshold,
 			skewRatio:        opts.SkewRatio,
 			skewFanOut:       opts.SkewFanOut,
+			segBlockBytes:    opts.SegmentBlockBytes,
+			segCompression:   opts.SegmentCompression,
+			segBloomBits:     opts.BloomBitsPerKey,
 		},
 	}, nil
 }

@@ -137,6 +137,19 @@ func TestNewValidatesOptions(t *testing.T) {
 	if _, err := New(Options{}); err == nil {
 		t.Fatal("New without WorkDir succeeded")
 	}
+	dir := t.TempDir()
+	if _, err := New(Options{WorkDir: dir, SegmentBlockBytes: -1}); err == nil {
+		t.Fatal("New with negative SegmentBlockBytes succeeded")
+	}
+	if _, err := New(Options{WorkDir: dir, SegmentCompression: "zstd"}); err == nil {
+		t.Fatal("New with unknown SegmentCompression succeeded")
+	}
+	if _, err := New(Options{
+		WorkDir: dir, SegmentBlockBytes: 4 << 10,
+		SegmentCompression: "flate", BloomBitsPerKey: -1,
+	}); err != nil {
+		t.Fatalf("New rejected valid segment-format knobs: %v", err)
+	}
 }
 
 // TestOneStepSurvivesRestart proves the public resume path: a one-step

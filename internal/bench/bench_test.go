@@ -281,3 +281,73 @@ func TestOneStepSweepShapeHolds(t *testing.T) {
 		t.Fatalf("format output missing header: %q", out)
 	}
 }
+
+func TestResultsSweepShapeHolds(t *testing.T) {
+	sc := tinyScale()
+	rows, err := ResultsSweep(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 block sizes x 2 codecs
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		label := FormatResultsSweep([]ResultsRow{r})
+		if r.HitNs <= 0 || r.MissNs <= 0 || r.SegmentBytes <= 0 {
+			t.Fatalf("non-positive measurements:\n%s", label)
+		}
+		// The headline property: the bloom filter answers ≥99% of
+		// absent-key probes with zero block I/O.
+		if r.BloomSkips < r.MissProbes*99/100 {
+			t.Fatalf("bloom skipped %d of %d absent probes (<99%%):\n%s", r.BloomSkips, r.MissProbes, label)
+		}
+		if r.MissBlocksRead > r.MissProbes/100 {
+			t.Fatalf("absent probes read %d blocks:\n%s", r.MissBlocksRead, label)
+		}
+		if r.Codec == "flate" && r.SegmentBytes <= 0 {
+			t.Fatalf("flate cell has no segment bytes:\n%s", label)
+		}
+	}
+	// Compression must shrink the synthetic segments at every block size.
+	for i := 0; i < len(rows); i += 2 {
+		if rows[i+1].SegmentBytes >= rows[i].SegmentBytes {
+			t.Fatalf("flate (%d bytes) not smaller than none (%d bytes) at block %d",
+				rows[i+1].SegmentBytes, rows[i].SegmentBytes, rows[i].BlockBytes)
+		}
+	}
+	if out := FormatResultsSweep(rows); !strings.Contains(out, "bloom_skips") {
+		t.Fatalf("format output missing header: %q", out)
+	}
+}
+
+func TestServeColdSweepShapeHolds(t *testing.T) {
+	env := newTestEnv(t)
+	sc := tinyScale()
+	rows, err := ServeColdSweep(env, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	byMode := map[string]ServeColdRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+		if r.Ops <= 0 || r.P99 < r.P50 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	hit, absent := byMode["cold-hit"], byMode["absent"]
+	if hit.BlocksRead <= 0 {
+		t.Fatal("uncached hits read no blocks")
+	}
+	if absent.BloomSkips < absent.Ops*99/100 {
+		t.Fatalf("absent probes: %d bloom skips of %d ops (<99%%)", absent.BloomSkips, absent.Ops)
+	}
+	if absent.BlocksRead > absent.Ops/100 {
+		t.Fatalf("absent probes read %d blocks", absent.BlocksRead)
+	}
+	if out := FormatServeCold(rows); !strings.Contains(out, "bloom_skips") {
+		t.Fatalf("format output missing header: %q", out)
+	}
+}

@@ -118,6 +118,31 @@ func ServeJSON(scale string, rows []ServeRow) []JSONRecord {
 	return recs
 }
 
+// ServeColdJSON converts the cold/miss serving sweep into benchmark
+// records; the headline op is one uncached point lookup, with the tail
+// latencies and the bloom/block counters alongside.
+func ServeColdJSON(scale string, rows []ServeColdRow) []JSONRecord {
+	recs := make([]JSONRecord, 0, len(rows))
+	for _, r := range rows {
+		recs = append(recs, JSONRecord{
+			Experiment: "servecold",
+			Scale:      scale,
+			Params: map[string]string{
+				"mode": r.Mode,
+			},
+			NsPerOp: r.MeanLat.Nanoseconds(),
+			Counters: map[string]int64{
+				"ops":         r.Ops,
+				"p50_ns":      r.P50.Nanoseconds(),
+				"p99_ns":      r.P99.Nanoseconds(),
+				"bloom_skips": r.BloomSkips,
+				"blocks_read": r.BlocksRead,
+			},
+		})
+	}
+	return recs
+}
+
 // PlanJSON converts the planner no-regret sweep into benchmark
 // records; the headline op is the mode the planner chose (its observed
 // cost), with the per-mode costs, the regret, and the no-regret verdict

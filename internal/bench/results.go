@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/results"
+)
+
+// ---------------------------------------------------------------------
+// Results-store storage sweep: point-read cost of the durable result
+// store across the segment block format's knobs (block size × codec).
+// Not a paper figure — it isolates the storage layer the one-step
+// engine and the serving layer sit on, so format regressions show up
+// directly instead of being averaged into an end-to-end refresh.
+// ---------------------------------------------------------------------
+
+// ResultsRow is one (block size, codec) cell of the storage sweep.
+type ResultsRow struct {
+	BlockBytes int
+	Codec      string
+	Groups     int
+	// SegmentBytes is the encoded on-disk size of the checkpointed
+	// store — what the codec knob buys.
+	SegmentBytes int64
+	// HitNs / MissNs are mean ns per point Get for present / absent
+	// keys.
+	HitNs  int64
+	MissNs int64
+	// BloomSkips counts absent-key probes the bloom filter answered
+	// with zero block I/O; MissProbes is the total issued.
+	BloomSkips int64
+	MissProbes int64
+	// MissBlocksRead counts blocks read during the absent-key probes
+	// alone — the bloom filter's residual false-positive I/O.
+	MissBlocksRead int64
+	// BlocksRead / BytesDecompressed account the block I/O behind all
+	// measured reads (hit and miss phases).
+	BlocksRead        int64
+	BytesDecompressed int64
+}
+
+// resultsSweepProbes is the number of hit and miss probes per cell.
+const resultsSweepProbes = 4000
+
+// ResultsSweep checkpoints an identical group set under every
+// (block size, codec) combination and measures point-read hit and miss
+// latency plus the block/bloom counters behind them.
+func ResultsSweep(dir string, sc Scale) ([]ResultsRow, error) {
+	nGroups := sc.Vocab * 10
+	rng := rand.New(rand.NewSource(sc.Seed + 310))
+	keys := make([]string, nGroups)
+	groups := make(map[string][]kv.Pair, nGroups)
+	for i := range keys {
+		key := fmt.Sprintf("group-%06d", i)
+		keys[i] = key
+		ps := make([]kv.Pair, 1+rng.Intn(3))
+		for j := range ps {
+			ps[j] = kv.Pair{Key: fmt.Sprintf("%s/%d", key, j), Value: fmt.Sprintf("%d", rng.Int63())}
+		}
+		groups[key] = ps
+	}
+
+	var rows []ResultsRow
+	for _, blockBytes := range []int{4 << 10, 32 << 10, 256 << 10} {
+		for _, codec := range []string{"none", "flate"} {
+			cell := fmt.Sprintf("b%d-%s", blockBytes, codec)
+			s, err := results.Open(results.Options{
+				Dir:        filepath.Join(dir, cell),
+				BlockBytes: blockBytes, Compression: codec,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range keys {
+				s.Set(k, groups[k])
+			}
+			if err := s.Checkpoint(); err != nil {
+				s.Close()
+				return nil, err
+			}
+
+			row := ResultsRow{BlockBytes: blockBytes, Codec: codec, Groups: nGroups}
+			row.SegmentBytes = s.Stats().SegmentBytes
+
+			probeRng := rand.New(rand.NewSource(sc.Seed + 311))
+			start := time.Now()
+			for i := 0; i < resultsSweepProbes; i++ {
+				key := keys[probeRng.Intn(nGroups)]
+				if _, ok, err := s.Get(key); err != nil || !ok {
+					s.Close()
+					return nil, fmt.Errorf("results sweep %s: Get(%s) = %v %v", cell, key, ok, err)
+				}
+			}
+			row.HitNs = time.Since(start).Nanoseconds() / resultsSweepProbes
+
+			before := s.Stats()
+			start = time.Now()
+			for i := 0; i < resultsSweepProbes; i++ {
+				key := fmt.Sprintf("absent-%06d", i)
+				if _, ok, err := s.Get(key); err != nil || ok {
+					s.Close()
+					return nil, fmt.Errorf("results sweep %s: absent Get(%s) = %v %v", cell, key, ok, err)
+				}
+			}
+			row.MissNs = time.Since(start).Nanoseconds() / resultsSweepProbes
+			after := s.Stats()
+			row.MissProbes = resultsSweepProbes
+			row.BloomSkips = after.BloomSkips - before.BloomSkips
+			row.MissBlocksRead = after.BlocksRead - before.BlocksRead
+			row.BlocksRead = after.BlocksRead
+			row.BytesDecompressed = after.BytesDecompressed
+			if err := s.Close(); err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatResultsSweep renders the sweep.
+func FormatResultsSweep(rows []ResultsRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Results-store sweep — point reads across segment block size × codec\n")
+	fmt.Fprintf(&b, "%-10s %-7s %8s %10s %9s %9s %14s %11s %12s\n",
+		"block", "codec", "groups", "seg_bytes", "hit_ns", "miss_ns", "bloom_skips", "miss_blocks", "decompressed")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %-7s %8d %10d %9d %9d %9d/%-4d %11d %12d\n",
+			r.BlockBytes, r.Codec, r.Groups, r.SegmentBytes, r.HitNs, r.MissNs,
+			r.BloomSkips, r.MissProbes, r.MissBlocksRead, r.BytesDecompressed)
+	}
+	return b.String()
+}
+
+// ResultsSweepJSON converts the storage sweep into benchmark records;
+// the headline op is a point-read hit, with the absent-key miss cost
+// and the bloom/block counters alongside.
+func ResultsSweepJSON(scale string, rows []ResultsRow) []JSONRecord {
+	recs := make([]JSONRecord, 0, len(rows))
+	for _, r := range rows {
+		recs = append(recs, JSONRecord{
+			Experiment: "results",
+			Scale:      scale,
+			Params: map[string]string{
+				"block_bytes": fmt.Sprintf("%d", r.BlockBytes),
+				"codec":       r.Codec,
+			},
+			NsPerOp:    r.HitNs,
+			BytesMoved: r.SegmentBytes,
+			Counters: map[string]int64{
+				"groups":             int64(r.Groups),
+				"miss_ns":            r.MissNs,
+				"bloom_skips":        r.BloomSkips,
+				"miss_probes":        r.MissProbes,
+				"miss_blocks_read":   r.MissBlocksRead,
+				"blocks_read":        r.BlocksRead,
+				"bytes_decompressed": r.BytesDecompressed,
+			},
+		})
+	}
+	return recs
+}

@@ -187,6 +187,133 @@ func ServeSweep(env *Env, sc Scale) ([]ServeRow, error) {
 	return rows, nil
 }
 
+// ---------------------------------------------------------------------
+// Serve cold/miss sweep: worst-case point-lookup latency with the
+// per-epoch block cache disabled — every hit decodes its segment block
+// afresh — and a pure absent-key stream, the case the per-segment bloom
+// filters exist for (the skip rate should round to 100%).
+// ---------------------------------------------------------------------
+
+// ServeColdRow is one probe mode's profile from the cold sweep.
+type ServeColdRow struct {
+	// Mode is "cold-hit" (present keys, cache disabled) or "absent"
+	// (keys no store holds).
+	Mode    string
+	Ops     int64
+	P50     time.Duration
+	P99     time.Duration
+	MeanLat time.Duration
+	// BloomSkips / BlocksRead are the result-store counters the probes
+	// generated: absent probes should be nearly all skips and ~zero
+	// reads.
+	BloomSkips int64
+	BlocksRead int64
+}
+
+// ServeColdSweep prepares the same fine-grain WordCount as ServeSweep
+// but serves it with caching disabled, measuring the uncached hit path
+// and the bloom-filtered absent-key path.
+func ServeColdSweep(env *Env, sc Scale) ([]ServeColdRow, error) {
+	corpus := datagen.Tweets(sc.Seed+230, sc.Tweets, sc.Vocab, sc.WordsPerTweet)
+	if err := env.Eng.FS().WriteAllPairs("servecold/t0", corpus); err != nil {
+		return nil, err
+	}
+	job := apps.FineGrainWordCountJob("servecold-wc")
+	job.NumReducers = sc.Partitions
+	job.StoreOpts = sc.storeOpts()
+	job.ShuffleMemoryBudget = sc.ShuffleMemoryBudget
+	runner, err := incr.NewRunner(env.Eng, job)
+	if err != nil {
+		return nil, err
+	}
+	defer runner.Close()
+	if _, err := runner.RunInitial("servecold/t0", "servecold/out0"); err != nil {
+		return nil, err
+	}
+	outs, err := runner.Outputs()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(outs))
+	for _, o := range outs {
+		keys = append(keys, o.Key)
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("serve cold sweep: empty result set")
+	}
+
+	srv, err := serve.NewOneStep(runner, serve.Options{CacheSize: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	resultStats := func() (skips, reads int64) {
+		for _, rs := range runner.Results() {
+			st := rs.Stats()
+			skips += st.BloomSkips
+			reads += st.BlocksRead
+		}
+		return skips, reads
+	}
+
+	const probes = serveOpsPerRow
+	var rows []ServeColdRow
+	for _, mode := range []string{"cold-hit", "absent"} {
+		rng := rand.New(rand.NewSource(sc.Seed + 231))
+		skipsBefore, readsBefore := resultStats()
+		lats := make([]time.Duration, 0, probes)
+		var total time.Duration
+		for op := 0; op < probes; op++ {
+			var key string
+			var wantFound bool
+			if mode == "cold-hit" {
+				key, wantFound = keys[rng.Intn(len(keys))], true
+			} else {
+				key, wantFound = fmt.Sprintf("absent-key-%06d", op), false
+			}
+			t := time.Now()
+			_, found, _, err := srv.Get(key)
+			l := time.Since(t)
+			if err != nil {
+				return nil, err
+			}
+			if found != wantFound {
+				return nil, fmt.Errorf("serve cold sweep: Get(%s) found=%v, want %v", key, found, wantFound)
+			}
+			lats = append(lats, l)
+			total += l
+		}
+		skipsAfter, readsAfter := resultStats()
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		rows = append(rows, ServeColdRow{
+			Mode:       mode,
+			Ops:        probes,
+			P50:        lats[len(lats)/2],
+			P99:        lats[len(lats)*99/100],
+			MeanLat:    total / probes,
+			BloomSkips: skipsAfter - skipsBefore,
+			BlocksRead: readsAfter - readsBefore,
+		})
+	}
+	return rows, nil
+}
+
+// FormatServeCold renders the cold sweep.
+func FormatServeCold(rows []ServeColdRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serve cold sweep — uncached hits and bloom-filtered absent keys (cache disabled)\n")
+	fmt.Fprintf(&b, "%-10s %8s %10s %10s %10s %12s %12s\n",
+		"mode", "ops", "mean", "p50", "p99", "bloom_skips", "blocks_read")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8d %10s %10s %10s %12d %12d\n",
+			r.Mode, r.Ops,
+			r.MeanLat.Round(time.Microsecond), r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+			r.BloomSkips, r.BlocksRead)
+	}
+	return b.String()
+}
+
 // FormatServe renders the sweep.
 func FormatServe(rows []ServeRow) string {
 	var b strings.Builder

@@ -1,0 +1,587 @@
+// Package blockio implements the block-based container format shared
+// by the storage layer's segment files (internal/results v2 segments;
+// internal/mrbg borrows its pooled buffers for chunk-file rewrites).
+//
+// A block file is a sequence of framed blocks followed by a footer:
+//
+//	header   magic "i2sb" | format version byte
+//	block*   crc32c(stored body) : u32 LE
+//	         uvarint rawLen      (decoded body length)
+//	         uvarint storedLen   (on-disk body length)
+//	         codec byte          (0 = none, 1 = flate)
+//	         storedLen body bytes
+//	footer   uvarint nBlocks
+//	         nBlocks x { uvarint frameOff, uvarint frameLen,
+//	                     uvarint rawLen, uvarint len(firstKey), firstKey }
+//	         bloom: byte present | [byte k, uvarint len(bits), bits]
+//	tail     footerOff : u64 LE
+//	         footerLen : u64 LE
+//	         crc32c(footer) : u32 LE
+//	         magic "i2sb" | format version byte
+//
+// Writers append key-ordered records; records are packed into blocks of
+// roughly BlockBytes decoded bytes, each independently checksummed and
+// (optionally) compressed. The footer carries a sparse index — the
+// first record key of every block — and a bloom filter over every
+// record key, so point lookups in a higher layer cost at most one block
+// read, and absent keys usually cost zero reads.
+//
+// Corruption anywhere (a flipped bit in a block body, a CRC, the bloom
+// bits, or a length prefix) surfaces as an error wrapping ErrCorrupt —
+// never a panic, never silently wrong data.
+package blockio
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Codec selects the per-block compression.
+type Codec byte
+
+const (
+	// CodecNone stores block bodies raw.
+	CodecNone Codec = 0
+	// CodecFlate compresses block bodies with DEFLATE at BestSpeed —
+	// the snappy-style "cheap and cheerful" point of the stdlib.
+	CodecFlate Codec = 1
+)
+
+// String names the codec for bench tables and knob parsing.
+func (c Codec) String() string {
+	switch c {
+	case CodecNone:
+		return "none"
+	case CodecFlate:
+		return "flate"
+	}
+	return fmt.Sprintf("codec(%d)", byte(c))
+}
+
+// ParseCodec maps a knob string to a Codec. "" means CodecNone.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "none":
+		return CodecNone, nil
+	case "flate":
+		return CodecFlate, nil
+	}
+	return 0, fmt.Errorf("blockio: unknown codec %q (want none or flate)", s)
+}
+
+const (
+	// DefaultBlockBytes is the target decoded block size when
+	// Options.BlockBytes is zero.
+	DefaultBlockBytes = 32 << 10
+	// DefaultBloomBitsPerKey sizes the bloom filter when
+	// Options.BloomBitsPerKey is zero (~1% false positives).
+	DefaultBloomBitsPerKey = 10
+
+	version  = 1
+	tailLen  = 8 + 8 + 4 + 5 // footerOff + footerLen + footerCRC + magic/ver
+	magicLen = 5
+)
+
+var magic = [magicLen]byte{'i', '2', 's', 'b', version}
+
+// ErrCorrupt reports a malformed or bit-flipped block file. Every
+// decode error of this package wraps it.
+var ErrCorrupt = errors.New("blockio: corrupt block file")
+
+// ErrNotBlockFile reports that a file does not carry the block-format
+// magic — e.g. a legacy flat (v1) results segment. Callers use it to
+// fall back to their previous format.
+var ErrNotBlockFile = errors.New("blockio: not a block file")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxLen bounds any decoded length prefix, turning a corrupted uvarint
+// into an error instead of a multi-gigabyte allocation.
+const maxLen = 1 << 30
+
+// ---------------------------------------------------------------------
+// Pooled buffers. One pool serves every storage hot path (segment
+// block reads, spill-run encodes, mrbg compaction scratch), so a burst
+// of reads reuses a small set of block-sized arenas instead of
+// allocating per operation.
+// ---------------------------------------------------------------------
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, DefaultBlockBytes); return &b }}
+
+// GetBuf borrows a byte buffer from the shared pool (length 0, block
+// capacity). Return it with PutBuf.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf returns a buffer to the shared pool. Callers must not keep
+// any slice aliasing it.
+func PutBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// ---------------------------------------------------------------------
+// Options.
+// ---------------------------------------------------------------------
+
+// Options configures a Writer.
+type Options struct {
+	// BlockBytes is the target decoded bytes per block. A record larger
+	// than this gets a block of its own. 0 means DefaultBlockBytes.
+	BlockBytes int
+	// Codec is the per-block compression.
+	Codec Codec
+	// BloomBitsPerKey sizes the per-file bloom filter. 0 means
+	// DefaultBloomBitsPerKey; negative disables the filter (every
+	// MayContain answers true).
+	BloomBitsPerKey int
+}
+
+func (o *Options) applyDefaults() {
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = DefaultBlockBytes
+	}
+	if o.BloomBitsPerKey == 0 {
+		o.BloomBitsPerKey = DefaultBloomBitsPerKey
+	}
+}
+
+// blockMeta is one block's footer entry.
+type blockMeta struct {
+	off      int64 // frame offset in the file
+	frameLen int64 // full frame length (header + stored body)
+	rawLen   int64 // decoded body length
+	firstKey string
+}
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+// Writer streams key-ordered records into a block file. Not safe for
+// concurrent use.
+type Writer struct {
+	f       *os.File
+	opts    Options
+	cur     []byte // decoded bytes of the block being built
+	curKey  string // first record key of the current block
+	curSet  bool
+	off     int64 // next frame offset
+	blocks  []blockMeta
+	bloom   *bloomBuilder
+	comp    *flate.Writer
+	scratch bytes.Buffer
+	frame   []byte
+}
+
+// NewWriter starts a block file on f (an empty file opened for
+// writing). The header is written immediately.
+func NewWriter(f *os.File, opts Options) (*Writer, error) {
+	opts.applyDefaults()
+	w := &Writer{f: f, opts: opts}
+	if opts.BloomBitsPerKey > 0 {
+		w.bloom = newBloomBuilder(opts.BloomBitsPerKey)
+	}
+	if _, err := f.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	w.off = magicLen
+	return w, nil
+}
+
+// Append adds one record (its indexable key plus its encoded bytes) to
+// the file. Keys must arrive in non-decreasing order — the sparse
+// index depends on it.
+func (w *Writer) Append(key string, record []byte) error {
+	if !w.curSet {
+		w.curKey, w.curSet = key, true
+	}
+	if w.bloom != nil {
+		w.bloom.add(key)
+	}
+	w.cur = append(w.cur, record...)
+	if len(w.cur) >= w.opts.BlockBytes {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// flushBlock frames and writes the current block.
+func (w *Writer) flushBlock() error {
+	if len(w.cur) == 0 {
+		return nil
+	}
+	body := w.cur
+	codec := w.opts.Codec
+	if codec == CodecFlate {
+		w.scratch.Reset()
+		if w.comp == nil {
+			var err error
+			w.comp, err = flate.NewWriter(&w.scratch, flate.BestSpeed)
+			if err != nil {
+				return err
+			}
+		} else {
+			w.comp.Reset(&w.scratch)
+		}
+		if _, err := w.comp.Write(body); err != nil {
+			return err
+		}
+		if err := w.comp.Close(); err != nil {
+			return err
+		}
+		if w.scratch.Len() < len(body) {
+			body = w.scratch.Bytes()
+		} else {
+			codec = CodecNone // incompressible block: store raw
+		}
+	}
+	w.frame = w.frame[:0]
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], crc32.Checksum(body, castagnoli))
+	w.frame = append(w.frame, hdr[:]...)
+	w.frame = binary.AppendUvarint(w.frame, uint64(len(w.cur)))
+	w.frame = binary.AppendUvarint(w.frame, uint64(len(body)))
+	w.frame = append(w.frame, byte(codec))
+	w.frame = append(w.frame, body...)
+	if _, err := w.f.WriteAt(w.frame, w.off); err != nil {
+		return err
+	}
+	w.blocks = append(w.blocks, blockMeta{
+		off:      w.off,
+		frameLen: int64(len(w.frame)),
+		rawLen:   int64(len(w.cur)),
+		firstKey: w.curKey,
+	})
+	w.off += int64(len(w.frame))
+	w.cur = w.cur[:0]
+	w.curSet = false
+	return nil
+}
+
+// Finish flushes the last block, writes the footer and tail, fsyncs,
+// and returns a File reading the finished result over the same
+// descriptor (no footer re-parse needed).
+func (w *Writer) Finish() (*File, error) {
+	if err := w.flushBlock(); err != nil {
+		return nil, err
+	}
+	footerOff := w.off
+	var ftr []byte
+	ftr = binary.AppendUvarint(ftr, uint64(len(w.blocks)))
+	for _, b := range w.blocks {
+		ftr = binary.AppendUvarint(ftr, uint64(b.off))
+		ftr = binary.AppendUvarint(ftr, uint64(b.frameLen))
+		ftr = binary.AppendUvarint(ftr, uint64(b.rawLen))
+		ftr = binary.AppendUvarint(ftr, uint64(len(b.firstKey)))
+		ftr = append(ftr, b.firstKey...)
+	}
+	var bl *Bloom
+	if w.bloom != nil {
+		bl = w.bloom.finish()
+		ftr = append(ftr, 1, byte(bl.k))
+		ftr = binary.AppendUvarint(ftr, uint64(len(bl.bits)))
+		ftr = append(ftr, bl.bits...)
+	} else {
+		ftr = append(ftr, 0)
+	}
+	var tail [tailLen]byte
+	binary.LittleEndian.PutUint64(tail[0:8], uint64(footerOff))
+	binary.LittleEndian.PutUint64(tail[8:16], uint64(len(ftr)))
+	binary.LittleEndian.PutUint32(tail[16:20], crc32.Checksum(ftr, castagnoli))
+	copy(tail[20:], magic[:])
+	ftr = append(ftr, tail[:]...)
+	if _, err := w.f.WriteAt(ftr, footerOff); err != nil {
+		return nil, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return nil, err
+	}
+	return &File{
+		f:      w.f,
+		size:   footerOff + int64(len(ftr)),
+		blocks: w.blocks,
+		bloom:  bl,
+	}, nil
+}
+
+// ---------------------------------------------------------------------
+// File (reader).
+// ---------------------------------------------------------------------
+
+// File is an opened block file: the parsed footer (block index + bloom)
+// plus the descriptor. Reads use ReadAt, so a File is safe for
+// concurrent use by any number of readers.
+type File struct {
+	f      *os.File
+	size   int64
+	blocks []blockMeta
+	bloom  *Bloom
+	stats  *FileStats
+}
+
+// FileStats receives read-path accounting for one or more Files.
+// Counters are atomic, so any number of concurrent readers share one.
+type FileStats struct {
+	// BlocksRead counts successful ReadBlock calls.
+	BlocksRead atomic.Int64
+	// BytesDecompressed counts decoded bytes produced by per-block
+	// decompression (raw blocks contribute nothing).
+	BytesDecompressed atomic.Int64
+}
+
+// SetStats attaches st: subsequent ReadBlock calls add to it. Call
+// before the File is shared with readers; nil detaches.
+func (bf *File) SetStats(st *FileStats) { bf.stats = st }
+
+// Open parses f's footer. size is the file's length. Returns
+// ErrNotBlockFile when the magic is absent (a legacy flat file), or an
+// error wrapping ErrCorrupt when the footer is damaged.
+func Open(f *os.File, size int64) (*File, error) {
+	if size < magicLen+tailLen {
+		return nil, ErrNotBlockFile
+	}
+	var head [magicLen]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		return nil, err
+	}
+	if head != magic {
+		return nil, ErrNotBlockFile
+	}
+	var tail [tailLen]byte
+	if _, err := f.ReadAt(tail[:], size-tailLen); err != nil {
+		return nil, err
+	}
+	if *(*[magicLen]byte)(tail[20:]) != magic {
+		return nil, fmt.Errorf("%w: missing tail magic", ErrCorrupt)
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(tail[0:8]))
+	footerLen := int64(binary.LittleEndian.Uint64(tail[8:16]))
+	footerCRC := binary.LittleEndian.Uint32(tail[16:20])
+	if footerOff < magicLen || footerLen < 0 || footerLen > maxLen || footerOff+footerLen != size-tailLen {
+		return nil, fmt.Errorf("%w: footer bounds [%d, +%d) outside file of %d bytes", ErrCorrupt, footerOff, footerLen, size)
+	}
+	ftr := make([]byte, footerLen)
+	if _, err := f.ReadAt(ftr, footerOff); err != nil {
+		return nil, fmt.Errorf("%w: footer read: %v", ErrCorrupt, err)
+	}
+	if crc32.Checksum(ftr, castagnoli) != footerCRC {
+		return nil, fmt.Errorf("%w: footer checksum mismatch", ErrCorrupt)
+	}
+	bf := &File{f: f, size: size}
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(ftr[pos:])
+		if n <= 0 || v > maxLen {
+			return 0, fmt.Errorf("%w: footer varint", ErrCorrupt)
+		}
+		pos += n
+		return v, nil
+	}
+	nBlocks, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	bf.blocks = make([]blockMeta, 0, nBlocks)
+	for i := uint64(0); i < nBlocks; i++ {
+		off, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		frameLen, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		rawLen, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		kLen, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if pos+int(kLen) > len(ftr) {
+			return nil, fmt.Errorf("%w: footer key overruns", ErrCorrupt)
+		}
+		key := string(ftr[pos : pos+int(kLen)])
+		pos += int(kLen)
+		if int64(off)+int64(frameLen) > footerOff {
+			return nil, fmt.Errorf("%w: block frame overruns footer", ErrCorrupt)
+		}
+		bf.blocks = append(bf.blocks, blockMeta{
+			off: int64(off), frameLen: int64(frameLen), rawLen: int64(rawLen), firstKey: key,
+		})
+	}
+	if pos >= len(ftr) {
+		return nil, fmt.Errorf("%w: footer truncated before bloom marker", ErrCorrupt)
+	}
+	switch ftr[pos] {
+	case 0:
+		pos++
+	case 1:
+		pos++
+		if pos >= len(ftr) {
+			return nil, fmt.Errorf("%w: bloom truncated", ErrCorrupt)
+		}
+		k := int(ftr[pos])
+		pos++
+		bitsLen, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if pos+int(bitsLen) > len(ftr) {
+			return nil, fmt.Errorf("%w: bloom bits overrun", ErrCorrupt)
+		}
+		bl, err := newBloom(ftr[pos:pos+int(bitsLen)], k)
+		if err != nil {
+			return nil, err
+		}
+		bf.bloom = bl
+		pos += int(bitsLen)
+	default:
+		return nil, fmt.Errorf("%w: invalid bloom marker %d", ErrCorrupt, ftr[pos])
+	}
+	return bf, nil
+}
+
+// NumBlocks returns the block count.
+func (bf *File) NumBlocks() int { return len(bf.blocks) }
+
+// Size returns the file's total length in bytes.
+func (bf *File) Size() int64 { return bf.size }
+
+// RawLen returns block i's decoded body length.
+func (bf *File) RawLen(i int) int64 { return bf.blocks[i].rawLen }
+
+// HasBloom reports whether the file carries a bloom filter.
+func (bf *File) HasBloom() bool { return bf.bloom != nil }
+
+// MayContain reports whether key can possibly be present. A false
+// answer is definitive; true may be a false positive. Files without a
+// bloom filter always answer true.
+func (bf *File) MayContain(key string) bool {
+	if bf.bloom == nil {
+		return true
+	}
+	return bf.bloom.mayContain(key)
+}
+
+// FindBlock returns the index of the unique block that could hold key —
+// the last block whose first key is <= key — and ok=false when every
+// block starts after key (or the file is empty).
+func (bf *File) FindBlock(key string) (int, bool) {
+	lo, hi := 0, len(bf.blocks) // find first block with firstKey > key
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bf.blocks[mid].firstKey <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0, false
+	}
+	return lo - 1, true
+}
+
+// flateReaderPool reuses decompressors across block reads.
+var flateReaderPool = sync.Pool{}
+
+// ReadBlock reads, CRC-verifies, and decompresses block i. dst points
+// at reused storage (typically from GetBuf); it is updated in place if
+// the storage had to grow, so pooled buffers keep their largest size.
+// The returned slice holds the decoded body and aliases *dst.
+func (bf *File) ReadBlock(i int, dst *[]byte) ([]byte, error) {
+	if i < 0 || i >= len(bf.blocks) {
+		return nil, fmt.Errorf("blockio: block %d of %d", i, len(bf.blocks))
+	}
+	m := bf.blocks[i]
+	*dst = grow(*dst, int(m.frameLen))
+	frame := (*dst)[:m.frameLen]
+	if _, err := bf.f.ReadAt(frame, m.off); err != nil {
+		return nil, fmt.Errorf("%w: block read: %v", ErrCorrupt, err)
+	}
+	crc := binary.LittleEndian.Uint32(frame[0:4])
+	pos := 4
+	rawLen, n := binary.Uvarint(frame[pos:])
+	if n <= 0 || rawLen > maxLen {
+		return nil, fmt.Errorf("%w: block raw length", ErrCorrupt)
+	}
+	pos += n
+	storedLen, n := binary.Uvarint(frame[pos:])
+	if n <= 0 || storedLen > maxLen {
+		return nil, fmt.Errorf("%w: block stored length", ErrCorrupt)
+	}
+	pos += n
+	if pos >= len(frame) {
+		return nil, fmt.Errorf("%w: block header truncated", ErrCorrupt)
+	}
+	codec := Codec(frame[pos])
+	pos++
+	if int64(pos)+int64(storedLen) != m.frameLen {
+		return nil, fmt.Errorf("%w: block body length mismatch", ErrCorrupt)
+	}
+	if int64(rawLen) != m.rawLen {
+		return nil, fmt.Errorf("%w: block raw length disagrees with index", ErrCorrupt)
+	}
+	body := frame[pos : pos+int(storedLen)]
+	if crc32.Checksum(body, castagnoli) != crc {
+		return nil, fmt.Errorf("%w: block checksum mismatch", ErrCorrupt)
+	}
+	switch codec {
+	case CodecNone:
+		if rawLen != storedLen {
+			return nil, fmt.Errorf("%w: uncompressed block with rawLen %d != storedLen %d", ErrCorrupt, rawLen, storedLen)
+		}
+		if bf.stats != nil {
+			bf.stats.BlocksRead.Add(1)
+		}
+		return body, nil
+	case CodecFlate:
+		scratch := GetBuf()
+		defer PutBuf(scratch)
+		*scratch = grow(*scratch, int(rawLen))
+		out := (*scratch)[:rawLen]
+		var fr io.ReadCloser
+		if v := flateReaderPool.Get(); v != nil {
+			fr = v.(io.ReadCloser)
+			if err := fr.(flate.Resetter).Reset(bytes.NewReader(body), nil); err != nil {
+				return nil, err
+			}
+		} else {
+			fr = flate.NewReader(bytes.NewReader(body))
+		}
+		defer flateReaderPool.Put(fr)
+		if _, err := io.ReadFull(fr, out); err != nil {
+			return nil, fmt.Errorf("%w: block decompression: %v", ErrCorrupt, err)
+		}
+		// The decompressed body lives in scratch; copy it into *dst so the
+		// caller's buffer convention (result aliases *dst) holds.
+		*dst = grow(*dst, int(rawLen))
+		copy((*dst)[:rawLen], out)
+		if bf.stats != nil {
+			bf.stats.BlocksRead.Add(1)
+			bf.stats.BytesDecompressed.Add(int64(rawLen))
+		}
+		return (*dst)[:rawLen], nil
+	default:
+		return nil, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, codec)
+	}
+}
+
+// grow returns b with capacity for at least n bytes (contents
+// unspecified beyond reuse).
+func grow(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}

@@ -1,0 +1,221 @@
+package blockio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFile builds a block file of n sequential records under opts and
+// returns the open File plus its path.
+func writeFile(t *testing.T, dir string, opts Options, n int) (*File, string) {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("t-%d-%d.blk", opts.BlockBytes, opts.Codec))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%05d", i)
+		rec := []byte(key + "=" + fmt.Sprintf("value-%05d-padding-padding", i))
+		if err := w.Append(key, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bf, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bf, path
+}
+
+func TestRoundTripAcrossCodecsAndBlockSizes(t *testing.T) {
+	dir := t.TempDir()
+	for _, codec := range []Codec{CodecNone, CodecFlate} {
+		for _, bb := range []int{128, 4 << 10, 256 << 10} {
+			bf, path := writeFile(t, dir, Options{BlockBytes: bb, Codec: codec}, 500)
+			if bf.NumBlocks() == 0 {
+				t.Fatalf("%s: no blocks", path)
+			}
+			// Reopen from disk and compare contents.
+			f2, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fi, _ := f2.Stat()
+			bf2, err := Open(f2, fi.Size())
+			if err != nil {
+				t.Fatalf("%s: reopen: %v", path, err)
+			}
+			var total, total2 []byte
+			buf := GetBuf()
+			for i := 0; i < bf.NumBlocks(); i++ {
+				d, err := bf.ReadBlock(i, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total = append(total, d...)
+				d2, err := bf2.ReadBlock(i, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total2 = append(total2, d2...)
+			}
+			PutBuf(buf)
+			if string(total) != string(total2) {
+				t.Fatalf("%s: writer-returned File and reopened File disagree", path)
+			}
+			if len(total) == 0 {
+				t.Fatalf("%s: empty decode", path)
+			}
+			// Every written key is findable and bloom-positive.
+			for _, i := range []int{0, 1, 250, 499} {
+				key := fmt.Sprintf("key-%05d", i)
+				if !bf2.MayContain(key) {
+					t.Fatalf("%s: bloom rejects present key %s", path, key)
+				}
+				if _, ok := bf2.FindBlock(key); !ok {
+					t.Fatalf("%s: FindBlock misses %s", path, key)
+				}
+			}
+			// A key before the first record has no candidate block.
+			if _, ok := bf2.FindBlock("aaa"); ok {
+				t.Fatalf("%s: FindBlock found a block before the first key", path)
+			}
+			f2.Close()
+		}
+	}
+}
+
+func TestBloomSkipsAbsentKeys(t *testing.T) {
+	bf, _ := writeFile(t, t.TempDir(), Options{BlockBytes: 4 << 10}, 2000)
+	skipped := 0
+	const probes = 2000
+	for i := 0; i < probes; i++ {
+		if !bf.MayContain(fmt.Sprintf("absent-%05d", i)) {
+			skipped++
+		}
+	}
+	// 10 bits/key gives ~1% false positives; require >= 95% skips.
+	if skipped < probes*95/100 {
+		t.Fatalf("bloom skipped only %d/%d absent keys", skipped, probes)
+	}
+}
+
+func TestOpenRejectsNonBlockFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flat")
+	if err := os.WriteFile(path, []byte("just some flat bytes, definitely not a block file, with padding to exceed the tail length"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(path)
+	defer f.Close()
+	fi, _ := f.Stat()
+	if _, err := Open(f, fi.Size()); !errors.Is(err, ErrNotBlockFile) {
+		t.Fatalf("Open = %v, want ErrNotBlockFile", err)
+	}
+}
+
+// corruptAt flips one byte of the file at off.
+func corruptAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionSurfacesAsErrCorrupt(t *testing.T) {
+	for _, codec := range []Codec{CodecNone, CodecFlate} {
+		dir := t.TempDir()
+		_, path := writeFile(t, dir, Options{BlockBytes: 1 << 10, Codec: codec}, 300)
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt a block body byte (middle of the first block, past the
+		// frame header) — Open succeeds, ReadBlock must fail its CRC.
+		bodyCase := path + ".body"
+		copyFile(t, path, bodyCase)
+		corruptAt(t, bodyCase, int64(magicLen)+40)
+		f, _ := os.Open(bodyCase)
+		bf, err := Open(f, fi.Size())
+		if err == nil {
+			buf := GetBuf()
+			_, rerr := bf.ReadBlock(0, buf)
+			PutBuf(buf)
+			if !errors.Is(rerr, ErrCorrupt) {
+				t.Fatalf("codec %v: body flip: ReadBlock = %v, want ErrCorrupt", codec, rerr)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("codec %v: body flip: Open = %v, want nil or ErrCorrupt", codec, err)
+		}
+		f.Close()
+
+		// Corrupt the footer (bloom bits / index live there) — Open must
+		// fail the footer CRC.
+		ftrCase := path + ".footer"
+		copyFile(t, path, ftrCase)
+		corruptAt(t, ftrCase, fi.Size()-tailLen-10)
+		f2, _ := os.Open(ftrCase)
+		if _, err := Open(f2, fi.Size()); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("codec %v: footer flip: Open = %v, want ErrCorrupt", codec, err)
+		}
+		f2.Close()
+
+		// Corrupt the tail's footer-offset length field.
+		tailCase := path + ".tail"
+		copyFile(t, path, tailCase)
+		corruptAt(t, tailCase, fi.Size()-tailLen+2)
+		f3, _ := os.Open(tailCase)
+		if _, err := Open(f3, fi.Size()); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("codec %v: tail flip: Open = %v, want ErrCorrupt", codec, err)
+		}
+		f3.Close()
+	}
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFileRoundTrip(t *testing.T) {
+	bf, path := writeFile(t, t.TempDir(), Options{}, 0)
+	if bf.NumBlocks() != 0 {
+		t.Fatalf("empty write produced %d blocks", bf.NumBlocks())
+	}
+	f, _ := os.Open(path)
+	defer f.Close()
+	fi, _ := f.Stat()
+	bf2, err := Open(f, fi.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf2.NumBlocks() != 0 {
+		t.Fatalf("reopened empty file has %d blocks", bf2.NumBlocks())
+	}
+	if _, ok := bf2.FindBlock("anything"); ok {
+		t.Fatal("FindBlock on empty file returned a block")
+	}
+}

@@ -1,0 +1,95 @@
+package blockio
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Bloom is a classic split-free bloom filter over record keys, built
+// with double hashing (Kirsch-Mitzenmacher): k probe positions derived
+// from two 64-bit halves of one FNV-1a pass. Immutable after build, so
+// lookups are safe for concurrent use.
+type Bloom struct {
+	bits []byte
+	k    int
+}
+
+// bloomHash returns the two probe-base hashes for key.
+func bloomHash(key string) (h1, h2 uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 = h.Sum64()
+	// splitmix64-style finalizer decorrelates the second hash; force it
+	// odd so probes cycle through all positions.
+	h2 = h1
+	h2 ^= h2 >> 30
+	h2 *= 0xbf58476d1ce4e5b9
+	h2 ^= h2 >> 27
+	h2 *= 0x94d049bb133111eb
+	h2 ^= h2 >> 31
+	h2 |= 1
+	return h1, h2
+}
+
+// mayContain reports whether key might be in the set.
+func (b *Bloom) mayContain(key string) bool {
+	nbits := uint64(len(b.bits)) * 8
+	h1, h2 := bloomHash(key)
+	for i := 0; i < b.k; i++ {
+		p := (h1 + uint64(i)*h2) % nbits
+		if b.bits[p/8]&(1<<(p%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// newBloom validates a deserialized filter.
+func newBloom(bits []byte, k int) (*Bloom, error) {
+	if len(bits) == 0 || k <= 0 || k > 30 {
+		return nil, fmt.Errorf("%w: bloom shape bits=%d k=%d", ErrCorrupt, len(bits), k)
+	}
+	return &Bloom{bits: append([]byte(nil), bits...), k: k}, nil
+}
+
+// bloomBuilder accumulates keys before the bit array size is known.
+type bloomBuilder struct {
+	bitsPerKey int
+	hashes     [][2]uint64
+}
+
+func newBloomBuilder(bitsPerKey int) *bloomBuilder {
+	return &bloomBuilder{bitsPerKey: bitsPerKey}
+}
+
+func (bb *bloomBuilder) add(key string) {
+	h1, h2 := bloomHash(key)
+	bb.hashes = append(bb.hashes, [2]uint64{h1, h2})
+}
+
+// finish sizes the bit array to bitsPerKey * n and sets every key's k
+// probes. k is the theoretical optimum bitsPerKey * ln 2, clamped to
+// [1, 30].
+func (bb *bloomBuilder) finish() *Bloom {
+	n := len(bb.hashes)
+	nbits := n * bb.bitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	bits := make([]byte, (nbits+7)/8)
+	nbits = len(bits) * 8
+	k := int(float64(bb.bitsPerKey) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	for _, h := range bb.hashes {
+		for i := 0; i < k; i++ {
+			p := (h[0] + uint64(i)*h[1]) % uint64(nbits)
+			bits[p/8] |= 1 << (p % 8)
+		}
+	}
+	return &Bloom{bits: bits, k: k}
+}

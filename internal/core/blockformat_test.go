@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestIncrementalStateEquivalenceAcrossSegmentFormats sweeps the
+// durable-segment knobs through the incremental iterative engine: the
+// converged PageRank state must be byte-identical at every block size
+// and codec, with and without forced shuffle spilling, and across a
+// kill-and-Open restart that reopens the preserved stores under
+// different knobs than they were written with.
+func TestIncrementalStateEquivalenceAcrossSegmentFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	adj := randomGraph(rng, 40, 4)
+	initialPairs := graphPairs(adj)
+	deltas1 := mutateGraph(rng, adj, 0.1)
+	deltas2 := mutateGraph(rng, adj, 0.1)
+
+	type segKnobs struct {
+		blockBytes int
+		codec      string
+		bloomBits  int
+	}
+	type config struct {
+		write  segKnobs
+		reopen segKnobs
+		budget int64
+	}
+	configs := []config{
+		{}, // defaults throughout
+		{
+			write:  segKnobs{blockBytes: 4 << 10, codec: "flate"},
+			reopen: segKnobs{blockBytes: 256 << 10, codec: "none"},
+			budget: 256, // tiny: forces spilling
+		},
+		{
+			write:  segKnobs{blockBytes: 256 << 10, codec: "none", bloomBits: -1},
+			reopen: segKnobs{blockBytes: 4 << 10, codec: "flate"},
+		},
+	}
+
+	mkCfg := func(k segKnobs, budget int64) Config {
+		return Config{
+			NumPartitions: 2, MaxIterations: 300, Epsilon: 1e-10,
+			ShuffleMemoryBudget: budget, Checkpoint: true,
+			SegmentBlockBytes: k.blockBytes, SegmentCompression: k.codec,
+			BloomBitsPerKey: k.bloomBits,
+		}
+	}
+
+	var want map[string]string
+	for ci, c := range configs {
+		label := fmt.Sprintf("config %d", ci)
+		root := t.TempDir()
+		eng := engineAt(t, root, 3)
+		if err := eng.FS().WriteAllPairs("g0", initialPairs); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.FS().WriteAllDeltas("d1", deltas1); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(eng, pageRankSpec("pr-segfmt"), mkCfg(c.write, c.budget))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.RunInitial("g0"); err != nil {
+			t.Fatalf("%s: initial: %v", label, err)
+		}
+		if _, err := r.RunIncremental("d1"); err != nil {
+			t.Fatalf("%s: d1: %v", label, err)
+		}
+		r.Close() // "kill": durable state was flushed at the job boundary
+
+		eng2 := engineAt(t, root, 3)
+		if err := eng2.FS().WriteAllDeltas("d2", deltas2); err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Open(eng2, pageRankSpec("pr-segfmt"), mkCfg(c.reopen, c.budget))
+		if err != nil {
+			t.Fatalf("%s: Open after restart: %v", label, err)
+		}
+		res, err := r2.RunIncremental("d2")
+		if err != nil {
+			t.Fatalf("%s: d2 after restart: %v", label, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s: resumed refresh did not converge", label)
+		}
+		got := r2.State()
+		if want == nil {
+			want = got
+		} else {
+			assertStatesIdentical(t, got, want, label+": vs first configuration")
+		}
+		r2.Close()
+	}
+}

@@ -97,6 +97,13 @@ type Config struct {
 	// per-partition state stores compact during a checkpoint. 0 uses
 	// the store default; negative disables compaction.
 	StateCompactThreshold int
+	// SegmentBlockBytes / SegmentCompression / BloomBitsPerKey tune the
+	// state stores' v2 block segment format (results.Options fields of
+	// the same meaning). Zero values use the store defaults; when built
+	// through i2mr.System, zero inherits the System-wide defaults.
+	SegmentBlockBytes  int
+	SegmentCompression string
+	BloomBitsPerKey    int
 	// SkewRatio / SkewFanOut configure hot-key skew mitigation in the
 	// full-pass shuffle (shuffle.Config): a K2 whose share of its
 	// partition's intermediate records exceeds SkewRatio is split
@@ -489,6 +496,10 @@ func (r *Runner) finishResult(res *Result) {
 	segs, comp := r.stateStoreStats()
 	res.Report.Add(metrics.CounterStateSegments, segs)
 	res.Report.Add(metrics.CounterStateCompactions, comp-r.compactBase)
+	blocks, skips, decomp := r.stateReadStats()
+	res.Report.Add(metrics.CounterResultBlocksRead, blocks)
+	res.Report.Add(metrics.CounterResultBloomSkips, skips)
+	res.Report.Add(metrics.CounterResultBytesDecompressed, decomp)
 	r.mu.Lock()
 	res.Events = append([]cluster.Event(nil), r.events...)
 	r.mu.Unlock()

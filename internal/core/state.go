@@ -83,7 +83,12 @@ func (r *Runner) storeOpts(p int) mrbg.Options {
 
 // openStateStores opens (or recovers) the durable state stores.
 func (r *Runner) openStateStores() error {
-	opts := results.Options{CompactThreshold: r.cfg.StateCompactThreshold}
+	opts := results.Options{
+		CompactThreshold: r.cfg.StateCompactThreshold,
+		BlockBytes:       r.cfg.SegmentBlockBytes,
+		Compression:      r.cfg.SegmentCompression,
+		BloomBitsPerKey:  r.cfg.BloomBitsPerKey,
+	}
 	if r.spec.ReplicateState {
 		opts.Dir = r.globalKVDir()
 		g, err := results.OpenKV(opts)
@@ -178,6 +183,26 @@ func (r *Runner) stateStoreStats() (segments, compactions int64) {
 		st := kv.Stats()
 		segments += int64(st.Segments)
 		compactions += st.Compactions
+	}
+	if r.spec.ReplicateState {
+		add(r.globalKV)
+		return
+	}
+	for p := 0; p < r.n; p++ {
+		add(r.stateKV[p])
+		add(r.lastKV[p])
+	}
+	return
+}
+
+// stateReadStats sums the segment read-path gauges (cumulative since
+// Open) across the durable state stores.
+func (r *Runner) stateReadStats() (blocksRead, bloomSkips, bytesDecompressed int64) {
+	add := func(kv *results.KV) {
+		st := kv.Stats()
+		blocksRead += st.BlocksRead
+		bloomSkips += st.BloomSkips
+		bytesDecompressed += st.BytesDecompressed
 	}
 	if r.spec.ReplicateState {
 		add(r.globalKV)

@@ -1,0 +1,120 @@
+package incr
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"i2mapreduce/internal/kv"
+	"i2mapreduce/internal/results"
+)
+
+// TestRefreshByteIdenticalAcrossSegmentFormats is the acceptance sweep
+// for the block segment format: the same initial + delta sequence must
+// produce byte-identical result sets at every block size and codec, at
+// budgets that do and don't force shuffle spilling, and across a
+// kill-and-Open restart — including restarts that REOPEN the preserved
+// stores under different format knobs than they were written with
+// (reads auto-detect each segment's format; only new segments use the
+// new knobs).
+func TestRefreshByteIdenticalAcrossSegmentFormats(t *testing.T) {
+	const parts = 3
+	initial, deltas, snapshots := graphRounds(13, 35, 2)
+
+	type config struct {
+		write  results.Options // segment knobs for the initial run
+		reopen results.Options // segment knobs after the restart
+		budget int64
+	}
+	configs := []config{
+		{}, // defaults throughout: 32 KiB blocks, no compression
+		{
+			write:  results.Options{BlockBytes: 4 << 10, Compression: "flate"},
+			reopen: results.Options{BlockBytes: 256 << 10, Compression: "none"},
+			budget: 1, // spill on every emit
+		},
+		{
+			write:  results.Options{BlockBytes: 256 << 10, Compression: "none", BloomBitsPerKey: 4},
+			reopen: results.Options{BlockBytes: 4 << 10, Compression: "flate", BloomBitsPerKey: -1},
+			budget: 4 << 10,
+		},
+	}
+
+	var want [][]kv.Pair // per-round baseline outputs from configs[0]
+	for ci, cfg := range configs {
+		label := fmt.Sprintf("config %d", ci)
+		root := t.TempDir()
+		job := Job{
+			Name: "segfmt", Mapper: edgeWeightMapper, Reducer: sumWeightsReducer,
+			NumReducers: parts, ShuffleMemoryBudget: cfg.budget, ResultOpts: cfg.write,
+		}
+
+		eng := engineAt(t, root, 2)
+		if err := eng.FS().WriteAllPairs("g0", initial); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(eng, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.RunInitial("g0", "o0"); err != nil {
+			t.Fatalf("%s: initial: %v", label, err)
+		}
+		if err := eng.FS().WriteAllDeltas("d0", deltas[0]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.RunDelta("d0", "o1"); err != nil {
+			t.Fatalf("%s: d0: %v", label, err)
+		}
+		round0 := outs(t, r)
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// "Kill": reattach over the preserved stores, under the reopen
+		// knobs, and refresh the second delta.
+		eng2 := engineAt(t, root, 2)
+		job.ResultOpts = cfg.reopen
+		r2, err := Open(eng2, job)
+		if err != nil {
+			t.Fatalf("%s: Open after restart: %v", label, err)
+		}
+		if got := outs(t, r2); !reflect.DeepEqual(got, round0) {
+			t.Fatalf("%s: resumed outputs differ from pre-kill outputs", label)
+		}
+		if err := eng2.FS().WriteAllDeltas("d1", deltas[1]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r2.RunDelta("d1", "o2"); err != nil {
+			t.Fatalf("%s: d1 after restart: %v", label, err)
+		}
+		round1 := outs(t, r2)
+
+		if ci == 0 {
+			want = [][]kv.Pair{round0, round1}
+		} else {
+			if !reflect.DeepEqual(round0, want[0]) {
+				t.Fatalf("%s: round 0 outputs differ from baseline", label)
+			}
+			if !reflect.DeepEqual(round1, want[1]) {
+				t.Fatalf("%s: round 1 outputs differ from baseline", label)
+			}
+		}
+
+		// Anchor: the final refreshed state matches a from-scratch
+		// recompute of the final dataset.
+		var full []kv.Pair
+		for k, v := range snapshots[1] {
+			full = append(full, kv.Pair{Key: k, Value: v})
+		}
+		kv.SortPairs(full)
+		if err := eng2.FS().WriteAllPairs("gfinal", full); err != nil {
+			t.Fatal(err)
+		}
+		wantMap := recompute(t, eng2, "gfinal", parts)
+		if got := outputsAsMap(round1); !reflect.DeepEqual(got, wantMap) {
+			t.Fatalf("%s: final outputs = %v, want %v", label, got, wantMap)
+		}
+		r2.Close()
+	}
+}

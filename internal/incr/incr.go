@@ -1039,15 +1039,22 @@ func (r *Runner) resultCompactions() int64 {
 // Orphaned is a gauge (cumulative since Open): non-zero means segment
 // deletions failed and durable space is leaking.
 func (r *Runner) reportResultStats(rep *metrics.Report, compBefore int64) {
-	var segs, orphaned int64
+	var segs, orphaned, blocks, skips, decomp int64
 	for _, res := range r.res {
 		st := res.Stats()
 		segs += int64(st.Segments)
 		orphaned += st.Orphaned
+		blocks += st.BlocksRead
+		skips += st.BloomSkips
+		decomp += st.BytesDecompressed
 	}
 	rep.Add(metrics.CounterResultSegments, segs)
 	rep.Add(metrics.CounterResultCompactions, r.resultCompactions()-compBefore)
 	rep.Add(metrics.CounterResultSegmentsOrphaned, orphaned)
+	// Segment read-path gauges, cumulative since Open (like Orphaned).
+	rep.Add(metrics.CounterResultBlocksRead, blocks)
+	rep.Add(metrics.CounterResultBloomSkips, skips)
+	rep.Add(metrics.CounterResultBytesDecompressed, decomp)
 }
 
 // Outputs returns the current result set as a key-sorted slice,

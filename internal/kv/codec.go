@@ -44,6 +44,13 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 64<<10)}
 }
 
+// NewWriterSize returns a Writer encoding to w through a buffer of at
+// least size bytes. Spill paths use large buffers (256 KiB) so run
+// writes hit the OS in few, big syscalls.
+func NewWriterSize(w io.Writer, size int) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, size)}
+}
+
 func (w *Writer) writeField(s string) error {
 	n := binary.PutUvarint(w.scratch[:], uint64(len(s)))
 	if _, err := w.w.Write(w.scratch[:n]); err != nil {
@@ -173,6 +180,52 @@ func uvarintLen(v uint64) int {
 		n++
 	}
 	return n
+}
+
+// AppendPair appends p's binary encoding to buf and returns the
+// extended slice. It is the allocation-free counterpart of
+// Writer.WritePair for callers assembling records in a block arena.
+func AppendPair(buf []byte, p Pair) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(p.Key)))
+	buf = append(buf, p.Key...)
+	buf = binary.AppendUvarint(buf, uint64(len(p.Value)))
+	buf = append(buf, p.Value...)
+	return buf
+}
+
+// DecodePairInPlace decodes one pair record from the front of buf
+// without copying: key and value alias buf. n is the number of bytes
+// consumed. Callers that outlive buf (e.g. a pooled block buffer about
+// to be recycled) must copy before retaining. Returns io.EOF when buf
+// is empty.
+func DecodePairInPlace(buf []byte) (key, value []byte, n int, err error) {
+	if len(buf) == 0 {
+		return nil, nil, 0, io.EOF
+	}
+	key, n1, err := decodeFieldInPlace(buf)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	value, n2, err := decodeFieldInPlace(buf[n1:])
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return key, value, n1 + n2, nil
+}
+
+func decodeFieldInPlace(buf []byte) ([]byte, int, error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("%w: truncated length prefix", ErrCorrupt)
+	}
+	if l > maxFieldLen {
+		return nil, 0, fmt.Errorf("%w: field length %d exceeds limit", ErrCorrupt, l)
+	}
+	end := n + int(l)
+	if end > len(buf) {
+		return nil, 0, fmt.Errorf("%w: truncated field", ErrCorrupt)
+	}
+	return buf[n:end], end, nil
 }
 
 // EncodePairs writes all pairs to w with a single Writer and flushes.

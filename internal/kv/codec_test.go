@@ -179,3 +179,59 @@ func TestUvarintLen(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendPairRoundTrip(t *testing.T) {
+	pairs := []Pair{{"a", "1"}, {"key-two", ""}, {"", "value-only"}, {"βig", "ünicode"}}
+	var buf []byte
+	for _, p := range pairs {
+		buf = AppendPair(buf, p)
+	}
+	// Streamed Writer output must be byte-identical.
+	var stream bytes.Buffer
+	if _, err := EncodePairs(&stream, pairs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, stream.Bytes()) {
+		t.Fatal("AppendPair encoding differs from Writer encoding")
+	}
+	// In-place decode walks the same bytes back out, zero-copy.
+	rest := buf
+	for i, want := range pairs {
+		k, v, n, err := DecodePairInPlace(rest)
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		if string(k) != want.Key || string(v) != want.Value {
+			t.Fatalf("pair %d = (%q, %q), want %+v", i, k, v, want)
+		}
+		rest = rest[n:]
+	}
+	if _, _, _, err := DecodePairInPlace(rest); err != io.EOF {
+		t.Fatalf("trailing decode = %v, want io.EOF", err)
+	}
+}
+
+func TestDecodePairInPlaceCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated key":    {5, 'a', 'b'},
+		"truncated value":  AppendPair(nil, Pair{"k", "v"})[:3],
+		"oversized length": {0xff, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for name, b := range cases {
+		if _, _, _, err := DecodePairInPlace(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestDecodePairInPlaceAliasesBuffer(t *testing.T) {
+	buf := AppendPair(nil, Pair{"alias", "check"})
+	k, _, _, err := DecodePairInPlace(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[1] = 'A' // first key byte (after 1-byte length prefix)
+	if string(k) != "Alias" {
+		t.Fatalf("key does not alias buffer: %q", k)
+	}
+}

@@ -121,6 +121,19 @@ const (
 	// sub-key fan-out by the merge-back collator (one per split key per
 	// partition that saw it).
 	CounterHotKeyMergedGroups = "shuffle.hotkeys.merged.groups"
+	// CounterResultBlocksRead counts segment blocks decoded by result /
+	// state store point lookups and merges (v2 block-format segments
+	// only; a point hit should cost exactly one).
+	CounterResultBlocksRead = "results.blocks.read"
+	// CounterResultBloomSkips counts segment probes answered "absent" by
+	// a segment's bloom filter with zero block I/O.
+	CounterResultBloomSkips = "results.bloom.skips"
+	// CounterResultBytesDecompressed counts the decoded bytes produced by
+	// per-block decompression on the segment read path.
+	CounterResultBytesDecompressed = "results.bytes.decompressed"
+	// CounterSpillReuse counts spill-run pair buffers the shuffle runtime
+	// recycled from its pool instead of growing fresh ones.
+	CounterSpillReuse = "shuffle.spill.reuse"
 )
 
 // Report accumulates stage durations and named counters for one job (or

@@ -1,10 +1,13 @@
 package mrbg
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"os"
 	"sort"
+
+	"i2mapreduce/internal/blockio"
 )
 
 // MergeResult is one affected key after a merge: its up-to-date chunk
@@ -210,16 +213,25 @@ func (s *Store) Compact() error {
 	}
 	newIndex := make(map[string]loc, len(s.index))
 	var off int64
-	var buf []byte
+	// Encode through a pooled block-sized scratch buffer and a large
+	// write buffer: the rewrite streams in few, big syscalls instead of
+	// one write per chunk.
+	scratch := blockio.GetBuf()
+	defer blockio.PutBuf(scratch)
+	w := bufio.NewWriterSize(tmp, 256<<10)
 	err = s.AllChunks(func(c Chunk) error {
-		buf = encodeChunk(buf[:0], c)
-		if _, err := tmp.Write(buf); err != nil {
+		buf := encodeChunk((*scratch)[:0], c)
+		*scratch = buf
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 		newIndex[c.Key] = loc{off: off, len: int64(len(buf)), batch: 1}
 		off += int64(len(buf))
 		return nil
 	})
+	if err == nil {
+		err = w.Flush()
+	}
 	if err != nil {
 		tmp.Close()
 		os.Remove(tmpPath)

@@ -20,6 +20,19 @@
 //	               key. A record is either a live group (its output
 //	               pairs) or a tombstone (the group was deleted).
 //
+// # Segment formats
+//
+// New segments are written in the v2 block format (internal/blockio):
+// records are packed into ~32 KiB blocks, each CRC-checked and
+// optionally compressed, under a sparse first-key-per-block index and a
+// per-segment bloom filter. A point lookup probes the bloom filter
+// (an absent key usually costs zero I/O), then reads exactly one block.
+// Legacy v1 segments — flat record streams indexed by a full in-memory
+// key map built at Open — remain readable forever: Open sniffs each
+// file's magic and falls back, and the next compaction rewrites the
+// data forward into v2. The manifest format is unchanged ("results v1"
+// names the manifest schema; segments self-describe their own format).
+//
 // Mutations accumulate in an in-memory memtable; Checkpoint flushes it
 // as a new segment and persists the manifest. Reads overlay the
 // memtable over the segments newest-first. When the segment count
@@ -57,7 +70,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"i2mapreduce/internal/blockio"
 	"i2mapreduce/internal/fsutil"
 	"i2mapreduce/internal/kv"
 )
@@ -74,6 +89,17 @@ type Options struct {
 	// compaction during Checkpoint. 0 means DefaultCompactThreshold; a
 	// negative value disables compaction entirely.
 	CompactThreshold int
+	// BlockBytes is the target decoded bytes per segment block in newly
+	// written (v2) segments. 0 means blockio.DefaultBlockBytes (32 KiB).
+	BlockBytes int
+	// Compression selects the per-block codec for newly written
+	// segments: "" or "none" (raw), or "flate". Reads auto-detect each
+	// block's codec, so the knob can change between runs freely.
+	Compression string
+	// BloomBitsPerKey sizes the per-segment bloom filter. 0 means
+	// blockio.DefaultBloomBitsPerKey (10, ~1% false positives); a
+	// negative value disables the filter.
+	BloomBitsPerKey int
 }
 
 // Stats reports the store's shape and maintenance work.
@@ -93,6 +119,15 @@ type Stats struct {
 	// on disk unreferenced by the manifest — a durable-space leak signal
 	// (the next Open re-sweeps them). Includes sweep failures at Open.
 	Orphaned int64
+	// BlocksRead counts segment blocks decoded by reads and merges (v2
+	// segments only; a point hit costs exactly one).
+	BlocksRead int64
+	// BloomSkips counts segment probes answered "absent" by a segment's
+	// bloom filter with zero block I/O.
+	BloomSkips int64
+	// BytesDecompressed counts decoded bytes produced by per-block
+	// decompression on the read path (zero when Compression is "none").
+	BytesDecompressed int64
 }
 
 // removeFile deletes a segment file; a package variable so tests can
@@ -112,13 +147,15 @@ type segLoc struct {
 	len int64
 }
 
-// segment is one immutable sorted run of group records. The file and
-// index never change after creation; the lifecycle fields below are
-// guarded by the owning Store's mu.
+// segment is one immutable sorted run of group records. Exactly one of
+// bf (v2 block format) and index (legacy v1 flat format) is set; the
+// file and both never change after creation. The lifecycle fields
+// below are guarded by the owning Store's mu.
 type segment struct {
 	path  string
 	f     *os.File
-	index map[string]segLoc
+	bf    *blockio.File     // v2: parsed block index + bloom filter
+	index map[string]segLoc // v1: full in-memory key → location map
 	bytes int64
 
 	// refs counts snapshots (and transient point-read pins) holding the
@@ -159,6 +196,14 @@ type Store struct {
 	dirty      bool
 	lastOutput string
 	stats      Stats
+
+	// blockOpts is the resolved blockio configuration every new segment
+	// is written with. Immutable after Open.
+	blockOpts blockio.Options
+	// fileStats / bloomSkips account the lock-free segment read path
+	// (snapshot reads hold no store lock); folded into Stats().
+	fileStats  blockio.FileStats
+	bloomSkips atomic.Int64
 }
 
 const manifestName = "results.meta"
@@ -174,10 +219,19 @@ func Open(opts Options) (*Store, error) {
 	if opts.CompactThreshold == 0 {
 		opts.CompactThreshold = DefaultCompactThreshold
 	}
+	codec, err := blockio.ParseCodec(opts.Compression)
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("results: creating dir: %w", err)
 	}
 	s := &Store{opts: opts, mem: make(map[string]entry)}
+	s.blockOpts = blockio.Options{
+		BlockBytes:      opts.BlockBytes,
+		Codec:           codec,
+		BloomBitsPerKey: opts.BloomBitsPerKey,
+	}
 	names, last, seq, ok, err := readManifest(opts.Dir)
 	if err != nil {
 		return nil, err
@@ -188,7 +242,7 @@ func Open(opts Options) (*Store, error) {
 	referenced := make(map[string]bool, len(names))
 	for _, name := range names {
 		referenced[name] = true
-		seg, err := openSegment(filepath.Join(opts.Dir, name))
+		seg, err := s.openSegment(filepath.Join(opts.Dir, name))
 		if err != nil {
 			s.closeSegments()
 			return nil, err
@@ -385,28 +439,74 @@ func (s *Store) Get(key string) ([]kv.Pair, bool, error) {
 		}
 		return copyPairs(e.pairs), true, nil
 	}
-	for i := len(s.segs) - 1; i >= 0; i-- {
-		l, ok := s.segs[i].index[key]
-		if !ok {
-			continue
-		}
-		seg := s.segs[i]
+	// Pin the whole segment list for the probe (a mini-snapshot without
+	// the memtable copy): a v2 probe is not resolved until its candidate
+	// block has been read off-lock, and a miss must continue to the next
+	// older segment, which by then may have been compacted away.
+	segs := append([]*segment(nil), s.segs...)
+	for _, seg := range segs {
 		seg.refs++
-		s.mu.Unlock()
-		rec, err := seg.readRecord(l)
-		s.mu.Lock()
+	}
+	s.mu.Unlock()
+	pairs, found, err := s.getFromSegments(segs, key)
+	s.mu.Lock()
+	for _, seg := range segs {
 		s.releaseLocked(seg)
-		s.mu.Unlock()
+	}
+	s.mu.Unlock()
+	return pairs, found, err
+}
+
+// getFromSegments probes pinned segments newest-first for key. Takes
+// no lock; used by Store.Get and snapshot reads alike.
+func (s *Store) getFromSegments(segs []*segment, key string) ([]kv.Pair, bool, error) {
+	for i := len(segs) - 1; i >= 0; i-- {
+		rec, ok, err := s.segGet(segs[i], key)
 		if err != nil {
 			return nil, false, err
+		}
+		if !ok {
+			continue
 		}
 		if rec.tomb {
 			return nil, false, nil
 		}
 		return rec.pairs, true, nil
 	}
-	s.mu.Unlock()
 	return nil, false, nil
+}
+
+// segGet probes one segment for key. A false answer is definitive for
+// that segment (the bloom filter never false-negatives, and the block
+// scan is exact), so callers fall through to the next older segment.
+func (s *Store) segGet(seg *segment, key string) (record, bool, error) {
+	if seg.bf == nil {
+		// v1 flat segment: full in-memory index, definitive either way.
+		l, ok := seg.index[key]
+		if !ok {
+			return record{}, false, nil
+		}
+		rec, err := seg.readRecord(l)
+		if err != nil {
+			return record{}, false, err
+		}
+		return rec, true, nil
+	}
+	if !seg.bf.MayContain(key) {
+		s.bloomSkips.Add(1)
+		return record{}, false, nil
+	}
+	bi, ok := seg.bf.FindBlock(key)
+	if !ok {
+		return record{}, false, nil
+	}
+	buf := blockio.GetBuf()
+	defer blockio.PutBuf(buf)
+	data, err := seg.bf.ReadBlock(bi, buf)
+	if err != nil {
+		return record{}, false, err
+	}
+	return findInBlock(data, key)
 }
 
 // MultiGet answers a batch of point lookups against one consistent
@@ -467,6 +567,9 @@ func (s *Store) Stats() Stats {
 	for _, seg := range s.segs {
 		st.SegmentBytes += seg.bytes
 	}
+	st.BlocksRead = s.fileStats.BlocksRead.Load()
+	st.BytesDecompressed = s.fileStats.BytesDecompressed.Load()
+	st.BloomSkips = s.bloomSkips.Load()
 	return st
 }
 
@@ -568,21 +671,141 @@ func (sn *Snapshot) Get(key string) ([]kv.Pair, bool, error) {
 		}
 		return copyPairs(e.pairs), true, nil
 	}
+	return sn.s.getFromSegments(sn.segs, key)
+}
+
+// GetCached is Get through a BlockCache: each decoded v2 segment block
+// the lookup touches is materialized into (or served from) bc, so a
+// working set of hot blocks is decoded once per cache lifetime instead
+// of once per lookup. fromCache reports whether the answer came from a
+// cached block (false for memtable-overlay answers, v1 segments, and
+// overall misses). The serving layer keys one BlockCache per epoch;
+// because segments are immutable a cached block can never be stale.
+func (sn *Snapshot) GetCached(key string, bc *BlockCache) (pairs []kv.Pair, found, fromCache bool, err error) {
+	if e, ok := sn.overlay[key]; ok {
+		if e.tomb {
+			return nil, false, false, nil
+		}
+		return copyPairs(e.pairs), true, false, nil
+	}
 	for i := len(sn.segs) - 1; i >= 0; i-- {
-		l, ok := sn.segs[i].index[key]
+		seg := sn.segs[i]
+		if seg.bf == nil || bc == nil {
+			rec, ok, err := sn.s.segGet(seg, key)
+			if err != nil {
+				return nil, false, false, err
+			}
+			if !ok {
+				continue
+			}
+			if rec.tomb {
+				return nil, false, false, nil
+			}
+			return rec.pairs, true, false, nil
+		}
+		if !seg.bf.MayContain(key) {
+			sn.s.bloomSkips.Add(1)
+			continue
+		}
+		bi, ok := seg.bf.FindBlock(key)
 		if !ok {
 			continue
 		}
-		rec, err := sn.segs[i].readRecord(l)
+		recs, cached, err := bc.block(seg, bi)
 		if err != nil {
-			return nil, false, err
+			return nil, false, false, err
 		}
-		if rec.tomb {
-			return nil, false, nil
+		j := sort.Search(len(recs), func(j int) bool { return recs[j].key >= key })
+		if j >= len(recs) || recs[j].key != key {
+			continue // definitive miss for this segment
 		}
-		return rec.pairs, true, nil
+		if recs[j].tomb {
+			return nil, false, cached, nil
+		}
+		return copyPairs(recs[j].pairs), true, cached, nil
 	}
-	return nil, false, nil
+	return nil, false, false, nil
+}
+
+// BlockCache is a bounded cache of materialized segment blocks, keyed
+// by block identity (segment, block index). Entries are decoded,
+// key-sorted record slices; they are immutable and shared, so callers
+// must copy pairs before handing them out. Because segments never
+// change after creation there is no invalidation: drop the whole cache
+// when its working set should die (the serving layer drops one per
+// epoch flip). When full it stops admitting new blocks — the hot set
+// is whatever got in first. Safe for concurrent use.
+type BlockCache struct {
+	mu  sync.RWMutex
+	cap int
+	m   map[blockCacheKey][]record
+}
+
+type blockCacheKey struct {
+	seg *segment
+	idx int
+}
+
+// DefaultBlockCacheSize is the NewBlockCache capacity when size is 0.
+const DefaultBlockCacheSize = 256
+
+// NewBlockCache returns a cache holding up to size decoded blocks.
+// 0 means DefaultBlockCacheSize; negative disables caching (every
+// lookup decodes its block afresh).
+func NewBlockCache(size int) *BlockCache {
+	if size == 0 {
+		size = DefaultBlockCacheSize
+	}
+	if size < 0 {
+		return &BlockCache{}
+	}
+	return &BlockCache{cap: size, m: make(map[blockCacheKey][]record, size/4)}
+}
+
+// Len reports the number of blocks currently cached.
+func (bc *BlockCache) Len() int {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return len(bc.m)
+}
+
+// block returns segment seg's block bi as sorted records, decoding and
+// (capacity permitting) admitting it on first touch. cached reports
+// whether the block was already resident.
+func (bc *BlockCache) block(seg *segment, bi int) (recs []record, cached bool, err error) {
+	k := blockCacheKey{seg: seg, idx: bi}
+	if bc.cap > 0 {
+		bc.mu.RLock()
+		recs, cached = bc.m[k]
+		bc.mu.RUnlock()
+		if cached {
+			return recs, true, nil
+		}
+	}
+	buf := blockio.GetBuf()
+	data, err := seg.bf.ReadBlock(bi, buf)
+	if err != nil {
+		blockio.PutBuf(buf)
+		return nil, false, err
+	}
+	for len(data) > 0 {
+		rec, n, err := decodeRecord(data)
+		if err != nil {
+			blockio.PutBuf(buf)
+			return nil, false, fmt.Errorf("results: %s block %d: %w", seg.path, bi, err)
+		}
+		recs = append(recs, rec)
+		data = data[n:]
+	}
+	blockio.PutBuf(buf)
+	if bc.cap > 0 {
+		bc.mu.Lock()
+		if len(bc.m) < bc.cap {
+			bc.m[k] = recs
+		}
+		bc.mu.Unlock()
+	}
+	return recs, false, nil
 }
 
 // MultiGet answers a batch of point lookups: pairs[i], found[i]
@@ -843,15 +1066,59 @@ func (r *sliceRecordSource) next() (record, error) {
 	return rec, nil
 }
 
-// fileRecordSource streams a segment file sequentially.
+// fileRecordSource streams a v1 flat segment file sequentially.
 type fileRecordSource struct {
-	r *bufio.Reader
+	r       *bufio.Reader
+	scratch []byte
 }
 
 func (f *fileRecordSource) next() (record, error) {
-	rec, _, err := readRecordFrom(f.r)
+	rec, _, err := readRecordFrom(f.r, &f.scratch)
 	return rec, err
 }
+
+// blockRecordSource streams a v2 block segment: blocks are read one at
+// a time into a pooled buffer and decoded in place.
+type blockRecordSource struct {
+	bf   *blockio.File
+	bi   int
+	buf  *[]byte
+	data []byte // undecoded remainder of the current block
+}
+
+func (b *blockRecordSource) next() (record, error) {
+	for len(b.data) == 0 {
+		if b.bi >= b.bf.NumBlocks() {
+			return record{}, io.EOF
+		}
+		if b.buf == nil {
+			b.buf = blockio.GetBuf()
+		}
+		data, err := b.bf.ReadBlock(b.bi, b.buf)
+		if err != nil {
+			return record{}, err
+		}
+		b.bi++
+		b.data = data
+	}
+	rec, n, err := decodeRecord(b.data)
+	if err != nil {
+		return record{}, err
+	}
+	b.data = b.data[n:]
+	return rec, nil
+}
+
+func (b *blockRecordSource) release() {
+	if b.buf != nil {
+		blockio.PutBuf(b.buf)
+		b.buf = nil
+	}
+}
+
+// releaser lets mergeRecords return pooled resources held by a source
+// even when the merge stops early on an error.
+type releaser interface{ release() }
 
 // mergeRecords k-way merges the overlay (highest priority, may be nil)
 // and the segments (newer = higher priority) into one newest-wins
@@ -866,9 +1133,20 @@ func mergeRecords(segs []*segment, overlay []record, fn func(r record) error) er
 	sources := make([]recordSource, 0, len(segs)+1)
 	sources = append(sources, &sliceRecordSource{recs: overlay})
 	for i := len(segs) - 1; i >= 0; i-- {
+		if segs[i].bf != nil {
+			sources = append(sources, &blockRecordSource{bf: segs[i].bf})
+			continue
+		}
 		sr := io.NewSectionReader(segs[i].f, 0, segs[i].bytes)
 		sources = append(sources, &fileRecordSource{r: bufio.NewReaderSize(sr, 64<<10)})
 	}
+	defer func() {
+		for _, src := range sources {
+			if r, ok := src.(releaser); ok {
+				r.release()
+			}
+		}
+	}()
 	heads := make([]*record, len(sources))
 	advance := func(i int) error {
 		rec, err := sources[i].next()
@@ -960,7 +1238,11 @@ func uvarintLen(v uint64) int64 {
 	return n
 }
 
-func readString(r *bufio.Reader) (string, int64, error) {
+// readString decodes one length-prefixed field through *scratch — a
+// reused buffer that grows to the largest field seen — so a stream
+// scan allocates one string per field instead of a string plus a
+// throwaway byte slice.
+func readString(r *bufio.Reader, scratch *[]byte) (string, int64, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", 0, err
@@ -968,18 +1250,22 @@ func readString(r *bufio.Reader) (string, int64, error) {
 	if n > maxFieldLen {
 		return "", 0, fmt.Errorf("results: corrupt field length %d", n)
 	}
-	b := make([]byte, n)
+	if uint64(cap(*scratch)) < n {
+		*scratch = make([]byte, n)
+	}
+	b := (*scratch)[:n]
 	if _, err := io.ReadFull(r, b); err != nil {
 		return "", 0, fmt.Errorf("results: truncated field: %w", err)
 	}
 	return string(b), uvarintLen(n) + int64(n), nil
 }
 
-// readRecordFrom decodes the next record, also returning its encoded
-// length (so segment scans can index offsets from the single decode
-// pass); io.EOF signals a clean end.
-func readRecordFrom(r *bufio.Reader) (record, int64, error) {
-	key, sz, err := readString(r)
+// readRecordFrom decodes the next record of a v1 flat segment stream,
+// also returning its encoded length (so segment scans can index
+// offsets from the single decode pass); io.EOF signals a clean end.
+// scratch is the reused field buffer handed to readString.
+func readRecordFrom(r *bufio.Reader, scratch *[]byte) (record, int64, error) {
+	key, sz, err := readString(r, scratch)
 	if err != nil {
 		if err == io.EOF {
 			return record{}, 0, io.EOF
@@ -1005,11 +1291,11 @@ func readRecordFrom(r *bufio.Reader) (record, int64, error) {
 		sz += uvarintLen(n)
 		pairs := make([]kv.Pair, 0, n)
 		for i := uint64(0); i < n; i++ {
-			k, kn, err := readString(r)
+			k, kn, err := readString(r, scratch)
 			if err != nil {
 				return record{}, 0, fmt.Errorf("results: corrupt pair key: %w", err)
 			}
-			v, vn, err := readString(r)
+			v, vn, err := readString(r, scratch)
 			if err != nil {
 				return record{}, 0, fmt.Errorf("results: corrupt pair value: %w", err)
 			}
@@ -1022,15 +1308,136 @@ func readRecordFrom(r *bufio.Reader) (record, int64, error) {
 	}
 }
 
-// segmentWriter streams records (sorted by key) into a new segment
-// file, building its index as it goes.
+// splitField splits one length-prefixed field off the front of buf,
+// returning the field (aliasing buf — zero copy) and the bytes
+// consumed.
+func splitField(buf []byte) ([]byte, int, error) {
+	n, un := binary.Uvarint(buf)
+	if un <= 0 {
+		return nil, 0, errors.New("results: corrupt length prefix")
+	}
+	if n > maxFieldLen {
+		return nil, 0, fmt.Errorf("results: corrupt field length %d", n)
+	}
+	end := un + int(n)
+	if end > len(buf) {
+		return nil, 0, errors.New("results: truncated field")
+	}
+	return buf[un:end], end, nil
+}
+
+// peekRecord parses the record at the front of a decoded block without
+// materializing anything: the returned key aliases buf and n is the
+// record's encoded length. The zero-allocation form of decodeRecord,
+// used to skip past records a point lookup is not interested in.
+func peekRecord(buf []byte) (key []byte, n int, err error) {
+	key, n, err = splitField(buf)
+	if err != nil {
+		return nil, 0, fmt.Errorf("results: corrupt record key: %w", err)
+	}
+	if n >= len(buf) {
+		return nil, 0, errors.New("results: truncated record kind")
+	}
+	kind := buf[n]
+	n++
+	switch kind {
+	case 0:
+		return key, n, nil
+	case 1:
+		np, un := binary.Uvarint(buf[n:])
+		if un <= 0 || np > maxFieldLen {
+			return nil, 0, errors.New("results: corrupt pair count")
+		}
+		n += un
+		for i := uint64(0); i < 2*np; i++ {
+			_, fn, err := splitField(buf[n:])
+			if err != nil {
+				return nil, 0, fmt.Errorf("results: corrupt pair field: %w", err)
+			}
+			n += fn
+		}
+		return key, n, nil
+	default:
+		return nil, 0, fmt.Errorf("results: invalid record kind %d", kind)
+	}
+}
+
+// decodeRecord materializes the record at the front of a decoded
+// block, returning its encoded length. Strings are copied out; nothing
+// in the result aliases buf (which is typically a pooled block buffer
+// about to be recycled).
+func decodeRecord(buf []byte) (record, int, error) {
+	key, n, err := splitField(buf)
+	if err != nil {
+		return record{}, 0, fmt.Errorf("results: corrupt record key: %w", err)
+	}
+	if n >= len(buf) {
+		return record{}, 0, errors.New("results: truncated record kind")
+	}
+	kind := buf[n]
+	n++
+	switch kind {
+	case 0:
+		return record{key: string(key), tomb: true}, n, nil
+	case 1:
+		np, un := binary.Uvarint(buf[n:])
+		if un <= 0 || np > maxFieldLen {
+			return record{}, 0, errors.New("results: corrupt pair count")
+		}
+		n += un
+		pairs := make([]kv.Pair, 0, np)
+		for i := uint64(0); i < np; i++ {
+			k, kn, err := splitField(buf[n:])
+			if err != nil {
+				return record{}, 0, fmt.Errorf("results: corrupt pair key: %w", err)
+			}
+			n += kn
+			v, vn, err := splitField(buf[n:])
+			if err != nil {
+				return record{}, 0, fmt.Errorf("results: corrupt pair value: %w", err)
+			}
+			n += vn
+			pairs = append(pairs, kv.Pair{Key: string(k), Value: string(v)})
+		}
+		return record{key: string(key), pairs: pairs}, n, nil
+	default:
+		return record{}, 0, fmt.Errorf("results: invalid record kind %d", kind)
+	}
+}
+
+// findInBlock scans a decoded block for key. Records the scan skips
+// cost zero allocations (peekRecord aliases the block buffer); only a
+// match is materialized. Records are key-sorted, so the scan stops at
+// the first key past the target.
+func findInBlock(data []byte, key string) (record, bool, error) {
+	for len(data) > 0 {
+		k, n, err := peekRecord(data)
+		if err != nil {
+			return record{}, false, err
+		}
+		if string(k) == key { // comparison only — does not allocate
+			rec, _, err := decodeRecord(data)
+			if err != nil {
+				return record{}, false, err
+			}
+			return rec, true, nil
+		}
+		if string(k) > key {
+			return record{}, false, nil
+		}
+		data = data[n:]
+	}
+	return record{}, false, nil
+}
+
+// segmentWriter streams records (sorted by key) into a new v2 block
+// segment file; blockio builds the sparse index and bloom filter.
 type segmentWriter struct {
 	path  string
 	f     *os.File
-	w     *bufio.Writer
-	index map[string]segLoc
-	off   int64
+	bw    *blockio.Writer
 	buf   []byte
+	stats *blockio.FileStats // attached to the finished file's reader
 }
 
 // nextSeqLocked reserves the next segment sequence number. Callers
@@ -1049,37 +1456,31 @@ func (s *Store) newSegmentWriter(seq int64) (*segmentWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &segmentWriter{
-		path:  path,
-		f:     f,
-		w:     bufio.NewWriterSize(f, 64<<10),
-		index: make(map[string]segLoc),
-	}, nil
+	bw, err := blockio.NewWriter(f, s.blockOpts)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return &segmentWriter{path: path, f: f, bw: bw, stats: &s.fileStats}, nil
 }
 
 // add appends one record.
 func (sw *segmentWriter) add(r record) error {
 	sw.buf = encodeRecord(sw.buf[:0], r)
-	if _, err := sw.w.Write(sw.buf); err != nil {
-		return err
-	}
-	sw.index[r.key] = segLoc{off: sw.off, len: int64(len(sw.buf))}
-	sw.off += int64(len(sw.buf))
-	return nil
+	return sw.bw.Append(r.key, sw.buf)
 }
 
-// finish flushes and fsyncs the file and returns the segment ready for
-// reads. On error the file is removed.
+// finish writes the footer, fsyncs the file, and returns the segment
+// ready for reads. On error the file is removed.
 func (sw *segmentWriter) finish() (*segment, error) {
-	if err := sw.w.Flush(); err != nil {
+	bf, err := sw.bw.Finish()
+	if err != nil {
 		sw.abort()
 		return nil, err
 	}
-	if err := sw.f.Sync(); err != nil {
-		sw.abort()
-		return nil, err
-	}
-	return &segment{path: sw.path, f: sw.f, index: sw.index, bytes: sw.off}, nil
+	bf.SetStats(sw.stats)
+	return &segment{path: sw.path, f: sw.f, bf: bf, bytes: bf.Size()}, nil
 }
 
 // abort discards the partially written file.
@@ -1088,18 +1489,35 @@ func (sw *segmentWriter) abort() {
 	os.Remove(sw.path)
 }
 
-// openSegment opens an existing segment, rebuilding its in-memory index
-// with one sequential scan.
-func openSegment(path string) (*segment, error) {
+// openSegment opens an existing segment of either format: a v2 block
+// file's footer is parsed directly; a legacy v1 flat file (no block
+// magic) gets its in-memory index rebuilt with one sequential scan.
+func (s *Store) openSegment(path string) (*segment, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("results: opening segment: %w", err)
 	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("results: opening segment: %w", err)
+	}
+	bf, err := blockio.Open(f, fi.Size())
+	if err == nil {
+		bf.SetStats(&s.fileStats)
+		return &segment{path: path, f: f, bf: bf, bytes: fi.Size()}, nil
+	}
+	if !errors.Is(err, blockio.ErrNotBlockFile) {
+		f.Close()
+		return nil, fmt.Errorf("results: %s: %w", path, err)
+	}
+	// v1 flat segment.
 	index := make(map[string]segLoc)
 	r := bufio.NewReaderSize(f, 64<<10)
 	var off int64
+	var scratch []byte
 	for {
-		rec, n, err := readRecordFrom(r)
+		rec, n, err := readRecordFrom(r, &scratch)
 		if err == io.EOF {
 			break
 		}
@@ -1113,14 +1531,14 @@ func openSegment(path string) (*segment, error) {
 	return &segment{path: path, f: f, index: index, bytes: off}, nil
 }
 
-// readRecord decodes the record at l. Uses ReadAt, so any number of
+// readRecord decodes the v1 record at l. Uses ReadAt, so any number of
 // concurrent readers share the segment file safely.
 func (seg *segment) readRecord(l segLoc) (record, error) {
 	buf := make([]byte, l.len)
 	if _, err := seg.f.ReadAt(buf, l.off); err != nil {
 		return record{}, fmt.Errorf("results: segment read: %w", err)
 	}
-	rec, _, err := readRecordFrom(bufio.NewReader(bytes.NewReader(buf)))
+	rec, _, err := decodeRecord(buf)
 	return rec, err
 }
 

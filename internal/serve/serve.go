@@ -16,9 +16,12 @@
 // reader completes, which in turn lets the stores delete compacted-away
 // segment files.
 //
-// Each epoch carries a bounded read-through cache. Because an epoch is
-// immutable, cached entries can never be stale; the cache is dropped
-// wholesale at the flip, which is the entire invalidation story.
+// Each epoch carries a bounded block cache (results.BlockCache) keyed
+// by the identity of the immutable segment blocks lookups touch, so a
+// hot block is decoded once per epoch no matter how many distinct keys
+// it serves. Because an epoch is immutable, cached blocks can never be
+// stale; the cache is dropped wholesale at the flip, which is the
+// entire invalidation story.
 //
 // HTTP endpoints (/get, /mget, /stats, /healthz) are in http.go;
 // cmd/i2mr-serve runs a complete serving deployment with live
@@ -45,9 +48,11 @@ type SnapshotStore interface {
 	Snapshot() *results.Snapshot
 }
 
-// DefaultCacheSize is the per-epoch read-through cache capacity
-// (entries) when Options.CacheSize is zero.
-const DefaultCacheSize = 4096
+// DefaultCacheSize is the per-epoch block cache capacity (decoded
+// segment blocks) when Options.CacheSize is zero. At the default
+// 32 KiB block size this bounds the cache near 8 MiB of decoded data
+// per epoch.
+const DefaultCacheSize = 256
 
 // Options configures a Server.
 type Options struct {
@@ -56,8 +61,8 @@ type Options struct {
 	// groups and state keys with. Override only for jobs that ran with
 	// a custom mr.Job.Partition.
 	Partition func(key string, n int) int
-	// CacheSize bounds the per-epoch read-through cache (entries).
-	// 0 means DefaultCacheSize; negative disables caching.
+	// CacheSize bounds the per-epoch block cache (decoded segment
+	// blocks). 0 means DefaultCacheSize; negative disables caching.
 	CacheSize int
 }
 
@@ -87,7 +92,7 @@ type Server struct {
 type epoch struct {
 	id    int64
 	snaps []*results.Snapshot
-	cache *epochCache
+	cache *results.BlockCache
 	refs  atomic.Int64
 	// released makes the zero-crossing close idempotent: a reader that
 	// pinned the epoch in the instant a flip dropped it to zero (see
@@ -148,7 +153,7 @@ func (s *Server) newEpoch(id int64) *epoch {
 	for i, st := range s.stores {
 		snaps[i] = st.Snapshot()
 	}
-	e := &epoch{id: id, snaps: snaps, cache: newEpochCache(s.cacheSize), srv: s}
+	e := &epoch{id: id, snaps: snaps, cache: results.NewBlockCache(s.cacheSize), srv: s}
 	e.refs.Store(1)
 	s.snapsOpen.Add(int64(len(snaps)))
 	return e
@@ -182,28 +187,21 @@ func (e *epoch) release() {
 	}
 }
 
-// get answers one lookup through the epoch's cache.
+// get answers one lookup through the epoch's block cache. A hit means
+// the answer came out of an already-decoded cached block — including
+// for keys never looked up before, when a neighbour's lookup pulled
+// their block in.
 func (e *epoch) get(key string, p int) ([]kv.Pair, bool, error) {
-	if ps, found, ok := e.cache.lookup(key); ok {
-		e.srv.cacheHits.Add(1)
-		return copyPairs(ps), found, nil
-	}
-	e.srv.cacheMisses.Add(1)
-	ps, found, err := e.snaps[p].Get(key)
+	ps, found, fromCache, err := e.snaps[p].GetCached(key, e.cache)
 	if err != nil {
 		return nil, false, err
 	}
-	e.cache.fill(key, ps, found)
-	return copyPairs(ps), found, nil
-}
-
-// copyPairs hands each caller its own slice: cached entries are shared
-// across requests and must never be mutated through a return value.
-func copyPairs(ps []kv.Pair) []kv.Pair {
-	if ps == nil {
-		return nil
+	if fromCache {
+		e.srv.cacheHits.Add(1)
+	} else {
+		e.srv.cacheMisses.Add(1)
 	}
-	return append([]kv.Pair(nil), ps...)
+	return ps, found, nil
 }
 
 // Epoch returns the id of the epoch currently being served.
@@ -354,50 +352,6 @@ func (s *Server) AddTo(rep *metrics.Report) {
 	rep.Add(metrics.CounterServeSnapshotsOpen, st.SnapshotsOpen)
 	rep.Add(metrics.CounterServeCacheHits, st.CacheHits)
 	rep.Add(metrics.CounterServeCacheMisses, st.CacheMisses)
-}
-
-// epochCache is the per-epoch bounded read-through cache. Entries are
-// immutable for the epoch's lifetime (the snapshots never change), so
-// there is no invalidation: the whole cache dies with its epoch. When
-// full it stops admitting new entries — within one epoch the hot set is
-// whatever got in first, which is exactly the keys being hammered.
-type epochCache struct {
-	mu  sync.RWMutex
-	cap int
-	m   map[string]cacheEntry
-}
-
-type cacheEntry struct {
-	pairs []kv.Pair
-	found bool
-}
-
-func newEpochCache(size int) *epochCache {
-	if size <= 0 {
-		return &epochCache{}
-	}
-	return &epochCache{cap: size, m: make(map[string]cacheEntry, size/4)}
-}
-
-func (c *epochCache) lookup(key string) (pairs []kv.Pair, found, ok bool) {
-	if c.cap == 0 {
-		return nil, false, false
-	}
-	c.mu.RLock()
-	e, ok := c.m[key]
-	c.mu.RUnlock()
-	return e.pairs, e.found, ok
-}
-
-func (c *epochCache) fill(key string, pairs []kv.Pair, found bool) {
-	if c.cap == 0 {
-		return
-	}
-	c.mu.Lock()
-	if len(c.m) < c.cap {
-		c.m[key] = cacheEntry{pairs: pairs, found: found}
-	}
-	c.mu.Unlock()
 }
 
 // String names the server for logs.

@@ -35,6 +35,7 @@ type Emitter struct {
 	spillRuns  int64
 	spillBytes int64
 	spillDur   time.Duration
+	spillReuse int64
 
 	// Batched hot-key observations (when the Buffer has skew detection
 	// on): per-key counts accumulate locally and flush into the stripe
@@ -110,16 +111,20 @@ func (e *Emitter) spillLargest() {
 		return
 	}
 	path, n, dur, err := e.b.writeSpillRun(d, e.bufs[d])
+	putRunBuffer(e.bufs[d])
+	e.total -= e.bytes[d]
+	var reused int64
+	e.bufs[d], reused = getRunBuffer()
+	e.bytes[d] = 0
 	if err != nil {
 		e.err = err
 		return
 	}
 	e.runs[d] = append(e.runs[d], path)
-	e.total -= e.bytes[d]
-	e.bufs[d], e.bytes[d] = nil, 0
 	e.spillRuns++
 	e.spillBytes += n
 	e.spillDur += dur
+	e.spillReuse += reused
 }
 
 // flushSkew merges the local hot-key counts into the stripe sketches,
@@ -166,10 +171,11 @@ func (e *Emitter) Publish() error {
 		p.recs += e.recs[d]
 		p.netBytes += e.net[d]
 		e.b.maybeSpillLocked(d, p) // releases p.mu
+		putRunBuffer(e.bufs[d])    // staged contents now live in p.pairs
 		e.bufs[d], e.runs[d] = nil, nil
 	}
-	e.b.accountSpills(e.spillRuns, e.spillBytes, e.spillDur)
-	e.spillRuns, e.spillBytes, e.spillDur = 0, 0, 0
+	e.b.accountSpills(e.spillRuns, e.spillBytes, e.spillDur, e.spillReuse)
+	e.spillRuns, e.spillBytes, e.spillDur, e.spillReuse = 0, 0, 0, 0
 	return nil
 }
 

@@ -206,10 +206,12 @@ func (b *Buffer) maybeSpillLocked(d int, p *partition) {
 		return
 	}
 	run := p.pairs
-	p.pairs = nil
+	var reused int64
+	p.pairs, reused = getRunBuffer()
 	p.bytes = 0
 	p.mu.Unlock()
 	path, n, dur, err := b.writeSpillRun(d, run)
+	putRunBuffer(run)
 	p.mu.Lock()
 	if err != nil {
 		if p.err == nil {
@@ -223,8 +225,43 @@ func (b *Buffer) maybeSpillLocked(d int, p *partition) {
 		// Stripe contents were already published, so account at once;
 		// Emitter staging spills instead account at Publish, keeping
 		// discarded attempts out of the metrics.
-		b.accountSpills(1, n, dur)
+		b.accountSpills(1, n, dur, reused)
 	}
+}
+
+// ---------------------------------------------------------------------
+// Spill-run buffer reuse. A stolen spill buffer is cleared and pooled
+// once its run file is on disk, and the partition that spilled refills
+// a recycled buffer — so a budget-bound map phase reaches a steady
+// state of a few full-grown buffers instead of re-growing one from nil
+// per spill.
+// ---------------------------------------------------------------------
+
+var runBufPool sync.Pool // of *[]kv.Pair
+
+// getRunBuffer returns an empty pair buffer to refill — recycled
+// capacity when the pool has any (reused=1), nil otherwise.
+func getRunBuffer() (buf []kv.Pair, reused int64) {
+	v := runBufPool.Get()
+	if v == nil {
+		return nil, 0
+	}
+	buf = (*v.(*[]kv.Pair))[:0]
+	if cap(buf) == 0 {
+		return nil, 0
+	}
+	return buf, 1
+}
+
+// putRunBuffer clears a spilled buffer (releasing its string
+// references) and pools its capacity for the next spill.
+func putRunBuffer(run []kv.Pair) {
+	if cap(run) == 0 {
+		return
+	}
+	clear(run)
+	run = run[:0]
+	runBufPool.Put(&run)
 }
 
 // writeSpillRun sorts one buffer and writes it as a uniquely named run
@@ -242,12 +279,15 @@ func (b *Buffer) writeSpillRun(d int, run []kv.Pair) (string, int64, time.Durati
 }
 
 // accountSpills records spill counters and sort-stage time.
-func (b *Buffer) accountSpills(runs, bytes int64, dur time.Duration) {
+func (b *Buffer) accountSpills(runs, bytes int64, dur time.Duration, reuse int64) {
 	if b.cfg.Report == nil || runs == 0 {
 		return
 	}
 	b.cfg.Report.Add(metrics.CounterSpillRuns, runs)
 	b.cfg.Report.Add(metrics.CounterSpillBytes, bytes)
+	if reuse > 0 {
+		b.cfg.Report.Add(metrics.CounterSpillReuse, reuse)
+	}
 	b.cfg.Report.AddStage(metrics.StageSort, dur)
 	b.sortNanos.Add(int64(dur))
 }
@@ -271,7 +311,7 @@ func writeRun(path string, run []kv.Pair) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, err := kv.EncodePairs(f, run)
+	n, err := encodeRun(f, run)
 	if err != nil {
 		f.Close()
 		os.Remove(path) // never leave a torn run behind
@@ -282,6 +322,19 @@ func writeRun(path string, run []kv.Pair) (int64, error) {
 		return n, err
 	}
 	return n, nil
+}
+
+// encodeRun streams a sorted run through a large (256 KiB) write
+// buffer: spill files are written in few, big syscalls, which is most
+// of the cost of running under a tight shuffle memory budget.
+func encodeRun(w io.Writer, run []kv.Pair) (int64, error) {
+	enc := kv.NewWriterSize(w, 256<<10)
+	for _, p := range run {
+		if err := enc.WritePair(p); err != nil {
+			return enc.Bytes, err
+		}
+	}
+	return enc.Bytes, enc.Flush()
 }
 
 // FinishMap seals the buffers after the map phase. It returns the first
