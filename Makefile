@@ -38,22 +38,27 @@ bench-smoke: bench-json
 
 # Machine-readable benchmark records at CI's artifact paths, so the
 # perf trajectory is reproducible locally: the engine sweeps in
-# BENCH_core.json, the serving-layer QPS/p99 sweep in BENCH_serve.json,
+# BENCH_core.json, the parallel durability-plane checkpoint sweep in
+# BENCH_ckpt.json, the serving-layer QPS/p99 sweep in BENCH_serve.json,
 # the segment block-format storage sweep in BENCH_results.json, and the
 # refresh-planner no-regret sweep in BENCH_plan.json.
 bench-json:
 	$(GO) run ./cmd/i2mr-bench -scale small -shuffle-mem 65536 -json BENCH_core.json onestep core
+	$(GO) run ./cmd/i2mr-bench -scale small -json BENCH_ckpt.json ckpt
 	$(GO) run ./cmd/i2mr-bench -scale small -json BENCH_serve.json serve
 	$(GO) run ./cmd/i2mr-bench -scale small -json BENCH_results.json results
 	$(GO) run ./cmd/i2mr-bench -scale small -shuffle-mem 65536 -json BENCH_plan.json plan
 
-# CPU + heap profiles of the storage/serving hot path (the results
-# point-read benchmarks), for digging into a regression the sweeps
-# surface: `make pprof` then `go tool pprof cpu.prof`.
+# CPU + heap + contention profiles of the storage/serving hot path (the
+# results point-read benchmarks), for digging into a regression the
+# sweeps surface: `make pprof` then `go tool pprof cpu.prof`. The mutex
+# and block profiles show lock contention and blocking waits on the
+# parallel durability plane (striped edge locks, scheduler queue).
 pprof:
 	$(GO) test -run '^$$' -bench 'BenchmarkStoreGet' -benchtime 2s \
-		-cpuprofile cpu.prof -memprofile mem.prof ./internal/results/
-	@echo "profiles written: cpu.prof mem.prof (go tool pprof cpu.prof)"
+		-cpuprofile cpu.prof -memprofile mem.prof \
+		-mutexprofile mutex.prof -blockprofile block.prof ./internal/results/
+	@echo "profiles written: cpu.prof mem.prof mutex.prof block.prof (go tool pprof cpu.prof)"
 
 # Run the online serving demo: wordcount over a generated corpus,
 # HTTP on :8080, a background delta refresh every 5s. Try

@@ -6,13 +6,14 @@
 //	i2mr-bench [-scale small|default] [-workdir DIR] [-json PATH] [experiment ...]
 //
 // Experiments: fig8 fig9 table4 fig10 fig11 fig12 fig13 apriori shards
-// onestep core serve results plan all
+// onestep core ckpt serve results plan all
 //
 // With -json PATH, the experiments that produce machine-readable
-// records (onestep, core, shards, serve, results, plan) additionally
-// append them to a JSON array written at PATH — the BENCH_core.json /
-// BENCH_serve.json / BENCH_results.json / BENCH_plan.json artifacts CI
-// uploads from its bench-smoke job.
+// records (onestep, core, ckpt, shards, serve, results, plan)
+// additionally append them to a JSON array written at PATH — the
+// BENCH_core.json / BENCH_ckpt.json / BENCH_serve.json /
+// BENCH_results.json / BENCH_plan.json artifacts CI uploads from its
+// bench-smoke job.
 package main
 
 import (
@@ -52,7 +53,7 @@ func main() {
 
 	experiments := flag.Args()
 	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
-		experiments = []string{"apriori", "onestep", "core", "serve", "results", "plan", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
+		experiments = []string{"apriori", "onestep", "core", "ckpt", "serve", "results", "plan", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
 	}
 
 	var recs []bench.JSONRecord
@@ -151,6 +152,13 @@ func runExperiment(env *bench.Env, sc bench.Scale, dir, name, scaleName string) 
 		}
 		fmt.Print(bench.FormatCoreSweep(rows))
 		return bench.CoreSweepJSON(scaleName, rows), nil
+	case "ckpt":
+		rows, err := bench.CkptSweep(filepath.Join(dir, name, "sweep"), sc)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(bench.FormatCkpt(rows))
+		return bench.CkptJSON(scaleName, rows), nil
 	case "serve":
 		rows, err := bench.ServeSweep(env, sc)
 		if err != nil {

@@ -57,6 +57,8 @@ func main() {
 	segBlock := flag.Int("seg-block", 0, "result segment block size in bytes (0 = 32 KiB default)")
 	segCodec := flag.String("seg-codec", "", "result segment per-block codec: none or flate (default none)")
 	bloomBits := flag.Int("bloom-bits", 0, "bloom filter bits per key in result segments (0 = default 10, negative disables)")
+	ioPar := flag.Int("io-par", 0, "bound on concurrent per-partition durability I/O: checkpoints, store opens, recovery (0 = GOMAXPROCS, 1 = serial)")
+	bgCompact := flag.Bool("bg-compact", false, "run durable-store compaction on a background scheduler instead of inline during checkpoints")
 	flag.Parse()
 
 	switch *planMode {
@@ -79,6 +81,8 @@ func main() {
 		SegmentBlockBytes:      *segBlock,
 		SegmentCompression:     *segCodec,
 		BloomBitsPerKey:        *bloomBits,
+		IOParallelism:          *ioPar,
+		BackgroundCompaction:   *bgCompact,
 	}
 	sys, err := i2mr.New(sysOpts)
 	if err != nil {

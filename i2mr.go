@@ -229,6 +229,20 @@ type Options struct {
 	// (bits per key). 0 uses the store default (10, ~1% false
 	// positives); negative disables the filters.
 	BloomBitsPerKey int
+	// IOParallelism is the default bound on the refreshable engines'
+	// concurrent per-partition durability I/O — checkpoint flushes,
+	// store opens/recovery, checkpoint restores, and output
+	// materialization all fan out across partitions on at most this
+	// many goroutines. Jobs/configs that set their own value win.
+	// 0 (the default) means GOMAXPROCS; 1 recovers the serial behavior.
+	IOParallelism int
+	// BackgroundCompaction moves the durable stores' threshold
+	// compaction off the checkpoint critical path onto a background
+	// scheduler in every runner this System creates: a refresh
+	// checkpoint then pays only the memtable flush and the manifest
+	// commit, and compaction runs between refreshes. Off by default
+	// (compaction stays inline in Checkpoint).
+	BackgroundCompaction bool
 }
 
 // Validate rejects contradictory or out-of-range Options. New calls it;
@@ -267,6 +281,9 @@ func (o Options) Validate() error {
 	if o.SegmentBlockBytes < 0 {
 		return fmt.Errorf("i2mr: Options.SegmentBlockBytes = %d, want >= 0 (0 means the default)", o.SegmentBlockBytes)
 	}
+	if o.IOParallelism < 0 {
+		return fmt.Errorf("i2mr: Options.IOParallelism = %d, want >= 0 (0 means the default)", o.IOParallelism)
+	}
 	if _, err := blockio.ParseCodec(o.SegmentCompression); err != nil {
 		return fmt.Errorf("i2mr: Options.SegmentCompression: %w", err)
 	}
@@ -286,6 +303,8 @@ type defaults struct {
 	segBlockBytes    int
 	segCompression   string
 	segBloomBits     int
+	ioParallelism    int
+	bgCompaction     bool
 }
 
 func (d defaults) store(opts *mrbg.Options) {
@@ -330,12 +349,22 @@ func (d defaults) segFormat(blockBytes *int, compression *string, bloomBits *int
 	}
 }
 
+func (d defaults) durability(ioPar *int, bgCompact *bool) {
+	if *ioPar == 0 {
+		*ioPar = d.ioParallelism
+	}
+	if d.bgCompaction {
+		*bgCompact = true
+	}
+}
+
 func (d defaults) oneStep(job *OneStepJob) {
 	d.store(&job.StoreOpts)
 	d.compact(&job.ResultOpts.CompactThreshold)
 	d.segFormat(&job.ResultOpts.BlockBytes, &job.ResultOpts.Compression, &job.ResultOpts.BloomBitsPerKey)
 	d.shuffle(&job.ShuffleMemoryBudget)
 	d.skew(&job.SkewRatio, &job.SkewFanOut)
+	d.durability(&job.IOParallelism, &job.BackgroundCompaction)
 }
 
 func (d defaults) iterative(cfg *IterConfig) {
@@ -348,6 +377,7 @@ func (d defaults) incremental(cfg *IncrementalConfig) {
 	d.compact(&cfg.StateCompactThreshold)
 	d.segFormat(&cfg.SegmentBlockBytes, &cfg.SegmentCompression, &cfg.BloomBitsPerKey)
 	d.skew(&cfg.SkewRatio, &cfg.SkewFanOut)
+	d.durability(&cfg.IOParallelism, &cfg.BackgroundCompaction)
 }
 
 // System is a ready-to-use i2MapReduce deployment.
@@ -397,6 +427,8 @@ func New(opts Options) (*System, error) {
 			segBlockBytes:    opts.SegmentBlockBytes,
 			segCompression:   opts.SegmentCompression,
 			segBloomBits:     opts.BloomBitsPerKey,
+			ioParallelism:    opts.IOParallelism,
+			bgCompaction:     opts.BackgroundCompaction,
 		},
 	}, nil
 }

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"i2mapreduce/internal/apps"
+	"i2mapreduce/internal/core"
+	"i2mapreduce/internal/datagen"
+	"i2mapreduce/internal/metrics"
+)
+
+// ---------------------------------------------------------------------
+// Checkpoint sweep: the parallel durability plane across partition
+// counts, IOParallelism bounds, and inline-vs-background compaction.
+// Not a paper figure — it profiles this reproduction's checkpoint
+// critical path: how much of a refresh is spent in per-iteration
+// durability (the StageCheckpoint wall-clock), how that shrinks when
+// the per-partition flushes fan out, and what moving threshold
+// compaction onto the background scheduler buys when compaction is
+// actually due (the sweep forces a low StateCompactThreshold so the
+// inline and background configurations genuinely diverge).
+// ---------------------------------------------------------------------
+
+// CkptRow is one configuration's profile.
+type CkptRow struct {
+	Partitions  int
+	IOPar       int
+	Background  bool
+	Initial     time.Duration
+	Refresh     time.Duration
+	Ckpt        time.Duration // StageCheckpoint wall-clock across the refresh
+	DirtyParts  int64
+	Flushed     int64 // state/baseline entries the checkpoints wrote
+	Compactions int64 // inline compactions observed by the refresh
+	BGRuns      int64 // background-scheduler compaction runs
+}
+
+// CkptSweep runs an incremental PageRank refresh (per-iteration
+// checkpointing on, compaction forced due early) at each
+// (partitions, io-parallelism, compaction-mode) configuration under
+// dir, timing the initial convergence, the refresh, and the refresh's
+// checkpoint stage.
+func CkptSweep(dir string, sc Scale) ([]CkptRow, error) {
+	graph := datagen.Graph(sc.Seed+400, sc.GraphVertices, sc.GraphDegree)
+	deltas, _ := datagen.Mutate(sc.Seed+401, graph, datagen.MutateOptions{
+		ModifyFraction: sc.DeltaFraction,
+		Rewrite:        datagen.RewireGraphValue(sc.GraphVertices),
+	})
+
+	partCounts := []int{sc.Partitions}
+	if sc.Partitions != 8 {
+		partCounts = append(partCounts, 8)
+	}
+	ioPars := []int{1, 8}
+	modes := []bool{false, true} // inline, background compaction
+
+	var rows []CkptRow
+	for _, parts := range partCounts {
+		for _, ioPar := range ioPars {
+			for _, bg := range modes {
+				mode := "inline"
+				if bg {
+					mode = "bg"
+				}
+				env, err := NewEnv(filepath.Join(dir, fmt.Sprintf("p%d-io%d-%s", parts, ioPar, mode)), sc.Nodes)
+				if err != nil {
+					return nil, err
+				}
+				if err := env.Eng.FS().WriteAllPairs("core/g0", graph); err != nil {
+					return nil, err
+				}
+				if err := env.Eng.FS().WriteAllDeltas("core/delta", deltas); err != nil {
+					return nil, err
+				}
+				spec := apps.PageRankSpec(fmt.Sprintf("ckpt-p%d-io%d-%s", parts, ioPar, mode), apps.DefaultDamping)
+				r, err := core.NewRunner(env.Eng, spec, core.Config{
+					NumPartitions: parts, MaxIterations: sc.MaxIterations, Epsilon: sc.Epsilon,
+					Checkpoint: true, ShuffleMemoryBudget: sc.ShuffleMemoryBudget,
+					StoreOpts: sc.storeOpts(),
+					// Force compaction due within the refresh so inline and
+					// background configurations actually diverge.
+					StateCompactThreshold: 2,
+					IOParallelism:         ioPar,
+					BackgroundCompaction:  bg,
+				})
+				if err != nil {
+					return nil, err
+				}
+				initStart := time.Now()
+				if _, err := r.RunInitial("core/g0"); err != nil {
+					r.Close()
+					return nil, err
+				}
+				initTime := time.Since(initStart)
+				refreshStart := time.Now()
+				res, err := r.RunIncremental("core/delta")
+				if err != nil {
+					r.Close()
+					return nil, err
+				}
+				refreshTime := time.Since(refreshStart)
+				// The refresh defers compaction; give the background
+				// workers a bounded window to drain the queue so the row
+				// shows the work actually running off the critical path
+				// (Close would otherwise drop it).
+				bgRuns := int64(0)
+				if sched := r.CompactionScheduler(); sched != nil {
+					deadline := time.Now().Add(10 * time.Second)
+					for sched.QueueDepth() > 0 && time.Now().Before(deadline) {
+						time.Sleep(5 * time.Millisecond)
+					}
+					bgRuns = sched.Runs()
+				}
+				snap := res.Report.Snapshot()
+				rows = append(rows, CkptRow{
+					Partitions:  parts,
+					IOPar:       ioPar,
+					Background:  bg,
+					Initial:     initTime,
+					Refresh:     refreshTime,
+					Ckpt:        snap.Stages[metrics.StageCheckpoint],
+					DirtyParts:  res.Report.Counter(metrics.CounterStateDirtyPartitions),
+					Flushed:     res.Report.Counter(metrics.CounterStateGroupsFlushed),
+					Compactions: res.Report.Counter(metrics.CounterStateCompactions),
+					BGRuns:      bgRuns,
+				})
+				if err := r.Close(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatCkpt renders the sweep.
+func FormatCkpt(rows []CkptRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ckpt sweep — parallel durability plane (checkpoint every iteration, compaction forced due)\n")
+	fmt.Fprintf(&b, "%-6s %6s %10s %10s %10s %10s %6s %8s %6s %6s\n",
+		"parts", "io-par", "compact", "initial", "refresh", "ckpt", "dirty", "flushed", "compac", "bgrun")
+	for _, r := range rows {
+		mode := "inline"
+		if r.Background {
+			mode = "bg"
+		}
+		fmt.Fprintf(&b, "%-6d %6d %10s %10s %10s %10s %6d %8d %6d %6d\n",
+			r.Partitions, r.IOPar, mode,
+			r.Initial.Round(time.Millisecond), r.Refresh.Round(time.Millisecond),
+			r.Ckpt.Round(time.Millisecond),
+			r.DirtyParts, r.Flushed, r.Compactions, r.BGRuns)
+	}
+	return b.String()
+}

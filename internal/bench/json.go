@@ -90,6 +90,38 @@ func CoreSweepJSON(scale string, rows []CoreRow) []JSONRecord {
 	return recs
 }
 
+// CkptJSON converts the checkpoint sweep into benchmark records; the
+// headline op is the incremental refresh, with the refresh's
+// StageCheckpoint wall-clock as the ckpt_ns counter.
+func CkptJSON(scale string, rows []CkptRow) []JSONRecord {
+	recs := make([]JSONRecord, 0, len(rows))
+	for _, r := range rows {
+		mode := "inline"
+		if r.Background {
+			mode = "background"
+		}
+		recs = append(recs, JSONRecord{
+			Experiment: "ckpt",
+			Scale:      scale,
+			Params: map[string]string{
+				"partitions": fmt.Sprintf("%d", r.Partitions),
+				"io_par":     fmt.Sprintf("%d", r.IOPar),
+				"compaction": mode,
+			},
+			NsPerOp: r.Refresh.Nanoseconds(),
+			Counters: map[string]int64{
+				"initial_ns":        r.Initial.Nanoseconds(),
+				"ckpt_ns":           r.Ckpt.Nanoseconds(),
+				"ckpt_dirty_parts":  r.DirtyParts,
+				"ckpt_groups":       r.Flushed,
+				"state_compactions": r.Compactions,
+				"bg_runs":           r.BGRuns,
+			},
+		})
+	}
+	return recs
+}
+
 // ServeJSON converts the serving sweep into benchmark records; the
 // headline op is one point lookup (mean service latency), with QPS and
 // tail latencies as counters.

@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/par"
 	"i2mapreduce/internal/results"
 )
 
@@ -19,22 +22,32 @@ import (
 // node for task failures, a healthy node for worker failures);
 // RestoreCheckpoint rolls the runner back to the last durable state,
 // which tests use to prove recoverability end to end.
+//
+// Partitions are independent durable stores, so the per-partition loops
+// fan out on the shared bounded-parallelism runner (internal/par) at
+// Config.IOParallelism. Crash consistency is per store — each commits
+// its own manifest atomically — so concurrency changes only the order
+// in which partitions reach durability, never what any single
+// partition's recovered state can be.
 
 // checkpoint persists the dirty slice of the durable state stores plus
 // the MRBGraph files, reporting the flush shape to rep (which may be
 // nil): CounterStateDirtyPartitions counts the partitions that actually
-// flushed and CounterStateGroupsFlushed the entries they wrote.
+// flushed, CounterStateGroupsFlushed the entries they wrote, and
+// StageCheckpoint the wall-clock of the whole durability fan-out.
 func (r *Runner) checkpoint(rep *metrics.Report) error {
-	var dirty, flushed int64
+	start := time.Now()
+	var dirty, flushed atomic.Int64
 	if r.spec.ReplicateState {
 		if pend := r.globalKV.Pending(); pend > 0 || !r.globalKV.Initialized() {
-			dirty, flushed = 1, int64(pend)
+			dirty.Store(1)
+			flushed.Store(int64(pend))
 			if err := r.globalKV.Checkpoint(); err != nil {
 				return err
 			}
 		}
 	} else {
-		for p := 0; p < r.n; p++ {
+		err := par.Do(r.n, r.ioPar, func(p int) error {
 			// Each store is gated on its own pending set: CPC filtering
 			// routinely dirties state but not the baseline, and a clean
 			// store's Checkpoint would still rewrite its manifest.
@@ -44,27 +57,33 @@ func (r *Runner) checkpoint(rep *metrics.Report) error {
 				if pend == 0 && kvs.Initialized() {
 					continue
 				}
-				flushed += int64(pend)
+				flushed.Add(int64(pend))
 				if err := kvs.Checkpoint(); err != nil {
 					return err
 				}
 				partDirty = true
 			}
 			if partDirty {
-				dirty++
+				dirty.Add(1)
 			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	if r.mrbgOn {
-		for p := 0; p < r.n; p++ {
-			if err := r.stores[p].Checkpoint(); err != nil {
-				return err
-			}
+		err := par.Do(r.n, r.ioPar, func(p int) error {
+			return r.stores[p].Checkpoint()
+		})
+		if err != nil {
+			return err
 		}
 	}
 	if rep != nil {
-		rep.Add(metrics.CounterStateDirtyPartitions, dirty)
-		rep.Add(metrics.CounterStateGroupsFlushed, flushed)
+		rep.Add(metrics.CounterStateDirtyPartitions, dirty.Load())
+		rep.Add(metrics.CounterStateGroupsFlushed, flushed.Load())
+		rep.AddStage(metrics.StageCheckpoint, time.Since(start))
 	}
 	return nil
 }
@@ -91,7 +110,7 @@ func (r *Runner) RestoreCheckpoint() error {
 		r.mu.Unlock()
 		return nil
 	}
-	for p := 0; p < r.n; p++ {
+	return par.Do(r.n, r.ioPar, func(p int) error {
 		r.stateKV[p].DiscardPending()
 		r.lastKV[p].DiscardPending()
 		st, err := loadKV(r.stateKV[p])
@@ -106,6 +125,6 @@ func (r *Runner) RestoreCheckpoint() error {
 		r.state[p] = st
 		r.last[p] = le
 		r.mu.Unlock()
-	}
-	return nil
+		return nil
+	})
 }

@@ -21,11 +21,13 @@
 package core
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"io"
 	"path/filepath"
-	"sort"
+	"runtime"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -37,6 +39,7 @@ import (
 	"i2mapreduce/internal/metrics"
 	"i2mapreduce/internal/mr"
 	"i2mapreduce/internal/mrbg"
+	"i2mapreduce/internal/par"
 	"i2mapreduce/internal/results"
 	"i2mapreduce/internal/shuffle"
 )
@@ -112,6 +115,18 @@ type Config struct {
 	// System-wide default.
 	SkewRatio  float64
 	SkewFanOut int
+	// IOParallelism bounds the concurrent per-partition durability I/O:
+	// checkpoint flushes, store opens, and checkpoint restores each fan
+	// out across partitions on at most this many goroutines. <= 0 means
+	// GOMAXPROCS; 1 recovers the serial pre-parallel behavior exactly.
+	IOParallelism int
+	// BackgroundCompaction moves state-store threshold compaction off
+	// the checkpoint critical path onto a background scheduler
+	// (results.Scheduler): a checkpoint then pays only the memtable
+	// flush and the manifest commit, and compaction runs between
+	// refreshes (the scheduler is paused while a job is in flight).
+	// Off by default: compaction stays inline in Checkpoint.
+	BackgroundCompaction bool
 }
 
 // IterStats reports one iteration of an initial or incremental run.
@@ -167,6 +182,10 @@ type Runner struct {
 
 	mrbgOn      bool
 	initialDone bool
+	// ioPar is the resolved Config.IOParallelism (>= 1); sched is the
+	// background compaction scheduler, nil unless BackgroundCompaction.
+	ioPar int
+	sched *results.Scheduler
 	// refreshFailed latches after a RunIncremental error past its first
 	// durable mutation: the preserved state is half-applied and an
 	// in-place retry would corrupt it (see RunIncremental).
@@ -200,21 +219,33 @@ func NewRunner(eng *mr.Engine, spec Spec, cfg Config) (*Runner, error) {
 	if cfg.PDeltaThreshold <= 0 {
 		cfg.PDeltaThreshold = 0.5
 	}
+	if cfg.IOParallelism <= 0 {
+		cfg.IOParallelism = runtime.GOMAXPROCS(0)
+	}
 	r := &Runner{
 		eng:    eng,
 		spec:   spec,
 		cfg:    cfg,
 		n:      cfg.NumPartitions,
+		ioPar:  cfg.IOParallelism,
 		mrbgOn: !cfg.DisableMRBG && !spec.ReplicateState,
 	}
+	if cfg.BackgroundCompaction {
+		r.sched = results.NewScheduler(results.SchedulerOptions{})
+	}
 	if r.mrbgOn {
-		for p := 0; p < r.n; p++ {
+		r.stores = make([]*mrbg.ShardedStore, r.n)
+		err := par.Do(r.n, r.ioPar, func(p int) error {
 			st, err := mrbg.Open(r.storeOpts(p))
 			if err != nil {
-				r.Close()
-				return nil, fmt.Errorf("core: opening store %d: %w", p, err)
+				return fmt.Errorf("core: opening store %d: %w", p, err)
 			}
-			r.stores = append(r.stores, st)
+			r.stores[p] = st
+			return nil
+		})
+		if err != nil {
+			r.Close()
+			return nil, err
 		}
 	}
 	if err := r.openStateStores(); err != nil {
@@ -234,20 +265,31 @@ func sanitize(s string) string {
 	}, s)
 }
 
-// Close releases the MRBG-Stores and the durable state stores.
+// Close shuts down the background compaction scheduler (waiting out any
+// in-flight compaction, since it runs against these stores), then
+// releases the MRBG-Stores and the durable state stores.
 func (r *Runner) Close() error {
-	var first error
+	first := r.sched.Close()
 	for _, s := range r.stores {
+		if s == nil {
+			continue // a parallel NewRunner open failed part-way
+		}
 		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	for _, kvs := range r.stateKV {
+		if kvs == nil {
+			continue
+		}
 		if err := kvs.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	for _, kvs := range r.lastKV {
+		if kvs == nil {
+			continue
+		}
 		if err := kvs.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -278,6 +320,11 @@ func (r *Runner) StateStores() []*results.KV {
 
 // MRBGEnabled reports whether MRBGraph maintenance is currently active.
 func (r *Runner) MRBGEnabled() bool { return r.mrbgOn }
+
+// CompactionScheduler exposes the background compaction scheduler (nil
+// unless Config.BackgroundCompaction), so the serving layer can surface
+// its gauges.
+func (r *Runner) CompactionScheduler() *results.Scheduler { return r.sched }
 
 // threshold returns the active propagation threshold: Epsilon floor,
 // raised to FilterThreshold when CPC is on.
@@ -445,6 +492,10 @@ func (r *Runner) RunInitial(input string) (*Result, error) {
 	if err := r.resetStaleState(); err != nil {
 		return nil, err
 	}
+	// Background compaction stays paused while the job runs (the same
+	// refresh barrier RunIncremental uses).
+	r.sched.Pause()
+	defer r.sched.Resume()
 	r.jobStart = time.Now()
 	r.events = nil
 	r.jobSeq++
@@ -500,6 +551,10 @@ func (r *Runner) finishResult(res *Result) {
 	res.Report.Add(metrics.CounterResultBlocksRead, blocks)
 	res.Report.Add(metrics.CounterResultBloomSkips, skips)
 	res.Report.Add(metrics.CounterResultBytesDecompressed, decomp)
+	if r.sched != nil {
+		res.Report.Add(metrics.CounterCompactQueueDepth, r.sched.QueueDepth())
+		res.Report.Add(metrics.CounterCompactBGRuns, r.sched.Runs())
+	}
 	r.mu.Lock()
 	res.Events = append([]cluster.Event(nil), r.events...)
 	r.mu.Unlock()
@@ -679,7 +734,11 @@ func (r *Runner) stateGetterFor(p int) iter.StateGetter {
 // the fixed-point edge set.
 func (r *Runner) preservePass() error {
 	edges := make([][]mrbg.DeltaEdge, r.n)
-	var mu sync.Mutex
+	// Aggregation is striped per destination partition: map tasks touch
+	// every destination, so a single mutex over all of edges serializes
+	// the merge phase of every task. Independent destinations never
+	// contend here.
+	edgeMu := make([]sync.Mutex, r.n)
 	tasks := make([]cluster.Task, 0, r.n)
 	for p := 0; p < r.n; p++ {
 		p := p
@@ -696,11 +755,14 @@ func (r *Runner) preservePass() error {
 				if err != nil {
 					return err
 				}
-				mu.Lock()
 				for d := range local {
+					if len(local[d]) == 0 {
+						continue
+					}
+					edgeMu[d].Lock()
 					edges[d] = append(edges[d], local[d]...)
+					edgeMu[d].Unlock()
 				}
-				mu.Unlock()
 				return nil
 			},
 		})
@@ -717,11 +779,11 @@ func (r *Runner) preservePass() error {
 			Preferred: p % r.eng.Cluster().NumNodes(),
 			Run: func(tc cluster.TaskContext) error {
 				es := edges[p]
-				sort.Slice(es, func(i, j int) bool {
-					if es[i].Key != es[j].Key {
-						return es[i].Key < es[j].Key
+				slices.SortFunc(es, func(a, b mrbg.DeltaEdge) int {
+					if c := strings.Compare(a.Key, b.Key); c != 0 {
+						return c
 					}
-					return es[i].MK < es[j].MK
+					return cmp.Compare(a.MK, b.MK)
 				})
 				var cur mrbg.Chunk
 				started := false

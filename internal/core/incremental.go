@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,6 +54,12 @@ func (r *Runner) runRefresh(deltaInput string, body func([]kv.Delta, *Result) er
 	r.events = nil
 	r.jobSeq++
 	_, r.compactBase = r.stateStoreStats()
+
+	// Refresh barrier: background compaction must not compete with the
+	// refresh's own I/O. Pause waits out any in-flight merge; triggers
+	// that fire during the refresh stay queued until Resume.
+	r.sched.Pause()
+	defer r.sched.Resume()
 
 	deltas, err := r.eng.FS().ReadAllDeltas(deltaInput)
 	if err != nil {
@@ -230,7 +238,7 @@ func (r *Runner) mergeDeltaEdges(deltaEdges [][]mrbg.DeltaEdge) error {
 		if len(deltaEdges[p]) == 0 {
 			continue
 		}
-		sort.SliceStable(deltaEdges[p], func(i, j int) bool { return deltaEdges[p][i].Key < deltaEdges[p][j].Key })
+		slices.SortStableFunc(deltaEdges[p], func(a, b mrbg.DeltaEdge) int { return strings.Compare(a.Key, b.Key) })
 		tasks = append(tasks, cluster.Task{
 			Name:      fmt.Sprintf("%s/j%d-fullmerge-%04d", sanitize(r.spec.Name), r.jobSeq, p),
 			Preferred: p % r.eng.Cluster().NumNodes(),
@@ -322,7 +330,10 @@ func (r *Runner) mapStructureDelta(deltas []kv.Delta, rep *metrics.Report) ([][]
 		byPart[r.partitionOf(d.Key)] = append(byPart[r.partitionOf(d.Key)], d)
 	}
 	edges := make([][]mrbg.DeltaEdge, r.n)
-	var mu sync.Mutex
+	// Striped per destination, like preservePass: map tasks append into
+	// every destination partition, so one mutex over all of edges would
+	// serialize the tasks' merge phases against each other.
+	edgeMu := make([]sync.Mutex, r.n)
 	tasks := make([]cluster.Task, 0, r.n)
 	for p := 0; p < r.n; p++ {
 		p := p
@@ -342,11 +353,14 @@ func (r *Runner) mapStructureDelta(deltas []kv.Delta, rep *metrics.Report) ([][]
 						return err
 					}
 				}
-				mu.Lock()
 				for i := range local {
+					if len(local[i]) == 0 {
+						continue
+					}
+					edgeMu[i].Lock()
 					edges[i] = append(edges[i], local[i]...)
+					edgeMu[i].Unlock()
 				}
-				mu.Unlock()
 				return nil
 			},
 		})
@@ -376,7 +390,7 @@ type propagated struct {
 func (r *Runner) mapStateDelta(props *propagated, rep *metrics.Report) ([][]mrbg.DeltaEdge, error) {
 	start := time.Now()
 	edges := make([][]mrbg.DeltaEdge, r.n)
-	var mu sync.Mutex
+	edgeMu := make([]sync.Mutex, r.n)
 	tasks := make([]cluster.Task, 0, r.n)
 	for p := 0; p < r.n; p++ {
 		p := p
@@ -401,11 +415,14 @@ func (r *Runner) mapStateDelta(props *propagated, rep *metrics.Report) ([][]mrbg
 				if err != nil {
 					return err
 				}
-				mu.Lock()
 				for i := range local {
+					if len(local[i]) == 0 {
+						continue
+					}
+					edgeMu[i].Lock()
 					edges[i] = append(edges[i], local[i]...)
+					edgeMu[i].Unlock()
 				}
-				mu.Unlock()
 				rep.Add("map.records.in", recs)
 				rep.Add("structure.bytes.read", bytesRead)
 				return nil
@@ -430,7 +447,7 @@ func (r *Runner) runIncrementalIteration(it int, deltaEdges [][]mrbg.DeltaEdge) 
 	sortStart := time.Now()
 	var shuffleBytes int64
 	for p := range deltaEdges {
-		sort.SliceStable(deltaEdges[p], func(i, j int) bool { return deltaEdges[p][i].Key < deltaEdges[p][j].Key })
+		slices.SortStableFunc(deltaEdges[p], func(a, b mrbg.DeltaEdge) int { return strings.Compare(a.Key, b.Key) })
 		for _, d := range deltaEdges[p] {
 			shuffleBytes += int64(len(d.Key) + len(d.V2) + 9)
 		}

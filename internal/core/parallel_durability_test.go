@@ -1,0 +1,197 @@
+package core
+
+// Crash/resume coverage for the parallel durability plane: the
+// per-partition checkpoint/open/recovery fan-out (Config.IOParallelism)
+// and the background compaction scheduler must not change any byte of
+// durable state. Every configuration below is compared against the
+// serial inline-compaction baseline the pre-parallel engine ran.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"i2mapreduce/internal/cluster"
+	"i2mapreduce/internal/mr"
+)
+
+// TestParallelCheckpointKillAndReopenSweep is the acceptance sweep for
+// the parallel durability plane: at every (partitions, IOParallelism,
+// compaction-mode) configuration, a computation killed after a
+// checkpointed refresh and reattached with Open must converge the next
+// delta to state byte-identical to an uninterrupted serial run's. The
+// compaction threshold is forced low so segments genuinely fold —
+// inline under the checkpoint for the inline configs, on the scheduler
+// for the background ones — before the kill.
+func TestParallelCheckpointKillAndReopenSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	adj := randomGraph(rng, 60, 4)
+	initialPairs := graphPairs(adj)
+	deltas1 := mutateGraph(rng, adj, 0.1)
+	deltas2 := mutateGraph(rng, adj, 0.1)
+
+	feed := func(eng *mr.Engine) {
+		t.Helper()
+		if err := eng.FS().WriteAllPairs("g0", initialPairs); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.FS().WriteAllDeltas("d1", deltas1); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.FS().WriteAllDeltas("d2", deltas2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkCfg := func(parts, ioPar int, bg bool) Config {
+		return Config{
+			NumPartitions: parts, MaxIterations: 300, Epsilon: 1e-10,
+			Checkpoint: true, StateCompactThreshold: 2,
+			IOParallelism: ioPar, BackgroundCompaction: bg,
+		}
+	}
+
+	// Serial inline baseline, uninterrupted: initial + d1 + d2.
+	baseEng := engineAt(t, t.TempDir(), 3)
+	feed(baseEng)
+	base, err := NewRunner(baseEng, pageRankSpec("pr-par"), mkCfg(3, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.RunInitial("g0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.RunIncremental("d1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.RunIncremental("d2"); err != nil {
+		t.Fatal(err)
+	}
+	want := base.State()
+	base.Close()
+
+	for _, parts := range []int{2, 3} {
+		for _, ioPar := range []int{2, 8} {
+			for _, bg := range []bool{false, true} {
+				label := fmt.Sprintf("parts=%d/iopar=%d/bg=%v", parts, ioPar, bg)
+				cfg := mkCfg(parts, ioPar, bg)
+
+				// Killed run: initial + d1, process death, Open, d2.
+				root := t.TempDir()
+				eng1 := engineAt(t, root, 3)
+				feed(eng1)
+				r1, err := NewRunner(eng1, pageRankSpec("pr-par"), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := r1.RunInitial("g0"); err != nil {
+					t.Fatalf("%s: initial: %v", label, err)
+				}
+				if _, err := r1.RunIncremental("d1"); err != nil {
+					t.Fatalf("%s: d1: %v", label, err)
+				}
+				r1.Close() // "kill": durable state was flushed at the job boundary
+
+				eng2 := engineAt(t, root, 3)
+				feed(eng2)
+				r2, err := Open(eng2, pageRankSpec("pr-par"), cfg)
+				if err != nil {
+					t.Fatalf("%s: Open after restart: %v", label, err)
+				}
+				res, err := r2.RunIncremental("d2")
+				if err != nil {
+					t.Fatalf("%s: d2 after restart: %v", label, err)
+				}
+				if !res.Converged {
+					t.Fatalf("%s: resumed refresh did not converge", label)
+				}
+				assertStatesIdentical(t, r2.State(), want, label+": resumed vs serial uninterrupted")
+				r2.Close()
+			}
+		}
+	}
+}
+
+// TestParallelRestoreCheckpoint exercises the fan-out restore path:
+// with IOParallelism > 1, RestoreCheckpoint reloads every partition's
+// state concurrently and must reproduce the checkpointed state exactly.
+func TestParallelRestoreCheckpoint(t *testing.T) {
+	eng := newEngine(t, 2)
+	rng := rand.New(rand.NewSource(52))
+	adj := randomGraph(rng, 30, 3)
+	writeGraph(t, eng, "g0", adj)
+
+	r, err := NewRunner(eng, pageRankSpec("pr-par-restore"), Config{
+		NumPartitions: 4, MaxIterations: 100, Epsilon: 1e-9,
+		Checkpoint: true, IOParallelism: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.RunInitial("g0"); err != nil {
+		t.Fatal(err)
+	}
+	saved := r.State()
+
+	r.mu.Lock()
+	for p := range r.state {
+		for k := range r.state[p] {
+			r.state[p][k] = "999"
+		}
+	}
+	r.mu.Unlock()
+	if err := r.RestoreCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(r.State()) != fmt.Sprint(saved) {
+		t.Fatal("parallel restore differs from checkpointed state")
+	}
+}
+
+// TestParallelOpenRefusesHalfAppliedRefresh kills a refresh between
+// iterations — after iteration 1's concurrent per-partition checkpoint
+// committed — and verifies the crash-consistency bracket holds
+// unchanged at IOParallelism > 1: the surviving refresh.intent marker
+// makes Open refuse the half-applied state.
+func TestParallelOpenRefusesHalfAppliedRefresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	adj := randomGraph(rng, 50, 3)
+	root := t.TempDir()
+	eng := engineAt(t, root, 2)
+	writeGraph(t, eng, "g0", adj)
+
+	cfg := Config{
+		NumPartitions: 2, MaxIterations: 300, Epsilon: 1e-10,
+		Checkpoint: true, IOParallelism: 4, BackgroundCompaction: true,
+		StateCompactThreshold: 2,
+	}
+	r, err := NewRunner(eng, pageRankSpec("pr-par-half"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunInitial("g0"); err != nil {
+		t.Fatal(err)
+	}
+	deltas := mutateGraph(rng, adj, 0.2)
+	if err := eng.FS().WriteAllDeltas("d", deltas); err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 1; attempt <= 4; attempt++ {
+		eng.Cluster().InjectFailure(cluster.Failure{
+			Task: "pr-par-half/j2-it002/reduce-0000", Attempt: attempt, Delay: time.Millisecond,
+		})
+	}
+	if _, err := r.RunIncremental("d"); err == nil {
+		t.Fatal("RunIncremental survived a permanently failing reduce task")
+	}
+	r.Close()
+
+	eng2 := engineAt(t, root, 2)
+	if _, err := Open(eng2, pageRankSpec("pr-par-half"), cfg); err == nil {
+		t.Fatal("Open resumed a half-applied refresh")
+	} else if !strings.Contains(err.Error(), "half-applied") {
+		t.Fatalf("Open error does not name the half-applied refresh: %v", err)
+	}
+}

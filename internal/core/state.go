@@ -34,6 +34,7 @@ import (
 	"i2mapreduce/internal/fsutil"
 	"i2mapreduce/internal/mr"
 	"i2mapreduce/internal/mrbg"
+	"i2mapreduce/internal/par"
 	"i2mapreduce/internal/results"
 )
 
@@ -81,7 +82,10 @@ func (r *Runner) storeOpts(p int) mrbg.Options {
 	return opts
 }
 
-// openStateStores opens (or recovers) the durable state stores.
+// openStateStores opens (or recovers) the durable state stores,
+// fanning out across partitions at Config.IOParallelism. Each opened
+// store is attached to the background compaction scheduler when one is
+// configured.
 func (r *Runner) openStateStores() error {
 	opts := results.Options{
 		CompactThreshold: r.cfg.StateCompactThreshold,
@@ -95,26 +99,31 @@ func (r *Runner) openStateStores() error {
 		if err != nil {
 			return fmt.Errorf("core: opening global state store: %w", err)
 		}
+		g.AttachScheduler(r.sched)
 		r.globalKV = g
 		return nil
 	}
-	for p := 0; p < r.n; p++ {
+	r.stateKV = make([]*results.KV, r.n)
+	r.lastKV = make([]*results.KV, r.n)
+	return par.Do(r.n, r.ioPar, func(p int) error {
 		sopts := opts
 		sopts.Dir = r.stateKVDir(p, "state")
 		skv, err := results.OpenKV(sopts)
 		if err != nil {
 			return fmt.Errorf("core: opening state store %d: %w", p, err)
 		}
-		r.stateKV = append(r.stateKV, skv)
+		skv.AttachScheduler(r.sched)
+		r.stateKV[p] = skv
 		lopts := opts
 		lopts.Dir = r.stateKVDir(p, "last")
 		lkv, err := results.OpenKV(lopts)
 		if err != nil {
 			return fmt.Errorf("core: opening baseline store %d: %w", p, err)
 		}
-		r.lastKV = append(r.lastKV, lkv)
-	}
-	return nil
+		lkv.AttachScheduler(r.sched)
+		r.lastKV[p] = lkv
+		return nil
+	})
 }
 
 // setStateLocked updates partition p's state entry in the cache and the
@@ -390,13 +399,19 @@ func (r *Runner) attach() error {
 	if r.spec.ReplicateState {
 		project = nil
 	}
+	// Recovery is partition-independent — structure re-indexing and
+	// state loading both fan out at Config.IOParallelism.
 	r.parts = make([]*structPart, r.n)
-	for p := 0; p < r.n; p++ {
+	err = par.Do(r.n, r.ioPar, func(p int) error {
 		sp, err := openStructPart(r.structPath(p), project)
 		if err != nil {
 			return fmt.Errorf("core: reattaching structure partition %d: %w", p, err)
 		}
 		r.parts[p] = sp
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	if r.spec.ReplicateState {
@@ -411,7 +426,7 @@ func (r *Runner) attach() error {
 	} else {
 		r.state = make([]map[string]string, r.n)
 		r.last = make([]map[string]string, r.n)
-		for p := 0; p < r.n; p++ {
+		err = par.Do(r.n, r.ioPar, func(p int) error {
 			if !r.stateKV[p].Initialized() || !r.lastKV[p].Initialized() {
 				return fmt.Errorf("core: computation %q is missing preserved state for partition %d (was it run under a different cluster topology?)", r.spec.Name, p)
 			}
@@ -425,6 +440,10 @@ func (r *Runner) attach() error {
 			}
 			r.state[p] = st
 			r.last[p] = le
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	// A preserved mrbg=on computation with live state must come with

@@ -28,12 +28,14 @@
 package incr
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -46,6 +48,7 @@ import (
 	"i2mapreduce/internal/metrics"
 	"i2mapreduce/internal/mr"
 	"i2mapreduce/internal/mrbg"
+	"i2mapreduce/internal/par"
 	"i2mapreduce/internal/results"
 	"i2mapreduce/internal/shuffle"
 )
@@ -88,6 +91,17 @@ type Job struct {
 	// System-wide default.
 	SkewRatio  float64
 	SkewFanOut int
+	// IOParallelism bounds the concurrent per-partition durability I/O:
+	// store opens, result-store commits, and output materialization fan
+	// out across partitions on at most this many goroutines. <= 0 means
+	// GOMAXPROCS; 1 recovers the serial pre-parallel behavior exactly.
+	IOParallelism int
+	// BackgroundCompaction moves result-store threshold compaction off
+	// the refresh critical path onto a background scheduler
+	// (results.Scheduler): a refresh checkpoint then pays only the
+	// memtable flush and the manifest commit, and compaction runs
+	// between refreshes. Off by default: compaction stays inline.
+	BackgroundCompaction bool
 }
 
 // Runner executes and refreshes one Job.
@@ -100,6 +114,10 @@ type Runner struct {
 	// emitted. Replacing a group replaces exactly those outputs.
 	res     []*results.Store
 	initial bool
+	// ioPar is the resolved Job.IOParallelism (>= 1); sched is the
+	// background compaction scheduler, nil unless BackgroundCompaction.
+	ioPar int
+	sched *results.Scheduler
 	// deltaSeq hands out unique scratch directories to concurrent /
 	// successive RunDelta shuffles.
 	deltaSeq atomic.Int64
@@ -243,25 +261,44 @@ func newRunner(eng *mr.Engine, job Job) (*Runner, error) {
 	if job.NumReducers <= 0 {
 		job.NumReducers = eng.Cluster().NumNodes()
 	}
-	r := &Runner{eng: eng, job: job}
-	for p := 0; p < job.NumReducers; p++ {
+	if job.IOParallelism <= 0 {
+		job.IOParallelism = runtime.GOMAXPROCS(0)
+	}
+	r := &Runner{eng: eng, job: job, ioPar: job.IOParallelism}
+	if job.BackgroundCompaction {
+		r.sched = results.NewScheduler(results.SchedulerOptions{})
+	}
+	// Opens (and their recovery work: manifest replay, orphan sweeps)
+	// are independent per partition; fan them out on the shared runner.
+	r.res = make([]*results.Store, job.NumReducers)
+	err := par.Do(job.NumReducers, r.ioPar, func(p int) error {
 		ropts := job.ResultOpts
 		ropts.Dir = r.resultDir(p)
 		rs, err := results.Open(ropts)
 		if err != nil {
-			r.Close()
-			return nil, fmt.Errorf("incr: opening result store %d: %w", p, err)
+			return fmt.Errorf("incr: opening result store %d: %w", p, err)
 		}
-		r.res = append(r.res, rs)
+		rs.AttachScheduler(r.sched)
+		r.res[p] = rs
+		return nil
+	})
+	if err != nil {
+		r.Close()
+		return nil, err
 	}
 	if job.Accumulate == nil {
-		for p := 0; p < job.NumReducers; p++ {
+		r.stores = make([]*mrbg.ShardedStore, job.NumReducers)
+		err := par.Do(job.NumReducers, r.ioPar, func(p int) error {
 			st, err := mrbg.Open(r.storeOpts(p))
 			if err != nil {
-				r.Close()
-				return nil, fmt.Errorf("incr: opening store %d: %w", p, err)
+				return fmt.Errorf("incr: opening store %d: %w", p, err)
 			}
-			r.stores = append(r.stores, st)
+			r.stores[p] = st
+			return nil
+		})
+		if err != nil {
+			r.Close()
+			return nil, err
 		}
 	}
 	return r, nil
@@ -295,15 +332,23 @@ func sanitize(s string) string {
 	}, s)
 }
 
-// Close releases the per-partition stores.
+// Close shuts down the background compaction scheduler (waiting out any
+// in-flight compaction, since it runs against these stores), then
+// releases the per-partition stores.
 func (r *Runner) Close() error {
-	var first error
+	first := r.sched.Close()
 	for _, s := range r.stores {
+		if s == nil {
+			continue // a parallel newRunner open failed part-way
+		}
 		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	for _, rs := range r.res {
+		if rs == nil {
+			continue
+		}
 		if err := rs.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -318,6 +363,11 @@ func (r *Runner) Stores() []*mrbg.ShardedStore { return r.stores }
 // Results exposes the per-partition durable result stores; the one-step
 // bench harness reads their statistics.
 func (r *Runner) Results() []*results.Store { return r.res }
+
+// CompactionScheduler exposes the background compaction scheduler (nil
+// unless Job.BackgroundCompaction), so the serving layer can surface
+// its gauges.
+func (r *Runner) CompactionScheduler() *results.Scheduler { return r.sched }
 
 // mkFor derives the globally unique Map key for the occ-th value a Map
 // instance emits to one K2. The paper treats (K2, MK) as a unique edge
@@ -476,17 +526,15 @@ func (r *Runner) RunInitial(input, output string) (*metrics.Report, error) {
 }
 
 // commitResults checkpoints every result store and records the part
-// file each partition was just materialized to.
+// file each partition was just materialized to, fanning out across
+// partitions at Job.IOParallelism.
 func (r *Runner) commitResults(output string) error {
-	for p, rs := range r.res {
-		if err := rs.Checkpoint(); err != nil {
+	return par.Do(len(r.res), r.ioPar, func(p int) error {
+		if err := r.res[p].Checkpoint(); err != nil {
 			return err
 		}
-		if err := rs.Materialized(mr.PartPath(output, p)); err != nil {
-			return err
-		}
-	}
-	return nil
+		return r.res[p].Materialized(mr.PartPath(output, p))
+	})
 }
 
 // runInitialFineGrain runs a normal MapReduce job with MK-tagged
@@ -521,7 +569,7 @@ func (r *Runner) runInitialFineGrain(input, output string) (*metrics.Report, err
 				// key-merged across runs; restore the store's global
 				// MK order and derive the Reduce value list from it so
 				// re-reduction after a merge sees the same ordering.
-				sort.Slice(chunk.Edges, func(i, j int) bool { return chunk.Edges[i].MK < chunk.Edges[j].MK })
+				slices.SortFunc(chunk.Edges, func(a, b mrbg.Edge) int { return cmp.Compare(a.MK, b.MK) })
 				vals := chunk.Values()
 				if err := r.stores[p].Put(chunk); err != nil {
 					return err
@@ -543,13 +591,15 @@ func (r *Runner) runInitialFineGrain(input, output string) (*metrics.Report, err
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range r.stores {
-		if err := s.CommitBatch(); err != nil {
-			return nil, err
+	ckptStart := time.Now()
+	err = par.Do(len(r.stores), r.ioPar, func(p int) error {
+		if err := r.stores[p].CommitBatch(); err != nil {
+			return err
 		}
-		if err := s.Checkpoint(); err != nil {
-			return nil, err
-		}
+		return r.stores[p].Checkpoint()
+	})
+	if err != nil {
+		return nil, err
 	}
 	// The engine's reduce tasks already wrote the part files; commit the
 	// result stores as materialized there so the next refresh rewrites
@@ -557,6 +607,7 @@ func (r *Runner) runInitialFineGrain(input, output string) (*metrics.Report, err
 	if err := r.commitResults(output); err != nil {
 		return nil, err
 	}
+	rep.AddStage(metrics.StageCheckpoint, time.Since(ckptStart))
 	return rep, nil
 }
 
@@ -589,9 +640,11 @@ func (r *Runner) runInitialAccumulator(input, output string) (*metrics.Report, e
 	if err != nil {
 		return nil, err
 	}
+	ckptStart := time.Now()
 	if err := r.commitResults(output); err != nil {
 		return nil, err
 	}
+	rep.AddStage(metrics.StageCheckpoint, time.Since(ckptStart))
 	return rep, nil
 }
 
@@ -604,6 +657,11 @@ func (r *Runner) RunDelta(deltaInput, output string) (*metrics.Report, error) {
 	if !r.initial {
 		return nil, errors.New("incr: RunDelta before RunInitial")
 	}
+	// Refresh barrier: background compaction must not compete with the
+	// refresh's own I/O. Pause waits out any in-flight merge; triggers
+	// that fire during the refresh stay queued until Resume.
+	r.sched.Pause()
+	defer r.sched.Resume()
 	if r.job.Accumulate != nil {
 		return r.runDeltaAccumulator(deltaInput, output)
 	}
@@ -819,6 +877,7 @@ func (r *Runner) runDeltaFineGrain(deltaInput, output string) (*metrics.Report, 
 				// the previous refresh — consistent — and replaying a
 				// fine-grain delta against consistent state is
 				// idempotent per (K2, MK).)
+				ckptStart := time.Now()
 				intent := r.refreshIntentPath(p)
 				if err := fsutil.WriteFileAtomic(intent, []byte("refresh\n")); err != nil {
 					return err
@@ -835,8 +894,10 @@ func (r *Runner) runDeltaFineGrain(deltaInput, output string) (*metrics.Report, 
 				if err := fsutil.SyncDir(filepath.Dir(intent)); err != nil {
 					return err
 				}
+				ckptDur := time.Since(ckptStart)
 				rep.Add("reduce.instances", reduced)
-				rep.AddStage(metrics.StageReduce, time.Since(start))
+				rep.AddStage(metrics.StageCheckpoint, ckptDur)
+				rep.AddStage(metrics.StageReduce, time.Since(start)-ckptDur)
 				return nil
 			},
 		})
@@ -929,11 +990,14 @@ func (r *Runner) runDeltaAccumulator(deltaInput, output string) (*metrics.Report
 				if err != nil {
 					return err
 				}
+				ckptStart := time.Now()
 				if err := res.Checkpoint(); err != nil {
 					return err
 				}
+				ckptDur := time.Since(ckptStart)
 				rep.Add("reduce.instances", reduced)
-				rep.AddStage(metrics.StageReduce, time.Since(start))
+				rep.AddStage(metrics.StageCheckpoint, ckptDur)
+				rep.AddStage(metrics.StageReduce, time.Since(start)-ckptDur)
 				return nil
 			},
 		})
@@ -962,8 +1026,10 @@ func (r *Runner) runDeltaAccumulator(deltaInput, output string) (*metrics.Report
 // file is gone — a fresh DFS namespace after a restart — it falls back
 // to a full write.
 func (r *Runner) writeOutputs(output string, rep *metrics.Report) error {
-	var dirtyParts, rewrittenBytes int64
-	for p, res := range r.res {
+	start := time.Now()
+	var dirtyParts, rewrittenBytes atomic.Int64
+	err := par.Do(len(r.res), r.ioPar, func(p int) error {
+		res := r.res[p]
 		part := mr.PartPath(output, p)
 		if !res.Dirty() {
 			// The recorded materialization is only reusable if the file
@@ -973,14 +1039,11 @@ func (r *Runner) writeOutputs(output string, rep *metrics.Report) error {
 			last := res.LastOutput()
 			if last == part {
 				if _, err := r.eng.FS().Stat(part); err == nil {
-					continue
+					return nil
 				}
 			} else if last != "" {
 				if err := r.eng.FS().Clone(last, part); err == nil {
-					if err := res.Materialized(part); err != nil {
-						return err
-					}
-					continue
+					return res.Materialized(part)
 				}
 			}
 		}
@@ -989,7 +1052,7 @@ func (r *Runner) writeOutputs(output string, rep *metrics.Report) error {
 		// part file is gone (fresh DFS namespace after a restart). Both
 		// count as rewritten: the counters mean "partitions/bytes this
 		// refresh actually re-serialized".
-		dirtyParts++
+		dirtyParts.Add(1)
 		w, err := r.eng.FS().Create(part)
 		if err != nil {
 			return err
@@ -1013,14 +1076,16 @@ func (r *Runner) writeOutputs(output string, rep *metrics.Report) error {
 		if err != nil {
 			return err
 		}
-		rewrittenBytes += fi.Bytes
-		if err := res.Materialized(part); err != nil {
-			return err
-		}
+		rewrittenBytes.Add(fi.Bytes)
+		return res.Materialized(part)
+	})
+	if err != nil {
+		return err
 	}
 	if rep != nil {
-		rep.Add(metrics.CounterResultDirtyPartitions, dirtyParts)
-		rep.Add(metrics.CounterResultBytesRewritten, rewrittenBytes)
+		rep.Add(metrics.CounterResultDirtyPartitions, dirtyParts.Load())
+		rep.Add(metrics.CounterResultBytesRewritten, rewrittenBytes.Load())
+		rep.AddStage(metrics.StageCheckpoint, time.Since(start))
 	}
 	return nil
 }
@@ -1055,6 +1120,10 @@ func (r *Runner) reportResultStats(rep *metrics.Report, compBefore int64) {
 	rep.Add(metrics.CounterResultBlocksRead, blocks)
 	rep.Add(metrics.CounterResultBloomSkips, skips)
 	rep.Add(metrics.CounterResultBytesDecompressed, decomp)
+	if r.sched != nil {
+		rep.Add(metrics.CounterCompactQueueDepth, r.sched.QueueDepth())
+		rep.Add(metrics.CounterCompactBGRuns, r.sched.Runs())
+	}
 }
 
 // Outputs returns the current result set as a key-sorted slice,

@@ -1,0 +1,96 @@
+package incr
+
+// Crash/resume coverage for the one-step engine's parallel durability
+// plane: with Job.IOParallelism > 1 the per-partition result-store and
+// MRBG-Store checkpoints fan out concurrently, Open recovers every
+// partition in parallel, and background compaction defers segment
+// folding off the refresh — none of which may change a byte of the
+// recovered outputs.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"i2mapreduce/internal/kv"
+)
+
+// TestOpenResumesAfterRestartParallelSweep mirrors the serial restart
+// test at every (IOParallelism, compaction-mode) configuration: kill
+// after a checkpointed delta refresh, Open, and require the recovered
+// outputs byte-identical to the pre-kill ones and the next refresh
+// byte-identical to a full recompute.
+func TestOpenResumesAfterRestartParallelSweep(t *testing.T) {
+	const parts = 3
+	initial, deltas, snapshots := graphRounds(23, 30, 2)
+
+	for _, ioPar := range []int{2, 8} {
+		for _, bg := range []bool{false, true} {
+			label := fmt.Sprintf("iopar=%d/bg=%v", ioPar, bg)
+			job := Job{
+				Name:   fmt.Sprintf("par-resume-io%d-bg%v", ioPar, bg),
+				Mapper: edgeWeightMapper, Reducer: sumWeightsReducer,
+				NumReducers: parts, IOParallelism: ioPar, BackgroundCompaction: bg,
+			}
+
+			root := t.TempDir()
+			eng := engineAt(t, root, 2)
+			if err := eng.FS().WriteAllPairs("g0", initial); err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewRunner(eng, job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.RunInitial("g0", "o0"); err != nil {
+				t.Fatalf("%s: initial: %v", label, err)
+			}
+			if err := eng.FS().WriteAllDeltas("d0", deltas[0]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.RunDelta("d0", "o1"); err != nil {
+				t.Fatalf("%s: d0: %v", label, err)
+			}
+			preRestart := outs(t, r)
+			if err := r.Close(); err != nil { // "kill" at the job boundary
+				t.Fatal(err)
+			}
+
+			eng2 := engineAt(t, root, 2)
+			r2, err := Open(eng2, job)
+			if err != nil {
+				t.Fatalf("%s: Open after restart: %v", label, err)
+			}
+			if got := outs(t, r2); !reflect.DeepEqual(got, preRestart) {
+				t.Fatalf("%s: resumed outputs differ:\n got %v\nwant %v", label, got, preRestart)
+			}
+
+			if err := eng2.FS().WriteAllDeltas("d1", deltas[1]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r2.RunDelta("d1", "o2"); err != nil {
+				t.Fatalf("%s: d1 after restart: %v", label, err)
+			}
+			var full []kv.Pair
+			for k, v := range snapshots[1] {
+				full = append(full, kv.Pair{Key: k, Value: v})
+			}
+			kv.SortPairs(full)
+			if err := eng2.FS().WriteAllPairs("gfinal", full); err != nil {
+				t.Fatal(err)
+			}
+			want := recompute(t, eng2, "gfinal", parts)
+			if got := outputsAsMap(outs(t, r2)); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: post-restart refresh = %v, want %v", label, got, want)
+			}
+			for _, s := range r2.Stores() {
+				if err := s.VerifyInvariants(); err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+			}
+			if err := r2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -9,9 +9,10 @@
 package kv
 
 import (
+	"cmp"
 	"fmt"
 	"hash/fnv"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -70,25 +71,28 @@ func (d Delta) String() string {
 // SortPairs sorts records by key, breaking ties by value, mirroring the
 // total order the MapReduce shuffle produces. Sorting is stable with
 // respect to nothing else; equal (key,value) records may be reordered.
+// slices.SortFunc rather than sort.Slice: this is the shuffle's
+// spill-run hot path, and the reflection-based swapper allocates where
+// the generic sort does not.
 func SortPairs(ps []Pair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].Key != ps[j].Key {
-			return ps[i].Key < ps[j].Key
+	slices.SortFunc(ps, func(a, b Pair) int {
+		if c := strings.Compare(a.Key, b.Key); c != 0 {
+			return c
 		}
-		return ps[i].Value < ps[j].Value
+		return strings.Compare(a.Value, b.Value)
 	})
 }
 
 // SortDeltas sorts delta records by key, then value, then op.
 func SortDeltas(ds []Delta) {
-	sort.Slice(ds, func(i, j int) bool {
-		if ds[i].Key != ds[j].Key {
-			return ds[i].Key < ds[j].Key
+	slices.SortFunc(ds, func(a, b Delta) int {
+		if c := strings.Compare(a.Key, b.Key); c != 0 {
+			return c
 		}
-		if ds[i].Value != ds[j].Value {
-			return ds[i].Value < ds[j].Value
+		if c := strings.Compare(a.Value, b.Value); c != 0 {
+			return c
 		}
-		return ds[i].Op < ds[j].Op
+		return cmp.Compare(a.Op, b.Op)
 	})
 }
 

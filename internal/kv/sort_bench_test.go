@@ -1,0 +1,91 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The sort paths below run on every shuffle spill and every reduce-side
+// residue sort; the switch from reflection-based sort.Slice to the
+// generic slices.SortFunc removes the per-call interface allocations.
+// The tests pin that property; the benchmarks (with ReportAllocs)
+// surface the win in ns/op and allocs/op.
+
+func shuffledPairs(n int) []Pair {
+	ps := make([]Pair, n)
+	for i := range ps {
+		// A multiplicative walk scatters keys out of order.
+		k := (i*2654435761 + 12345) % n
+		ps[i] = Pair{Key: fmt.Sprintf("k%07d", k), Value: fmt.Sprintf("v%05d", i%97)}
+	}
+	return ps
+}
+
+func shuffledDeltas(n int) []Delta {
+	ds := make([]Delta, n)
+	for i := range ds {
+		k := (i*2654435761 + 54321) % n
+		op := OpInsert
+		if i%3 == 0 {
+			op = OpDelete
+		}
+		ds[i] = Delta{Key: fmt.Sprintf("k%07d", k), Value: fmt.Sprintf("v%05d", i%89), Op: op}
+	}
+	return ds
+}
+
+func TestSortPairsNoPerCallAllocs(t *testing.T) {
+	src := shuffledPairs(512)
+	buf := make([]Pair, len(src))
+	allocs := testing.AllocsPerRun(10, func() {
+		copy(buf, src)
+		SortPairs(buf)
+	})
+	// sort.Slice cost ~3 allocs/op here (reflect swapper + closure);
+	// slices.SortFunc costs none.
+	if allocs > 1 {
+		t.Fatalf("SortPairs allocates %.0f per call, want <= 1", allocs)
+	}
+	if !PairsSorted(buf) {
+		t.Fatal("SortPairs left pairs unsorted")
+	}
+}
+
+func TestSortDeltasNoPerCallAllocs(t *testing.T) {
+	src := shuffledDeltas(512)
+	buf := make([]Delta, len(src))
+	allocs := testing.AllocsPerRun(10, func() {
+		copy(buf, src)
+		SortDeltas(buf)
+	})
+	if allocs > 1 {
+		t.Fatalf("SortDeltas allocates %.0f per call, want <= 1", allocs)
+	}
+	for i := 1; i < len(buf); i++ {
+		if buf[i].Key < buf[i-1].Key {
+			t.Fatal("SortDeltas left deltas unsorted")
+		}
+	}
+}
+
+func BenchmarkSortPairs(b *testing.B) {
+	src := shuffledPairs(4096)
+	buf := make([]Pair, len(src))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		SortPairs(buf)
+	}
+}
+
+func BenchmarkSortDeltas(b *testing.B) {
+	src := shuffledDeltas(4096)
+	buf := make([]Delta, len(src))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		SortDeltas(buf)
+	}
+}

@@ -27,6 +27,11 @@ const (
 	StageSort
 	// StageReduce covers Reduce invocation plus MRBG-Store maintenance.
 	StageReduce
+	// StageCheckpoint covers the durability plane: flushing dirty state
+	// KVs, result stores, and MRBG-Stores at the end of an iteration or
+	// refresh (memtable flush + manifest commit; with background
+	// compaction enabled, nothing else).
+	StageCheckpoint
 	numStages
 )
 
@@ -41,13 +46,15 @@ func (s Stage) String() string {
 		return "sort"
 	case StageReduce:
 		return "reduce"
+	case StageCheckpoint:
+		return "checkpoint"
 	}
 	return fmt.Sprintf("stage(%d)", int(s))
 }
 
 // Stages lists all stages in execution order.
 func Stages() []Stage {
-	return []Stage{StageMap, StageShuffle, StageSort, StageReduce}
+	return []Stage{StageMap, StageShuffle, StageSort, StageReduce, StageCheckpoint}
 }
 
 // Counter names shared across engine layers. Packages are free to use
@@ -134,6 +141,13 @@ const (
 	// CounterSpillReuse counts spill-run pair buffers the shuffle runtime
 	// recycled from its pool instead of growing fresh ones.
 	CounterSpillReuse = "shuffle.spill.reuse"
+	// CounterCompactQueueDepth is the background compaction scheduler's
+	// queue depth (stores enqueued but not yet compacted) at report
+	// time. Reported as a gauge.
+	CounterCompactQueueDepth = "compact.queue.depth"
+	// CounterCompactBGRuns counts compactions the background scheduler
+	// executed off the checkpoint critical path.
+	CounterCompactBGRuns = "compact.bg.runs"
 )
 
 // Report accumulates stage durations and named counters for one job (or

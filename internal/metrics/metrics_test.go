@@ -10,11 +10,12 @@ import (
 
 func TestStageString(t *testing.T) {
 	want := map[Stage]string{
-		StageMap:     "map",
-		StageShuffle: "shuffle",
-		StageSort:    "sort",
-		StageReduce:  "reduce",
-		Stage(99):    "stage(99)",
+		StageMap:        "map",
+		StageShuffle:    "shuffle",
+		StageSort:       "sort",
+		StageReduce:     "reduce",
+		StageCheckpoint: "checkpoint",
+		Stage(99):       "stage(99)",
 	}
 	for s, w := range want {
 		if got := s.String(); got != w {
@@ -25,7 +26,7 @@ func TestStageString(t *testing.T) {
 
 func TestStagesOrder(t *testing.T) {
 	got := Stages()
-	if len(got) != 4 || got[0] != StageMap || got[3] != StageReduce {
+	if len(got) != 5 || got[0] != StageMap || got[3] != StageReduce || got[4] != StageCheckpoint {
 		t.Fatalf("Stages() = %v", got)
 	}
 }
@@ -123,7 +124,7 @@ func TestSnapshotString(t *testing.T) {
 	var r Report
 	r.AddStage(StageMap, 1500*time.Microsecond)
 	out := r.Snapshot().String()
-	for _, want := range []string{"map=", "shuffle=", "sort=", "reduce=", "total="} {
+	for _, want := range []string{"map=", "shuffle=", "sort=", "reduce=", "checkpoint=", "total="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Snapshot.String() = %q missing %q", out, want)
 		}

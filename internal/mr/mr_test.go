@@ -117,6 +117,11 @@ func TestWordCountEndToEnd(t *testing.T) {
 		t.Error("shuffle.bytes not recorded")
 	}
 	for _, s := range metrics.Stages() {
+		// A bare MR job has no durability work; the checkpoint stage is
+		// recorded by the incr/core engines around their store flushes.
+		if s == metrics.StageCheckpoint {
+			continue
+		}
 		if rep.Stage(s) <= 0 {
 			t.Errorf("stage %v has no recorded time", s)
 		}

@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 
 	"i2mapreduce/internal/fsutil"
+	"i2mapreduce/internal/par"
 )
 
 // ShardedStore is one reduce task's MRBG-Store, partitioned across
@@ -157,39 +160,19 @@ func (ss *ShardedStore) Close() error {
 	return first
 }
 
-// forEachShard runs fn once per shard, fanning out up to Parallelism
-// goroutines. Every shard runs even if another fails; the first error
-// (lowest shard id) is returned. Callers must hold the write lock — fn
-// receives exclusive access to its shard.
+// forEachShard runs fn once per shard on the shared bounded-parallelism
+// runner (internal/par), up to Parallelism calls in flight. Every shard
+// runs even if another fails; the first error (lowest shard id) is
+// returned. Callers must hold the write lock — fn receives exclusive
+// access to its shard.
 func (ss *ShardedStore) forEachShard(fn func(i int, st *Store) error) error {
-	if len(ss.shards) == 1 || ss.opts.Parallelism <= 1 {
-		var first error
-		for i, sh := range ss.shards {
-			if err := fn(i, sh.st); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
+	limit := ss.opts.Parallelism
+	if len(ss.shards) == 1 || limit == 1 {
+		limit = 1
 	}
-	sem := make(chan struct{}, ss.opts.Parallelism)
-	errs := make([]error, len(ss.shards))
-	var wg sync.WaitGroup
-	for i := range ss.shards {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = fn(i, ss.shards[i].st)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return par.Do(len(ss.shards), limit, func(i int) error {
+		return fn(i, ss.shards[i].st)
+	})
 }
 
 // Len returns the number of live chunks across all shards.
@@ -484,7 +467,7 @@ func (ss *ShardedStore) Merge(delta []DeltaEdge, emit func(r MergeResult) error)
 	for _, rs := range staged {
 		merged = append(merged, rs...)
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].Key < merged[j].Key })
+	slices.SortFunc(merged, func(a, b MergeResult) int { return strings.Compare(a.Key, b.Key) })
 
 	for _, r := range merged {
 		if err := emit(r); err != nil {

@@ -1,0 +1,67 @@
+// Package par is the bounded-parallelism I/O runner shared by the
+// durability plane. Every per-partition loop that flushes, opens, or
+// restores durable state — state-KV and result-store checkpoints, MRBG
+// shard fan-out, parallel Open/recovery — funnels through Do, so one
+// knob (IOParallelism, default GOMAXPROCS) bounds the whole process's
+// concurrent durability I/O.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs f(i) for every i in [0, n), with at most limit calls in
+// flight (limit <= 0 means GOMAXPROCS). Every index runs even if
+// another fails; the first error in index order is returned, so an
+// error surfaced by a sweep is deterministic regardless of goroutine
+// scheduling. Do returns only after every call has finished.
+//
+// With limit == 1 (or n == 1) the calls run inline on the caller's
+// goroutine in index order — byte-for-byte the serial loops the
+// durability plane used before, which the crash-consistency tests
+// compare against.
+func Do(n, limit int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if limit > n {
+		limit = n
+	}
+	if limit == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < limit; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

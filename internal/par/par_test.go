@@ -1,0 +1,107 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	for _, limit := range []int{-1, 0, 1, 2, 3, 7, 64} {
+		t.Run(fmt.Sprintf("limit=%d", limit), func(t *testing.T) {
+			const n = 37
+			var counts [n]atomic.Int64
+			if err := Do(n, limit, func(i int) error {
+				counts[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("index %d ran %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestDoZeroAndNegativeN(t *testing.T) {
+	called := false
+	for _, n := range []int{0, -3} {
+		if err := Do(n, 4, func(int) error { called = true; return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if called {
+		t.Fatal("f called for n <= 0")
+	}
+}
+
+// TestDoFirstErrorByIndex: the returned error is the lowest-index
+// failure regardless of completion order, and later indices still run.
+func TestDoFirstErrorByIndex(t *testing.T) {
+	for _, limit := range []int{1, 4} {
+		var ran atomic.Int64
+		errLow := errors.New("low")
+		errHigh := errors.New("high")
+		err := Do(16, limit, func(i int) error {
+			ran.Add(1)
+			switch i {
+			case 3:
+				return errLow
+			case 11:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("limit %d: got %v, want lowest-index error", limit, err)
+		}
+		if got := ran.Load(); got != 16 {
+			t.Fatalf("limit %d: %d of 16 indices ran after an error", limit, got)
+		}
+	}
+}
+
+// TestDoBoundsConcurrency: never more than limit calls in flight.
+func TestDoBoundsConcurrency(t *testing.T) {
+	const n, limit = 64, 3
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	if err := Do(n, limit, func(int) error {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		defer cur.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+}
+
+// TestDoSerialOrder: limit 1 runs inline in index order (the durable
+// checkpoint sweeps rely on this to reproduce the historical serial
+// loops exactly).
+func TestDoSerialOrder(t *testing.T) {
+	var order []int
+	if err := Do(8, 1, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order %v not ascending", order)
+		}
+	}
+}

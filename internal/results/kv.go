@@ -97,5 +97,9 @@ func (k *KV) Reset() error { return k.s.Reset() }
 // Stats returns the underlying store's shape counters.
 func (k *KV) Stats() Stats { return k.s.Stats() }
 
+// AttachScheduler hands the underlying store's threshold compaction to
+// a background Scheduler (nil detaches); see Store.AttachScheduler.
+func (k *KV) AttachScheduler(sched *Scheduler) { k.s.AttachScheduler(sched) }
+
 // Close releases the segment files without checkpointing.
 func (k *KV) Close() error { return k.s.Close() }

@@ -67,6 +67,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -200,6 +201,10 @@ type Store struct {
 	// blockOpts is the resolved blockio configuration every new segment
 	// is written with. Immutable after Open.
 	blockOpts blockio.Options
+	// sched, when attached, takes over threshold compaction: Checkpoint
+	// stops compacting inline (a refresh pays only flush + manifest
+	// commit) and notifies the scheduler instead. Guarded by mu.
+	sched *Scheduler
 	// fileStats / bloomSkips account the lock-free segment read path
 	// (snapshot reads hold no store lock); folded into Stats().
 	fileStats  blockio.FileStats
@@ -592,7 +597,7 @@ func sortedRecords(m map[string]entry, defensive bool) []record {
 		}
 		recs = append(recs, record{key: k, pairs: ps, tomb: e.tomb})
 	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+	slices.SortFunc(recs, func(a, b record) int { return strings.Compare(a.key, b.key) })
 	return recs
 }
 
@@ -866,9 +871,13 @@ func (s *Store) Checkpoint() error {
 	}
 	s.mu.Lock()
 	n := len(s.segs)
+	sched := s.sched
 	s.mu.Unlock()
 	committed := false
-	if s.opts.CompactThreshold > 0 && n >= s.opts.CompactThreshold {
+	// With a background scheduler attached, compaction leaves the
+	// critical path entirely: Checkpoint only flushes and commits, and
+	// the scheduler (notified below) folds segments behind the refresh.
+	if sched == nil && s.opts.CompactThreshold > 0 && n >= s.opts.CompactThreshold {
 		var err error
 		if committed, err = s.compact(); err != nil {
 			return err
@@ -882,9 +891,43 @@ func (s *Store) Checkpoint() error {
 		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.initialized = true
+	s.mu.Unlock()
+	sched.Notify(s)
 	return nil
+}
+
+// AttachScheduler hands the store's threshold compaction to a
+// background Scheduler (nil detaches, restoring inline compaction).
+// See Checkpoint.
+func (s *Store) AttachScheduler(sched *Scheduler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sched = sched
+}
+
+// CompactDue reports whether the store's segment shape has crossed a
+// compaction trigger: its segment-count threshold, or byteTrigger > 0
+// and the total segment bytes at or above it. Always false with a
+// single segment (nothing to fold) or with compaction disabled
+// (negative CompactThreshold).
+func (s *Store) CompactDue(byteTrigger int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.segs) <= 1 || s.opts.CompactThreshold < 0 {
+		return false
+	}
+	if s.opts.CompactThreshold > 0 && len(s.segs) >= s.opts.CompactThreshold {
+		return true
+	}
+	if byteTrigger > 0 {
+		var b int64
+		for _, seg := range s.segs {
+			b += seg.bytes
+		}
+		return b >= byteTrigger
+	}
+	return false
 }
 
 // Compact folds every segment into one, dropping tombstones and

@@ -1,0 +1,219 @@
+package results
+
+// Race coverage for the background compaction scheduler: bounded
+// workers run snapshot-isolated compactions while concurrent readers
+// hold snapshots over the same segments and a simulated refresh keeps
+// checkpointing new segments behind the Pause/Resume barrier. Run with
+// -race (CI's full-module race job does).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"i2mapreduce/internal/kv"
+)
+
+// drainScheduler waits (bounded) for the scheduler's queue to empty.
+func drainScheduler(t *testing.T, sched *Scheduler) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for sched.QueueDepth() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler queue did not drain (depth=%d)", sched.QueueDepth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSchedulerCompactsWhenDue covers the basic contract: a store with
+// a scheduler attached stops compacting inline during Checkpoint, and
+// the background worker folds the segments once notified.
+func TestSchedulerCompactsWhenDue(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 2)
+	defer s.Close()
+	sched := NewScheduler(SchedulerOptions{Workers: 1})
+	defer sched.Close()
+	s.AttachScheduler(sched)
+
+	for i := 0; i < 4; i++ {
+		s.Set(fmt.Sprintf("k%d", i), []kv.Pair{{Key: "x", Value: fmt.Sprintf("%d", i)}})
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainScheduler(t, sched)
+	if sched.Runs() == 0 {
+		t.Fatal("background compaction never ran despite segments over threshold")
+	}
+	if sched.Failures() != 0 {
+		t.Fatalf("background compaction failures = %d", sched.Failures())
+	}
+	if got := len(segFiles(t, dir)); got != 1 {
+		t.Fatalf("segment files after background compaction = %d, want 1", got)
+	}
+	for i := 0; i < 4; i++ {
+		ps, ok, err := s.Get(fmt.Sprintf("k%d", i))
+		if err != nil || !ok || ps[0].Value != fmt.Sprintf("%d", i) {
+			t.Fatalf("Get(k%d) after background compaction = %v %v %v", i, ps, ok, err)
+		}
+	}
+	if err := sched.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// All methods are no-ops on a nil receiver: engines hold an optional
+	// pointer and call unconditionally.
+	var nilSched *Scheduler
+	nilSched.Notify(s)
+	nilSched.Pause()
+	nilSched.Resume()
+	if nilSched.QueueDepth() != 0 || nilSched.Runs() != 0 || nilSched.Failures() != 0 || nilSched.Close() != nil {
+		t.Fatal("nil scheduler methods are not no-ops")
+	}
+}
+
+// TestSchedulerBackgroundCompactionUnderConcurrentReaders is the race
+// test: snapshot readers iterate and point-read continuously while a
+// live refresh loop mutates, checkpoints (enqueueing compactions), and
+// brackets itself with the Pause/Resume barrier — background workers
+// compact in the gaps. Every byte read must be a value some completed
+// round wrote, and the final contents must match the last round.
+func TestSchedulerBackgroundCompactionUnderConcurrentReaders(t *testing.T) {
+	const groups = 24
+	const rounds = 10
+
+	s := mustOpen(t, t.TempDir(), 2)
+	defer s.Close()
+	sched := NewScheduler(SchedulerOptions{Workers: 2})
+	defer sched.Close()
+	s.AttachScheduler(sched)
+
+	key := func(i int) string { return fmt.Sprintf("g%03d", i) }
+	writeRound := func(round int) {
+		for i := 0; i < groups; i++ {
+			s.Set(key(i), []kv.Pair{{Key: key(i), Value: fmt.Sprintf("r%d", round)}})
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeRound(0)
+
+	stop := make(chan struct{})
+	errc := make(chan error, 4)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := s.Snapshot()
+				// A snapshot is a point-in-time view: every group must be
+				// present and all values must come from the same round.
+				seen := map[string]int{}
+				n := 0
+				err := sn.AllGroups(func(k string, ps []kv.Pair) error {
+					seen[ps[0].Value]++
+					n++
+					return nil
+				})
+				if err == nil && (n != groups || len(seen) != 1) {
+					err = fmt.Errorf("torn snapshot: %d groups, rounds %v", n, seen)
+				}
+				if err == nil {
+					if _, ok, getErr := sn.Get(key(0)); getErr != nil || !ok {
+						err = fmt.Errorf("snapshot Get(%s) = %v %v", key(0), ok, getErr)
+					}
+				}
+				sn.Close()
+				if err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	for round := 1; round <= rounds; round++ {
+		// The refresh barrier: no compaction I/O while the "refresh"
+		// mutates and checkpoints; notifications still enqueue.
+		sched.Pause()
+		writeRound(round)
+		sched.Resume()
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	drainScheduler(t, sched)
+	if sched.Runs() == 0 {
+		t.Fatal("background compaction never ran across the refresh loop")
+	}
+	if sched.Failures() != 0 {
+		t.Fatalf("background compaction failures = %d", sched.Failures())
+	}
+	for i := 0; i < groups; i++ {
+		ps, ok, err := s.Get(key(i))
+		if err != nil || !ok || ps[0].Value != fmt.Sprintf("r%d", rounds) {
+			t.Fatalf("final Get(%s) = %v %v %v, want r%d", key(i), ps, ok, err, rounds)
+		}
+	}
+	if err := sched.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerPauseBarrier asserts Pause waits out an in-flight
+// compaction and blocks new ones until Resume.
+func TestSchedulerPauseBarrier(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 2)
+	defer s.Close()
+	sched := NewScheduler(SchedulerOptions{Workers: 1})
+	defer sched.Close()
+	s.AttachScheduler(sched)
+
+	sched.Pause()
+	for i := 0; i < 4; i++ {
+		s.Set(fmt.Sprintf("k%d", i), []kv.Pair{{Key: "x", Value: "v"}})
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Paused: the notification is queued but no compaction ran.
+	if sched.QueueDepth() == 0 {
+		t.Fatal("notification not queued while paused")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if sched.Runs() != 0 {
+		t.Fatal("compaction ran while paused")
+	}
+	sched.Resume()
+	drainScheduler(t, sched)
+	if sched.Runs() == 0 {
+		t.Fatal("compaction did not run after Resume")
+	}
+	// Pause returns only once in-flight work is out: afterwards the
+	// segment shape is stable.
+	sched.Pause()
+	before := len(segFiles(t, dir))
+	time.Sleep(5 * time.Millisecond)
+	if got := len(segFiles(t, dir)); got != before {
+		t.Fatalf("segment files changed under the pause barrier: %d -> %d", before, got)
+	}
+	sched.Resume()
+}

@@ -83,6 +83,11 @@ type Server struct {
 	snapsOpen   atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// sched, when attached, surfaces the runner's background compaction
+	// scheduler gauges in /stats. Nil (and all gauges zero) unless the
+	// runner was built with background compaction on.
+	sched atomic.Pointer[results.Scheduler]
 }
 
 // epoch is one immutable generation of store snapshots plus its cache.
@@ -131,7 +136,12 @@ func NewOneStep(r *incr.Runner, opts Options) (*Server, error) {
 	for i, st := range res {
 		stores[i] = st
 	}
-	return NewServer(stores, opts)
+	srv, err := NewServer(stores, opts)
+	if err != nil {
+		return nil, err
+	}
+	srv.AttachCompactionScheduler(r.CompactionScheduler())
+	return srv, nil
 }
 
 // NewIncremental builds a Server over the incremental iterative
@@ -144,7 +154,12 @@ func NewIncremental(r *core.Runner, opts Options) (*Server, error) {
 	for i, st := range kvs {
 		stores[i] = st
 	}
-	return NewServer(stores, opts)
+	srv, err := NewServer(stores, opts)
+	if err != nil {
+		return nil, err
+	}
+	srv.AttachCompactionScheduler(r.CompactionScheduler())
+	return srv, nil
 }
 
 // newEpoch captures a fresh snapshot of every store.
@@ -320,6 +335,14 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// AttachCompactionScheduler surfaces a background compaction scheduler's
+// gauges (queue depth, completed runs, failures) in Stats and /stats.
+// Call it with the scheduler of the runner whose stores this Server
+// serves; nil detaches. Safe to call while serving.
+func (s *Server) AttachCompactionScheduler(sched *results.Scheduler) {
+	s.sched.Store(sched)
+}
+
 // Stats is a point-in-time view of the server's counters.
 type Stats struct {
 	Epoch         int64 `json:"epoch"`
@@ -329,18 +352,27 @@ type Stats struct {
 	CacheHits     int64 `json:"cache_hits"`
 	CacheMisses   int64 `json:"cache_misses"`
 	Refreshing    bool  `json:"refreshing"`
+	// Background compaction scheduler gauges; all zero when the runner
+	// compacts inline (no scheduler attached).
+	CompactQueueDepth int64 `json:"compact_queue_depth"`
+	CompactBGRuns     int64 `json:"compact_bg_runs"`
+	CompactBGFailures int64 `json:"compact_bg_failures"`
 }
 
 // Stats returns the server's current counters.
 func (s *Server) Stats() Stats {
+	sched := s.sched.Load() // nil-safe: gauges read as zero
 	return Stats{
-		Epoch:         s.Epoch(),
-		Partitions:    len(s.stores),
-		EpochFlips:    s.flips.Load(),
-		SnapshotsOpen: s.snapsOpen.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMisses.Load(),
-		Refreshing:    s.refreshing.Load(),
+		Epoch:             s.Epoch(),
+		Partitions:        len(s.stores),
+		EpochFlips:        s.flips.Load(),
+		SnapshotsOpen:     s.snapsOpen.Load(),
+		CacheHits:         s.cacheHits.Load(),
+		CacheMisses:       s.cacheMisses.Load(),
+		Refreshing:        s.refreshing.Load(),
+		CompactQueueDepth: sched.QueueDepth(),
+		CompactBGRuns:     sched.Runs(),
+		CompactBGFailures: sched.Failures(),
 	}
 }
 
@@ -352,6 +384,8 @@ func (s *Server) AddTo(rep *metrics.Report) {
 	rep.Add(metrics.CounterServeSnapshotsOpen, st.SnapshotsOpen)
 	rep.Add(metrics.CounterServeCacheHits, st.CacheHits)
 	rep.Add(metrics.CounterServeCacheMisses, st.CacheMisses)
+	rep.Add(metrics.CounterCompactQueueDepth, st.CompactQueueDepth)
+	rep.Add(metrics.CounterCompactBGRuns, st.CompactBGRuns)
 }
 
 // String names the server for logs.
