@@ -19,8 +19,12 @@ race:
 # staticcheck runs when installed (CI always installs it); locally it
 # degrades to a notice so `make lint` needs nothing beyond the Go
 # toolchain.
+# doclint (internal/tools/doclint, stdlib-only) requires a doc comment
+# on every exported declaration — the whole public surface, not just
+# the newest packages, stays godoc-complete.
 lint:
 	$(GO) vet ./...
+	$(GO) run ./internal/tools/doclint . ./cmd/* ./internal/* ./internal/tools/doclint
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -40,12 +44,14 @@ bench-smoke: bench-json
 # perf trajectory is reproducible locally: the engine sweeps in
 # BENCH_core.json, the parallel durability-plane checkpoint sweep in
 # BENCH_ckpt.json, the serving-layer QPS/p99 sweep in BENCH_serve.json,
-# the segment block-format storage sweep in BENCH_results.json, and the
+# the streaming-ingestion freshness-lag sweep in BENCH_ingest.json, the
+# segment block-format storage sweep in BENCH_results.json, and the
 # refresh-planner no-regret sweep in BENCH_plan.json.
 bench-json:
 	$(GO) run ./cmd/i2mr-bench -scale small -shuffle-mem 65536 -json BENCH_core.json onestep core
 	$(GO) run ./cmd/i2mr-bench -scale small -json BENCH_ckpt.json ckpt
 	$(GO) run ./cmd/i2mr-bench -scale small -json BENCH_serve.json serve
+	$(GO) run ./cmd/i2mr-bench -scale small -json BENCH_ingest.json ingest
 	$(GO) run ./cmd/i2mr-bench -scale small -json BENCH_results.json results
 	$(GO) run ./cmd/i2mr-bench -scale small -shuffle-mem 65536 -json BENCH_plan.json plan
 

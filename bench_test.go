@@ -343,6 +343,22 @@ func BenchmarkServeSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestSweep regenerates the streaming-ingestion sweep:
+// per-record freshness lag (durable accept to epoch flip) vs offered
+// ingest rate across micro-batching policies.
+func BenchmarkIngestSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newBenchEnv(b)
+		rows, err := bench.IngestSweep(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(float64(r.MeanLag.Microseconds()), fmt.Sprintf("%s-rate%d-lag-us", r.Policy, r.Rate))
+		}
+	}
+}
+
 // BenchmarkCoreSweep regenerates the durable-core sweep: incremental
 // iterative refresh wall time across partition counts and shuffle
 // budgets, with per-iteration dirty-group checkpointing on.

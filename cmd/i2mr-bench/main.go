@@ -6,14 +6,14 @@
 //	i2mr-bench [-scale small|default] [-workdir DIR] [-json PATH] [experiment ...]
 //
 // Experiments: fig8 fig9 table4 fig10 fig11 fig12 fig13 apriori shards
-// onestep core ckpt serve results plan all
+// onestep core ckpt serve ingest results plan all
 //
 // With -json PATH, the experiments that produce machine-readable
-// records (onestep, core, ckpt, shards, serve, results, plan)
+// records (onestep, core, ckpt, shards, serve, ingest, results, plan)
 // additionally append them to a JSON array written at PATH — the
 // BENCH_core.json / BENCH_ckpt.json / BENCH_serve.json /
-// BENCH_results.json / BENCH_plan.json artifacts CI uploads from its
-// bench-smoke job.
+// BENCH_ingest.json / BENCH_results.json / BENCH_plan.json artifacts
+// CI uploads from its bench-smoke job.
 package main
 
 import (
@@ -53,7 +53,7 @@ func main() {
 
 	experiments := flag.Args()
 	if len(experiments) == 0 || (len(experiments) == 1 && experiments[0] == "all") {
-		experiments = []string{"apriori", "onestep", "core", "ckpt", "serve", "results", "plan", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
+		experiments = []string{"apriori", "onestep", "core", "ckpt", "serve", "ingest", "results", "plan", "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13", "shards"}
 	}
 
 	var recs []bench.JSONRecord
@@ -171,6 +171,13 @@ func runExperiment(env *bench.Env, sc bench.Scale, dir, name, scaleName string) 
 		}
 		fmt.Print(bench.FormatServeCold(cold))
 		return append(bench.ServeJSON(scaleName, rows), bench.ServeColdJSON(scaleName, cold)...), nil
+	case "ingest":
+		rows, err := bench.IngestSweep(env, sc)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(bench.FormatIngest(rows))
+		return bench.IngestJSON(scaleName, rows), nil
 	case "results":
 		rows, err := bench.ResultsSweep(filepath.Join(dir, name, "sweep"), sc)
 		if err != nil {

@@ -9,6 +9,8 @@
 //
 //	i2mr-serve [-addr :8080] [-n 4000] [-nodes 4] [-delta 0.05]
 //	           [-refresh-every 5s] [-refreshes 0] [-cache 4096]
+//	           [-ingest] [-max-lag 2s] [-batch-records 10000]
+//	           [-batch-bytes 4194304] [-min-interval 0] [-reject]
 //
 // Try it:
 //
@@ -21,6 +23,21 @@
 // -refreshes 0 refreshes forever; a positive count exits after that
 // many background refreshes (handy for demos and smoke tests). Ctrl-C
 // shuts down cleanly (the scratch directory is removed).
+//
+// # Streaming ingestion mode
+//
+// With -ingest the synthetic background mutator is replaced by the
+// streaming ingestion pipeline: POST /ingest accepts delta records,
+// stages them durably, and a micro-batch loop refreshes them into the
+// served result under the batching policy (-max-lag, -batch-records,
+// -batch-bytes, -min-interval; -reject switches backpressure from
+// block-on-full to HTTP 429). Watch the watermark catch up:
+//
+//	curl -X POST http://localhost:8080/ingest \
+//	     -d '{"deltas":[{"key":"t1","value":"hello hello world","op":"+"}]}'
+//	curl http://localhost:8080/stats     # "ingest": applied_seq, lag_ns
+//
+// Ctrl-C drains: staged records are refreshed before the process exits.
 package main
 
 import (
@@ -33,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -40,6 +58,7 @@ import (
 	i2mr "i2mapreduce"
 	"i2mapreduce/internal/apps"
 	"i2mapreduce/internal/datagen"
+	"i2mapreduce/internal/ingest"
 	"i2mapreduce/internal/serve"
 )
 
@@ -59,6 +78,12 @@ func run() error {
 	refreshEvery := flag.Duration("refresh-every", 5*time.Second, "interval between background delta refreshes")
 	refreshes := flag.Int("refreshes", 0, "stop refreshing after this many refreshes (0 = refresh forever)")
 	cacheSize := flag.Int("cache", 0, "per-epoch read cache entries (0 = default, negative disables)")
+	ingestMode := flag.Bool("ingest", false, "streaming ingestion mode: accept deltas on POST /ingest instead of the synthetic mutator")
+	maxLag := flag.Duration("max-lag", ingest.DefaultMaxLag, "ingest: refresh when the oldest staged record is this old")
+	batchRecords := flag.Int("batch-records", ingest.DefaultMaxBatchRecords, "ingest: refresh early at this many staged records")
+	batchBytes := flag.Int64("batch-bytes", ingest.DefaultMaxBatchBytes, "ingest: refresh early at this many staged bytes")
+	minInterval := flag.Duration("min-interval", 0, "ingest: minimum spacing between refreshes")
+	reject := flag.Bool("reject", false, "ingest: reject with HTTP 429 at the staging bound instead of blocking")
 	flag.Parse()
 
 	dir, err := os.MkdirTemp("", "i2mr-serve-*")
@@ -103,11 +128,42 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Streaming ingestion mode: POST /ingest feeds the micro-batch
+	// refresh loop; the synthetic mutator below is skipped.
+	var ing *ingest.Ingester
+	extra := map[string]http.Handler{}
+	if *ingestMode {
+		ing, err = ingest.Open(ingest.Config{
+			Dir:         filepath.Join(dir, "ingest-wal"),
+			Refresh:     ingest.BindServe(srv, runner),
+			WriteDeltas: sys.WriteDeltas,
+			AppliedJobs: runner.CompletedJobs,
+			Policy: ingest.Policy{
+				MaxLag:          *maxLag,
+				MaxBatchRecords: *batchRecords,
+				MaxBatchBytes:   *batchBytes,
+				MinInterval:     *minInterval,
+			},
+			Backpressure: map[bool]ingest.Backpressure{false: ingest.BlockOnFull, true: ingest.RejectOnFull}[*reject],
+			OnBatchApplied: func(b ingest.Batch) {
+				st := srv.Stats()
+				log.Printf("ingest batch %d: %d records (seq %d-%d) in %s -> epoch %d",
+					b.ID, b.Records, b.FirstSeq, b.LastSeq, b.Wall.Round(time.Millisecond), st.Epoch)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		ing.AttachTo(srv)
+		ing.Start()
+		extra["/ingest"] = ing.Handler()
+	}
+
 	// Background refresher: evolve the corpus, write a delta file, and
 	// publish it through srv.Refresh — readers flip to the new epoch
 	// only when the refresh commits. A refresh error stops refreshing
 	// but leaves the server answering from the last good epoch.
-	go func() {
+	refresher := func() {
 		current := corpus
 		for i := 1; *refreshes <= 0 || i <= *refreshes; i++ {
 			select {
@@ -142,7 +198,10 @@ func run() error {
 				i, len(deltas), time.Since(t).Round(time.Millisecond), st.Epoch, st.CacheHits, st.CacheMisses)
 		}
 		log.Printf("completed %d refreshes; still serving epoch %d", *refreshes, srv.Epoch())
-	}()
+	}
+	if !*ingestMode {
+		go refresher()
+	}
 
 	sample := ""
 	if len(outs) > 0 {
@@ -152,16 +211,31 @@ func run() error {
 	if strings.HasPrefix(display, ":") {
 		display = "localhost" + display
 	}
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{Addr: *addr, Handler: srv.HandlerWith(extra)}
 	go func() {
 		<-ctx.Done()
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		hs.Shutdown(sctx) //nolint:errcheck // best-effort drain before exit
 	}()
-	log.Printf("serving on %s — try: curl 'http://%s/get?key=%s'", *addr, display, sample)
+	if *ingestMode {
+		log.Printf("serving on %s (streaming ingestion on POST /ingest) — try: curl 'http://%s/get?key=%s'", *addr, display, sample)
+	} else {
+		log.Printf("serving on %s — try: curl 'http://%s/get?key=%s'", *addr, display, sample)
+	}
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if ing != nil {
+		// Graceful drain: everything already accepted is refreshed into
+		// the served result before exit.
+		st := ing.Stats()
+		if st.PendingRecords > 0 {
+			log.Printf("draining %d staged records", st.PendingRecords)
+		}
+		if err := ing.Close(); err != nil {
+			log.Printf("ingest drain: %v", err)
+		}
 	}
 	log.Printf("shutting down (epoch %d served)", srv.Epoch())
 	return nil

@@ -220,6 +220,34 @@ func PlanJSON(scale string, rows []PlanRow) []JSONRecord {
 	return recs
 }
 
+// IngestJSON converts the ingest sweep into benchmark records; the
+// headline op is one streamed record's freshness lag (mean accept-to-
+// applied time), with the tail lags and batch counters alongside.
+func IngestJSON(scale string, rows []IngestRow) []JSONRecord {
+	recs := make([]JSONRecord, 0, len(rows))
+	for _, r := range rows {
+		recs = append(recs, JSONRecord{
+			Experiment: "ingest",
+			Scale:      scale,
+			Params: map[string]string{
+				"policy": r.Policy,
+				"rate":   fmt.Sprintf("%d", r.Rate),
+			},
+			NsPerOp: r.MeanLag.Nanoseconds(),
+			Counters: map[string]int64{
+				"records":    r.Records,
+				"batches":    r.Batches,
+				"rejected":   r.Rejected,
+				"p50_lag_ns": r.P50.Nanoseconds(),
+				"p99_lag_ns": r.P99.Nanoseconds(),
+				"max_lag_ns": r.MaxLag.Nanoseconds(),
+				"refresh_ns": r.MeanRefresh.Nanoseconds(),
+			},
+		})
+	}
+	return recs
+}
+
 // ShardSweepJSON converts the shard sweep into benchmark records; the
 // headline op is the delta merge.
 func ShardSweepJSON(scale string, rows []ShardSweepRow) []JSONRecord {

@@ -30,6 +30,7 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"i2mapreduce/internal/cluster"
@@ -191,6 +192,11 @@ type Runner struct {
 	// in-place retry would corrupt it (see RunIncremental).
 	refreshFailed bool
 	jobSeq        int
+	// jobsDone is the durably committed job count (the jobs= stamp of
+	// job.meta): it trails jobSeq while a job is in flight and catches up
+	// when writeJobMeta commits. CompletedJobs exposes it to external
+	// commit protocols (internal/ingest).
+	jobsDone atomic.Int64
 	// refreshStats backs the engine.Refresher Stats() view.
 	refreshStats engine.StatsTracker
 
@@ -325,6 +331,13 @@ func (r *Runner) MRBGEnabled() bool { return r.mrbgOn }
 // unless Config.BackgroundCompaction), so the serving layer can surface
 // its gauges.
 func (r *Runner) CompactionScheduler() *results.Scheduler { return r.sched }
+
+// CompletedJobs returns the durably committed job count (the jobs=
+// stamp of job.meta): 1 after RunInitial, +1 per committed refresh. It
+// advances only after the refresh's completion flush, so comparing it
+// across a process death tells an external commit protocol
+// (internal/ingest) whether an in-flight refresh committed.
+func (r *Runner) CompletedJobs() int64 { return r.jobsDone.Load() }
 
 // threshold returns the active propagation threshold: Epsilon floor,
 // raised to FilterThreshold when CPC is on.

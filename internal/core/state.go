@@ -257,8 +257,12 @@ func (r *Runner) mrbgMode() string {
 // written when RunInitial finishes and refreshed after every completed
 // RunIncremental.
 func (r *Runner) writeJobMeta() error {
-	return fsutil.WriteFileAtomic(r.jobMetaPath(), []byte(fmt.Sprintf(
+	err := fsutil.WriteFileAtomic(r.jobMetaPath(), []byte(fmt.Sprintf(
 		"partitions=%d\nmode=%s\nmrbg=%s\njobs=%d\n", r.n, r.jobMode(), r.mrbgMode(), r.jobSeq)))
+	if err == nil {
+		r.jobsDone.Store(int64(r.jobSeq))
+	}
+	return err
 }
 
 // readJobMeta loads the completion marker; ok=false when none exists.
@@ -462,6 +466,7 @@ func (r *Runner) attach() error {
 		}
 	}
 	r.jobSeq = jobs
+	r.jobsDone.Store(int64(jobs))
 	r.initialDone = true
 	return nil
 }

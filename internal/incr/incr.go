@@ -121,6 +121,11 @@ type Runner struct {
 	// deltaSeq hands out unique scratch directories to concurrent /
 	// successive RunDelta shuffles.
 	deltaSeq atomic.Int64
+	// jobs is the durably completed job count (the initial run counts as
+	// 1, every completed RunDelta adds 1), mirrored from the jobs= key of
+	// job.meta. External commit protocols (internal/ingest) compare it
+	// across a crash to decide whether an in-flight refresh committed.
+	jobs atomic.Int64
 	// refreshStats backs the engine.Refresher Stats() view.
 	refreshStats engine.StatsTracker
 }
@@ -152,7 +157,7 @@ func Open(eng *mr.Engine, job Job) (*Runner, error) {
 	// lives under node 0's scratch dir, so the meta is findable under
 	// any cluster size. Resuming with a different count would silently
 	// drop (or re-route) preserved result groups.
-	preserved, mode, ok, err := readJobMeta(r.jobMetaPath())
+	preserved, mode, jobs, ok, err := readJobMeta(r.jobMetaPath())
 	if err != nil {
 		r.Close()
 		return nil, err
@@ -174,8 +179,25 @@ func Open(eng *mr.Engine, job Job) (*Runner, error) {
 			r.Close()
 			return nil, fmt.Errorf("incr: job %q is missing preserved results for partition %d (was the job run under a different cluster topology?)", job.Name, p)
 		}
-		switch _, err := os.Stat(r.refreshIntentPath(p)); {
+		switch intent, err := os.ReadFile(r.refreshIntentPath(p)); {
 		case err == nil:
+			// Benign window: an accumulator refresh stamps job.meta (with
+			// the in-flight job number) before unlinking its intent
+			// marker, so a marker whose job= payload equals the durably
+			// completed count belongs to a refresh that fully committed —
+			// the process merely died between the stamp and the unlink.
+			// Any other surviving marker means half-applied state.
+			if mode == "accumulator" && intentJob(string(intent)) == jobs {
+				if err := os.Remove(r.refreshIntentPath(p)); err != nil {
+					r.Close()
+					return nil, err
+				}
+				if err := fsutil.SyncDir(filepath.Dir(r.refreshIntentPath(p))); err != nil {
+					r.Close()
+					return nil, err
+				}
+				continue
+			}
 			r.Close()
 			return nil, fmt.Errorf("incr: job %q partition %d has a half-applied refresh; this state cannot be resumed safely — re-run the computation in a fresh work dir", job.Name, p)
 		case !errors.Is(err, os.ErrNotExist):
@@ -183,8 +205,24 @@ func Open(eng *mr.Engine, job Job) (*Runner, error) {
 			return nil, fmt.Errorf("incr: probing refresh marker for partition %d: %w", p, err)
 		}
 	}
+	r.jobs.Store(jobs)
 	r.initial = true
 	return r, nil
+}
+
+// intentJob extracts the job number from a refresh.intent payload
+// written as "job=N\n"; -1 for any other payload (fine-grain markers
+// carry no job number and are never benign).
+func intentJob(s string) int64 {
+	v, ok := strings.CutPrefix(strings.TrimSpace(s), "job=")
+	if !ok {
+		return -1
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return -1
+	}
+	return n
 }
 
 // jobMode names the preservation mode for the job meta.
@@ -208,47 +246,56 @@ func (r *Runner) jobMetaPath() string {
 	return filepath.Join(r.resultDir(0), "job.meta")
 }
 
-// writeJobMeta durably persists the partition count and preservation
-// mode after the initial job completes; its presence is the completion
-// marker Open requires.
-func (r *Runner) writeJobMeta() error {
+// writeJobMeta durably persists the partition count, preservation mode,
+// and completed-job count. Its presence is the completion marker Open
+// requires; the jobs= stamp advances once per fully committed job (the
+// initial run, then every RunDelta), so an external commit protocol can
+// compare it across a crash.
+func (r *Runner) writeJobMeta(jobs int64) error {
 	return fsutil.WriteFileAtomic(r.jobMetaPath(),
-		[]byte(fmt.Sprintf("partitions=%d\nmode=%s\n", r.job.NumReducers, r.jobMode())))
+		[]byte(fmt.Sprintf("partitions=%d\nmode=%s\njobs=%d\n", r.job.NumReducers, r.jobMode(), jobs)))
 }
 
-// readJobMeta loads the preserved partition count and mode; ok=false
-// when no meta exists.
-func readJobMeta(path string) (parts int, mode string, ok bool, err error) {
+// readJobMeta loads the preserved partition count, mode, and completed
+// job count; ok=false when no meta exists. Meta written before the
+// jobs= key existed reads as jobs=1 (the initial run the meta's
+// presence already attests to).
+func readJobMeta(path string) (parts int, mode string, jobs int64, ok bool, err error) {
 	b, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, "", false, nil
+		return 0, "", 0, false, nil
 	}
 	if err != nil {
-		return 0, "", false, err
+		return 0, "", 0, false, err
 	}
+	jobs = 1
 	for _, line := range strings.Split(string(b), "\n") {
 		if line == "" {
 			continue
 		}
 		k, v, found := strings.Cut(line, "=")
 		if !found {
-			return 0, "", false, fmt.Errorf("incr: corrupt job meta line %q", line)
+			return 0, "", 0, false, fmt.Errorf("incr: corrupt job meta line %q", line)
 		}
 		switch k {
 		case "partitions":
 			if _, err := fmt.Sscanf(v, "%d", &parts); err != nil {
-				return 0, "", false, fmt.Errorf("incr: corrupt job meta partitions %q", v)
+				return 0, "", 0, false, fmt.Errorf("incr: corrupt job meta partitions %q", v)
 			}
 		case "mode":
 			mode = v
+		case "jobs":
+			if jobs, err = strconv.ParseInt(v, 10, 64); err != nil || jobs < 1 {
+				return 0, "", 0, false, fmt.Errorf("incr: corrupt job meta jobs %q", v)
+			}
 		default:
-			return 0, "", false, fmt.Errorf("incr: unknown job meta key %q", k)
+			return 0, "", 0, false, fmt.Errorf("incr: unknown job meta key %q", k)
 		}
 	}
 	if parts <= 0 || (mode != "finegrain" && mode != "accumulator") {
-		return 0, "", false, fmt.Errorf("incr: corrupt job meta %q", string(b))
+		return 0, "", 0, false, fmt.Errorf("incr: corrupt job meta %q", string(b))
 	}
-	return parts, mode, true, nil
+	return parts, mode, jobs, true, nil
 }
 
 func newRunner(eng *mr.Engine, job Job) (*Runner, error) {
@@ -473,7 +520,7 @@ func (r *Runner) RunInitial(input, output string) (*metrics.Report, error) {
 	// checkpointed WITHOUT it is the partial work of an initial run that
 	// died mid-way; discard it so this run starts clean rather than
 	// overlaying stale results or phantom MRBGraph chunks.
-	if _, _, ok, err := readJobMeta(r.jobMetaPath()); err != nil {
+	if _, _, _, ok, err := readJobMeta(r.jobMetaPath()); err != nil {
 		return nil, err
 	} else if ok {
 		return nil, fmt.Errorf("incr: job %q already has preserved results; use Open to resume or point the system at a fresh work dir", r.job.Name)
@@ -518,12 +565,20 @@ func (r *Runner) RunInitial(input, output string) (*metrics.Report, error) {
 	}
 	// Stamp the preserved partition count last: its presence tells Open
 	// that a complete initial run exists here.
-	if err := r.writeJobMeta(); err != nil {
+	if err := r.writeJobMeta(1); err != nil {
 		return nil, err
 	}
+	r.jobs.Store(1)
 	r.initial = true
 	return rep, nil
 }
+
+// CompletedJobs returns the durably committed job count: 1 after
+// RunInitial, +1 per completed RunDelta, as stamped in job.meta. It
+// advances only after the refresh's stores are fully checkpointed, so
+// comparing it across a process death tells an external commit protocol
+// (internal/ingest) whether an in-flight refresh committed.
+func (r *Runner) CompletedJobs() int64 { return r.jobs.Load() }
 
 // commitResults checkpoints every result store and records the part
 // file each partition was just materialized to, fanning out across
@@ -912,6 +967,14 @@ func (r *Runner) runDeltaFineGrain(deltaInput, output string) (*metrics.Report, 
 	if err := r.writeOutputs(output, rep); err != nil {
 		return nil, err
 	}
+	// Advance the durable completed-job count. A crash before this stamp
+	// leaves the stores committed but the count behind by one; replaying
+	// the same fine-grain delta against that state is idempotent per
+	// (K2, MK), so an external replay driven by the stale count is safe.
+	if err := r.writeJobMeta(r.jobs.Load() + 1); err != nil {
+		return nil, err
+	}
+	r.jobs.Add(1)
 	r.reportResultStats(rep, compBefore)
 	return rep, nil
 }
@@ -947,8 +1010,11 @@ func (r *Runner) runDeltaAccumulator(deltaInput, output string) (*metrics.Report
 	// half-applied state. Within one process, a retried task attempt is
 	// handled separately: it discards the failed attempt's pending folds
 	// (DiscardPending) and re-folds from the partition's durable state.
+	// The marker carries the in-flight job number so Open can tell the
+	// one benign case apart: job.meta already stamped with this number
+	// means the refresh committed and only the unlink was lost.
 	intent := r.refreshIntentPath(0)
-	if err := fsutil.WriteFileAtomic(intent, []byte("refresh\n")); err != nil {
+	if err := fsutil.WriteFileAtomic(intent, []byte(fmt.Sprintf("job=%d\n", r.jobs.Load()+1))); err != nil {
 		return nil, err
 	}
 
@@ -1005,6 +1071,15 @@ func (r *Runner) runDeltaAccumulator(deltaInput, output string) (*metrics.Report
 	if _, err := r.eng.Cluster().Run(rtasks); err != nil {
 		return nil, fmt.Errorf("incr: accumulate phase: %w", err)
 	}
+	// Commit order: stamp the completed-job count BEFORE unlinking the
+	// intent marker. A crash between the two is the benign window Open
+	// clears (marker job == meta jobs); a crash before the stamp leaves
+	// marker job ahead of meta jobs and Open refuses the half-applied
+	// folds, as a non-idempotent ⊕ requires.
+	if err := r.writeJobMeta(r.jobs.Load() + 1); err != nil {
+		return nil, err
+	}
+	r.jobs.Add(1)
 	if err := os.Remove(intent); err != nil {
 		return nil, err
 	}

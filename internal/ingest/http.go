@@ -1,0 +1,148 @@
+package ingest
+
+// HTTP front of the ingester: POST /ingest accepts delta records in
+// either of two bodies —
+//
+//	application/json:  {"deltas":[{"key":"k","value":"v","op":"+"}]}
+//	text/plain:        one kv text-codec delta line per line
+//	                   (key\tvalue\t+ — the DFS delta-file format)
+//
+// and stages them durably before responding. The response carries the
+// assigned ingest sequence range; readers can poll /stats until the
+// applied watermark passes last_seq to observe the refresh.
+//
+//	202 {"first_seq":N,"last_seq":M,"records":K}   accepted and durable
+//	400                                            malformed body
+//	429 (Retry-After: 1)                           backpressure (RejectOnFull)
+//	503                                            closed or latched
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"i2mapreduce/internal/kv"
+)
+
+// httpMaxBody bounds one /ingest request body.
+const httpMaxBody = 8 << 20
+
+// HTTPDelta is one delta record in a JSON ingest request: op is "+"
+// (insert, the default when empty) or "-" (delete).
+type HTTPDelta struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+	Op    string `json:"op,omitempty"`
+}
+
+// HTTPIngestRequest frames a JSON POST /ingest body.
+type HTTPIngestRequest struct {
+	Deltas []HTTPDelta `json:"deltas"`
+}
+
+// HTTPIngestResponse frames a successful POST /ingest response.
+type HTTPIngestResponse struct {
+	FirstSeq int64 `json:"first_seq"`
+	LastSeq  int64 `json:"last_seq"`
+	Records  int   `json:"records"`
+}
+
+func (d HTTPDelta) delta() (kv.Delta, error) {
+	op := kv.OpInsert
+	switch d.Op {
+	case "", "+":
+	case "-":
+		op = kv.OpDelete
+	default:
+		return kv.Delta{}, errors.New("op must be \"+\" or \"-\"")
+	}
+	return kv.Delta{Key: d.Key, Value: d.Value, Op: op}, nil
+}
+
+// Handler returns the HTTP ingestion endpoint, for mounting at /ingest
+// beside the serving routes (serve.Server.HandlerWith).
+func (in *Ingester) Handler() http.Handler {
+	return http.HandlerFunc(in.handleIngest)
+}
+
+func (in *Ingester) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	ds, err := decodeIngestBody(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(ds) == 0 {
+		httpError(w, http.StatusBadRequest, "no deltas")
+		return
+	}
+	first, last, err := in.AddBatch(ds)
+	switch {
+	case errors.Is(err, ErrBackpressure):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, HTTPIngestResponse{FirstSeq: first, LastSeq: last, Records: len(ds)})
+}
+
+// decodeIngestBody parses either body form by Content-Type (JSON unless
+// the type says text).
+func decodeIngestBody(w http.ResponseWriter, r *http.Request) ([]kv.Delta, error) {
+	body := http.MaxBytesReader(w, r.Body, httpMaxBody)
+	ct := r.Header.Get("Content-Type")
+	if ct == "text/plain" || ct == "text/plain; charset=utf-8" {
+		var ds []kv.Delta
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				continue
+			}
+			d, err := kv.ParseTextDelta(line)
+			if err != nil {
+				return nil, err
+			}
+			ds = append(ds, d)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return ds, nil
+	}
+	var req HTTPIngestRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return nil, errors.New("bad JSON body: " + err.Error())
+	}
+	ds := make([]kv.Delta, len(req.Deltas))
+	for i, hd := range req.Deltas {
+		d, err := hd.delta()
+		if err != nil {
+			return nil, err
+		}
+		ds[i] = d
+	}
+	return ds, nil
+}
+
+// writeJSON / httpError mirror the serving layer's response helpers so
+// the ingest endpoint speaks the same JSON error shape.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response already committed
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,314 @@
+package ingest
+
+// The durable staging log: a WAL-style sequence of text files holding
+// every accepted delta record until the applied watermark passes it,
+// plus the two small commit files (ingest.meta, batch.intent) that
+// carry the watermark and the batch bracket across a crash. All commits
+// reuse the internal/fsutil atomic-commit idiom (temp + fsync + rename
+// + dir fsync); record appends are fsynced before Add returns, so an
+// accepted record survives a process death.
+//
+// Log file format: one record per line,
+//
+//	seq \t enqueue-unix-nanos \t op \t key \t value \n
+//
+// with key and value kv.EscapeField-escaped (the same text codec the
+// DFS delta files use). Files are named wal-<firstseq>.log; a file is
+// deleted once every sequence number in it is at or below the applied
+// watermark. Only the final line of the final file may be torn (a crash
+// mid-append); a parse error anywhere else is corruption and fails
+// recovery.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"i2mapreduce/internal/fsutil"
+	"i2mapreduce/internal/kv"
+)
+
+const (
+	metaFile   = "ingest.meta"
+	intentFile = "batch.intent"
+	walPrefix  = "wal-"
+	walSuffix  = ".log"
+)
+
+// walRecord is one staged delta record with its ingest sequence number
+// and enqueue time (the freshness-lag basis).
+type walRecord struct {
+	seq int64
+	enq time.Time
+	d   kv.Delta
+}
+
+// approxBytes is the record's contribution to the staging-depth byte
+// gauge (key + value + fixed overhead).
+func (r walRecord) approxBytes() int64 {
+	return int64(len(r.d.Key) + len(r.d.Value) + 16)
+}
+
+func walPath(dir string, first int64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", walPrefix, first, walSuffix))
+}
+
+// appendWALRecord encodes one record as a log line.
+func appendWALRecord(b []byte, rec walRecord) []byte {
+	b = strconv.AppendInt(b, rec.seq, 10)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, rec.enq.UnixNano(), 10)
+	b = append(b, '\t')
+	b = append(b, byte(rec.d.Op))
+	b = append(b, '\t')
+	b = append(b, kv.EscapeField(rec.d.Key)...)
+	b = append(b, '\t')
+	b = append(b, kv.EscapeField(rec.d.Value)...)
+	return append(b, '\n')
+}
+
+// parseWALLine decodes one complete log line (without the newline).
+func parseWALLine(line string) (walRecord, error) {
+	parts := strings.Split(line, "\t")
+	if len(parts) != 5 {
+		return walRecord{}, fmt.Errorf("ingest: malformed staging-log line %q", line)
+	}
+	seq, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return walRecord{}, fmt.Errorf("ingest: malformed staging-log seq %q", parts[0])
+	}
+	ns, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return walRecord{}, fmt.Errorf("ingest: malformed staging-log timestamp %q", parts[1])
+	}
+	if len(parts[2]) != 1 || !kv.Op(parts[2][0]).Valid() {
+		return walRecord{}, fmt.Errorf("ingest: malformed staging-log op %q", parts[2])
+	}
+	return walRecord{
+		seq: seq,
+		enq: time.Unix(0, ns),
+		d: kv.Delta{
+			Key:   kv.UnescapeField(parts[3]),
+			Value: kv.UnescapeField(parts[4]),
+			Op:    kv.Op(parts[2][0]),
+		},
+	}, nil
+}
+
+// listWALFiles returns the staging-log file paths in first-seq order
+// along with their first sequence numbers.
+func listWALFiles(dir string) (paths []string, firsts []int64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type wf struct {
+		first int64
+		path  string
+	}
+	var files []wf
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+			continue
+		}
+		first, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, walPrefix), walSuffix), 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ingest: stray staging-log file %q", name)
+		}
+		files = append(files, wf{first: first, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(files, func(a, b int) bool { return files[a].first < files[b].first })
+	for _, f := range files {
+		paths = append(paths, f.path)
+		firsts = append(firsts, f.first)
+	}
+	return paths, firsts, nil
+}
+
+// scanWAL reads every staging-log file under dir and returns the
+// records with seq > applied (the recovered pending set) plus the
+// highest sequence number seen anywhere. A torn final line in the final
+// file is dropped; any other malformed line is an error.
+func scanWAL(dir string, applied int64) (pending []walRecord, maxSeq int64, err error) {
+	paths, _, err := listWALFiles(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	maxSeq = applied
+	for i, path := range paths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		lines := strings.Split(string(b), "\n")
+		// A complete file ends with '\n', leaving one empty trailing
+		// element; a non-empty final element is a torn append.
+		torn := len(lines) > 0 && lines[len(lines)-1] != ""
+		complete := lines
+		if len(lines) > 0 {
+			complete = lines[:len(lines)-1]
+		}
+		for j, line := range complete {
+			rec, err := parseWALLine(line)
+			if err != nil {
+				// A parse error on the final complete line of the final
+				// file is also a torn append (the newline landed but the
+				// line did not). Anywhere else it is corruption.
+				if i == len(paths)-1 && j == len(complete)-1 && !torn {
+					break
+				}
+				return nil, 0, err
+			}
+			if rec.seq > maxSeq {
+				maxSeq = rec.seq
+			}
+			if rec.seq > applied {
+				pending = append(pending, rec)
+			}
+		}
+		if torn && i != len(paths)-1 {
+			return nil, 0, fmt.Errorf("ingest: staging-log file %s has a torn line but is not the last file", path)
+		}
+	}
+	sort.Slice(pending, func(a, b int) bool { return pending[a].seq < pending[b].seq })
+	return pending, maxSeq, nil
+}
+
+// pruneWAL deletes staging-log files every record of which is at or
+// below the applied watermark. The last file is always kept (it may be
+// the live append target).
+func pruneWAL(dir string, applied int64) error {
+	paths, firsts, err := listWALFiles(dir)
+	if err != nil {
+		return err
+	}
+	pruned := false
+	for i := 0; i < len(paths)-1; i++ {
+		// File i's records all precede file i+1's first seq.
+		if firsts[i+1] <= applied+1 {
+			if err := os.Remove(paths[i]); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+			pruned = true
+		}
+	}
+	if pruned {
+		return fsutil.SyncDir(dir)
+	}
+	return nil
+}
+
+// readMeta loads the watermark file: the last applied sequence number
+// and the last committed batch id. ok=false when none exists yet.
+func readMeta(dir string) (applied, batch int64, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, false, nil
+	}
+	if err != nil {
+		return 0, 0, false, err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, found := strings.Cut(line, "=")
+		if !found {
+			return 0, 0, false, fmt.Errorf("ingest: corrupt meta line %q", line)
+		}
+		var dst *int64
+		switch k {
+		case "applied":
+			dst = &applied
+		case "batch":
+			dst = &batch
+		default:
+			return 0, 0, false, fmt.Errorf("ingest: unknown meta key %q", k)
+		}
+		if *dst, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return 0, 0, false, fmt.Errorf("ingest: corrupt meta value %q", line)
+		}
+	}
+	return applied, batch, true, nil
+}
+
+// writeMeta durably commits the watermark file.
+func writeMeta(dir string, applied, batch int64) error {
+	return fsutil.WriteFileAtomic(filepath.Join(dir, metaFile),
+		[]byte(fmt.Sprintf("applied=%d\nbatch=%d\n", applied, batch)))
+}
+
+// batchIntent brackets one micro-batch refresh: it is durably written
+// after the batch's delta file lands in the DFS and removed only after
+// the watermark commit, recording the engine's completed-job count
+// from just before the refresh so recovery can decide whether the
+// refresh committed (jobs advanced) or must be replayed.
+type batchIntent struct {
+	id    int64
+	first int64
+	last  int64
+	jobs  int64 // engine CompletedJobs before the refresh; -1 if unknown
+	delta string
+}
+
+// readIntent loads a surviving batch bracket; ok=false when none.
+func readIntent(dir string) (in batchIntent, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(dir, intentFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return batchIntent{}, false, nil
+	}
+	if err != nil {
+		return batchIntent{}, false, err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, found := strings.Cut(line, "=")
+		if !found {
+			return batchIntent{}, false, fmt.Errorf("ingest: corrupt batch intent line %q", line)
+		}
+		if k == "delta" {
+			in.delta = kv.UnescapeField(v)
+			continue
+		}
+		var dst *int64
+		switch k {
+		case "batch":
+			dst = &in.id
+		case "first":
+			dst = &in.first
+		case "last":
+			dst = &in.last
+		case "jobs":
+			dst = &in.jobs
+		default:
+			return batchIntent{}, false, fmt.Errorf("ingest: unknown batch intent key %q", k)
+		}
+		if *dst, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return batchIntent{}, false, fmt.Errorf("ingest: corrupt batch intent value %q", line)
+		}
+	}
+	return in, true, nil
+}
+
+// writeIntent durably commits the batch bracket.
+func writeIntent(dir string, in batchIntent) error {
+	return fsutil.WriteFileAtomic(filepath.Join(dir, intentFile),
+		[]byte(fmt.Sprintf("batch=%d\nfirst=%d\nlast=%d\njobs=%d\ndelta=%s\n",
+			in.id, in.first, in.last, in.jobs, kv.EscapeField(in.delta))))
+}
+
+// removeIntent unlinks the batch bracket and makes the unlink durable.
+func removeIntent(dir string) error {
+	if err := os.Remove(filepath.Join(dir, intentFile)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return fsutil.SyncDir(dir)
+}

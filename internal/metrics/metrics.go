@@ -148,6 +148,23 @@ const (
 	// CounterCompactBGRuns counts compactions the background scheduler
 	// executed off the checkpoint critical path.
 	CounterCompactBGRuns = "compact.bg.runs"
+	// CounterIngestRecords counts delta records accepted into the
+	// streaming ingestion staging log (Ingester.Add / POST /ingest).
+	CounterIngestRecords = "ingest.records"
+	// CounterIngestBatches counts micro-batches the ingestion loop cut
+	// and applied as refreshes.
+	CounterIngestBatches = "ingest.batches"
+	// CounterIngestRejected counts delta records refused with
+	// backpressure (staging depth at its bound in reject mode).
+	CounterIngestRejected = "ingest.rejected"
+	// CounterIngestReplayed counts staged records recovered from the
+	// staging log at Open and re-queued for refresh — records a previous
+	// process accepted but had not yet applied when it died.
+	CounterIngestReplayed = "ingest.replayed"
+	// CounterFreshnessLagNS is the ingestion freshness lag gauge: the
+	// age of the oldest accepted-but-unapplied delta record, in
+	// nanoseconds (0 when fully drained).
+	CounterFreshnessLagNS = "freshness.lag_ns"
 )
 
 // Report accumulates stage durations and named counters for one job (or

@@ -55,11 +55,23 @@ func httpPairs(ps []kv.Pair) []HTTPPair {
 
 // Handler returns the HTTP front of the server.
 func (s *Server) Handler() http.Handler {
+	return s.HandlerWith(nil)
+}
+
+// HandlerWith returns the HTTP front of the server with extra routes
+// mounted on the same mux — how cmd/i2mr-serve mounts the ingestion
+// endpoint (POST /ingest) beside /get, /mget, /stats, and /healthz.
+// Extra patterns follow net/http ServeMux syntax and must not collide
+// with the built-in routes.
+func (s *Server) HandlerWith(extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/get", s.handleGet)
 	mux.HandleFunc("/mget", s.handleMGet)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 

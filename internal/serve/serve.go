@@ -88,6 +88,11 @@ type Server struct {
 	// scheduler gauges in /stats. Nil (and all gauges zero) unless the
 	// runner was built with background compaction on.
 	sched atomic.Pointer[results.Scheduler]
+
+	// freshness, when attached, surfaces the ingestion pipeline's
+	// watermark/freshness view in /stats. Nil unless an Ingester is
+	// bound to this server (AttachFreshness).
+	freshness atomic.Pointer[func() Freshness]
 }
 
 // epoch is one immutable generation of store snapshots plus its cache.
@@ -343,6 +348,44 @@ func (s *Server) AttachCompactionScheduler(sched *results.Scheduler) {
 	s.sched.Store(sched)
 }
 
+// Freshness is the ingestion pipeline's watermark/freshness view as
+// embedded in Stats and /stats: how far ingestion has progressed
+// (StagedSeq), how far refreshes have caught up (AppliedSeq), and how
+// stale the served epoch is relative to accepted records (LagNS).
+type Freshness struct {
+	// StagedSeq is the last ingest sequence number durably accepted
+	// into the staging log; AppliedSeq is the last-applied watermark —
+	// every record up to it is reflected in the served epoch.
+	StagedSeq  int64 `json:"staged_seq"`
+	AppliedSeq int64 `json:"applied_seq"`
+	// PendingRecords / PendingBytes are the staging depth: accepted
+	// records not yet applied by a refresh (the backpressure gauge).
+	PendingRecords int64 `json:"pending_records"`
+	PendingBytes   int64 `json:"pending_bytes"`
+	// Records / Batches / Rejected / Replayed are cumulative ingestion
+	// counters: accepted records, applied micro-batches, records
+	// refused with backpressure, and records recovered from the staging
+	// log after a restart.
+	Records  int64 `json:"records"`
+	Batches  int64 `json:"batches"`
+	Rejected int64 `json:"rejected"`
+	Replayed int64 `json:"replayed"`
+	// LagNS is the freshness lag: the age in nanoseconds of the oldest
+	// accepted-but-unapplied record (0 when fully drained).
+	LagNS int64 `json:"lag_ns"`
+}
+
+// AttachFreshness surfaces an ingestion pipeline's watermark/freshness
+// view in Stats and /stats. The callback is invoked per Stats call;
+// nil detaches. Safe to call while serving.
+func (s *Server) AttachFreshness(f func() Freshness) {
+	if f == nil {
+		s.freshness.Store(nil)
+		return
+	}
+	s.freshness.Store(&f)
+}
+
 // Stats is a point-in-time view of the server's counters.
 type Stats struct {
 	Epoch         int64 `json:"epoch"`
@@ -357,12 +400,15 @@ type Stats struct {
 	CompactQueueDepth int64 `json:"compact_queue_depth"`
 	CompactBGRuns     int64 `json:"compact_bg_runs"`
 	CompactBGFailures int64 `json:"compact_bg_failures"`
+	// Ingest is the ingestion freshness view; nil unless an Ingester is
+	// attached (AttachFreshness).
+	Ingest *Freshness `json:"ingest,omitempty"`
 }
 
 // Stats returns the server's current counters.
 func (s *Server) Stats() Stats {
 	sched := s.sched.Load() // nil-safe: gauges read as zero
-	return Stats{
+	st := Stats{
 		Epoch:             s.Epoch(),
 		Partitions:        len(s.stores),
 		EpochFlips:        s.flips.Load(),
@@ -374,6 +420,11 @@ func (s *Server) Stats() Stats {
 		CompactBGRuns:     sched.Runs(),
 		CompactBGFailures: sched.Failures(),
 	}
+	if f := s.freshness.Load(); f != nil {
+		fr := (*f)()
+		st.Ingest = &fr
+	}
+	return st
 }
 
 // AddTo records the server's counters into a metrics report under the
@@ -386,6 +437,13 @@ func (s *Server) AddTo(rep *metrics.Report) {
 	rep.Add(metrics.CounterServeCacheMisses, st.CacheMisses)
 	rep.Add(metrics.CounterCompactQueueDepth, st.CompactQueueDepth)
 	rep.Add(metrics.CounterCompactBGRuns, st.CompactBGRuns)
+	if st.Ingest != nil {
+		rep.Add(metrics.CounterIngestRecords, st.Ingest.Records)
+		rep.Add(metrics.CounterIngestBatches, st.Ingest.Batches)
+		rep.Add(metrics.CounterIngestRejected, st.Ingest.Rejected)
+		rep.Add(metrics.CounterIngestReplayed, st.Ingest.Replayed)
+		rep.Add(metrics.CounterFreshnessLagNS, st.Ingest.LagNS)
+	}
 }
 
 // String names the server for logs.

@@ -1,0 +1,138 @@
+// Command doclint is a stdlib-only doc-comment linter for the repo's
+// public surface: every exported top-level declaration in the packages
+// it is pointed at must carry a doc comment. It exists because the repo
+// cannot install third-party linters (revive, golint) — the Makefile
+// lint target runs it with `go run`, needing nothing beyond the Go
+// toolchain.
+//
+// Usage:
+//
+//	go run ./internal/tools/doclint DIR [DIR ...]
+//
+// Each DIR is one package directory (not recursive). Checked: exported
+// types, funcs, and methods on exported receivers, plus exported const/
+// var specs (a comment on the enclosing decl block covers its specs).
+// _test.go files are skipped. Exit status 1 with one line per missing
+// comment.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint DIR [DIR ...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		missing, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported declarations without doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory and returns one message per
+// undocumented exported declaration.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedReceiver(d) {
+						continue
+					}
+					if d.Doc == nil {
+						what := "function"
+						if d.Recv != nil {
+							what = "method"
+						}
+						report(d.Pos(), what, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// exportedReceiver reports whether a func decl is a plain function or a
+// method whose receiver type is itself exported (methods on unexported
+// types are not public surface).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr: // generic receiver T[P1, P2]
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// lintGenDecl checks a type/const/var declaration. For const and var,
+// a doc comment on the decl block covers every spec in it; otherwise
+// each exported spec needs its own doc or trailing comment.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Tok == token.IMPORT {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil {
+				continue // block comment covers the group
+			}
+			for _, name := range s.Names {
+				if name.IsExported() && s.Doc == nil && s.Comment == nil {
+					report(name.Pos(), strings.ToLower(d.Tok.String()), name.Name)
+				}
+			}
+		}
+	}
+}
