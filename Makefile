@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke bench-json pprof serve-demo ci
+.PHONY: all build test race lint fuzz bench-smoke bench-json pprof serve-demo ci
 
 all: build
 
@@ -16,15 +16,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# staticcheck runs when installed (CI always installs it); locally it
-# degrades to a notice so `make lint` needs nothing beyond the Go
-# toolchain.
-# doclint (internal/tools/doclint, stdlib-only) requires a doc comment
-# on every exported declaration — the whole public surface, not just
-# the newest packages, stays godoc-complete.
+# Lint is three in-repo stdlib-only tools plus staticcheck:
+#   - doclint (internal/tools/doclint) requires a doc comment on every
+#     exported declaration — the whole public surface stays
+#     godoc-complete.
+#   - i2vet (internal/tools/vet) enforces repo invariants: atomic
+#     commit sequences, centralized counter names, sorted map emission,
+#     checked Close/Flush/Sync, par.Do fan-out. Its summary line
+#     ("i2vet: atomicwrite=0 ...") prints per-analyzer counts; it is
+#     BLOCKING here and in CI. Exemptions need a justified
+#     //i2vet:allow directive (see DESIGN.md "Enforced invariants").
+#   - staticcheck is ADVISORY locally (runs only when installed, so
+#     `make lint` needs nothing beyond the Go toolchain) and BLOCKING
+#     in CI, where its own job always installs it.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./internal/tools/doclint . ./cmd/* ./internal/* ./internal/tools/doclint
+	$(GO) run ./internal/tools/doclint . ./cmd/* ./internal/* ./internal/tools/doclint ./internal/tools/vet
+	$(GO) run ./internal/tools/vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -33,6 +41,20 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Fuzz the decode boundaries that accept bytes from disk: the block
+# segment format, the ingest staging log, and the kv text codec. Each
+# target gets FUZZTIME of coverage-guided input generation (the go tool
+# runs one -fuzz pattern per invocation). Seeds are valid encodes plus
+# byte-flipped variants, mirroring the deterministic corruption-sweep
+# tests; CI runs this as the fuzz-smoke job.
+FUZZTIME ?= 30s
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzBlockFile$$' -fuzztime $(FUZZTIME) ./internal/blockio
+	$(GO) test -run '^$$' -fuzz '^FuzzWALLine$$' -fuzztime $(FUZZTIME) ./internal/ingest
+	$(GO) test -run '^$$' -fuzz '^FuzzEscapeField$$' -fuzztime $(FUZZTIME) ./internal/kv
+	$(GO) test -run '^$$' -fuzz '^FuzzTextDelta$$' -fuzztime $(FUZZTIME) ./internal/kv
 
 # One iteration of every benchmark so the bench harness cannot rot,
 # plus (via bench-json) the sweep tables and the BENCH_core.json
@@ -74,4 +96,4 @@ serve-demo:
 	$(GO) run ./cmd/i2mr-serve -addr :8080 -n 4000 -refresh-every 5s
 
 # Everything CI runs, in the same order.
-ci: build lint test race bench-smoke
+ci: build lint test race fuzz bench-smoke

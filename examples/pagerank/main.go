@@ -14,6 +14,7 @@ import (
 	i2mr "i2mapreduce"
 	"i2mapreduce/internal/apps"
 	"i2mapreduce/internal/datagen"
+	"i2mapreduce/internal/metrics"
 )
 
 func main() {
@@ -67,7 +68,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nincremental refresh: %d iterations, %d delta records\n",
-		inc.Iterations, inc.Report.Counter("delta.records"))
+		inc.Iterations, inc.Report.Counter(metrics.CounterDeltaRecords))
 	for _, it := range inc.PerIter {
 		fmt.Printf("  iteration %2d: %6d kv-pairs propagated, %5d filtered by CPC (%s)\n",
 			it.Iteration, it.Propagated, it.Filtered, it.Duration.Round(1e6))

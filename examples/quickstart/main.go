@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	i2mr "i2mapreduce"
+	"i2mapreduce/internal/metrics"
 )
 
 func main() {
@@ -87,7 +88,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nrefreshed counts (processed %d delta records, not the whole corpus):\n",
-		rep.Counter("map.records.in"))
+		rep.Counter(metrics.CounterMapRecordsIn))
 	printCounts(refreshedOuts)
 }
 

@@ -258,7 +258,7 @@ func GIMVPlainMR(eng *mr.Engine, name, matrixInput string, nBlocks, blockSize, i
 			return nil, nil, fmt.Errorf("gimv plainMR job2 (iteration %d): %w", it, err)
 		}
 		total.Merge(rep2)
-		total.Add("iterations", 1)
+		total.Add(metrics.CounterIterations, 1)
 		vecInputs = partPaths(job2.Output, n)
 	}
 

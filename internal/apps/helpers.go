@@ -91,7 +91,7 @@ func chainJobs(eng *mr.Engine, iters int, makeJob func(it int, inputs []string) 
 			return nil, fmt.Errorf("apps: chained job (iteration %d): %w", it, err)
 		}
 		res.Report.Merge(rep)
-		res.Report.Add("iterations", 1)
+		res.Report.Add(metrics.CounterIterations, 1)
 		n := job.NumReducers
 		if n <= 0 {
 			n = eng.Cluster().NumNodes()

@@ -240,7 +240,7 @@ func KmeansPlainMR(eng *mr.Engine, name, pointsInput, initialCentroids string, i
 			return "", nil, fmt.Errorf("kmeans plainMR (iteration %d): %w", it, err)
 		}
 		total.Merge(rep)
-		total.Add("iterations", 1)
+		total.Add(metrics.CounterIterations, 1)
 		out, err := eng.ReadOutput(job.Output, eng.Cluster().NumNodes())
 		if err != nil {
 			return "", nil, err

@@ -185,7 +185,7 @@ func run(eng *mr.Engine, cfg Config, structureInput string) (*Result, error) {
 		}
 		stateMu.Unlock()
 		res.Iterations = it
-		res.Report.Add("iterations", 1)
+		res.Report.Add(metrics.CounterIterations, 1)
 		if maxDiff <= cfg.Epsilon {
 			res.Converged = true
 			break

@@ -165,10 +165,10 @@ func (r *Runner) Run(input []kv.Pair) (Stats, *metrics.Report, error) {
 	r.output = output
 	stats.OutputRecords = len(output)
 	stats.Duration = time.Since(start)
-	rep.Add("map.tasks", int64(stats.MapTasks))
-	rep.Add("map.tasks.reused", int64(stats.MapReused))
-	rep.Add("reduce.tasks", int64(stats.ReduceTasks))
-	rep.Add("reduce.tasks.reused", int64(stats.ReduceReused))
+	rep.Add(metrics.CounterMapTasks, int64(stats.MapTasks))
+	rep.Add(metrics.CounterMapTasksReused, int64(stats.MapReused))
+	rep.Add(metrics.CounterReduceTasks, int64(stats.ReduceTasks))
+	rep.Add(metrics.CounterReduceTasksReused, int64(stats.ReduceReused))
 	return stats, rep, nil
 }
 

@@ -125,7 +125,9 @@ func (d *Dataset) spill() {
 			f.Close()
 			panic(fmt.Sprintf("sparksim: spill encode: %v", err))
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			panic(fmt.Sprintf("sparksim: spill close: %v", err)) // the spill is read back later; a torn spill must not pass silently
+		}
 	}
 	d.ctx.SpilledBytes += d.bytes
 	d.ctx.used -= d.bytes

@@ -115,7 +115,7 @@ func effective(wall time.Duration, rep *metrics.Report) time.Duration {
 	if rep == nil {
 		return wall
 	}
-	return wall + time.Duration(rep.Counter("startup.ns"))
+	return wall + time.Duration(rep.Counter(metrics.CounterStartupNS))
 }
 
 func timeIt(f func() (*metrics.Report, error)) (time.Duration, *metrics.Report, error) {

@@ -98,7 +98,7 @@ func CoreSweep(dir string, sc Scale) ([]CoreRow, error) {
 				Initial:        initTime,
 				Refresh:        time.Since(refreshStart),
 				Iterations:     res.Iterations,
-				DeltaRecords:   res.Report.Counter("delta.records"),
+				DeltaRecords:   res.Report.Counter(metrics.CounterDeltaRecords),
 				ShuffleBytes:   shuffleBytes,
 				DirtyCkptParts: res.Report.Counter(metrics.CounterStateDirtyPartitions),
 				GroupsFlushed:  res.Report.Counter(metrics.CounterStateGroupsFlushed),

@@ -3,7 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
-	"os"
+
+	"i2mapreduce/internal/fsutil"
 )
 
 // JSONRecord is one machine-readable benchmark measurement, the unit of
@@ -30,7 +31,7 @@ func WriteJSON(path string, recs []JSONRecord) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return fsutil.WriteFileAtomic(path, append(b, '\n'))
 }
 
 // OneStepJSON converts a one-step sweep into benchmark records; the

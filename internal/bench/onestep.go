@@ -120,7 +120,7 @@ func OneStepSweep(env *Env, sc Scale) ([]OneStepRow, error) {
 
 		row := OneStepRow{
 			DeltaFraction: frac,
-			DeltaRecords:  rep.Counter("map.records.in"),
+			DeltaRecords:  rep.Counter(metrics.CounterMapRecordsIn),
 			Recompute:     recompTime,
 			Incremental:   incrTime,
 			SpillRuns:     rep.Counter(metrics.CounterSpillRuns),

@@ -150,7 +150,7 @@ func PlanSweep(env *Env, sc Scale, dir string) ([]PlanRow, error) {
 				return nil, err
 			}
 
-			deltaRecords := rep.Counter("map.records.in")
+			deltaRecords := rep.Counter(metrics.CounterMapRecordsIn)
 			if err := planner.Observe(plan.Observation{
 				Mode: engine.ModeOneStep, DeltaRecords: deltaRecords, Wall: oneTime,
 			}); err != nil {

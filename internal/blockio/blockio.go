@@ -389,7 +389,11 @@ func Open(f *os.File, size int64) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	bf.blocks = make([]blockMeta, 0, nBlocks)
+	// Each block entry occupies at least four footer bytes (four
+	// one-byte varints), so a forged count cannot force a huge
+	// pre-allocation: cap the capacity by what the footer could hold.
+	capHint := min(nBlocks, uint64(footerLen)/4)
+	bf.blocks = make([]blockMeta, 0, capHint)
 	for i := uint64(0); i < nBlocks; i++ {
 		off, err := readUvarint()
 		if err != nil {

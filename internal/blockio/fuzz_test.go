@@ -1,0 +1,95 @@
+package blockio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeed builds a valid block file under opts and returns its raw
+// bytes, so the fuzzer starts from well-formed inputs and mutates
+// toward the corruption boundary (the same boundary the corruption
+// sweep in blockio_test.go probes deterministically).
+func fuzzSeed(f *testing.F, opts Options, n int) []byte {
+	f.Helper()
+	path := filepath.Join(f.TempDir(), "seed.blk")
+	fd, err := os.Create(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w, err := NewWriter(fd, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		if err := w.Append(key, []byte(key+"=value-padding")); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if _, err := w.Finish(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzBlockFile feeds arbitrary bytes through Open + ReadBlock +
+// FindBlock/MayContain. Corruption must surface as an error (usually
+// wrapping ErrCorrupt or ErrNotBlockFile), never as a panic, hang, or
+// unbounded allocation.
+func FuzzBlockFile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(magic[:])
+	for _, opts := range []Options{
+		{BlockBytes: 128, Codec: CodecNone},
+		{BlockBytes: 128, Codec: CodecFlate},
+		{BlockBytes: 4 << 10, Codec: CodecFlate, BloomBitsPerKey: 10},
+	} {
+		seed := fuzzSeed(f, opts, 50)
+		f.Add(seed)
+		// Byte-flipped variants cover the body, footer, and tail
+		// regions up front, mirroring the corruption-sweep tests.
+		for _, off := range []int{magicLen + 4, len(seed) / 2, len(seed) - tailLen + 2} {
+			if off >= 0 && off < len(seed) {
+				flipped := append([]byte(nil), seed...)
+				flipped[off] ^= 0x40
+				f.Add(flipped)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.blk")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fd, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fd.Close()
+		bf, err := Open(fd, int64(len(data)))
+		if err != nil {
+			return // rejected input: exactly what corruption should do
+		}
+		if bf.MayContain("key-0001") {
+			_, _ = bf.FindBlock("key-0001")
+		}
+		buf := GetBuf()
+		defer PutBuf(buf)
+		for i := 0; i < bf.NumBlocks(); i++ {
+			// A forged index could still claim huge decoded blocks;
+			// reading one would be an allocation bomb, not a finding.
+			if bf.RawLen(i) > 1<<20 {
+				continue
+			}
+			if _, err := bf.ReadBlock(i, buf); err != nil {
+				return
+			}
+		}
+	})
+}

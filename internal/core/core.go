@@ -556,7 +556,7 @@ func (r *Runner) finishResult(res *Result) {
 			res.Report.AddStage(st, s.Stages.Stages[st])
 		}
 	}
-	res.Report.Add("iterations", int64(res.Iterations))
+	res.Report.Add(metrics.CounterIterations, int64(res.Iterations))
 	segs, comp := r.stateStoreStats()
 	res.Report.Add(metrics.CounterStateSegments, segs)
 	res.Report.Add(metrics.CounterStateCompactions, comp-r.compactBase)

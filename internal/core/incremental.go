@@ -67,7 +67,7 @@ func (r *Runner) runRefresh(deltaInput string, body func([]kv.Delta, *Result) er
 	}
 
 	res := &Result{Report: &metrics.Report{}}
-	res.Report.Add("delta.records", int64(len(deltas)))
+	res.Report.Add(metrics.CounterDeltaRecords, int64(len(deltas)))
 
 	// The refresh-intent bracket: the marker is durably written before
 	// the first mutation of the preserved state (structure files, state
@@ -161,7 +161,7 @@ func (r *Runner) runIncrementalBody(deltas []kv.Delta, res *Result) error {
 			// than it saves. Turn it off and finish with full passes.
 			r.mrbgOn = false
 			res.MRBGDisabledAt = it
-			res.Report.Add("mrbg.disabled", 1)
+			res.Report.Add(metrics.CounterMRBGDisabled, 1)
 			if err := r.runFullLoop(res, it+1); err != nil {
 				return err
 			}
@@ -372,7 +372,7 @@ func (r *Runner) mapStructureDelta(deltas []kv.Delta, rep *metrics.Report) ([][]
 	for _, e := range edges {
 		n += int64(len(e))
 	}
-	rep.Add("delta.edges", n)
+	rep.Add(metrics.CounterDeltaEdges, n)
 	rep.AddStage(metrics.StageMap, time.Since(start))
 	return edges, nil
 }
@@ -423,8 +423,8 @@ func (r *Runner) mapStateDelta(props *propagated, rep *metrics.Report) ([][]mrbg
 					edges[i] = append(edges[i], local[i]...)
 					edgeMu[i].Unlock()
 				}
-				rep.Add("map.records.in", recs)
-				rep.Add("structure.bytes.read", bytesRead)
+				rep.Add(metrics.CounterMapRecordsIn, recs)
+				rep.Add(metrics.CounterStructureBytesRead, bytesRead)
 				return nil
 			},
 		})
@@ -452,7 +452,7 @@ func (r *Runner) runIncrementalIteration(it int, deltaEdges [][]mrbg.DeltaEdge) 
 			shuffleBytes += int64(len(d.Key) + len(d.V2) + 9)
 		}
 	}
-	rep.Add("shuffle.bytes", shuffleBytes)
+	rep.Add(metrics.CounterShuffleBytes, shuffleBytes)
 	rep.AddStage(metrics.StageSort, time.Since(sortStart))
 
 	props := &propagated{byPart: make([]map[string]string, r.n)}
@@ -526,7 +526,7 @@ func (r *Runner) runIncrementalIteration(it int, deltaEdges [][]mrbg.DeltaEdge) 
 				if err != nil {
 					return err
 				}
-				rep.Add("reduce.instances", reduced)
+				rep.Add(metrics.CounterReduceInstances, reduced)
 				rep.AddStage(metrics.StageReduce, time.Since(t0))
 				mu.Lock()
 				totalProp += nProp

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"i2mapreduce/internal/engine"
+	"i2mapreduce/internal/metrics"
 )
 
 // The incremental-iterative engine as an engine.Refresher: Refresh is
@@ -60,7 +61,7 @@ func (r *Runner) refreshAs(mode string, run func(string) (*Result, error), delta
 		Mode:         mode,
 		Report:       res.Report,
 		Wall:         time.Since(start),
-		DeltaRecords: res.Report.Counter("delta.records"),
+		DeltaRecords: res.Report.Counter(metrics.CounterDeltaRecords),
 		Iterations:   res.Iterations,
 		Converged:    res.Converged,
 		Output:       output,

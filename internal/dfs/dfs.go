@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 
+	"i2mapreduce/internal/fsutil"
 	"i2mapreduce/internal/kv"
 )
 
@@ -254,6 +255,7 @@ func (w *Writer) Abort() {
 	}
 	w.closed = true
 	if w.cur != nil {
+		//i2vet:allow errclose abort path: the temp block file is being discarded, its close error cannot matter
 		w.cur.Close()
 		w.cur, w.enc = nil, nil
 	}
@@ -274,7 +276,7 @@ func (w *Writer) Close() error {
 	if err := os.RemoveAll(final); err != nil {
 		return fmt.Errorf("dfs: removing old file: %w", err)
 	}
-	if err := os.Rename(final+".tmp", final); err != nil {
+	if err := fsutil.RenameCommit(final+".tmp", final); err != nil {
 		return fmt.Errorf("dfs: committing file: %w", err)
 	}
 	w.fs.mu.Lock()
@@ -324,7 +326,7 @@ func (fs *FS) Clone(src, dst string) error {
 	if err := os.RemoveAll(final); err != nil {
 		return fmt.Errorf("dfs: removing old file: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := fsutil.RenameCommit(tmp, final); err != nil {
 		return fmt.Errorf("dfs: committing clone: %w", err)
 	}
 	fs.mu.Lock()

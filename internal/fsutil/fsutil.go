@@ -39,6 +39,19 @@ func WriteFileAtomic(path string, data []byte) error {
 	return SyncDir(filepath.Dir(path))
 }
 
+// RenameCommit atomically commits an already-durable temp file (or
+// directory tree) to path: rename into place, then fsync the parent
+// directory so the rename survives a crash. It is the streamed-writer
+// counterpart to WriteFileAtomic — the caller has already written and
+// fsynced tmp (typically through a bufio.Writer too large to buffer in
+// memory) and only the commit itself remains.
+func RenameCommit(tmp, path string) error {
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
 // SyncDir fsyncs a directory, making a completed rename inside it
 // durable.
 func SyncDir(dir string) error {

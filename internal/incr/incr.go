@@ -800,7 +800,7 @@ func (r *Runner) mapDelta(deltaInput string, buf *shuffle.Buffer, rep *metrics.R
 				if err := em.Publish(); err != nil {
 					return err
 				}
-				rep.Add("map.records.in", recs)
+				rep.Add(metrics.CounterMapRecordsIn, recs)
 				rep.AddStage(metrics.StageMap, time.Since(start))
 				return nil
 			},
@@ -815,8 +815,8 @@ func (r *Runner) mapDelta(deltaInput string, buf *shuffle.Buffer, rep *metrics.R
 	// Spill sorting happened inside the timed map windows but is
 	// reported as StageSort; rebalance so Total() counts it once.
 	rep.AddStage(metrics.StageMap, -buf.SortDuration())
-	rep.Add("delta.edges", buf.Records())
-	rep.Add("shuffle.bytes", buf.Bytes())
+	rep.Add(metrics.CounterDeltaEdges, buf.Records())
+	rep.Add(metrics.CounterShuffleBytes, buf.Bytes())
 	return nil
 }
 
@@ -950,7 +950,7 @@ func (r *Runner) runDeltaFineGrain(deltaInput, output string) (*metrics.Report, 
 					return err
 				}
 				ckptDur := time.Since(ckptStart)
-				rep.Add("reduce.instances", reduced)
+				rep.Add(metrics.CounterReduceInstances, reduced)
 				rep.AddStage(metrics.StageCheckpoint, ckptDur)
 				rep.AddStage(metrics.StageReduce, time.Since(start)-ckptDur)
 				return nil
@@ -1061,7 +1061,7 @@ func (r *Runner) runDeltaAccumulator(deltaInput, output string) (*metrics.Report
 					return err
 				}
 				ckptDur := time.Since(ckptStart)
-				rep.Add("reduce.instances", reduced)
+				rep.Add(metrics.CounterReduceInstances, reduced)
 				rep.AddStage(metrics.StageCheckpoint, ckptDur)
 				rep.AddStage(metrics.StageReduce, time.Since(start)-ckptDur)
 				return nil

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"i2mapreduce/internal/engine"
+	"i2mapreduce/internal/metrics"
 )
 
 // The one-step engine as an engine.Refresher: Refresh wraps RunDelta in
@@ -25,7 +26,7 @@ func (r *Runner) Refresh(deltaInput, output string) (*engine.RefreshResult, erro
 		Report: rep,
 		Wall:   time.Since(start),
 		// RunDelta's map stage counts each consumed delta record.
-		DeltaRecords: rep.Counter("map.records.in"),
+		DeltaRecords: rep.Counter(metrics.CounterMapRecordsIn),
 		Output:       output,
 	}
 	r.refreshStats.Observe(res)

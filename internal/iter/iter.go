@@ -397,7 +397,7 @@ func (r *Runner) LoadStructure(input string) (*metrics.Report, error) {
 		}
 		r.structPaths[p] = path
 		r.structRecs[p] = int64(len(ps))
-		rep.Add("structure.records", int64(len(ps)))
+		rep.Add(metrics.CounterStructureRecords, int64(len(ps)))
 	}
 	r.loaded = true
 	rep.AddStage(metrics.StageMap, time.Since(start))
@@ -480,7 +480,7 @@ func (r *Runner) Run() (*Result, error) {
 		}
 		res.PerIter = append(res.PerIter, stats)
 		res.Iterations = it
-		res.Report.Add("iterations", 1)
+		res.Report.Add(metrics.CounterIterations, 1)
 		if stats.Changed == 0 {
 			res.Converged = true
 			break
@@ -583,7 +583,7 @@ func (r *Runner) runIteration(it int) (IterationStats, error) {
 				allOuts = append(allOuts, outs...)
 				outsMu.Unlock()
 			}
-			rep.Add("reduce.groups", ngroups)
+			rep.Add(metrics.CounterReduceGroups, ngroups)
 			return nil
 		},
 	}.Run()

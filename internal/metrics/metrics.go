@@ -57,9 +57,50 @@ func Stages() []Stage {
 	return []Stage{StageMap, StageShuffle, StageSort, StageReduce, StageCheckpoint}
 }
 
-// Counter names shared across engine layers. Packages are free to use
-// ad-hoc names too; these are the ones more than one package reads.
+// Counter names shared across engine layers. Every name passed to
+// Report.Add / Report.Counter must be one of these constants — the
+// i2vet metricname analyzer enforces it — so a counter cannot silently
+// split into two spellings across packages and every name has exactly
+// one documented home.
 const (
+	// CounterMapRecordsIn / Out count the records entering Map tasks and
+	// the intermediate records they emit.
+	CounterMapRecordsIn  = "map.records.in"
+	CounterMapRecordsOut = "map.records.out"
+	// CounterMapTasks / CounterReduceTasks count task executions; the
+	// ...Reused variants count tasks a memoizing baseline (IncOop)
+	// answered from its cache instead of re-running.
+	CounterMapTasks          = "map.tasks"
+	CounterMapTasksReused    = "map.tasks.reused"
+	CounterReduceTasks       = "reduce.tasks"
+	CounterReduceTasksReused = "reduce.tasks.reused"
+	// CounterReduceGroups counts distinct intermediate keys reduced;
+	// CounterReduceInstances counts Reduce invocations in the
+	// incremental engines (affected groups only).
+	CounterReduceGroups    = "reduce.groups"
+	CounterReduceInstances = "reduce.instances"
+	// CounterIterations counts engine iterations in an iterative run.
+	CounterIterations = "iterations"
+	// CounterJobs counts MapReduce jobs launched; CounterStartupNS is
+	// the simulated per-job startup cost in nanoseconds.
+	CounterJobs      = "jobs"
+	CounterStartupNS = "startup.ns"
+	// CounterShuffleBytes counts the encoded intermediate bytes moved by
+	// the shuffle.
+	CounterShuffleBytes = "shuffle.bytes"
+	// CounterStructureRecords counts the structure-file records indexed
+	// by the iterative engines; CounterStructureBytesRead counts the
+	// structure bytes the incremental map phase re-read.
+	CounterStructureRecords   = "structure.records"
+	CounterStructureBytesRead = "structure.bytes.read"
+	// CounterDeltaRecords counts delta-input records applied by a
+	// refresh; CounterDeltaEdges counts the MRBGraph edge updates they
+	// expanded into.
+	CounterDeltaRecords = "delta.records"
+	CounterDeltaEdges   = "delta.edges"
+	// CounterMRBGDisabled marks a run that fell back to convergence-only
+	// mode with the MRBG-Store bypassed.
+	CounterMRBGDisabled = "mrbg.disabled"
 	// CounterSpillRuns counts sorted runs the shuffle runtime spilled to
 	// node-local scratch because a map-side buffer exceeded its share of
 	// the shuffle memory budget.
@@ -210,11 +251,10 @@ func (r *Report) Total() time.Duration {
 	return t
 }
 
-// Add increments counter name by v, creating it if needed. Counter names
-// in use across the engine include "map.records.in", "map.records.out",
-// "shuffle.bytes", "reduce.groups", "mrbg.reads", "mrbg.read.bytes",
-// and the shared constants above ("shuffle.spill.runs",
-// "shuffle.spill.bytes", "structcache.hits", "structcache.misses").
+// Add increments counter name by v, creating it if needed. Counter
+// names are the Counter* constants declared in this package — the
+// i2vet metricname analyzer rejects ad-hoc literals — so every name in
+// a report is documented and grep-able in one place.
 func (r *Report) Add(name string, v int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -155,8 +155,8 @@ func (e *Engine) Run(job Job) (*metrics.Report, error) {
 	}
 
 	report := &metrics.Report{}
-	report.Add("jobs", 1)
-	report.Add("startup.ns", int64(job.StartupCost))
+	report.Add(metrics.CounterJobs, 1)
+	report.Add(metrics.CounterStartupNS, int64(job.StartupCost))
 
 	runID := fmt.Sprintf("%s-%06d", sanitize(job.Name), e.seq.Add(1))
 
@@ -299,9 +299,9 @@ func (e *Engine) runMapTask(runID string, job Job, m int, split inputSplit, tc c
 		}
 		spills.put(m, r, path)
 	}
-	report.Add("map.records.in", inRecs)
-	report.Add("map.records.out", outRecs)
-	report.Add("map.tasks", 1)
+	report.Add(metrics.CounterMapRecordsIn, inRecs)
+	report.Add(metrics.CounterMapRecordsOut, outRecs)
+	report.Add(metrics.CounterMapTasks, 1)
 	report.AddStage(metrics.StageMap, time.Since(start))
 	return nil
 }
@@ -337,11 +337,12 @@ func writeSpill(path string, attempt int, run []kv.Pair) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	//i2vet:allow atomicwrite node-local shuffle scratch: the rename only hides torn files from re-executed attempts; spills are re-derivable, so fsync durability is deliberately skipped
 	return os.Rename(tmp, path)
 }
 
 func (e *Engine) runReducePhase(runID string, job Job, spills *spillSet, report *metrics.Report) error {
-	numMaps := int(report.Counter("map.tasks"))
+	numMaps := int(report.Counter(metrics.CounterMapTasks))
 	tasks := make([]cluster.Task, 0, job.NumReducers)
 	for r := 0; r < job.NumReducers; r++ {
 		r := r
@@ -383,7 +384,7 @@ func (e *Engine) runReduceTask(runID string, job Job, r, numMaps int, tc cluster
 		shuffleBytes += n
 		runPaths = append(runPaths, dst)
 	}
-	report.Add("shuffle.bytes", shuffleBytes)
+	report.Add(metrics.CounterShuffleBytes, shuffleBytes)
 	report.AddStage(metrics.StageShuffle, time.Since(shuffleStart))
 
 	// Sort: k-way merge of the fetched runs.
@@ -443,8 +444,8 @@ func (e *Engine) runReduceTask(runID string, job Job, r, numMaps int, tc cluster
 	if err := w.Close(); err != nil {
 		return err
 	}
-	report.Add("reduce.groups", groups)
-	report.Add("reduce.tasks", 1)
+	report.Add(metrics.CounterReduceGroups, groups)
+	report.Add(metrics.CounterReduceTasks, 1)
 	report.AddStage(metrics.StageReduce, time.Since(reduceStart))
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"i2mapreduce/internal/blockio"
+	"i2mapreduce/internal/fsutil"
 )
 
 // MergeResult is one affected key after a merge: its up-to-date chunk
@@ -247,7 +248,7 @@ func (s *Store) Compact() error {
 	if err := s.f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmpPath, s.datPath); err != nil {
+	if err := fsutil.RenameCommit(tmpPath, s.datPath); err != nil {
 		return err
 	}
 	f, err := os.OpenFile(s.datPath, os.O_RDWR, 0o644)

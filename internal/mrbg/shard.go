@@ -314,42 +314,32 @@ func (ss *ShardedStore) getManyLocked(keys []string, fn func(key string, c Chunk
 		ok bool
 	}
 	results := make([]result, len(keys))
-	errs := make([]error, len(ss.shards))
-	sem := make(chan struct{}, ss.opts.Parallelism)
-	var wg sync.WaitGroup
-	for si := range ss.shards {
+	// Per-shard fan-out through par.Do: bounded by Options.Parallelism
+	// and surfacing a deterministic lowest-shard error, replacing a
+	// hand-rolled semaphore whose error depended on scheduling.
+	if err := par.Do(len(ss.shards), ss.opts.Parallelism, func(si int) error {
 		if len(perShard[si]) == 0 {
-			continue
+			return nil
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(si int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			sh := ss.shards[si]
-			sh.mu.Lock()
-			defer sh.mu.Unlock()
-			shardKeys := make([]string, len(perShard[si]))
-			for j, pos := range perShard[si] {
-				shardKeys[j] = keys[pos]
-			}
-			plan := &queryPlan{keys: shardKeys}
-			for j, pos := range perShard[si] {
-				plan.pos = j
-				c, ok, err := sh.st.fetch(shardKeys[j], plan)
-				if err != nil {
-					errs[si] = err
-					return
-				}
-				results[pos] = result{c: c, ok: ok}
-			}
-		}(si)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+		sh := ss.shards[si]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		shardKeys := make([]string, len(perShard[si]))
+		for j, pos := range perShard[si] {
+			shardKeys[j] = keys[pos]
 		}
+		plan := &queryPlan{keys: shardKeys}
+		for j, pos := range perShard[si] {
+			plan.pos = j
+			c, ok, err := sh.st.fetch(shardKeys[j], plan)
+			if err != nil {
+				return err
+			}
+			results[pos] = result{c: c, ok: ok}
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	for i, k := range keys {
 		if err := fn(k, results[i].c, results[i].ok); err != nil {

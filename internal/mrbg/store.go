@@ -38,6 +38,7 @@ package mrbg
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -46,6 +47,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+
+	"i2mapreduce/internal/fsutil"
 )
 
 // Edge is one MRBGraph edge as preserved in a chunk: the source Map
@@ -419,51 +422,34 @@ func (s *Store) Checkpoint() error {
 	if err := s.f.Sync(); err != nil {
 		return err
 	}
-	tmp := s.idxPath + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
+	// Encode the index in sorted key order into memory, then commit
+	// through fsutil so the checkpoint is fsynced and never observed
+	// torn. Sorted keys make the checkpoint bytes deterministic; map
+	// iteration order would shuffle them on every run (byte-identity
+	// invariant).
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
 	}
-	w := bufio.NewWriter(f)
+	sort.Strings(keys)
+	var buf bytes.Buffer
 	var scratch [binary.MaxVarintLen64]byte
-	writeUvarint := func(v uint64) error {
+	writeUvarint := func(v uint64) {
 		n := binary.PutUvarint(scratch[:], v)
-		_, err := w.Write(scratch[:n])
-		return err
+		buf.Write(scratch[:n])
 	}
-	if err := writeUvarint(uint64(s.size)); err != nil {
-		return err
+	writeUvarint(uint64(s.size))
+	writeUvarint(uint64(s.batch))
+	writeUvarint(uint64(len(s.index)))
+	for _, k := range keys {
+		l := s.index[k]
+		writeUvarint(uint64(len(k)))
+		buf.WriteString(k)
+		writeUvarint(uint64(l.off))
+		writeUvarint(uint64(l.len))
+		writeUvarint(uint64(l.batch))
 	}
-	if err := writeUvarint(uint64(s.batch)); err != nil {
-		return err
-	}
-	if err := writeUvarint(uint64(len(s.index))); err != nil {
-		return err
-	}
-	for k, l := range s.index {
-		if err := writeUvarint(uint64(len(k))); err != nil {
-			return err
-		}
-		if _, err := w.WriteString(k); err != nil {
-			return err
-		}
-		if err := writeUvarint(uint64(l.off)); err != nil {
-			return err
-		}
-		if err := writeUvarint(uint64(l.len)); err != nil {
-			return err
-		}
-		if err := writeUvarint(uint64(l.batch)); err != nil {
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, s.idxPath)
+	return fsutil.WriteFileAtomic(s.idxPath, buf.Bytes())
 }
 
 // loadIndex recovers the index from the shard's index file if present,

@@ -62,6 +62,7 @@ func NewScheduler(opts SchedulerOptions) *Scheduler {
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
+		//i2vet:allow rawgo long-lived compaction worker pool bounded by Workers, not a per-partition fan-out
 		go s.worker()
 	}
 	return s

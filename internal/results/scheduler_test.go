@@ -115,17 +115,38 @@ func TestSchedulerBackgroundCompactionUnderConcurrentReaders(t *testing.T) {
 				default:
 				}
 				sn := s.Snapshot()
-				// A snapshot is a point-in-time view: every group must be
-				// present and all values must come from the same round.
-				seen := map[string]int{}
-				n := 0
+				// A snapshot is a point-in-time view. The writer Sets the
+				// round's groups one key at a time in ascending key order
+				// (the store promises per-key atomicity, not cross-key
+				// transactions — round-atomic visibility is the serving
+				// layer's epoch flip), so a capture mid-round must see the
+				// new round on a prefix of the key order and the previous
+				// round on the rest: every group present, at most two
+				// rounds visible, adjacent, never interleaved. Anything
+				// else — a missing group, a stale third round, r10 after
+				// r9 in key order — is a torn capture.
+				var rs []int
 				err := sn.AllGroups(func(k string, ps []kv.Pair) error {
-					seen[ps[0].Value]++
-					n++
+					var r int
+					if _, serr := fmt.Sscanf(ps[0].Value, "r%d", &r); serr != nil {
+						return fmt.Errorf("group %s has malformed value %q", k, ps[0].Value)
+					}
+					rs = append(rs, r)
 					return nil
 				})
-				if err == nil && (n != groups || len(seen) != 1) {
-					err = fmt.Errorf("torn snapshot: %d groups, rounds %v", n, seen)
+				if err == nil && len(rs) != groups {
+					err = fmt.Errorf("torn snapshot: %d groups, want %d", len(rs), groups)
+				}
+				if err == nil {
+					for i := 1; i < len(rs); i++ {
+						if d := rs[i-1] - rs[i]; d != 0 && d != 1 {
+							err = fmt.Errorf("torn snapshot: rounds %v not a point-in-time prefix", rs)
+							break
+						}
+					}
+					if err == nil && rs[0]-rs[len(rs)-1] > 1 {
+						err = fmt.Errorf("torn snapshot: rounds %v span more than two rounds", rs)
+					}
 				}
 				if err == nil {
 					if _, ok, getErr := sn.Get(key(0)); getErr != nil || !ok {

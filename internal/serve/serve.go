@@ -31,6 +31,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -38,6 +39,7 @@ import (
 	"i2mapreduce/internal/incr"
 	"i2mapreduce/internal/kv"
 	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/par"
 	"i2mapreduce/internal/results"
 )
 
@@ -262,28 +264,28 @@ func (s *Server) MultiGet(keys []string) (pairs [][]kv.Pair, found []bool, epoch
 		p := s.part(k, len(s.stores))
 		byPart[p] = append(byPart[p], i)
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, 0, len(byPart))
-	var errMu sync.Mutex
-	for p, idxs := range byPart {
-		wg.Add(1)
-		go func(p int, idxs []int) {
-			defer wg.Done()
-			for _, i := range idxs {
-				ps, ok, err := e.get(keys[i], p)
-				if err != nil {
-					errMu.Lock()
-					errs = append(errs, err)
-					errMu.Unlock()
-					return
-				}
-				pairs[i], found[i] = ps, ok
-			}
-		}(p, idxs)
+	// Fan out across the owning partitions through par.Do: bounded
+	// workers and a deterministic lowest-partition error, instead of the
+	// old hand-rolled goroutine-per-partition whose reported error
+	// depended on scheduling.
+	parts := make([]int, 0, len(byPart))
+	for p := range byPart {
+		parts = append(parts, p)
 	}
-	wg.Wait()
-	if len(errs) > 0 {
-		return nil, nil, 0, errs[0]
+	sort.Ints(parts)
+	err = par.Do(len(parts), 0, func(pi int) error {
+		p := parts[pi]
+		for _, i := range byPart[p] {
+			ps, ok, err := e.get(keys[i], p)
+			if err != nil {
+				return err
+			}
+			pairs[i], found[i] = ps, ok
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
 	}
 	return pairs, found, e.id, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"i2mapreduce/internal/kv"
 	"i2mapreduce/internal/metrics"
+	"i2mapreduce/internal/par"
 )
 
 // Hot-key skew mitigation. One pathological key ("the" in a word count,
@@ -316,15 +317,13 @@ func (c *collator) emit(key string, lists [][]string, merged bool) error {
 	combine := c.b.cfg.Combine
 	if combine != nil {
 		if len(lists) > 1 {
-			var wg sync.WaitGroup
-			for i := range lists {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					lists[i] = combine(key, lists[i])
-				}(i)
-			}
-			wg.Wait()
+			// Per-list pre-aggregation through par.Do (GOMAXPROCS-bounded,
+			// was an unbounded goroutine-per-list fan-out). combine never
+			// errors, so Do's result is always nil.
+			_ = par.Do(len(lists), 0, func(i int) error {
+				lists[i] = combine(key, lists[i])
+				return nil
+			})
 			return c.yield(kv.Group{Key: key, Values: combine(key, mergeSortedLists(lists))})
 		}
 		return c.yield(kv.Group{Key: key, Values: combine(key, lists[0])})

@@ -90,7 +90,7 @@ func (it Iteration) Run() error {
 					return err
 				}
 				if it.Report != nil {
-					it.Report.Add("map.records.in", recs)
+					it.Report.Add(metrics.CounterMapRecordsIn, recs)
 					it.Report.AddStage(metrics.StageMap, time.Since(start))
 				}
 				return nil
@@ -115,8 +115,8 @@ func (it Iteration) Run() error {
 		// spill runs are already written to the consuming partition's
 		// node-local scratch.
 		shuffleStart := time.Now()
-		it.Report.Add("shuffle.bytes", buf.Bytes())
-		it.Report.Add("map.records.out", buf.Records())
+		it.Report.Add(metrics.CounterShuffleBytes, buf.Bytes())
+		it.Report.Add(metrics.CounterMapRecordsOut, buf.Records())
 		it.Report.AddStage(metrics.StageShuffle, time.Since(shuffleStart))
 	}
 

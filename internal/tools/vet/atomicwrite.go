@@ -1,0 +1,69 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// atomicwriteAnalyzer enforces the repo's durable-commit convention:
+// every file commit goes through internal/fsutil (WriteFileAtomic for
+// buffered payloads, RenameCommit for streamed temp files), which
+// fsyncs the file and its directory so the commit survives a crash.
+// PR-3 replaced four hand-rolled temp+rename sequences that each got a
+// different subset of the fsync dance wrong; this analyzer keeps new
+// ones from appearing. It flags direct calls to os.Rename and
+// os.WriteFile, and os.Create of a ".tmp"-suffixed path (the start of a
+// hand-rolled commit sequence), everywhere except internal/fsutil
+// itself. Intentionally non-durable writes (node-local scratch, WAL
+// appends with their own fsync protocol) carry //i2vet:allow
+// atomicwrite directives explaining why.
+var atomicwriteAnalyzer = &analyzer{
+	name: "atomicwrite",
+	doc:  "flag raw os.Rename/os.WriteFile/create-of-.tmp commit sequences outside internal/fsutil",
+}
+
+func init() { atomicwriteAnalyzer.run = runAtomicwrite }
+
+func runAtomicwrite(p *pass) {
+	if p.pkgIs("internal/fsutil") {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case p.stdFuncCall(call, "os", "Rename"):
+				p.report(atomicwriteAnalyzer, call.Pos(),
+					"os.Rename commits a file without fsync; use fsutil.RenameCommit (streamed temp file) or fsutil.WriteFileAtomic")
+			case p.stdFuncCall(call, "os", "WriteFile"):
+				p.report(atomicwriteAnalyzer, call.Pos(),
+					"os.WriteFile is torn by a crash mid-write; use fsutil.WriteFileAtomic")
+			case p.stdFuncCall(call, "os", "Create") && len(call.Args) == 1 && mentionsTmpSuffix(call.Args[0]):
+				p.report(atomicwriteAnalyzer, call.Pos(),
+					"os.Create of a \".tmp\" path starts a hand-rolled commit sequence; use fsutil.WriteFileAtomic or commit via fsutil.RenameCommit")
+			}
+			return true
+		})
+	}
+}
+
+// mentionsTmpSuffix reports whether the expression syntactically
+// involves a string literal ending in ".tmp" — the naming convention of
+// every hand-rolled temp-then-rename sequence this repo has had.
+func mentionsTmpSuffix(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if s, err := strconv.Unquote(lit.Value); err == nil && strings.HasSuffix(s, ".tmp") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

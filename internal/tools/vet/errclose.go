@@ -1,0 +1,174 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// errcloseAnalyzer guards the durability plane's error discipline: on a
+// writable file, Close/Sync (*os.File) and Flush (*bufio.Writer) are
+// where buffered write errors finally surface — dropping them means a
+// checkpoint can "succeed" with a torn segment behind it (the PR-3
+// hardening round fixed exactly this class of bug in the manifest
+// writers). The analyzer flags statement-level calls whose error result
+// is discarded. Cleanup calls on a path that is already reporting an
+// error are exempt: the body of an `if err != nil` branch, a close
+// immediately followed by `return ..., <non-nil error>`, and deferred
+// cleanup (a `defer x.Close()` or a close inside a deferred closure) —
+// there the first error is already propagating and the close is
+// best-effort teardown.
+var errcloseAnalyzer = &analyzer{
+	name: "errclose",
+	doc:  "flag discarded errors from Close/Sync on *os.File and Flush on *bufio.Writer",
+}
+
+func init() { errcloseAnalyzer.run = runErrclose }
+
+func runErrclose(p *pass) {
+	for _, f := range p.files {
+		// Walk with an explicit parent stack so a flagged statement can
+		// be tested for "inside an error-handling branch".
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := p.info.TypeOf(sel.X)
+			if recv == nil {
+				return true
+			}
+			var what string
+			switch sel.Sel.Name {
+			case "Close", "Sync":
+				if receiverNamed(recv, "os", "File") {
+					what = "os.File." + sel.Sel.Name
+				}
+			case "Flush":
+				if receiverNamed(recv, "bufio", "Writer") {
+					what = "bufio.Writer.Flush"
+				}
+			}
+			if what == "" || inErrorBranch(p, stack) || inDeferredCleanup(stack) || beforeErrorReturn(stack) {
+				return true
+			}
+			p.report(errcloseAnalyzer, stmt.Pos(), fmt.Sprintf(
+				"%s error discarded; buffered write errors surface here — check it (or annotate //i2vet:allow errclose on a best-effort path)", what))
+			return true
+		})
+	}
+}
+
+// inErrorBranch reports whether the innermost statement of the stack
+// sits inside an if/else branch whose condition tests an error value
+// against nil — the canonical cleanup-on-failure shape, where the close
+// is best-effort because an error is already being propagated.
+func inErrorBranch(p *pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if condTestsError(p, ifStmt.Cond) {
+			return true
+		}
+	}
+	return false
+}
+
+// inDeferredCleanup reports whether the statement runs inside a
+// function literal that is itself deferred — the `defer func() { ...
+// f.Close() ... }()` teardown idiom, where close errors cannot change
+// the function's outcome anyway.
+func inDeferredCleanup(stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		fl, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		for j := i - 1; j >= 0; j-- {
+			if d, ok := stack[j].(*ast.DeferStmt); ok {
+				if call, ok2 := d.Call.Fun.(*ast.FuncLit); ok2 && call == fl {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// beforeErrorReturn reports whether the statement's immediately
+// following sibling is a return whose final result is not the nil
+// identifier — the `f.Close(); return nil, fmt.Errorf(...)` error-exit
+// shape, where an error is already being reported.
+func beforeErrorReturn(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	stmt := stack[len(stack)-1]
+	block, ok := stack[len(stack)-2].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	for i, s := range block.List {
+		if s != stmt || i+1 >= len(block.List) {
+			continue
+		}
+		ret, ok := block.List[i+1].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return false
+		}
+		last := ret.Results[len(ret.Results)-1]
+		if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// condTestsError reports whether the condition compares an error-typed
+// expression with nil (on either side of == or !=, possibly nested in
+// && / || / parentheses).
+func condTestsError(p *pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		if bin.Op.String() != "==" && bin.Op.String() != "!=" {
+			return true
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			if t := p.info.TypeOf(side); t != nil && isErrorType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isErrorType reports whether t implements the built-in error
+// interface (which the error interface type itself trivially does).
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorInterface)
+}
+
+// errorInterface is the universe error type's interface.
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

@@ -1,0 +1,478 @@
+// Command vet ("i2vet") is the repo's stdlib-only invariant-enforcing
+// static-analysis suite. Nine PRs of hardening accumulated load-bearing
+// conventions — atomic manifest commits via fsutil.WriteFileAtomic,
+// byte-identical output ordering at any shard/budget/parallelism,
+// metrics counter names as constants in internal/metrics, bounded
+// fan-out via par.Do — and i2vet encodes them as machine-checked
+// analyzers so they cannot silently rot. Like internal/tools/doclint it
+// uses nothing beyond go/parser + go/ast + go/types (source importer),
+// preserving the module's zero-dependency go.mod.
+//
+// Usage:
+//
+//	go run ./internal/tools/vet [flags] ./... | DIR [DIR ...]
+//
+// Each analyzer has an enable/disable flag (-atomicwrite=false, ...).
+// Diagnostics print as "file:line:col: [analyzer] message"; exit status
+// is 1 if any diagnostic survives, 2 on usage/parse/type errors, and a
+// per-analyzer count summary always goes to stderr so CI logs show
+// regressions at a glance. _test.go files and testdata/ trees are not
+// analyzed (tests deliberately write torn files and corrupt bytes).
+//
+// A finding can be suppressed with a justified allow directive on the
+// offending line or the line above:
+//
+//	//i2vet:allow rawgo long-lived worker pool, not a bounded fan-out
+//	//i2vet:allow atomicwrite,errclose scratch spill; re-derivable
+//
+// The justification text is mandatory — a bare directive is itself a
+// diagnostic — so every exemption records why the invariant does not
+// apply.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// analyzer is one invariant checker: a name (also its flag and its
+// allow-directive key), a one-line doc, and a run function invoked once
+// per type-checked package.
+type analyzer struct {
+	name string
+	doc  string
+	run  func(p *pass)
+}
+
+// analyzers lists every registered analyzer in stable (alphabetical)
+// order. The driver derives flags, directive keys, and the summary line
+// from this slice.
+var analyzers = []*analyzer{
+	atomicwriteAnalyzer,
+	errcloseAnalyzer,
+	maporderAnalyzer,
+	metricnameAnalyzer,
+	rawgoAnalyzer,
+}
+
+// pass is the per-package view handed to each analyzer: the parsed
+// files, full type information, and a report sink.
+type pass struct {
+	fset    *token.FileSet
+	pkgPath string // slash-separated import path, module prefix trimmed (e.g. "internal/mrbg")
+	pkg     *types.Package
+	info    *types.Info
+	files   []*ast.File
+	report  func(a *analyzer, pos token.Pos, msg string)
+}
+
+// diagnostic is one finding, carrying its position for sorting and its
+// analyzer for the allow-directive check and the count summary.
+type diagnostic struct {
+	pos      token.Position
+	analyzer string
+	msg      string
+}
+
+// directiveAnalyzer names the pseudo-analyzer that reports malformed
+// //i2vet:allow directives. It cannot be disabled: a broken directive
+// silently re-enables nothing and must be fixed.
+const directiveAnalyzer = "directive"
+
+func main() {
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.name] = flag.Bool(a.name, true, a.doc)
+	}
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: i2vet [flags] ./... | DIR [DIR ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.name, a.doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	on := make(map[string]bool, len(enabled))
+	for name, v := range enabled {
+		on[name] = *v
+	}
+	dirs, err := expandPatterns(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "i2vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, suppressed, err := analyzeDirs(dirs, on)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "i2vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s:%d:%d: [%s] %s\n", d.pos.Filename, d.pos.Line, d.pos.Column, d.analyzer, d.msg)
+	}
+	fmt.Fprintln(os.Stderr, summary(diags, suppressed, on))
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// summary renders the per-analyzer diagnostic count line CI greps for,
+// e.g. "i2vet: atomicwrite=0 ... suppressed=6 (clean)".
+func summary(diags []diagnostic, suppressed int, on map[string]bool) string {
+	counts := make(map[string]int)
+	for _, d := range diags {
+		counts[d.analyzer]++
+	}
+	var b strings.Builder
+	b.WriteString("i2vet:")
+	for _, a := range analyzers {
+		if !on[a.name] {
+			fmt.Fprintf(&b, " %s=off", a.name)
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%d", a.name, counts[a.name])
+	}
+	if n := counts[directiveAnalyzer]; n > 0 {
+		fmt.Fprintf(&b, " %s=%d", directiveAnalyzer, n)
+	}
+	fmt.Fprintf(&b, " suppressed=%d", suppressed)
+	if len(diags) == 0 {
+		b.WriteString(" (clean)")
+	} else {
+		fmt.Fprintf(&b, " (%d diagnostics)", len(diags))
+	}
+	return b.String()
+}
+
+// expandPatterns turns the command-line arguments into package
+// directories. "DIR/..." (and the bare "./...") walk recursively for
+// directories holding at least one non-test .go file; anything else is
+// taken as one package directory. testdata trees and dot/underscore
+// directories are skipped, exactly as the go tool does.
+func expandPatterns(args []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, arg := range args {
+		root, recursive := strings.CutSuffix(arg, "...")
+		if !recursive {
+			add(arg)
+			continue
+		}
+		root = filepath.Clean(strings.TrimSuffix(root, "/"))
+		if root == "" {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeDirs parses and type-checks every package directory and runs
+// the enabled analyzers over it, returning position-sorted diagnostics
+// and the count of findings suppressed by valid allow directives. One
+// source importer is shared across packages so each dependency (stdlib
+// included) is type-checked once per run.
+func analyzeDirs(dirs []string, on map[string]bool) ([]diagnostic, int, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var diags []diagnostic
+	suppressed := 0
+	for _, dir := range dirs {
+		ds, sup, err := analyzePackage(fset, imp, dir, pkgPathFor(dir), on)
+		if err != nil {
+			return nil, 0, err
+		}
+		diags = append(diags, ds...)
+		suppressed += sup
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.analyzer < b.analyzer
+	})
+	return diags, suppressed, nil
+}
+
+// pkgPathFor maps a directory to the module-relative package path the
+// analyzers match against ("internal/mrbg"; the module root maps to
+// ""). The go.mod is located by walking up from the directory, so the
+// mapping holds whether the tool runs from the repo root (the CI
+// invocation) or a test passes absolute directories.
+func pkgPathFor(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.ToSlash(filepath.Clean(dir))
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return filepath.ToSlash(filepath.Clean(dir))
+		}
+		root = parent
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || rel == "." {
+		return ""
+	}
+	return filepath.ToSlash(rel)
+}
+
+// analyzePackage checks one package directory. Type errors are hard
+// failures: the repo builds cleanly, so a type error here means the
+// invocation is wrong, not the code.
+func analyzePackage(fset *token.FileSet, imp types.Importer, dir, pkgPath string, on map[string]bool) ([]diagnostic, int, error) {
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, 0, err
+	}
+	var diags []diagnostic
+	suppressed := 0
+	for _, pkg := range pkgs {
+		names := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		files := make([]*ast.File, 0, len(names))
+		for _, name := range names {
+			files = append(files, pkg.Files[name])
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		tpkg, err := conf.Check(pkgPath, fset, files, info)
+		if err != nil && len(typeErrs) > 0 {
+			return nil, 0, fmt.Errorf("type-checking %s: %v (first of %d)", dir, typeErrs[0], len(typeErrs))
+		} else if err != nil {
+			return nil, 0, fmt.Errorf("type-checking %s: %v", dir, err)
+		}
+		allows, dirDiags := parseDirectives(fset, files)
+		diags = append(diags, dirDiags...)
+		p := &pass{
+			fset:    fset,
+			pkgPath: pkgPath,
+			pkg:     tpkg,
+			info:    info,
+			files:   files,
+			report: func(a *analyzer, pos token.Pos, msg string) {
+				position := fset.Position(pos)
+				if allows.covers(position, a.name) {
+					suppressed++
+					return
+				}
+				diags = append(diags, diagnostic{pos: position, analyzer: a.name, msg: msg})
+			},
+		}
+		for _, a := range analyzers {
+			if on[a.name] {
+				a.run(p)
+			}
+		}
+	}
+	return diags, suppressed, nil
+}
+
+// allowSet records which (file, line, analyzer) triples are covered by
+// a justified //i2vet:allow directive. A directive covers its own line
+// and the following line, so it works both as a trailing comment and as
+// a comment immediately above the statement.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) add(file string, line int, name string) {
+	lines := s[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		s[file] = lines
+	}
+	for _, l := range []int{line, line + 1} {
+		if lines[l] == nil {
+			lines[l] = make(map[string]bool)
+		}
+		lines[l][name] = true
+	}
+}
+
+func (s allowSet) covers(pos token.Position, name string) bool {
+	return s[pos.Filename][pos.Line][name]
+}
+
+// parseDirectives scans every comment for //i2vet:allow directives.
+// Malformed directives — an unknown analyzer name, or a missing
+// justification — are diagnostics themselves, reported under the
+// non-disableable "directive" pseudo-analyzer.
+func parseDirectives(fset *token.FileSet, files []*ast.File) (allowSet, []diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.name] = true
+	}
+	allows := make(allowSet)
+	var diags []diagnostic
+	bad := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, diagnostic{
+			pos:      fset.Position(pos),
+			analyzer: directiveAnalyzer,
+			msg:      fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//i2vet:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad(c.Pos(), "allow directive names no analyzer (want //i2vet:allow <analyzer>[,<analyzer>] <justification>)")
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				if len(fields) < 2 {
+					bad(c.Pos(), "allow directive for %q has no justification; explain why the invariant does not apply", fields[0])
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				okNames := true
+				for _, name := range names {
+					if !known[name] {
+						bad(c.Pos(), "allow directive names unknown analyzer %q", name)
+						okNames = false
+					}
+				}
+				if !okNames {
+					continue
+				}
+				for _, name := range names {
+					allows.add(pos.Filename, pos.Line, name)
+				}
+			}
+		}
+	}
+	return allows, diags
+}
+
+// pkgIs reports whether the pass's package is exactly one of the given
+// module-relative paths.
+func (p *pass) pkgIs(paths ...string) bool {
+	for _, path := range paths {
+		if p.pkgPath == path {
+			return true
+		}
+	}
+	return false
+}
+
+// useOf resolves an identifier to the object it refers to, or nil.
+func (p *pass) useOf(id *ast.Ident) types.Object {
+	return p.info.Uses[id]
+}
+
+// stdFuncCall reports whether call invokes pkg.name for a standard
+// (or any) library package with import path pkgPath, resolving the
+// package identifier through the type info so renamed imports and
+// shadowed identifiers are handled correctly.
+func (p *pass) stdFuncCall(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.useOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// receiverNamed unwraps pointers and reports whether t is the named
+// type pkgPath.name.
+func receiverNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maporderAnalyzer guards the byte-identity invariant: engine output is
+// byte-for-byte identical at any shard count, memory budget, or
+// parallelism level, which the equivalence tests and the kill-and-
+// reopen sweeps all assert. Go's map iteration order is deliberately
+// random, so a range-over-map whose body feeds an output path (emit,
+// encode, write) produces a different byte order every run. The fix is
+// always the same shape: collect the keys, sort them, then iterate the
+// sorted slice — the pattern metrics.CounterNames and the manifest
+// writers already use. The analyzer flags a range statement over a map
+// whose body (function literals included) calls a known output sink;
+// loops that only collect into slices or maps pass.
+var maporderAnalyzer = &analyzer{
+	name: "maporder",
+	doc:  "flag range-over-map loops whose body feeds an output sink without sorting first",
+}
+
+func init() { maporderAnalyzer.run = runMaporder }
+
+// sinkMethods are method names that commit bytes or records to an
+// output in call order. A call to any of these inside a map-ordered
+// loop makes the output order nondeterministic.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteDelta": true, "WritePair": true, "WriteTo": true,
+	"Encode": true, "EncodePairs": true, "EncodeDelta": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Emit": true, "Append": true, "AppendPair": true,
+}
+
+// sinkIdents are bare function/closure names treated as sinks; "emit"
+// is the conventional name of the reduce-output closure threaded
+// through every engine.
+var sinkIdents = map[string]bool{
+	"emit": true, "yield": true,
+}
+
+func runMaporder(p *pass) {
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if name, pos, found := findSink(rng.Body); found {
+				p.report(maporderAnalyzer, pos, fmt.Sprintf(
+					"map iteration order is random but the loop body calls output sink %q; collect keys, sort, then emit (byte-identity invariant)",
+					name))
+			}
+			return true
+		})
+	}
+}
+
+// findSink walks a loop body (including nested function literals, which
+// still run under the loop's iteration order) for the first call to a
+// known output sink.
+func findSink(body *ast.BlockStmt) (name string, pos token.Pos, found bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if sinkMethods[fun.Sel.Name] {
+				name, pos, found = fun.Sel.Name, call.Pos(), true
+			}
+		case *ast.Ident:
+			if sinkIdents[fun.Name] {
+				name, pos, found = fun.Name, call.Pos(), true
+			}
+		}
+		return !found
+	})
+	return name, pos, found
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// metricnameAnalyzer enforces the counter-name convention: every
+// counter/gauge name passed to the internal/metrics Report API must be
+// a named constant declared in internal/metrics. Ad-hoc string literals
+// drift (two packages spelling "results.segments" differently would
+// silently split one counter in job reports and /stats), and constants
+// centralized in one package give every name a doc comment and one
+// grep-able registry. Dynamic names built at runtime are out of scope —
+// the analyzer cannot prove anything about them — but a plain literal
+// or a constant declared elsewhere is always a violation.
+var metricnameAnalyzer = &analyzer{
+	name: "metricname",
+	doc:  "flag metrics counter names that are not named constants from internal/metrics",
+}
+
+func init() { metricnameAnalyzer.run = runMetricname }
+
+// metricsPkgSuffix identifies the metrics package by import-path
+// suffix, so the check works whatever module path the repo is built
+// under.
+const metricsPkgSuffix = "internal/metrics"
+
+func runMetricname(p *pass) {
+	if p.pkgIs("internal/metrics") {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Add" && sel.Sel.Name != "Counter" {
+				return true
+			}
+			recv := p.info.TypeOf(sel.X)
+			if recv == nil || !reportReceiver(recv) {
+				return true
+			}
+			arg := call.Args[0]
+			switch a := arg.(type) {
+			case *ast.BasicLit:
+				if a.Kind == token.STRING {
+					p.report(metricnameAnalyzer, a.Pos(), fmt.Sprintf(
+						"counter name %s passed to metrics.Report.%s must be a named constant declared in internal/metrics",
+						a.Value, sel.Sel.Name))
+				}
+			default:
+				if obj := constObjOf(p, arg); obj != nil && !declaredInMetrics(obj) {
+					p.report(metricnameAnalyzer, arg.Pos(), fmt.Sprintf(
+						"counter name constant %s is declared in %s; counter names live in internal/metrics",
+						obj.Name(), obj.Pkg().Path()))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportReceiver reports whether t is metrics.Report (or a pointer to
+// it), matching by type name plus package-path suffix.
+func reportReceiver(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Report" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), metricsPkgSuffix)
+}
+
+// constObjOf resolves an expression to the constant object it names
+// (ident or pkg.Sel), or nil for anything that is not a named constant.
+func constObjOf(p *pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj := p.useOf(id)
+	if _, ok := obj.(*types.Const); !ok {
+		return nil
+	}
+	return obj
+}
+
+// declaredInMetrics reports whether the constant lives in the metrics
+// package (whose path may or may not carry the module prefix, depending
+// on whether it was imported or is the package under analysis).
+func declaredInMetrics(obj types.Object) bool {
+	return obj.Pkg() == nil || strings.HasSuffix(obj.Pkg().Path(), metricsPkgSuffix)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// rawgoAnalyzer keeps the engine and durability packages' concurrency
+// funneled through internal/par: PR-8 put every per-partition
+// durability loop behind par.Do so one knob (IOParallelism) bounds the
+// whole process's concurrent I/O, errors surface in deterministic
+// index order, and limit==1 degrades to the byte-identical serial loop
+// the crash-consistency tests compare against. A bare `go` statement in
+// those packages reintroduces unbounded, order-nondeterministic
+// fan-out. Long-lived background loops that are genuinely not fan-out
+// (a scheduler's worker pool, the ingestion micro-batch loop) carry
+// //i2vet:allow rawgo directives saying so.
+var rawgoAnalyzer = &analyzer{
+	name: "rawgo",
+	doc:  "flag bare go statements in engine/durability packages; bounded fan-out routes through par.Do",
+}
+
+func init() { rawgoAnalyzer.run = runRawgo }
+
+// rawgoPackages is the engine/durability set the invariant covers.
+// cluster (the task scheduler — goroutines are its core function), par
+// itself, and the bench/app driver layers are out of scope.
+var rawgoPackages = map[string]bool{
+	"internal/mrbg":    true,
+	"internal/results": true,
+	"internal/core":    true,
+	"internal/incr":    true,
+	"internal/iter":    true,
+	"internal/mr":      true,
+	"internal/dfs":     true,
+	"internal/shuffle": true,
+	"internal/serve":   true,
+	"internal/ingest":  true,
+}
+
+func runRawgo(p *pass) {
+	if !rawgoPackages[p.pkgPath] {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.report(rawgoAnalyzer, g.Pos(),
+					"bare go statement in an engine/durability package; route bounded fan-out through par.Do (or annotate //i2vet:allow rawgo for a long-lived background loop)")
+			}
+			return true
+		})
+	}
+}

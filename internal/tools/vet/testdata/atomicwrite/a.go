@@ -1,0 +1,28 @@
+// Package fixture exercises the atomicwrite analyzer: raw rename /
+// write-file commit sequences must route through internal/fsutil.
+package fixture
+
+import "os"
+
+func commit(data []byte) error {
+	if err := os.WriteFile("out.meta", data, 0o644); err != nil { // want "os.WriteFile"
+		return err
+	}
+	f, err := os.Create("out.meta.tmp") // want "commit sequence"
+	if err != nil {
+		return err
+	}
+	_ = f.Close()
+	return os.Rename("out.meta.tmp", "out.meta") // want "os.Rename"
+}
+
+func allowed(data []byte) error {
+	//i2vet:allow atomicwrite fixture scratch file, durability is not needed here
+	return os.WriteFile("scratch", data, 0o644)
+}
+
+func notACommit() (*os.File, error) {
+	// Creating a file whose name does not look like a commit temp file
+	// is ordinary I/O, not a commit sequence.
+	return os.Create("plain.dat")
+}

@@ -1,0 +1,20 @@
+// Package fixture exercises //i2vet:allow directive parsing: the good
+// directive suppresses its finding, the malformed ones are reported.
+package fixture
+
+import "os"
+
+func good() error {
+	//i2vet:allow atomicwrite fixture scratch, durability is deliberately skipped
+	return os.Rename("a.tmp", "a")
+}
+
+func missingJustification() error {
+	//i2vet:allow atomicwrite
+	return os.Rename("b.tmp", "b")
+}
+
+func unknownName() error {
+	//i2vet:allow nosuchanalyzer this analyzer does not exist
+	return os.Rename("c.tmp", "c")
+}

@@ -1,0 +1,35 @@
+// Package fixture exercises the errclose analyzer: Close/Flush/Sync
+// errors on writable files must not be silently discarded.
+package fixture
+
+import (
+	"bufio"
+	"errors"
+	"os"
+)
+
+func bad(f *os.File, w *bufio.Writer) {
+	w.Flush() // want "Flush"
+	f.Sync()  // want "Sync"
+	f.Close() // want "Close"
+}
+
+func cleanupPaths(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.Close() // ok: deferred cleanup after the flow already decided
+	}()
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close() // ok: already on an error branch
+		return err
+	}
+	return f.Close()
+}
+
+func errorReturn(f *os.File) error {
+	f.Close() // ok: the next statement returns a non-nil error
+	return errors.New("failed")
+}

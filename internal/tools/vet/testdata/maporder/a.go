@@ -1,0 +1,43 @@
+// Package fixture exercises the maporder analyzer: ranging over a map
+// while writing to an output sink breaks byte-identical output.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func bad(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "map iteration order"
+	}
+}
+
+func nestedBad(w io.Writer, m map[string]int) {
+	for k := range m {
+		func() {
+			_, _ = w.Write([]byte(k)) // want "map iteration order"
+		}()
+	}
+}
+
+func good(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func noSink(m map[string]int) int {
+	// Pure aggregation over a map is order-insensitive and fine.
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,19 @@
+// Package fixture exercises the metricname analyzer: counter names
+// passed to metrics.Report must be constants from internal/metrics.
+package fixture
+
+import "i2mapreduce/internal/metrics"
+
+const localName = "local.counter"
+
+func record(rep *metrics.Report) {
+	rep.Add("adhoc.counter", 1)      // want "named constant"
+	rep.Add(localName, 1)            // want "declared in"
+	rep.Add(metrics.CounterJobs, 1)  // ok: canonical constant
+	_ = rep.Counter("another.adhoc") // want "named constant"
+
+	// Dynamically built names are out of scope for the analyzer; they
+	// are rejected at review time instead.
+	name := "dyn." + metrics.CounterJobs
+	_ = rep.Counter(name)
+}

@@ -1,0 +1,14 @@
+// Package fixture exercises the rawgo analyzer. The test feeds this
+// package to the analyzer under an engine package path (internal/core),
+// where bare go statements must route through par.Do.
+package fixture
+
+func fanout(n int) {
+	for i := 0; i < n; i++ {
+		go work(i) // want "bare go statement"
+	}
+	//i2vet:allow rawgo long-lived fixture worker, not a bounded fan-out
+	go work(-1)
+}
+
+func work(int) {}
